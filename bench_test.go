@@ -1,0 +1,302 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (at benchmark-friendly scales; run `freshenctl experiment
+// all` for the full-scale tables recorded in EXPERIMENTS.md), plus
+// micro-benchmarks of the planning substrate.
+//
+// Run with: go test -bench=. -benchmem
+package freshen_test
+
+import (
+	"testing"
+
+	"freshen"
+	"freshen/internal/experiment"
+	"freshen/internal/workload"
+)
+
+// benchOpts keeps the per-iteration cost of the figure benchmarks
+// moderate while exercising the full pipeline of each experiment.
+var benchOpts = experiment.Options{Seed: 1, Quick: true}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.RunFigure1()
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure2(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for _, align := range []workload.Alignment{workload.Shuffled, workload.Aligned, workload.Reverse} {
+		b.Run(align.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunFigure3(align, benchOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure5(workload.Shuffled, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure6(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure7(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure8(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure9(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure10(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunFigure11(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunPolicyAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSolverAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEstimate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunEstimateAblation(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSelection(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionHierarchical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunHierarchical(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionAge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAge(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionPush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunPush(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSensitivity(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionQuantize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunQuantize(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimValidate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSimValidate(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchWorkload(b *testing.B, n int) []freshen.Element {
+	b.Helper()
+	elems, err := freshen.GenerateWorkload(freshen.WorkloadSpec{
+		NumObjects:       n,
+		UpdatesPerPeriod: 2 * float64(n),
+		SyncsPerPeriod:   float64(n) / 2,
+		Theta:            1.0,
+		UpdateStdDev:     1.0,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return elems
+}
+
+func BenchmarkPlanExact(b *testing.B) {
+	for _, n := range []int{500, 5000, 50000} {
+		elems := benchWorkload(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: float64(n) / 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlanPartitioned(b *testing.B) {
+	for _, n := range []int{5000, 50000, 200000} {
+		elems := benchWorkload(b, n)
+		cfg := freshen.PlanConfig{
+			Bandwidth:     float64(n) / 2,
+			Strategy:      freshen.StrategyPartitioned,
+			Key:           freshen.KeyPF,
+			NumPartitions: 100,
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := freshen.MakePlan(elems, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlanClustered(b *testing.B) {
+	for _, n := range []int{5000, 50000} {
+		elems := benchWorkload(b, n)
+		cfg := freshen.DefaultHeuristics(float64(n)/2, 50)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := freshen.MakePlan(elems, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulatePeriod(b *testing.B) {
+	elems := benchWorkload(b, 500)
+	plan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: 250})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := freshen.Simulate(freshen.SimConfig{
+			Elements:          elems,
+			Freqs:             plan.Freqs,
+			Periods:           10,
+			WarmupPeriods:     1,
+			AccessesPerPeriod: 10000,
+			Seed:              int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000000:
+		return "N=" + itoa(n/1000000) + "M"
+	case n >= 1000:
+		return "N=" + itoa(n/1000) + "k"
+	default:
+		return "N=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,373 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"freshen/internal/core"
+	"freshen/internal/experiment"
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+	"freshen/internal/schedule"
+	"freshen/internal/sim"
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// cmdList prints the experiment registry.
+func cmdList(w io.Writer) error {
+	t := textio.NewTable("Reproducible experiments", "id", "description")
+	for _, info := range experiment.All() {
+		t.AddRow(info.ID, info.Title)
+	}
+	return t.Render(w)
+}
+
+// cmdExperiment runs one experiment (or all) and renders its tables.
+func cmdExperiment(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	outDir := fs.String("outdir", "", "also write each table as a CSV file into this directory")
+	seed := fs.Int64("seed", 1, "workload seed")
+	bigN := fs.Int("bign", 0, "element count for the figure7 big case (0 = paper's 500000)")
+	clusterN := fs.Int("clustern", 0, "element count for the k-means figures (0 = 100000)")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("experiment: need exactly one experiment id (or 'all'); see 'freshenctl list'")
+	}
+	opts := experiment.Options{Seed: *seed, BigN: *bigN, ClusterN: *clusterN, Quick: *quick}
+
+	var infos []experiment.Info
+	if fs.Arg(0) == "all" {
+		infos = experiment.All()
+	} else {
+		info, err := experiment.Find(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		infos = append(infos, info)
+	}
+	for _, info := range infos {
+		tables, err := info.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", info.ID, err)
+		}
+		for ti, tab := range tables {
+			if *csvOut {
+				fmt.Fprintf(w, "# %s\n", tab.Title)
+				if err := tab.RenderCSV(w); err != nil {
+					return err
+				}
+			} else {
+				if err := tab.Render(w); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(w)
+			if *outDir != "" {
+				name := info.ID
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s_%d", info.ID, ti+1)
+				}
+				if err := writeTableCSV(filepath.Join(*outDir, name+".csv"), tab); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeTableCSV writes one result table to a CSV file.
+func writeTableCSV(path string, tab *textio.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tab.RenderCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// planFlags holds the planning options shared by solve and simulate.
+type planFlags struct {
+	input      string
+	bandwidth  float64
+	strategy   string
+	key        string
+	partitions int
+	iterations int
+	fba        bool
+}
+
+func (p *planFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.input, "input", "", "element CSV (id,lambda,access_prob,size); required")
+	fs.Float64Var(&p.bandwidth, "bandwidth", 0, "refresh budget per period; required")
+	fs.StringVar(&p.strategy, "strategy", "exact", "exact | partitioned | clustered")
+	fs.StringVar(&p.key, "key", "PF", "partitioning key: P | LAMBDA | P_OVER_LAMBDA | PF | PF_OVER_SIZE | SIZE")
+	fs.IntVar(&p.partitions, "partitions", 100, "partition count for heuristic strategies")
+	fs.IntVar(&p.iterations, "iterations", 10, "k-means iterations for the clustered strategy")
+	fs.BoolVar(&p.fba, "fba", false, "use fixed-bandwidth allocation (for variable-size mirrors)")
+}
+
+func (p *planFlags) config() (core.Config, error) {
+	cfg := core.Config{
+		Bandwidth:        p.bandwidth,
+		NumPartitions:    p.partitions,
+		KMeansIterations: p.iterations,
+	}
+	switch p.strategy {
+	case "exact":
+		cfg.Strategy = core.StrategyExact
+	case "partitioned":
+		cfg.Strategy = core.StrategyPartitioned
+	case "clustered":
+		cfg.Strategy = core.StrategyClustered
+	default:
+		return core.Config{}, fmt.Errorf("unknown strategy %q", p.strategy)
+	}
+	key, err := partition.ParseKey(p.key)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Key = key
+	if p.fba {
+		cfg.Allocation = partition.FBA
+	}
+	return cfg, nil
+}
+
+func (p *planFlags) loadElements() (core.Config, []freshness.Element, error) {
+	if p.input == "" {
+		return core.Config{}, nil, fmt.Errorf("-input is required")
+	}
+	if !(p.bandwidth > 0) {
+		return core.Config{}, nil, fmt.Errorf("-bandwidth must be positive")
+	}
+	f, err := os.Open(p.input)
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	defer f.Close()
+	elems, err := textio.ReadElements(f)
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	return cfg, elems, nil
+}
+
+// cmdSolve plans a schedule and prints it.
+func cmdSolve(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	var pf planFlags
+	pf.register(fs)
+	top := fs.Int("top", 20, "print only the N highest-frequency elements (0 = all)")
+	quantize := fs.Bool("quantize", false, "round to whole refresh counts per period (largest remainder)")
+	objective := fs.String("objective", "freshness", "freshness | age | blend (exact strategy only for age/blend)")
+	ageWeight := fs.Float64("age-weight", 0.1, "staleness penalty for -objective blend")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, elems, err := pf.loadElements()
+	if err != nil {
+		return err
+	}
+	var plan core.Plan
+	switch *objective {
+	case "freshness":
+		plan, err = core.MakePlan(elems, cfg)
+	case "age", "blend":
+		if cfg.Strategy != core.StrategyExact {
+			return fmt.Errorf("solve: -objective %s requires -strategy exact", *objective)
+		}
+		prob := solver.Problem{Elements: elems, Bandwidth: cfg.Bandwidth}
+		var sol solver.Solution
+		if *objective == "age" {
+			sol, err = solver.MinimizeAge(prob)
+		} else {
+			sol, err = solver.Blend(prob, *ageWeight)
+		}
+		if err != nil {
+			break
+		}
+		var avg float64
+		avg, err = freshness.Average(freshness.FixedOrder{}, elems, sol.Freqs)
+		plan = core.Plan{
+			Freqs:         sol.Freqs,
+			Perceived:     sol.Perceived,
+			AvgFreshness:  avg,
+			BandwidthUsed: sol.BandwidthUsed,
+			Strategy:      core.StrategyExact,
+			NumPartitions: len(elems),
+		}
+	default:
+		return fmt.Errorf("solve: unknown objective %q", *objective)
+	}
+	if err != nil {
+		return err
+	}
+
+	freqs := plan.Freqs
+	if *quantize {
+		counts, err := schedule.Quantize(plan.Freqs)
+		if err != nil {
+			return err
+		}
+		freqs = schedule.QuantizedFreqs(counts)
+	}
+
+	summary := textio.NewTable("Plan summary", "metric", "value")
+	summary.AddRow("strategy", plan.Strategy.String())
+	summary.AddRow("elements", len(elems))
+	summary.AddRow("partitions", plan.NumPartitions)
+	summary.AddRow("perceived freshness", plan.Perceived)
+	summary.AddRow("average freshness", plan.AvgFreshness)
+	if age, err := freshness.PerceivedAge(elems, freqs); err == nil {
+		summary.AddRow("perceived age (periods)", formatAge(age))
+	}
+	summary.AddRow("bandwidth used", plan.BandwidthUsed)
+	summary.AddRow("planning time", plan.Elapsed.String())
+	if *quantize {
+		qpf, err := freshness.Perceived(freshness.FixedOrder{}, elems, freqs)
+		if err != nil {
+			return err
+		}
+		summary.AddRow("quantized perceived freshness", qpf)
+	}
+	if err := summary.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	type row struct {
+		idx  int
+		freq float64
+	}
+	rows := make([]row, len(elems))
+	for i, f := range freqs {
+		rows[i] = row{idx: i, freq: f}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].freq > rows[b].freq })
+	if *top > 0 && *top < len(rows) {
+		rows = rows[:*top]
+	}
+	sched := textio.NewTable("Schedule (highest refresh frequency first)",
+		"element id", "lambda", "access prob", "size", "freq/period", "bandwidth")
+	for _, r := range rows {
+		e := elems[r.idx]
+		sched.AddRow(e.ID, e.Lambda, e.AccessProb, e.Size, r.freq, r.freq*e.Size)
+	}
+	return sched.Render(w)
+}
+
+// cmdSimulate plans and then validates the plan in the simulator.
+func cmdSimulate(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var pf planFlags
+	pf.register(fs)
+	periods := fs.Int("periods", 40, "periods to simulate")
+	accesses := fs.Float64("accesses", 10000, "user accesses per period")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, elems, err := pf.loadElements()
+	if err != nil {
+		return err
+	}
+	plan, err := core.MakePlan(elems, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Config{
+		Elements:          elems,
+		Freqs:             plan.Freqs,
+		Periods:           *periods,
+		WarmupPeriods:     max(1, *periods/10),
+		AccessesPerPeriod: *accesses,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	t := textio.NewTable("Simulation", "metric", "value")
+	t.AddRow("planned (analytic) PF", res.AnalyticPF)
+	t.AddRow("measured time-averaged PF", res.TimeAveragedPF)
+	t.AddRow("measured monitored PF", res.MonitoredPF)
+	t.AddRow("average freshness", res.AvgFreshness)
+	t.AddRow("accesses", res.Accesses)
+	t.AddRow("fresh accesses", res.FreshAccesses)
+	t.AddRow("updates", res.Updates)
+	t.AddRow("syncs", res.Syncs)
+	return t.Render(w)
+}
+
+// cmdWorkload emits a synthetic element CSV.
+func cmdWorkload(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	n := fs.Int("n", 500, "number of elements")
+	updates := fs.Float64("updates", 1000, "expected updates per period (all elements)")
+	syncs := fs.Float64("syncs", 250, "sync budget per period (recorded only)")
+	theta := fs.Float64("theta", 1.0, "zipf skew of the access distribution")
+	stddev := fs.Float64("stddev", 1.0, "stddev of the gamma change-rate distribution")
+	align := fs.String("align", "shuffled", "change/access alignment: aligned | reverse | shuffled")
+	pareto := fs.Bool("pareto-sizes", false, "draw object sizes from Pareto(1.1, mean 1)")
+	sizeAlign := fs.String("size-align", "shuffled", "size/change alignment: aligned | reverse | shuffled")
+	seed := fs.Int64("seed", 1, "generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := workload.ParseAlignment(*align)
+	if err != nil {
+		return err
+	}
+	sa, err := workload.ParseAlignment(*sizeAlign)
+	if err != nil {
+		return err
+	}
+	spec := workload.Spec{
+		NumObjects:       *n,
+		UpdatesPerPeriod: *updates,
+		SyncsPerPeriod:   *syncs,
+		Theta:            *theta,
+		UpdateStdDev:     *stddev,
+		ChangeAlignment:  a,
+		SizeAlignment:    sa,
+		Seed:             *seed,
+	}
+	if *pareto {
+		spec.Sizes = workload.SizePareto
+		spec.ParetoShape = 1.1
+	}
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	return textio.WriteElements(w, elems)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"freshen/internal/profile"
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+)
+
+// formatAge renders a perceived-age value, flagging the infinite case
+// (some accessed element is never refreshed).
+func formatAge(age float64) string {
+	if math.IsInf(age, 1) {
+		return "inf (an accessed element is never refreshed)"
+	}
+	return strconv.FormatFloat(age, 'f', 4, 64)
+}
+
+// cmdCapacity answers the planning question "how much refresh
+// bandwidth does this mirror need for a target perceived freshness?".
+func cmdCapacity(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("capacity", flag.ContinueOnError)
+	input := fs.String("input", "", "element CSV; required")
+	target := fs.Float64("target", 0.9, "target perceived freshness in (0, 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		return fmt.Errorf("capacity: -input is required")
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	elems, err := textio.ReadElements(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	bandwidth, err := solver.BandwidthForTarget(elems, *target, nil)
+	if err != nil {
+		return err
+	}
+	t := textio.NewTable("Capacity plan", "metric", "value")
+	t.AddRow("elements", len(elems))
+	t.AddRow("target perceived freshness", *target)
+	t.AddRow("required bandwidth (refreshes/period)", bandwidth)
+	if bandwidth > 0 {
+		sol, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: bandwidth})
+		if err != nil {
+			return err
+		}
+		t.AddRow("achieved perceived freshness", sol.Perceived)
+	}
+	return t.Render(w)
+}
+
+// cmdLearn builds the master profile from an access log (one element
+// index per line; blank lines and #-comments ignored). With -input it
+// rewrites the element CSV with the learned probabilities; otherwise
+// it prints element,access_prob pairs.
+func cmdLearn(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ContinueOnError)
+	logPath := fs.String("log", "", "access log file (one element index per line); required")
+	n := fs.Int("n", 0, "number of elements (required without -input)")
+	input := fs.String("input", "", "element CSV to re-profile (optional)")
+	smoothing := fs.Float64("smoothing", 1, "Laplace pseudo-count for unseen elements")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("learn: -log is required")
+	}
+	accesses, err := readAccessLog(*logPath)
+	if err != nil {
+		return err
+	}
+
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		elems, err := textio.ReadElements(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		probs, err := profile.FromAccessLog(len(elems), accesses, *smoothing)
+		if err != nil {
+			return err
+		}
+		for i := range elems {
+			elems[i].AccessProb = probs[i]
+		}
+		return textio.WriteElements(w, elems)
+	}
+
+	if *n <= 0 {
+		return fmt.Errorf("learn: -n is required without -input")
+	}
+	probs, err := profile.FromAccessLog(*n, accesses, *smoothing)
+	if err != nil {
+		return err
+	}
+	t := textio.NewTable("", "element", "access_prob")
+	for i, p := range probs {
+		t.AddRow(i, p)
+	}
+	return t.RenderCSV(w)
+}
+
+// readAccessLog parses one element index per line.
+func readAccessLog(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var accesses []int
+	scanner := bufio.NewScanner(f)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		idx, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, fmt.Errorf("learn: %s:%d: bad element index %q", path, line, text)
+		}
+		accesses = append(accesses, idx)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return accesses, nil
+}

@@ -1,0 +1,73 @@
+// Command freshenctl is the command-line front end of the freshen
+// library: it plans refresh schedules for element sets, simulates
+// them, generates synthetic workloads, and reproduces every table and
+// figure of the paper's evaluation.
+//
+// Usage:
+//
+//	freshenctl list
+//	freshenctl experiment [-csv] [-outdir DIR] [-seed N] [-bign N] [-clustern N] [-quick] <id|all>
+//	freshenctl solve -input elems.csv -bandwidth B [-strategy S] [-key K] [-partitions P] [-iterations I] [-fba] [-objective O] [-quantize] [-top N]
+//	freshenctl simulate -input elems.csv -bandwidth B [-periods P] [-accesses A] [-seed N]
+//	freshenctl workload -n N -updates U -syncs B [-theta T] [-stddev S] [-align A] [-pareto-sizes] [-seed N]
+//	freshenctl learn -log access.log (-n N | -input elems.csv) [-smoothing S]
+//	freshenctl capacity -input elems.csv -target PF
+//
+// Flags come before positional arguments (standard flag package
+// ordering).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "freshenctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(os.Stdout)
+	case "experiment":
+		return cmdExperiment(os.Stdout, args[1:])
+	case "solve":
+		return cmdSolve(os.Stdout, args[1:])
+	case "simulate":
+		return cmdSimulate(os.Stdout, args[1:])
+	case "workload":
+		return cmdWorkload(os.Stdout, args[1:])
+	case "learn":
+		return cmdLearn(os.Stdout, args[1:])
+	case "capacity":
+		return cmdCapacity(os.Stdout, args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `freshenctl — application-aware data freshening
+
+Subcommands:
+  list        list reproducible experiments (paper tables and figures)
+  experiment  run one experiment (or "all") and print its tables
+  solve       plan a refresh schedule for an element CSV
+  simulate    plan and then simulate a schedule, reporting measured freshness
+  workload    generate a synthetic element CSV (gamma/zipf/pareto)
+  learn       build the master profile from an access log
+  capacity    minimum bandwidth for a target perceived freshness
+`)
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdList(t *testing.T) {
+	var sb strings.Builder
+	if err := cmdList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "figure3", "figure11", "sim-validate"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestCmdExperimentQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := cmdExperiment(&sb, []string{"-quick", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sync freq (P2)") {
+		t.Errorf("table1 output missing rows:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := cmdExperiment(&sb, []string{"-quick", "-csv", "figure1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "# Figure 1") {
+		t.Errorf("csv output missing comment header:\n%s", sb.String())
+	}
+	// -outdir writes one CSV per table, numbered for multi-table
+	// experiments.
+	dir := t.TempDir()
+	sb.Reset()
+	if err := cmdExperiment(&sb, []string{"-quick", "-outdir", dir, "figure10"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure10_1.csv", "figure10_2.csv", "figure10_3.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	if err := cmdExperiment(&sb, []string{"bogus"}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := cmdExperiment(&sb, []string{}); err == nil {
+		t.Error("missing id must fail")
+	}
+}
+
+func writeWorkloadCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "elems.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := cmdWorkload(f, []string{"-n", "100", "-updates", "200", "-syncs", "50", "-theta", "1.0"}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdWorkloadSolveSimulate(t *testing.T) {
+	path := writeWorkloadCSV(t)
+
+	var sb strings.Builder
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50", "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "perceived freshness") {
+		t.Errorf("solve output missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "Schedule (highest refresh frequency first)") {
+		t.Errorf("solve output missing schedule:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50",
+		"-strategy", "clustered", "-partitions", "10", "-iterations", "3", "-fba"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "clustered") {
+		t.Errorf("clustered solve output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := cmdSimulate(&sb, []string{"-input", path, "-bandwidth", "50",
+		"-periods", "20", "-accesses", "2000"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "measured monitored PF") {
+		t.Errorf("simulate output:\n%s", sb.String())
+	}
+}
+
+func TestCmdSolveErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := cmdSolve(&sb, []string{"-bandwidth", "50"}); err == nil {
+		t.Error("missing input must fail")
+	}
+	path := writeWorkloadCSV(t)
+	if err := cmdSolve(&sb, []string{"-input", path}); err == nil {
+		t.Error("missing bandwidth must fail")
+	}
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50", "-strategy", "magic"}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50", "-key", "magic"}); err == nil {
+		t.Error("unknown key must fail")
+	}
+	if err := cmdSolve(&sb, []string{"-input", "/nonexistent.csv", "-bandwidth", "50"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestCmdWorkloadErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := cmdWorkload(&sb, []string{"-align", "bogus"}); err == nil {
+		t.Error("bad alignment must fail")
+	}
+	if err := cmdWorkload(&sb, []string{"-n", "0"}); err == nil {
+		t.Error("zero elements must fail")
+	}
+}
+
+func TestCmdSolveQuantize(t *testing.T) {
+	path := writeWorkloadCSV(t)
+	var sb strings.Builder
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50", "-quantize", "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "quantized perceived freshness") {
+		t.Errorf("quantize output missing summary row:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "perceived age") {
+		t.Errorf("output missing age row:\n%s", sb.String())
+	}
+}
+
+func TestCmdSolveObjectives(t *testing.T) {
+	path := writeWorkloadCSV(t)
+	for _, obj := range []string{"age", "blend"} {
+		var sb strings.Builder
+		if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50", "-objective", obj, "-top", "3"}); err != nil {
+			t.Fatalf("objective %s: %v", obj, err)
+		}
+		out := sb.String()
+		if strings.Contains(out, "inf (") {
+			t.Errorf("objective %s left infinite age:\n%s", obj, out)
+		}
+	}
+	var sb strings.Builder
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50", "-objective", "karma"}); err == nil {
+		t.Error("unknown objective must fail")
+	}
+	if err := cmdSolve(&sb, []string{"-input", path, "-bandwidth", "50",
+		"-objective", "age", "-strategy", "clustered", "-partitions", "5"}); err == nil {
+		t.Error("age objective with heuristic strategy must fail")
+	}
+}
+
+func TestCmdCapacity(t *testing.T) {
+	path := writeWorkloadCSV(t)
+	var sb strings.Builder
+	if err := cmdCapacity(&sb, []string{"-input", path, "-target", "0.7"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "required bandwidth") {
+		t.Errorf("capacity output:\n%s", sb.String())
+	}
+	if err := cmdCapacity(&sb, []string{"-target", "0.7"}); err == nil {
+		t.Error("missing input must fail")
+	}
+	if err := cmdCapacity(&sb, []string{"-input", path, "-target", "1.5"}); err == nil {
+		t.Error("bad target must fail")
+	}
+	if err := cmdCapacity(&sb, []string{"-input", "/nonexistent", "-target", "0.5"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestCmdLearn(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "access.log")
+	if err := os.WriteFile(logPath, []byte("0\n0\n1\n# note\n\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cmdLearn(&sb, []string{"-n", "4", "-log", logPath, "-smoothing", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "element,access_prob\n") {
+		t.Errorf("learn output: %q", out)
+	}
+	if !strings.Contains(out, "0,0.5") {
+		t.Errorf("element 0 should hold half the mass: %q", out)
+	}
+
+	// With -input, the element CSV is rewritten.
+	elemPath := writeWorkloadCSV(t)
+	sb.Reset()
+	if err := cmdLearn(&sb, []string{"-log", logPath, "-input", elemPath}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "id,lambda,access_prob,size\n") {
+		t.Errorf("learn -input output: %q", sb.String()[:60])
+	}
+
+	// Errors.
+	if err := cmdLearn(&sb, []string{"-n", "4"}); err == nil {
+		t.Error("missing -log must fail")
+	}
+	if err := cmdLearn(&sb, []string{"-log", logPath}); err == nil {
+		t.Error("missing -n without -input must fail")
+	}
+	badLog := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(badLog, []byte("zap\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLearn(&sb, []string{"-n", "4", "-log", badLog}); err == nil {
+		t.Error("garbage log line must fail")
+	}
+	if err := cmdLearn(&sb, []string{"-n", "4", "-log", filepath.Join(dir, "missing.log")}); err == nil {
+		t.Error("missing log file must fail")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand must fail")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Command freshend is the mirror daemon: it mirrors an upstream
+// source (anything speaking the GET /catalog + GET /object/{id}
+// protocol, e.g. mocksource), refreshing local copies on the
+// perceived-freshness-optimal schedule, learning the user profile from
+// its own access log and per-object change rates from its refresh
+// polls, and re-planning on cadence.
+//
+// Usage:
+//
+//	freshend -addr :8081 -upstream http://localhost:8080 \
+//	         -bandwidth 250 -period 10s -strategy clustered -partitions 50
+//
+// Endpoints: GET /object/{id} (serve a copy), GET /status (JSON
+// metrics), POST /replan (learn + re-plan now).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"freshen/internal/core"
+	"freshen/internal/httpmirror"
+	"freshen/internal/partition"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	upstream := flag.String("upstream", "", "base URL of the source to mirror; required")
+	bandwidth := flag.Float64("bandwidth", 100, "refresh budget per period")
+	period := flag.Duration("period", 10*time.Second, "wall-clock length of one period")
+	strategy := flag.String("strategy", "exact", "exact | partitioned | clustered")
+	partitions := flag.Int("partitions", 100, "partition count for heuristic strategies")
+	iterations := flag.Int("iterations", 10, "k-means iterations for the clustered strategy")
+	replanEvery := flag.Float64("replan-every", 5, "replanning cadence in periods")
+	seed := flag.Int64("seed", 1, "phase seed")
+	flag.Parse()
+
+	if err := run(*addr, *upstream, *bandwidth, *period, *strategy, *partitions, *iterations, *replanEvery, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, upstream string, bandwidth float64, period time.Duration, strategy string, partitions, iterations int, replanEvery float64, seed int64) error {
+	if upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	if bandwidth <= 0 || period <= 0 || replanEvery <= 0 {
+		return fmt.Errorf("bandwidth, period and replan-every must be positive")
+	}
+	planCfg := core.Config{
+		Bandwidth:        bandwidth,
+		Key:              partition.KeyPF,
+		NumPartitions:    partitions,
+		KMeansIterations: iterations,
+		Allocation:       partition.FBA,
+	}
+	switch strategy {
+	case "exact":
+		planCfg.Strategy = core.StrategyExact
+	case "partitioned":
+		planCfg.Strategy = core.StrategyPartitioned
+	case "clustered":
+		planCfg.Strategy = core.StrategyClustered
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	m, err := httpmirror.New(httpmirror.Config{
+		Upstream:    httpmirror.NewSourceClient(upstream, nil),
+		Plan:        planCfg,
+		ReplanEvery: replanEvery,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("freshend: mirroring %s (%d objects), bandwidth %.0f/period, period %v, strategy %s",
+		upstream, m.Status().Objects, bandwidth, period, strategy)
+
+	go func() {
+		// Refresh-loop errors (e.g. the upstream going away) are
+		// logged and the loop restarted; the mirror keeps serving its
+		// last copies meanwhile.
+		for {
+			if err := m.Run(context.Background(), period); err != nil {
+				log.Printf("freshend: refresh loop: %v (retrying in %v)", err, period)
+				time.Sleep(period)
+				continue
+			}
+			return
+		}
+	}()
+
+	return http.ListenAndServe(addr, m.Handler())
+}

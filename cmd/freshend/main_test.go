@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name                   string
+		upstream, strategy     string
+		bandwidth, replanEvery float64
+		period                 time.Duration
+	}{
+		{"missing upstream", "", "exact", 10, 5, time.Second},
+		{"zero bandwidth", "http://localhost:1", "exact", 0, 5, time.Second},
+		{"zero period", "http://localhost:1", "exact", 10, 5, 0},
+		{"zero replan", "http://localhost:1", "exact", 10, 0, time.Second},
+		{"bad strategy", "http://localhost:1", "warp", 10, 5, time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(":0", tc.upstream, tc.bandwidth, tc.period, tc.strategy, 10, 3, tc.replanEvery, 1)
+			if err == nil {
+				t.Fatal("invalid configuration accepted")
+			}
+		})
+	}
+}
+
+func TestRunUnreachableUpstream(t *testing.T) {
+	// A valid configuration against a dead upstream must fail at the
+	// catalog fetch, not hang.
+	err := run(":0", "http://127.0.0.1:1", 10, time.Second, "exact", 10, 3, 5, 1)
+	if err == nil {
+		t.Fatal("unreachable upstream accepted")
+	}
+}

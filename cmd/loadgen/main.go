@@ -1,0 +1,70 @@
+// Command loadgen drives Zipf-distributed read traffic against a
+// freshend mirror, closing the live-demo loop: mocksource updates
+// objects, freshend mirrors them, loadgen plays the user community the
+// mirror learns its profile from.
+//
+// Usage:
+//
+//	loadgen -mirror http://localhost:8081 -n 500 -theta 1.0 -rate 100
+//
+// It reports request throughput and exits after -duration; freshness
+// metrics live on the mirror side (GET /status), since only the mirror
+// can compare its copies against the source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"freshen/internal/stats"
+)
+
+func main() {
+	mirror := flag.String("mirror", "", "base URL of the freshend mirror; required")
+	n := flag.Int("n", 500, "number of objects (must match the mirror)")
+	theta := flag.Float64("theta", 1.0, "zipf skew of the simulated community")
+	rate := flag.Float64("rate", 50, "requests per second")
+	duration := flag.Duration("duration", 30*time.Second, "how long to run")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	if err := run(*mirror, *n, *theta, *rate, *duration, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(mirror string, n int, theta, rate float64, duration time.Duration, seed int64) error {
+	if mirror == "" {
+		return fmt.Errorf("-mirror is required")
+	}
+	if n <= 0 || rate <= 0 || duration <= 0 {
+		return fmt.Errorf("n, rate and duration must be positive")
+	}
+	zipf, err := stats.NewZipf(n, theta)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(seed)
+	interval := time.Duration(float64(time.Second) / rate)
+	deadline := time.Now().Add(duration)
+	requests, errors := 0, 0
+	for time.Now().Before(deadline) {
+		id := zipf.Sample(rng) - 1
+		resp, err := http.Get(fmt.Sprintf("%s/object/%d", mirror, id))
+		if err != nil {
+			errors++
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errors++
+			}
+			requests++
+		}
+		time.Sleep(interval)
+	}
+	log.Printf("loadgen: %d requests (%d errors) over %v at zipf θ=%.2f", requests, errors, duration, theta)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 10, 1, 10, time.Second, 1); err == nil {
+		t.Error("missing mirror must fail")
+	}
+	if err := run("http://x", 0, 1, 10, time.Second, 1); err == nil {
+		t.Error("zero objects must fail")
+	}
+	if err := run("http://x", 10, 1, 0, time.Second, 1); err == nil {
+		t.Error("zero rate must fail")
+	}
+	if err := run("http://x", 10, 1, 10, 0, 1); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if err := run("http://x", 10, -1, 10, time.Second, 1); err == nil {
+		t.Error("negative theta must fail")
+	}
+}
+
+func TestRunDrivesTraffic(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/object/") {
+			http.NotFound(w, r)
+			return
+		}
+		if _, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/object/")); err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		atomic.AddInt64(&hits, 1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	if err := run(srv.URL, 20, 1.0, 200, 300*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&hits); got < 20 {
+		t.Errorf("mirror saw only %d requests", got)
+	}
+}

@@ -1,0 +1,77 @@
+// Command mocksource runs a simulated origin server whose objects
+// change as independent Poisson processes — a stand-in for any data
+// source a freshend mirror can poll. It speaks the minimal source
+// protocol (GET /catalog, GET|HEAD /object/{id} with X-Version).
+//
+// Usage:
+//
+//	mocksource -addr :8080 -n 500 -mean 2 -stddev 1 -period 10s
+//
+// -period maps one scheduling period to wall-clock time: with
+// -period 10s and -mean 2, each object changes about twice every ten
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"freshen/internal/httpmirror"
+	"freshen/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int("n", 500, "number of objects")
+	mean := flag.Float64("mean", 2, "mean object change rate per period")
+	stddev := flag.Float64("stddev", 1, "stddev of the gamma change-rate distribution")
+	pareto := flag.Bool("pareto-sizes", false, "draw object sizes from Pareto(1.1, mean 1)")
+	period := flag.Duration("period", 10*time.Second, "wall-clock length of one period")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	if err := run(*addr, *n, *mean, *stddev, *pareto, *period, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, n int, mean, stddev float64, pareto bool, period time.Duration, seed int64) error {
+	if n <= 0 || mean <= 0 || stddev <= 0 || period <= 0 {
+		return fmt.Errorf("n, mean, stddev and period must be positive")
+	}
+	gamma, err := stats.NewGammaMeanStdDev(mean, stddev)
+	if err != nil {
+		return err
+	}
+	rng := stats.NewRNG(seed)
+	lambdas := gamma.SampleN(rng, n)
+	var sizes []float64
+	if pareto {
+		p, err := stats.NewParetoMean(1.1, 1.0)
+		if err != nil {
+			return err
+		}
+		sizes = p.SampleN(rng, n)
+	}
+	src, err := httpmirror.NewSimulatedSource(lambdas, sizes, seed+1)
+	if err != nil {
+		return err
+	}
+
+	// Advance the simulated clock with wall time.
+	start := time.Now()
+	go func() {
+		ticker := time.NewTicker(period / 100)
+		defer ticker.Stop()
+		for range ticker.C {
+			src.Advance(time.Since(start).Seconds() / period.Seconds())
+		}
+	}()
+
+	log.Printf("mocksource: %d objects, mean rate %.2f/period, period %v, listening on %s",
+		n, mean, period, addr)
+	return http.ListenAndServe(addr, src.Handler())
+}

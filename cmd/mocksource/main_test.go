@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		n            int
+		mean, stddev float64
+		period       time.Duration
+	}{
+		{"zero objects", 0, 2, 1, time.Second},
+		{"zero mean", 10, 0, 1, time.Second},
+		{"zero stddev", 10, 2, 0, time.Second},
+		{"zero period", 10, 2, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(":0", tc.n, tc.mean, tc.stddev, false, tc.period, 1); err == nil {
+				t.Fatal("invalid configuration accepted")
+			}
+		})
+	}
+}

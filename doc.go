@@ -1,0 +1,34 @@
+// Package freshen is a scalable, application-aware data freshening
+// library: it schedules the refreshing of a mirror's local copies
+// against a master source so that the freshness users actually
+// perceive — weighted by how often each copy is accessed — is
+// maximized under a bandwidth budget.
+//
+// It implements Carney, Lee & Zdonik, "Scalable Application-Aware Data
+// Freshening" (ICDE 2003): the perceived-freshness objective, the
+// exact Lagrange (water-filling) solution of the Core and Extended
+// (variable object size) Problems, the P/λ/P-over-λ/PF partitioning
+// heuristics with FFA and FBA bandwidth hand-down, k-means refinement
+// of partitions, profile aggregation and drift-triggered re-planning,
+// change-rate estimation from poll histories, and a discrete-event
+// simulator for end-to-end validation.
+//
+// # Quick start
+//
+//	elems := []freshen.Element{
+//		{ID: 0, Lambda: 5, AccessProb: 0.7, Size: 1}, // hot and volatile
+//		{ID: 1, Lambda: 1, AccessProb: 0.3, Size: 1},
+//	}
+//	plan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: 3})
+//	// plan.Freqs holds refreshes/period per element;
+//	// plan.Perceived the expected fraction of accesses served fresh.
+//
+// For large mirrors use the heuristic pipeline the paper recommends:
+//
+//	cfg := freshen.DefaultHeuristics(bandwidth, 100 /* partitions */)
+//	plan, err := freshen.MakePlan(elems, cfg)
+//
+// The runnable programs under examples/ and the experiment registry in
+// cmd/freshenctl reproduce every table and figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package freshen

@@ -1,0 +1,80 @@
+package freshen_test
+
+import (
+	"fmt"
+
+	"freshen"
+)
+
+// ExampleMakePlan plans a two-element mirror and prints the optimal
+// refresh frequencies.
+func ExampleMakePlan() {
+	elems := []freshen.Element{
+		{ID: 0, Lambda: 4, AccessProb: 0.8, Size: 1}, // hot, volatile
+		{ID: 1, Lambda: 4, AccessProb: 0.2, Size: 1}, // cold, volatile
+	}
+	plan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// With this budget the hot element's marginal value stays above
+	// the cold element's peak value, so it takes the whole budget.
+	fmt.Printf("hot: %.2f refreshes/period\n", plan.Freqs[0])
+	fmt.Printf("cold: %.2f refreshes/period\n", plan.Freqs[1])
+	fmt.Printf("budget used: %.1f\n", plan.BandwidthUsed)
+	// Output:
+	// hot: 4.00 refreshes/period
+	// cold: 0.00 refreshes/period
+	// budget used: 4.0
+}
+
+// ExampleAggregateProfiles combines two users into a master profile,
+// weighting the second user triple.
+func ExampleAggregateProfiles() {
+	master, err := freshen.AggregateProfiles(3, []freshen.User{
+		{Name: "reader", Weight: 1, Interests: map[int]float64{0: 1}},
+		{Name: "vip", Weight: 3, Interests: map[int]float64{1: 1}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.2f %.2f %.2f\n", master[0], master[1], master[2])
+	// Output:
+	// 0.25 0.75 0.00
+}
+
+// ExamplePerceivedFreshness scores a schedule on the paper's metric.
+func ExamplePerceivedFreshness() {
+	elems := []freshen.Element{
+		{ID: 0, Lambda: 2, AccessProb: 1, Size: 1},
+	}
+	// Refreshing at the change rate yields F = 1 - 1/e ≈ 0.632.
+	pf, err := freshen.PerceivedFreshness(nil, elems, []float64{2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.3f\n", pf)
+	// Output:
+	// 0.632
+}
+
+// ExampleEstimateChangeRate recovers a change rate from poll outcomes.
+func ExampleEstimateChangeRate() {
+	// Ten polls at interval 1; changes detected on half of them:
+	// the MLE is -ln(1 - 0.5) ≈ 0.693 changes per interval.
+	var history []freshen.Poll
+	for i := 0; i < 10; i++ {
+		history = append(history, freshen.Poll{Elapsed: 1, Changed: i%2 == 0})
+	}
+	rate, err := freshen.EstimateChangeRate(history)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.3f\n", rate)
+	// Output:
+	// 0.693
+}

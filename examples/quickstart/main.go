@@ -1,0 +1,73 @@
+// Quickstart: plan the refreshing of a small mirror and compare the
+// profile-aware schedule against the interest-blind baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freshen"
+)
+
+func main() {
+	// A six-element mirror. Lambda is how often each source object
+	// changes per period; AccessProb is the aggregated user profile.
+	// Note the tension: the hottest object is also the most volatile.
+	elems := []freshen.Element{
+		{ID: 0, Lambda: 8, AccessProb: 0.40, Size: 1}, // hot, very volatile
+		{ID: 1, Lambda: 3, AccessProb: 0.25, Size: 1},
+		{ID: 2, Lambda: 1, AccessProb: 0.15, Size: 1},
+		{ID: 3, Lambda: 5, AccessProb: 0.10, Size: 1},
+		{ID: 4, Lambda: 0.5, AccessProb: 0.07, Size: 1},
+		{ID: 5, Lambda: 12, AccessProb: 0.03, Size: 1}, // cold, churning
+	}
+	const bandwidth = 6 // refreshes per period
+
+	plan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: bandwidth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gf, err := freshen.SolveGF(elems, bandwidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("element  lambda  access  PF-aware freq  interest-blind freq")
+	for i, e := range elems {
+		fmt.Printf("%7d  %6.1f  %6.2f  %13.2f  %19.2f\n",
+			e.ID, e.Lambda, e.AccessProb, plan.Freqs[i], gf.Freqs[i])
+	}
+	fmt.Printf("\nperceived freshness: profile-aware %.4f vs interest-blind %.4f (+%.1f%%)\n",
+		plan.Perceived, gf.Perceived, 100*(plan.Perceived/gf.Perceived-1))
+
+	// Expand the plan into the first few concrete refresh operations.
+	events, err := plan.Timeline(1.0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst refresh operations of the period:")
+	for i, ev := range events {
+		if i == 8 {
+			fmt.Printf("  ... %d more\n", len(events)-8)
+			break
+		}
+		fmt.Printf("  t=%.3f  refresh element %d\n", ev.Time, ev.Element)
+	}
+
+	// Validate the plan end to end in the discrete-event simulator.
+	res, err := freshen.Simulate(freshen.SimConfig{
+		Elements:          elems,
+		Freqs:             plan.Freqs,
+		Periods:           50,
+		WarmupPeriods:     5,
+		AccessesPerPeriod: 10000,
+		Seed:              1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated: %.4f of %d accesses saw a fresh copy (planned %.4f)\n",
+		res.MonitoredPF, res.Accesses, plan.Perceived)
+}

@@ -1,0 +1,313 @@
+package freshen
+
+import (
+	"fmt"
+
+	"freshen/internal/core"
+	"freshen/internal/estimate"
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+	"freshen/internal/profile"
+	"freshen/internal/schedule"
+	"freshen/internal/selection"
+	"freshen/internal/sim"
+	"freshen/internal/solver"
+	"freshen/internal/workload"
+)
+
+// Element is one local copy in the mirror: its change rate at the
+// source (Lambda, updates/period), its share of the aggregate user
+// profile (AccessProb) and its transfer cost (Size, bandwidth units).
+type Element = freshness.Element
+
+// Policy is a synchronization-order policy (freshness closed form).
+type Policy = freshness.Policy
+
+// FixedOrder is the paper's synchronization policy: refreshes at exact
+// intervals.
+type FixedOrder = freshness.FixedOrder
+
+// PoissonOrder refreshes at exponentially distributed intervals.
+type PoissonOrder = freshness.PoissonOrder
+
+// PlanConfig parameterizes planning. See DefaultHeuristics for the
+// paper's recommended large-mirror settings.
+type PlanConfig = core.Config
+
+// Plan is a computed refresh schedule with its quality metrics.
+type Plan = core.Plan
+
+// Strategy selects how a plan is computed.
+type Strategy = core.Strategy
+
+// Strategies.
+const (
+	// StrategyExact solves the optimization exactly (water-filling).
+	StrategyExact = core.StrategyExact
+	// StrategyPartitioned runs the paper's partitioning heuristic.
+	StrategyPartitioned = core.StrategyPartitioned
+	// StrategyClustered adds k-means refinement to the partitioning.
+	StrategyClustered = core.StrategyClustered
+)
+
+// PartitionKey is a partitioning sort criterion.
+type PartitionKey = partition.Key
+
+// Partitioning criteria.
+const (
+	// KeyP sorts by access probability.
+	KeyP = partition.KeyP
+	// KeyLambda sorts by change frequency.
+	KeyLambda = partition.KeyLambda
+	// KeyPOverLambda sorts by their ratio.
+	KeyPOverLambda = partition.KeyPOverLambda
+	// KeyPF sorts by perceived freshness at a reference frequency —
+	// the paper's best performer.
+	KeyPF = partition.KeyPF
+	// KeyPFOverSize is the size-aware PF criterion.
+	KeyPFOverSize = partition.KeyPFOverSize
+	// KeySize sorts by object size.
+	KeySize = partition.KeySize
+)
+
+// Allocation hands partition bandwidth down to member elements.
+type Allocation = partition.Allocation
+
+// Allocations.
+const (
+	// FFA gives every member the representative's refresh frequency.
+	FFA = partition.FFA
+	// FBA gives every member equal bandwidth — the paper's winner for
+	// variable-size objects.
+	FBA = partition.FBA
+)
+
+// SyncEvent is one scheduled refresh operation.
+type SyncEvent = schedule.SyncEvent
+
+// User is one client profile for aggregation.
+type User = profile.User
+
+// AdaptivePlanner re-plans automatically when the observed access
+// profile drifts.
+type AdaptivePlanner = core.AdaptivePlanner
+
+// SimConfig configures a simulation run.
+type SimConfig = sim.Config
+
+// SimResult reports a simulation run.
+type SimResult = sim.Result
+
+// WorkloadSpec describes a synthetic mirror (the paper's experiment
+// vocabulary: gamma change rates, Zipf access skew, optional Pareto
+// sizes and alignments).
+type WorkloadSpec = workload.Spec
+
+// Alignment relates per-element attribute orderings in a workload.
+type Alignment = workload.Alignment
+
+// Alignments.
+const (
+	// Aligned: the hottest element is also the most volatile/largest.
+	Aligned = workload.Aligned
+	// Reverse: the orderings oppose.
+	Reverse = workload.Reverse
+	// Shuffled: no relationship.
+	Shuffled = workload.Shuffled
+)
+
+// SizeDist selects a workload's object-size distribution.
+type SizeDist = workload.SizeDist
+
+// Size distributions.
+const (
+	// SizeUniform gives every object size 1.
+	SizeUniform = workload.SizeUniform
+	// SizePareto draws sizes from a Pareto distribution.
+	SizePareto = workload.SizePareto
+)
+
+// TableTwoWorkload returns the paper's Table 2 experiment setup.
+func TableTwoWorkload() WorkloadSpec { return workload.TableTwo() }
+
+// TableThreeWorkload returns the paper's Table 3 big-case setup.
+func TableThreeWorkload() WorkloadSpec { return workload.TableThree() }
+
+// Poll is one change-detection observation for rate estimation.
+type Poll = estimate.Poll
+
+// MakePlan computes a refresh plan for the mirror.
+func MakePlan(elems []Element, cfg PlanConfig) (Plan, error) {
+	return core.MakePlan(elems, cfg)
+}
+
+// DefaultHeuristics returns the paper's recommended configuration for
+// large mirrors: PF-partitioning into k partitions, FBA allocation and
+// 10 k-means refinement iterations.
+func DefaultHeuristics(bandwidth float64, k int) PlanConfig {
+	return core.DefaultHeuristics(bandwidth, k)
+}
+
+// NewAdaptivePlanner plans once and re-plans whenever the observed
+// access profile's total-variation drift exceeds threshold (seen over
+// at least minAccesses accesses).
+func NewAdaptivePlanner(elems []Element, cfg PlanConfig, threshold float64, minAccesses int) (*AdaptivePlanner, error) {
+	return core.NewAdaptivePlanner(elems, cfg, threshold, minAccesses)
+}
+
+// AggregateProfiles combines user profiles into the master profile for
+// a mirror of n elements, honoring per-user weights.
+func AggregateProfiles(n int, users []User) ([]float64, error) {
+	return profile.Aggregate(n, users)
+}
+
+// ProfileFromAccessLog learns the master profile from an access log
+// (element indices), with Laplace smoothing.
+func ProfileFromAccessLog(n int, accesses []int, smoothing float64) ([]float64, error) {
+	return profile.FromAccessLog(n, accesses, smoothing)
+}
+
+// ApplyProfile overwrites the elements' access probabilities with the
+// given distribution.
+func ApplyProfile(elems []Element, probs []float64) error {
+	if len(elems) != len(probs) {
+		return fmt.Errorf("freshen: %d probabilities for %d elements", len(probs), len(elems))
+	}
+	for i := range elems {
+		if probs[i] < 0 {
+			return fmt.Errorf("freshen: negative access probability %v for element %d", probs[i], i)
+		}
+		elems[i].AccessProb = probs[i]
+	}
+	return nil
+}
+
+// PerceivedFreshness scores a frequency vector: Σ pᵢ·F(fᵢ, λᵢ) under
+// the policy (nil means Fixed-Order).
+func PerceivedFreshness(pol Policy, elems []Element, freqs []float64) (float64, error) {
+	if pol == nil {
+		pol = FixedOrder{}
+	}
+	return freshness.Perceived(pol, elems, freqs)
+}
+
+// AverageFreshness scores a frequency vector on the unweighted mean
+// freshness — the objective of Cho & Garcia-Molina's GF baseline.
+func AverageFreshness(pol Policy, elems []Element, freqs []float64) (float64, error) {
+	if pol == nil {
+		pol = FixedOrder{}
+	}
+	return freshness.Average(pol, elems, freqs)
+}
+
+// SolveGF computes the GF (average-freshness) schedule for comparison;
+// its Perceived field is scored under the elements' true profile.
+func SolveGF(elems []Element, bandwidth float64) (Plan, error) {
+	sol, err := solver.SolveGF(solver.Problem{Elements: elems, Bandwidth: bandwidth})
+	if err != nil {
+		return Plan{}, err
+	}
+	avg, err := freshness.Average(FixedOrder{}, elems, sol.Freqs)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Freqs:         sol.Freqs,
+		Perceived:     sol.Perceived,
+		AvgFreshness:  avg,
+		BandwidthUsed: sol.BandwidthUsed,
+		Strategy:      StrategyExact,
+		NumPartitions: len(elems),
+	}, nil
+}
+
+// Simulate runs the discrete-event simulator (paper Figure 4 model).
+func Simulate(cfg SimConfig) (SimResult, error) {
+	return sim.Run(cfg)
+}
+
+// MinimizeAge computes the age-optimal schedule: minimize the
+// profile-weighted time-averaged age Σ pᵢ·Ā(fᵢ, λᵢ) under the same
+// bandwidth constraint. Unlike the freshness optimum it never starves
+// a changing element, trading a little perceived freshness for bounded
+// staleness everywhere (Fixed-Order policy only).
+func MinimizeAge(elems []Element, bandwidth float64) (Plan, error) {
+	sol, err := solver.MinimizeAge(solver.Problem{Elements: elems, Bandwidth: bandwidth})
+	if err != nil {
+		return Plan{}, err
+	}
+	avg, err := freshness.Average(FixedOrder{}, elems, sol.Freqs)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Freqs:         sol.Freqs,
+		Perceived:     sol.Perceived,
+		AvgFreshness:  avg,
+		BandwidthUsed: sol.BandwidthUsed,
+		Strategy:      StrategyExact,
+		NumPartitions: len(elems),
+	}, nil
+}
+
+// PerceivedAge scores a frequency vector on the profile-weighted
+// time-averaged age (periods); +Inf when an accessed, changing element
+// is never refreshed.
+func PerceivedAge(elems []Element, freqs []float64) (float64, error) {
+	return freshness.PerceivedAge(elems, freqs)
+}
+
+// BandwidthForTarget returns the smallest refresh budget whose optimal
+// schedule reaches the target perceived freshness — the capacity-
+// planning inverse of MakePlan. pol nil means Fixed-Order.
+func BandwidthForTarget(elems []Element, target float64, pol Policy) (float64, error) {
+	return solver.BandwidthForTarget(elems, target, pol)
+}
+
+// BlendPlan maximizes perceived freshness minus ageWeight times
+// perceived age: a single knob between the paper's objective
+// (ageWeight 0, may starve hopeless elements) and bounded staleness
+// everywhere (large ageWeight). Fixed-Order policy only.
+func BlendPlan(elems []Element, bandwidth, ageWeight float64) (Plan, error) {
+	sol, err := solver.Blend(solver.Problem{Elements: elems, Bandwidth: bandwidth}, ageWeight)
+	if err != nil {
+		return Plan{}, err
+	}
+	avg, err := freshness.Average(FixedOrder{}, elems, sol.Freqs)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Freqs:         sol.Freqs,
+		Perceived:     sol.Perceived,
+		AvgFreshness:  avg,
+		BandwidthUsed: sol.BandwidthUsed,
+		Strategy:      StrategyExact,
+		NumPartitions: len(elems),
+	}, nil
+}
+
+// GenerateWorkload builds a synthetic mirror from a spec.
+func GenerateWorkload(spec WorkloadSpec) ([]Element, error) {
+	return workload.Generate(spec)
+}
+
+// EstimateChangeRate recovers a Poisson change rate from a poll
+// history by maximum likelihood.
+func EstimateChangeRate(history []Poll) (float64, error) {
+	return estimate.MLE(history)
+}
+
+// SelectionProblem is the joint host-and-freshen instance for mirrors
+// smaller than the database (the paper's future-work extension).
+type SelectionProblem = selection.Problem
+
+// SelectionResult is a hosting decision plus its refresh schedule.
+type SelectionResult = selection.Result
+
+// SelectMirror chooses which candidates a capacity-limited mirror
+// should host — greedily, by perceived-freshness value per unit of
+// storage — and solves the refresh schedule for the chosen set.
+func SelectMirror(p SelectionProblem) (SelectionResult, error) {
+	return selection.Greedy(p)
+}

@@ -1,0 +1,295 @@
+package freshen_test
+
+import (
+	"math"
+	"testing"
+
+	"freshen"
+)
+
+func demoElements() []freshen.Element {
+	return []freshen.Element{
+		{ID: 0, Lambda: 5, AccessProb: 0.55, Size: 1},
+		{ID: 1, Lambda: 2, AccessProb: 0.25, Size: 1},
+		{ID: 2, Lambda: 1, AccessProb: 0.15, Size: 1},
+		{ID: 3, Lambda: 8, AccessProb: 0.05, Size: 1},
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	elems := demoElements()
+	plan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BandwidthUsed > 4.0001 {
+		t.Errorf("over budget: %v", plan.BandwidthUsed)
+	}
+	gf, err := freshen.SolveGF(elems, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Perceived > plan.Perceived+1e-9 {
+		t.Errorf("GF %v beats PF optimum %v", gf.Perceived, plan.Perceived)
+	}
+	pf, err := freshen.PerceivedFreshness(nil, elems, plan.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pf-plan.Perceived) > 1e-12 {
+		t.Errorf("PerceivedFreshness %v != plan.Perceived %v", pf, plan.Perceived)
+	}
+	if _, err := freshen.AverageFreshness(nil, elems, plan.Freqs); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := plan.Timeline(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty timeline")
+	}
+
+	res, err := freshen.Simulate(freshen.SimConfig{
+		Elements:          elems,
+		Freqs:             plan.Freqs,
+		Periods:           40,
+		WarmupPeriods:     4,
+		AccessesPerPeriod: 5000,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MonitoredPF-plan.Perceived) > 0.05 {
+		t.Errorf("simulated PF %v far from planned %v", res.MonitoredPF, plan.Perceived)
+	}
+}
+
+func TestPublicAPIProfiles(t *testing.T) {
+	users := []freshen.User{
+		{Name: "a", Weight: 1, Interests: map[int]float64{0: 3, 1: 1}},
+		{Name: "b", Weight: 1, Interests: map[int]float64{2: 1}},
+	}
+	master, err := freshen.AggregateProfiles(4, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := demoElements()
+	if err := freshen.ApplyProfile(elems, master); err != nil {
+		t.Fatal(err)
+	}
+	if elems[3].AccessProb != 0 {
+		t.Errorf("element 3 should have no interest, got %v", elems[3].AccessProb)
+	}
+	if err := freshen.ApplyProfile(elems, master[:2]); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if err := freshen.ApplyProfile(elems, []float64{-1, 0, 0, 1}); err == nil {
+		t.Error("negative probability must fail")
+	}
+	learned, err := freshen.ProfileFromAccessLog(4, []int{0, 0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned[0] <= learned[1] {
+		t.Error("learned profile should rank element 0 hottest")
+	}
+}
+
+func TestPublicAPIWorkloadAndHeuristics(t *testing.T) {
+	spec := freshen.WorkloadSpec{
+		NumObjects:       2000,
+		UpdatesPerPeriod: 4000,
+		SyncsPerPeriod:   1000,
+		Theta:            1.0,
+		UpdateStdDev:     1.0,
+		Seed:             7,
+	}
+	elems, err := freshen.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := freshen.DefaultHeuristics(1000, 40)
+	plan, err := freshen.MakePlan(elems, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Perceived > exact.Perceived+1e-9 {
+		t.Errorf("heuristic %v beats exact %v", plan.Perceived, exact.Perceived)
+	}
+	if exact.Perceived-plan.Perceived > 0.05 {
+		t.Errorf("heuristic %v too far below exact %v", plan.Perceived, exact.Perceived)
+	}
+}
+
+func TestPublicAPIPresetsAndSelection(t *testing.T) {
+	two := freshen.TableTwoWorkload()
+	if two.NumObjects != 500 || two.SyncsPerPeriod != 250 {
+		t.Errorf("TableTwoWorkload = %+v", two)
+	}
+	three := freshen.TableThreeWorkload()
+	if three.NumObjects != 500000 {
+		t.Errorf("TableThreeWorkload = %+v", three)
+	}
+
+	elems := demoElements()
+	res, err := freshen.SelectMirror(freshen.SelectionProblem{
+		Candidates: elems,
+		Capacity:   2,
+		Bandwidth:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostedCount != 2 {
+		t.Errorf("hosted %d of capacity 2", res.HostedCount)
+	}
+	hostedMass := 0.0
+	for i, h := range res.Hosted {
+		if h {
+			hostedMass += elems[i].AccessProb
+		}
+	}
+	if hostedMass < 0.5 {
+		t.Errorf("selection hosted only %v of the access mass", hostedMass)
+	}
+}
+
+func TestPublicAPIErrorPaths(t *testing.T) {
+	if _, err := freshen.MakePlan(nil, freshen.PlanConfig{Bandwidth: 1}); err == nil {
+		t.Error("empty mirror must fail")
+	}
+	if _, err := freshen.SolveGF(nil, 1); err == nil {
+		t.Error("SolveGF on empty mirror must fail")
+	}
+	if _, err := freshen.GenerateWorkload(freshen.WorkloadSpec{}); err == nil {
+		t.Error("zero-value workload spec must fail")
+	}
+	if _, err := freshen.Simulate(freshen.SimConfig{}); err == nil {
+		t.Error("zero-value sim config must fail")
+	}
+	if _, err := freshen.SelectMirror(freshen.SelectionProblem{}); err == nil {
+		t.Error("zero-value selection problem must fail")
+	}
+	if _, err := freshen.EstimateChangeRate(nil); err == nil {
+		t.Error("empty poll history must fail")
+	}
+	if _, err := freshen.AggregateProfiles(0, nil); err == nil {
+		t.Error("empty aggregate must fail")
+	}
+	if _, err := freshen.ProfileFromAccessLog(0, nil, 0); err == nil {
+		t.Error("empty profile learn must fail")
+	}
+	if _, err := freshen.PerceivedFreshness(nil, demoElements(), nil); err == nil {
+		t.Error("mismatched freqs must fail")
+	}
+	if _, err := freshen.AverageFreshness(freshen.PoissonOrder{}, demoElements(), nil); err == nil {
+		t.Error("mismatched freqs must fail")
+	}
+}
+
+func TestPublicAPIBandwidthForTarget(t *testing.T) {
+	elems := demoElements()
+	b, err := freshen.BandwidthForTarget(elems, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Perceived < 0.7-1e-4 {
+		t.Errorf("bandwidth %v achieves only %v", b, plan.Perceived)
+	}
+	if _, err := freshen.BandwidthForTarget(elems, 2, nil); err == nil {
+		t.Error("target above 1 must fail")
+	}
+}
+
+func TestPublicAPIBlendPlan(t *testing.T) {
+	elems := demoElements()
+	plan, err := freshen.BlendPlan(elems, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	age, err := freshen.PerceivedAge(elems, plan.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(age, 0) {
+		t.Error("blended plan left infinite age")
+	}
+	if plan.BandwidthUsed > 4.0001 {
+		t.Errorf("over budget: %v", plan.BandwidthUsed)
+	}
+	if _, err := freshen.BlendPlan(elems, 4, -1); err == nil {
+		t.Error("negative weight must fail")
+	}
+}
+
+func TestPublicAPIMinimizeAge(t *testing.T) {
+	elems := demoElements()
+	agePlan, err := freshen.MinimizeAge(elems, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshPlan, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageA, err := freshen.PerceivedAge(elems, agePlan.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageF, err := freshen.PerceivedAge(elems, freshPlan.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ageA <= ageF) {
+		t.Errorf("age plan's age %v not below freshness plan's %v", ageA, ageF)
+	}
+	if agePlan.Perceived > freshPlan.Perceived+1e-9 {
+		t.Errorf("age plan PF %v above freshness optimum %v", agePlan.Perceived, freshPlan.Perceived)
+	}
+	if _, err := freshen.MinimizeAge(nil, 1); err == nil {
+		t.Error("empty mirror must fail")
+	}
+}
+
+func TestPublicAPIAdaptiveAndEstimation(t *testing.T) {
+	elems := demoElements()
+	ap, err := freshen.NewAdaptivePlanner(elems, freshen.PlanConfig{Bandwidth: 4}, 0.3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replanned := false
+	for i := 0; i < 500 && !replanned; i++ {
+		replanned, err = ap.Observe(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !replanned {
+		t.Error("adaptive planner never replanned under a full interest flip")
+	}
+
+	history := []freshen.Poll{
+		{Elapsed: 1, Changed: true},
+		{Elapsed: 1, Changed: false},
+		{Elapsed: 1, Changed: true},
+		{Elapsed: 1, Changed: false},
+	}
+	rate, err := freshen.EstimateChangeRate(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rate > 0) {
+		t.Errorf("estimated rate %v", rate)
+	}
+}

@@ -1,0 +1,3 @@
+module freshen
+
+go 1.22

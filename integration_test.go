@@ -1,0 +1,217 @@
+package freshen_test
+
+import (
+	"math"
+	"testing"
+
+	"freshen"
+	"freshen/internal/schedule"
+)
+
+// TestIntegrationPipeline drives the full stack end to end: generate a
+// workload, plan with every strategy, quantize to integer counts,
+// expand to a timeline, deploy in the simulator, and cross-check every
+// metric against the closed forms.
+func TestIntegrationPipeline(t *testing.T) {
+	spec := freshen.TableTwoWorkload()
+	spec.Theta = 1.0
+	spec.Seed = 77
+	elems, err := freshen.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandwidth := spec.SyncsPerPeriod
+
+	strategies := []struct {
+		name string
+		cfg  freshen.PlanConfig
+	}{
+		{"exact", freshen.PlanConfig{Bandwidth: bandwidth}},
+		{"partitioned", freshen.PlanConfig{
+			Bandwidth: bandwidth, Strategy: freshen.StrategyPartitioned,
+			Key: freshen.KeyPF, NumPartitions: 50,
+		}},
+		{"clustered", freshen.DefaultHeuristics(bandwidth, 50)},
+	}
+	var exactPF float64
+	for _, s := range strategies {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			plan, err := freshen.MakePlan(elems, s.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.BandwidthUsed > bandwidth*(1+1e-6) {
+				t.Fatalf("over budget: %v", plan.BandwidthUsed)
+			}
+			if s.name == "exact" {
+				exactPF = plan.Perceived
+			} else if plan.Perceived > exactPF+1e-9 {
+				t.Fatalf("heuristic %v beats exact %v", plan.Perceived, exactPF)
+			}
+
+			// Quantized execution stays close to the fractional plan.
+			counts, err := schedule.Quantize(plan.Freqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qpf, err := freshen.PerceivedFreshness(nil, elems, schedule.QuantizedFreqs(counts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Perceived-qpf > 0.02 {
+				t.Errorf("quantization cost %v too high", plan.Perceived-qpf)
+			}
+
+			// Timeline expansion respects the slot budget.
+			events, err := plan.Timeline(2, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(float64(len(events)) - 2*plan.BandwidthUsed); d > 0.05*2*plan.BandwidthUsed+float64(len(elems)) {
+				t.Errorf("timeline has %d events for bandwidth %v over 2 periods", len(events), plan.BandwidthUsed)
+			}
+
+			// Simulated deployment agrees with the planned objective.
+			res, err := freshen.Simulate(freshen.SimConfig{
+				Elements:          elems,
+				Freqs:             plan.Freqs,
+				Periods:           40,
+				WarmupPeriods:     4,
+				AccessesPerPeriod: 20000,
+				Seed:              13,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.MonitoredPF-plan.Perceived) > 0.02 {
+				t.Errorf("simulated PF %v vs planned %v", res.MonitoredPF, plan.Perceived)
+			}
+			if math.Abs(res.AnalyticPF-plan.Perceived) > 1e-9 {
+				t.Errorf("analytic PF %v vs planned %v", res.AnalyticPF, plan.Perceived)
+			}
+		})
+	}
+}
+
+// TestIntegrationLearningLoop closes the operational loop: a mirror
+// that starts ignorant (uniform profile, prior rates) converges toward
+// the oracle plan as it learns from simulated accesses and polls.
+func TestIntegrationLearningLoop(t *testing.T) {
+	spec := freshen.TableTwoWorkload()
+	spec.NumObjects = 100
+	spec.UpdatesPerPeriod = 200
+	spec.SyncsPerPeriod = 50
+	spec.Theta = 1.2
+	spec.Seed = 21
+	truth, err := freshen.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := freshen.MakePlan(truth, freshen.PlanConfig{Bandwidth: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ignorant mirror: uniform profile, all change rates guessed
+	// at the fleet mean.
+	ignorant := append([]freshen.Element(nil), truth...)
+	for i := range ignorant {
+		ignorant[i].AccessProb = 1 / float64(len(ignorant))
+		ignorant[i].Lambda = 2
+	}
+	naive, err := freshen.MakePlan(ignorant, freshen.PlanConfig{Bandwidth: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naivePF, err := freshen.PerceivedFreshness(nil, truth, naive.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Learn: profile from a simulated access log, rates from simulated
+	// polling, then re-plan.
+	accesses := make([]int, 0, 20000)
+	for i := 0; i < len(truth); i++ {
+		n := int(truth[i].AccessProb * 20000)
+		for j := 0; j < n; j++ {
+			accesses = append(accesses, i)
+		}
+	}
+	learnedProfile, err := freshen.ProfileFromAccessLog(len(truth), accesses, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := append([]freshen.Element(nil), truth...)
+	if err := freshen.ApplyProfile(learned, learnedProfile); err != nil {
+		t.Fatal(err)
+	}
+	// Rates via the public estimation API over synthetic poll streams.
+	for i := range learned {
+		history := make([]freshen.Poll, 60)
+		for j := range history {
+			// Deterministic pseudo-polls: changed on a fraction of
+			// polls matching 1 - e^{-λ·I} at I = 0.5.
+			q := 1 - math.Exp(-truth[i].Lambda*0.5)
+			history[j] = freshen.Poll{Elapsed: 0.5, Changed: float64(j%60)/60 < q}
+		}
+		rate, err := freshen.EstimateChangeRate(history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		learned[i].Lambda = rate
+	}
+	informed, err := freshen.MakePlan(learned, freshen.PlanConfig{Bandwidth: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	informedPF, err := freshen.PerceivedFreshness(nil, truth, informed.Freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if informedPF <= naivePF {
+		t.Errorf("learning did not help: informed %v vs naive %v", informedPF, naivePF)
+	}
+	if oracle.Perceived-informedPF > 0.1*oracle.Perceived {
+		t.Errorf("informed plan %v too far below oracle %v", informedPF, oracle.Perceived)
+	}
+}
+
+// TestIntegrationSizedPipeline exercises the Extended Problem end to
+// end with Pareto sizes and FBA hand-down.
+func TestIntegrationSizedPipeline(t *testing.T) {
+	spec := freshen.TableTwoWorkload()
+	spec.Theta = 1.0
+	spec.Sizes = freshen.SizePareto
+	spec.ParetoShape = 1.1
+	spec.SizeAlignment = freshen.Reverse
+	spec.Seed = 31
+	elems, err := freshen.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := freshen.MakePlan(elems, freshen.PlanConfig{Bandwidth: spec.SyncsPerPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heuristic, err := freshen.MakePlan(elems, freshen.PlanConfig{
+		Bandwidth:     spec.SyncsPerPeriod,
+		Strategy:      freshen.StrategyPartitioned,
+		Key:           freshen.KeyPFOverSize,
+		NumPartitions: 50,
+		Allocation:    freshen.FBA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heuristic.Perceived > exact.Perceived+1e-9 {
+		t.Fatalf("heuristic %v beats exact %v", heuristic.Perceived, exact.Perceived)
+	}
+	if exact.Perceived-heuristic.Perceived > 0.05 {
+		t.Errorf("sized heuristic %v too far below exact %v", heuristic.Perceived, exact.Perceived)
+	}
+	if heuristic.BandwidthUsed > spec.SyncsPerPeriod*(1+1e-6) {
+		t.Errorf("over budget: %v", heuristic.BandwidthUsed)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"freshen/internal/stats"
+)
+
+func TestAdaptivePlannerReplansOnDrift(t *testing.T) {
+	elems := testElements(t, 50, 1.0, 7)
+	ap, err := NewAdaptivePlanner(elems, Config{Bandwidth: 25}, 0.25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := ap.Plan()
+
+	// The community's interest flips to the coldest element: all
+	// accesses hit element 49.
+	var replanned bool
+	for i := 0; i < 1000 && !replanned; i++ {
+		replanned, err = ap.Observe(49)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !replanned {
+		t.Fatal("planner never replanned under total interest flip")
+	}
+	if ap.Replans() != 1 {
+		t.Errorf("Replans = %d, want 1", ap.Replans())
+	}
+	// The new plan must fund element 49 far more than the old one did.
+	if ap.Plan().Freqs[49] <= initial.Freqs[49] {
+		t.Errorf("element 49 freq %v did not rise from %v",
+			ap.Plan().Freqs[49], initial.Freqs[49])
+	}
+}
+
+func TestAdaptivePlannerStableStreamNoReplan(t *testing.T) {
+	// minCount must absorb sampling noise: the empirical TV distance
+	// of n uniform samples over N bins is about sqrt(N/(2πn)), so 2000
+	// samples over 20 bins leaves expected drift ≈ 0.05 « 0.2.
+	elems := testElements(t, 20, 0.0, 8) // uniform profile
+	ap, err := NewAdaptivePlanner(elems, Config{Bandwidth: 10}, 0.2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		replanned, err := ap.Observe(r.Intn(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replanned {
+			t.Fatalf("false replan at access %d", i)
+		}
+	}
+	if ap.Replans() != 0 {
+		t.Errorf("Replans = %d, want 0", ap.Replans())
+	}
+}
+
+func TestAdaptivePlannerDoesNotMutateCaller(t *testing.T) {
+	elems := testElements(t, 10, 1.0, 9)
+	orig := elems[0].AccessProb
+	ap, err := NewAdaptivePlanner(elems, Config{Bandwidth: 5}, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := ap.Observe(9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elems[0].AccessProb != orig {
+		t.Error("adaptive planner mutated the caller's elements")
+	}
+}
+
+func TestAdaptivePlannerUpdateChangeRates(t *testing.T) {
+	elems := testElements(t, 10, 1.0, 10)
+	ap, err := NewAdaptivePlanner(elems, Config{Bandwidth: 5}, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := make([]float64, 10)
+	for i := range lambdas {
+		lambdas[i] = 1
+	}
+	if err := ap.UpdateChangeRates(lambdas); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Replans() != 1 {
+		t.Errorf("Replans = %d, want 1", ap.Replans())
+	}
+	if err := ap.UpdateChangeRates(lambdas[:3]); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	lambdas[0] = -1
+	if err := ap.UpdateChangeRates(lambdas); err == nil {
+		t.Error("negative rate must fail")
+	}
+}
+
+func TestAdaptivePlannerValidation(t *testing.T) {
+	if _, err := NewAdaptivePlanner(nil, Config{Bandwidth: 5}, 0.1, 10); err == nil {
+		t.Error("empty mirror must fail")
+	}
+	elems := testElements(t, 5, 0.5, 11)
+	if _, err := NewAdaptivePlanner(elems, Config{Bandwidth: 5}, 0, 10); err == nil {
+		t.Error("zero threshold must fail")
+	}
+	ap, err := NewAdaptivePlanner(elems, Config{Bandwidth: 5}, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Observe(99); err == nil {
+		t.Error("out-of-range access must fail")
+	}
+}

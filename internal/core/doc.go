@@ -1,0 +1,9 @@
+// Package core assembles the paper's contribution into a single
+// planning API: given a mirror (elements with change rates, the
+// aggregated user profile and sizes) and a bandwidth budget, produce a
+// refresh plan that maximizes perceived freshness — exactly for small
+// mirrors, or through the paper's partitioning heuristics with
+// optional k-means refinement for large ones. The adaptive planner
+// closes the loop the paper's conclusion sketches: it watches the
+// access stream and re-plans when the profile drifts.
+package core

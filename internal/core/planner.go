@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"freshen/internal/cluster"
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+	"freshen/internal/schedule"
+	"freshen/internal/solver"
+)
+
+// Strategy selects how a plan is computed.
+type Strategy int
+
+// Strategies, from exact to most scalable.
+const (
+	// StrategyExact solves the Core/Extended Problem exactly
+	// (water-filling). Scales to large N in this implementation, but
+	// the heuristics remain the paper's subject and are much faster.
+	StrategyExact Strategy = iota
+	// StrategyPartitioned runs the two-step partitioning heuristic.
+	StrategyPartitioned
+	// StrategyClustered refines the partitioning with k-means before
+	// optimizing — the paper's best time/quality trade-off.
+	StrategyClustered
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyExact:
+		return "exact"
+	case StrategyPartitioned:
+		return "partitioned"
+	case StrategyClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes planning.
+type Config struct {
+	// Bandwidth is the refresh budget per period (Σ sᵢ·fᵢ ≤ Bandwidth).
+	Bandwidth float64
+	// Strategy defaults to StrategyExact.
+	Strategy Strategy
+	// Policy is the synchronization policy; nil means Fixed-Order.
+	Policy freshness.Policy
+	// Key is the partitioning criterion for the heuristic strategies;
+	// the zero value is partition.KeyP, but PF-partitioning
+	// (partition.KeyPF) is the paper's recommendation and the default
+	// applied when NumPartitions > 0 and Key is unset is KeyPF via
+	// DefaultHeuristics.
+	Key partition.Key
+	// NumPartitions is the heuristic partition count K (required for
+	// the heuristic strategies).
+	NumPartitions int
+	// KMeansIterations applies to StrategyClustered.
+	KMeansIterations int
+	// IncludeSizeInClustering adds the size dimension to the k-means
+	// feature space (variable-size mirrors).
+	IncludeSizeInClustering bool
+	// Allocation hands partition bandwidth to members (FFA or FBA).
+	Allocation partition.Allocation
+}
+
+// DefaultHeuristics returns the paper's recommended heuristic
+// configuration: PF-partitioning into k partitions, FBA allocation,
+// and 10 k-means iterations under StrategyClustered.
+func DefaultHeuristics(bandwidth float64, k int) Config {
+	return Config{
+		Bandwidth:        bandwidth,
+		Strategy:         StrategyClustered,
+		Key:              partition.KeyPF,
+		NumPartitions:    k,
+		KMeansIterations: 10,
+		Allocation:       partition.FBA,
+	}
+}
+
+// Plan is a computed refresh schedule.
+type Plan struct {
+	// Freqs is the per-element refresh frequency (refreshes/period).
+	Freqs []float64
+	// Perceived is the plan's perceived freshness Σ pᵢ·F(fᵢ, λᵢ).
+	Perceived float64
+	// AvgFreshness is the unweighted mean freshness (the GF metric).
+	AvgFreshness float64
+	// BandwidthUsed is Σ sᵢ·fᵢ.
+	BandwidthUsed float64
+	// Strategy and NumPartitions record how the plan was computed.
+	Strategy      Strategy
+	NumPartitions int
+	// Elapsed is the planning wall-clock time.
+	Elapsed time.Duration
+}
+
+// MakePlan computes a refresh plan for the mirror.
+func MakePlan(elems []freshness.Element, cfg Config) (Plan, error) {
+	start := time.Now()
+	var sol solver.Solution
+	var numParts int
+	switch cfg.Strategy {
+	case StrategyExact:
+		s, err := solver.WaterFill(solver.Problem{
+			Elements:  elems,
+			Bandwidth: cfg.Bandwidth,
+			Policy:    cfg.Policy,
+		})
+		if err != nil {
+			return Plan{}, err
+		}
+		sol = s
+		numParts = len(elems)
+
+	case StrategyPartitioned, StrategyClustered:
+		if cfg.NumPartitions <= 0 {
+			return Plan{}, fmt.Errorf("core: heuristic strategies need NumPartitions > 0, got %d", cfg.NumPartitions)
+		}
+		opts := partition.Options{
+			Key:           cfg.Key,
+			NumPartitions: cfg.NumPartitions,
+			Allocation:    cfg.Allocation,
+			Policy:        cfg.Policy,
+		}
+		part, err := partition.Build(elems, cfg.Key, cfg.NumPartitions, cfg.Policy)
+		if err != nil {
+			return Plan{}, err
+		}
+		if cfg.Strategy == StrategyClustered {
+			refined, _, err := cluster.Refine(elems, part, cluster.Config{
+				Iterations:  cfg.KMeansIterations,
+				IncludeSize: cfg.IncludeSizeInClustering,
+			})
+			if err != nil {
+				return Plan{}, err
+			}
+			part = refined
+		}
+		res, err := partition.SolvePartitioned(elems, cfg.Bandwidth, part, opts)
+		if err != nil {
+			return Plan{}, err
+		}
+		sol = res.Solution
+		numParts = part.NumGroups()
+
+	default:
+		return Plan{}, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+
+	pol := cfg.Policy
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	avg, err := freshness.Average(pol, elems, sol.Freqs)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Freqs:         sol.Freqs,
+		Perceived:     sol.Perceived,
+		AvgFreshness:  avg,
+		BandwidthUsed: sol.BandwidthUsed,
+		Strategy:      cfg.Strategy,
+		NumPartitions: numParts,
+		Elapsed:       time.Since(start),
+	}, nil
+}
+
+// Timeline expands the plan into the concrete time-ordered sync stream
+// over [0, horizon) periods (Fixed-Order spacing).
+func (p Plan) Timeline(horizon float64, seed int64) ([]schedule.SyncEvent, error) {
+	return schedule.Timeline(p.Freqs, schedule.Options{
+		Horizon:     horizon,
+		RandomPhase: true,
+		Seed:        seed,
+	})
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+	"freshen/internal/workload"
+)
+
+func testElements(t *testing.T, n int, theta float64, seed int64) []freshness.Element {
+	t.Helper()
+	spec := workload.TableTwo()
+	spec.NumObjects = n
+	spec.UpdatesPerPeriod = 2 * float64(n)
+	spec.SyncsPerPeriod = float64(n) / 2
+	spec.Theta = theta
+	spec.Seed = seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elems
+}
+
+func TestMakePlanExact(t *testing.T) {
+	elems := testElements(t, 200, 1.0, 1)
+	plan, err := MakePlan(elems, Config{Bandwidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != StrategyExact {
+		t.Errorf("strategy = %v", plan.Strategy)
+	}
+	if plan.NumPartitions != 200 {
+		t.Errorf("NumPartitions = %d, want 200", plan.NumPartitions)
+	}
+	if plan.BandwidthUsed > 100*(1+1e-6) {
+		t.Errorf("over budget: %v", plan.BandwidthUsed)
+	}
+	if !(plan.Perceived > 0 && plan.Perceived < 1) {
+		t.Errorf("Perceived = %v", plan.Perceived)
+	}
+	if !(plan.AvgFreshness > 0 && plan.AvgFreshness < 1) {
+		t.Errorf("AvgFreshness = %v", plan.AvgFreshness)
+	}
+	if plan.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+}
+
+func TestMakePlanHeuristicsOrdering(t *testing.T) {
+	// exact >= clustered >= partitioned at the same K (up to tiny
+	// numerical slack), on a shuffled-change skewed workload.
+	elems := testElements(t, 1000, 1.0, 2)
+	const bandwidth, k = 500, 15
+	exact, err := MakePlan(elems, Config{Bandwidth: bandwidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted, err := MakePlan(elems, Config{
+		Bandwidth: bandwidth, Strategy: StrategyPartitioned,
+		Key: partition.KeyPF, NumPartitions: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := MakePlan(elems, Config{
+		Bandwidth: bandwidth, Strategy: StrategyClustered,
+		Key: partition.KeyPF, NumPartitions: k, KMeansIterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Perceived < clustered.Perceived-1e-9 {
+		t.Errorf("exact %v below clustered %v", exact.Perceived, clustered.Perceived)
+	}
+	if clustered.Perceived < parted.Perceived-1e-9 {
+		t.Errorf("clustered %v below partitioned %v", clustered.Perceived, parted.Perceived)
+	}
+	if parted.NumPartitions != k {
+		t.Errorf("partitioned NumPartitions = %d, want %d", parted.NumPartitions, k)
+	}
+}
+
+func TestMakePlanValidation(t *testing.T) {
+	elems := testElements(t, 10, 0.5, 3)
+	if _, err := MakePlan(elems, Config{Bandwidth: 5, Strategy: StrategyPartitioned}); err == nil {
+		t.Error("heuristic without NumPartitions must fail")
+	}
+	if _, err := MakePlan(elems, Config{Bandwidth: 5, Strategy: Strategy(42)}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	if _, err := MakePlan(nil, Config{Bandwidth: 5}); err == nil {
+		t.Error("empty mirror must fail")
+	}
+}
+
+func TestDefaultHeuristics(t *testing.T) {
+	cfg := DefaultHeuristics(100, 50)
+	if cfg.Strategy != StrategyClustered || cfg.Key != partition.KeyPF ||
+		cfg.NumPartitions != 50 || cfg.KMeansIterations != 10 ||
+		cfg.Allocation != partition.FBA || cfg.Bandwidth != 100 {
+		t.Errorf("DefaultHeuristics = %+v", cfg)
+	}
+	elems := testElements(t, 300, 1.0, 4)
+	plan, err := MakePlan(elems, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BandwidthUsed > 100*(1+1e-6) {
+		t.Errorf("over budget: %v", plan.BandwidthUsed)
+	}
+}
+
+func TestPlanTimeline(t *testing.T) {
+	elems := testElements(t, 50, 1.0, 5)
+	plan, err := MakePlan(elems, Config{Bandwidth: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := plan.Timeline(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// About bandwidth × horizon events.
+	if math.Abs(float64(len(events))-100) > 55 {
+		t.Errorf("got %d events, want about 100", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("timeline out of order")
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyExact.String() != "exact" || StrategyPartitioned.String() != "partitioned" ||
+		StrategyClustered.String() != "clustered" {
+		t.Error("strategy stringer broken")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy must still print")
+	}
+}

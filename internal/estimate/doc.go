@@ -1,0 +1,15 @@
+// Package estimate supplies the change-frequency knowledge the paper
+// assumes the mirror obtains "using estimation and sampling
+// techniques" (its references [4] and [6]): estimators that recover an
+// element's Poisson change rate λ from a history of polls, each of
+// which only reveals whether the element changed at all since the
+// previous poll.
+//
+// Naive is the ratio estimator X/T, which under-estimates because a
+// poll collapses any number of changes into one detection. ChoGM is
+// the bias-corrected estimator of Cho & Garcia-Molina,
+// λ̂ = −log((n−X+0.5)/(n+0.5))/I, consistent for regular polling. MLE
+// handles irregular poll intervals by maximizing the exact Bernoulli
+// likelihood. Tracker accumulates poll outcomes per element and feeds
+// any of the estimators.
+package estimate

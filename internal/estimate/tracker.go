@@ -1,0 +1,77 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/stats"
+)
+
+// Tracker accumulates poll histories for every element of a mirror and
+// produces per-element change-rate estimates. It is the bookkeeping a
+// mirror runs alongside its refresh loop: every refresh doubles as a
+// poll (the fetched copy either differs from the stored one or not).
+type Tracker struct {
+	histories [][]Poll
+}
+
+// NewTracker creates a tracker for n elements.
+func NewTracker(n int) (*Tracker, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("estimate: tracker needs at least one element, got %d", n)
+	}
+	return &Tracker{histories: make([][]Poll, n)}, nil
+}
+
+// Record adds one poll outcome for an element.
+func (t *Tracker) Record(element int, elapsed float64, changed bool) error {
+	if element < 0 || element >= len(t.histories) {
+		return fmt.Errorf("estimate: element %d outside [0, %d)", element, len(t.histories))
+	}
+	if !(elapsed > 0) {
+		return fmt.Errorf("estimate: elapsed time must be positive, got %v", elapsed)
+	}
+	t.histories[element] = append(t.histories[element], Poll{Elapsed: elapsed, Changed: changed})
+	return nil
+}
+
+// Polls returns how many polls an element has accumulated.
+func (t *Tracker) Polls(element int) int {
+	if element < 0 || element >= len(t.histories) {
+		return 0
+	}
+	return len(t.histories[element])
+}
+
+// Estimates runs MLE per element. Elements with no history get
+// fallback (a prior, e.g. the fleet-wide mean change rate).
+func (t *Tracker) Estimates(fallback float64) ([]float64, error) {
+	out := make([]float64, len(t.histories))
+	for i, h := range t.histories {
+		if len(h) == 0 {
+			out[i] = fallback
+			continue
+		}
+		est, err := MLE(h)
+		if err != nil {
+			return nil, fmt.Errorf("estimate: element %d: %w", i, err)
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
+// SimulatePolling generates the poll history a mirror would observe if
+// it polled an element with true change rate lambda at the given
+// regular interval n times: each poll independently detects a change
+// with probability 1 − e^(−λ·I). It is used by tests and by the
+// estimation ablation experiment to produce realistic imperfect
+// knowledge.
+func SimulatePolling(r *stats.RNG, lambda, interval float64, polls int) []Poll {
+	q := -math.Expm1(-lambda * interval)
+	out := make([]Poll, polls)
+	for i := range out {
+		out[i] = Poll{Elapsed: interval, Changed: r.Float64() < q}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"freshen/internal/estimate"
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+	"freshen/internal/stats"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// PolicyAblationResult compares optimal perceived freshness under the
+// Fixed-Order policy (the paper's choice) and the Poisson-order policy
+// across interest skew — quantifying how much the paper's policy
+// assumption is worth.
+type PolicyAblationResult struct {
+	FixedOrder Series
+	Poisson    Series
+}
+
+// RunPolicyAblation sweeps θ on the Table 2 setup.
+func RunPolicyAblation(opts Options) (PolicyAblationResult, error) {
+	opts = opts.withDefaults()
+	res := PolicyAblationResult{
+		FixedOrder: Series{Name: "fixed-order"},
+		Poisson:    Series{Name: "poisson-order"},
+	}
+	thetas := Figure3Thetas()
+	if opts.Quick {
+		thetas = []float64{0, 0.8, 1.6}
+	}
+	for _, theta := range thetas {
+		spec := workload.TableTwo()
+		spec.Theta = theta
+		spec.Seed = opts.Seed
+		elems, err := workload.Generate(spec)
+		if err != nil {
+			return res, err
+		}
+		fo, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: spec.SyncsPerPeriod})
+		if err != nil {
+			return res, err
+		}
+		po, err := solver.WaterFill(solver.Problem{
+			Elements:  elems,
+			Bandwidth: spec.SyncsPerPeriod,
+			Policy:    freshness.PoissonOrder{},
+		})
+		if err != nil {
+			return res, err
+		}
+		res.FixedOrder.X = append(res.FixedOrder.X, theta)
+		res.FixedOrder.Y = append(res.FixedOrder.Y, fo.Perceived)
+		res.Poisson.X = append(res.Poisson.X, theta)
+		res.Poisson.Y = append(res.Poisson.Y, po.Perceived)
+	}
+	return res, nil
+}
+
+// Tables renders the policy ablation.
+func (r PolicyAblationResult) Tables() []*textio.Table {
+	t := textio.NewTable("Ablation: synchronization policy (optimal PF per policy)",
+		"theta", "fixed-order", "poisson-order")
+	for i := range r.FixedOrder.X {
+		t.AddRow(r.FixedOrder.X[i], r.FixedOrder.Y[i], r.Poisson.Y[i])
+	}
+	return []*textio.Table{t}
+}
+
+// SolverAblationPoint is one scaling measurement.
+type SolverAblationPoint struct {
+	N                int
+	WaterFillSeconds float64
+	GradientSeconds  float64
+	WaterFillPF      float64
+	GradientPF       float64
+}
+
+// SolverAblationResult compares the exact water-filling solver with
+// the projected-gradient NLP stand-in across problem sizes — the
+// repository's analogue of the paper's observation that a generic NLP
+// package "runs for days" on large instances.
+type SolverAblationResult struct {
+	Points []SolverAblationPoint
+}
+
+// RunSolverAblation measures both solvers on growing instances.
+func RunSolverAblation(opts Options) (SolverAblationResult, error) {
+	opts = opts.withDefaults()
+	sizes := []int{100, 500, 2000, 10000}
+	if opts.Quick {
+		sizes = []int{100, 500}
+	}
+	var res SolverAblationResult
+	for _, n := range sizes {
+		spec := workload.TableTwo()
+		spec.NumObjects = n
+		spec.UpdatesPerPeriod = 2 * float64(n)
+		spec.SyncsPerPeriod = float64(n) / 2
+		spec.Theta = 1.0
+		spec.Seed = opts.Seed
+		elems, err := workload.Generate(spec)
+		if err != nil {
+			return res, err
+		}
+		prob := solver.Problem{Elements: elems, Bandwidth: spec.SyncsPerPeriod}
+		start := time.Now()
+		wf, err := solver.WaterFill(prob)
+		if err != nil {
+			return res, err
+		}
+		wfSec := time.Since(start).Seconds()
+		start = time.Now()
+		gr, err := solver.Gradient(prob, solver.GradientOptions{MaxIterations: 3000})
+		if err != nil {
+			return res, err
+		}
+		grSec := time.Since(start).Seconds()
+		res.Points = append(res.Points, SolverAblationPoint{
+			N:                n,
+			WaterFillSeconds: wfSec,
+			GradientSeconds:  grSec,
+			WaterFillPF:      wf.Perceived,
+			GradientPF:       gr.Perceived,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the solver ablation.
+func (r SolverAblationResult) Tables() []*textio.Table {
+	t := textio.NewTable("Ablation: exact water-filling vs generic NLP (projected gradient)",
+		"N", "waterfill s", "gradient s", "waterfill PF", "gradient PF")
+	for _, p := range r.Points {
+		t.AddRow(p.N, fmt.Sprintf("%.4f", p.WaterFillSeconds),
+			fmt.Sprintf("%.4f", p.GradientSeconds), p.WaterFillPF, p.GradientPF)
+	}
+	return []*textio.Table{t}
+}
+
+// EstimateAblationPoint measures planning quality under estimated
+// change rates from a given polling budget.
+type EstimateAblationPoint struct {
+	PollsPerElement int
+	// OraclePF is the optimum with true change rates.
+	OraclePF float64
+	// EstimatedPF is the PF (scored with true rates) of the schedule
+	// solved with estimated rates.
+	EstimatedPF float64
+}
+
+// EstimateAblationResult quantifies the paper's claim that the
+// approach tolerates imperfect knowledge of change frequency: the
+// schedule is solved with rates estimated from k polls per element and
+// scored against the truth.
+type EstimateAblationResult struct {
+	Points []EstimateAblationPoint
+}
+
+// RunEstimateAblation sweeps the polling budget on the Table 2 setup
+// at θ = 1.0.
+func RunEstimateAblation(opts Options) (EstimateAblationResult, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	spec.Seed = opts.Seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return EstimateAblationResult{}, err
+	}
+	oracle, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: spec.SyncsPerPeriod})
+	if err != nil {
+		return EstimateAblationResult{}, err
+	}
+	budgets := []int{2, 5, 10, 25, 100, 400}
+	if opts.Quick {
+		budgets = []int{2, 25}
+	}
+	r := stats.NewRNG(opts.Seed + 1000)
+	var res EstimateAblationResult
+	for _, polls := range budgets {
+		est := make([]freshness.Element, len(elems))
+		copy(est, elems)
+		// The mirror polls each element at interval 0.25 periods (its
+		// refresh loop doubling as a change detector).
+		const interval = 0.25
+		for i := range est {
+			history := estimate.SimulatePolling(r, elems[i].Lambda, interval, polls)
+			lam, err := estimate.MLE(history)
+			if err != nil {
+				return res, err
+			}
+			est[i].Lambda = lam
+		}
+		sol, err := solver.WaterFill(solver.Problem{Elements: est, Bandwidth: spec.SyncsPerPeriod})
+		if err != nil {
+			return res, err
+		}
+		// Score the estimated-rate schedule against reality.
+		pf, err := freshness.Perceived(freshness.FixedOrder{}, elems, sol.Freqs)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, EstimateAblationPoint{
+			PollsPerElement: polls,
+			OraclePF:        oracle.Perceived,
+			EstimatedPF:     pf,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the estimation ablation.
+func (r EstimateAblationResult) Tables() []*textio.Table {
+	t := textio.NewTable("Ablation: planning under estimated change rates",
+		"polls/element", "oracle PF", "estimated-rate PF")
+	for _, p := range r.Points {
+		t.AddRow(p.PollsPerElement, p.OraclePF, p.EstimatedPF)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "ablation-policy",
+		Title: "Fixed-Order vs Poisson-order synchronization policy",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunPolicyAblation(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+	register(Info{
+		ID:    "ablation-solver",
+		Title: "Water-filling vs projected-gradient NLP scaling",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunSolverAblation(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+	register(Info{
+		ID:    "ablation-estimate",
+		Title: "Schedule quality under estimated change rates",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunEstimateAblation(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

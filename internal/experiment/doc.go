@@ -1,0 +1,13 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation, plus this repository's ablation studies. Each experiment
+// is a typed function returning structured series (which the tests and
+// benchmarks assert shape properties on) and can render itself as
+// aligned text or CSV through the shared registry, which the
+// freshenctl CLI exposes.
+//
+// Absolute numbers need not match the paper — the substrate is a
+// simulator, not the authors' testbed — but the qualitative shapes
+// (who wins, by what factor, where curves cross) are asserted by the
+// package's tests, and EXPERIMENTS.md records a full paper-vs-measured
+// comparison.
+package experiment

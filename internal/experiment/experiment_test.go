@@ -1,0 +1,508 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"freshen/internal/workload"
+)
+
+func TestRunTable1GoldenValues(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want []float64) {
+		t.Helper()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.02 {
+				t.Errorf("%s element %d: %.4f, want %.2f", name, i+1, got[i], want[i])
+			}
+		}
+	}
+	check("P1", res.P1, []float64{1.15, 1.36, 1.35, 1.14, 0.00})
+	check("P2", res.P2, []float64{0.33, 0.67, 1.00, 1.33, 1.67})
+	check("P3", res.P3, []float64{1.68, 1.83, 1.49, 0.00, 0.00})
+	if res.PerceivedP3 <= res.PerceivedP1 {
+		t.Errorf("reverse-skew optimum %v should beat uniform %v (cold items are cheap to keep fresh)",
+			res.PerceivedP3, res.PerceivedP1)
+	}
+	tables := res.Tables()
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	var sb strings.Builder
+	if err := tables[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(b) sync freq (P1)") {
+		t.Error("table missing P1 row")
+	}
+}
+
+func TestRunFigure1Shapes(t *testing.T) {
+	res := RunFigure1()
+	if len(res.Curves) != 3 {
+		t.Fatalf("got %d curves", len(res.Curves))
+	}
+	// Higher p gets at least as much bandwidth at every λ, strictly
+	// more wherever funded.
+	lo, mid, hi := res.Curves[0], res.Curves[1], res.Curves[2]
+	for i := range lo.X {
+		if mid.Y[i] < lo.Y[i]-1e-9 || hi.Y[i] < mid.Y[i]-1e-9 {
+			t.Fatalf("curves not ordered by p at λ=%v: %v %v %v", lo.X[i], lo.Y[i], mid.Y[i], hi.Y[i])
+		}
+	}
+	// Each curve eventually drops to zero for large λ (elements too
+	// volatile to be worth refreshing), with the cutoff moving right
+	// as p doubles: the λ at which p=0.2 loses funding still has
+	// funding at p=0.4 (the paper's point B vs C narrative).
+	cutoff := func(s Series) float64 {
+		for i := len(s.X) - 1; i >= 0; i-- {
+			if s.Y[i] > 0 {
+				return s.X[i]
+			}
+		}
+		return 0
+	}
+	if !(cutoff(lo) < cutoff(mid) && cutoff(mid) < cutoff(hi)) {
+		t.Errorf("funding cutoffs not increasing in p: %v %v %v", cutoff(lo), cutoff(mid), cutoff(hi))
+	}
+	// Each funded curve is unimodal-ish: rises from small λ then falls.
+	peakIdx := 0
+	for i, y := range hi.Y {
+		if y > hi.Y[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if peakIdx == 0 || hi.Y[peakIdx] <= hi.Y[len(hi.Y)-1] {
+		t.Errorf("p=0.4 curve not peaked in the interior (peak at %d)", peakIdx)
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("figure1 must render one table")
+	}
+}
+
+func TestRunFigure2Shapes(t *testing.T) {
+	res, err := RunFigure2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access curve decreasing; aligned change decreasing; reverse
+	// change increasing.
+	for i := 1; i < res.Access.Len(); i++ {
+		if res.Access.Y[i] > res.Access.Y[i-1] {
+			t.Fatal("access curve not decreasing")
+		}
+		if res.AlignedChange.Y[i] > res.AlignedChange.Y[i-1] {
+			t.Fatal("aligned change curve not decreasing")
+		}
+		if res.ReverseChange.Y[i] < res.ReverseChange.Y[i-1] {
+			t.Fatal("reverse change curve not increasing")
+		}
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("figure2 must render one table")
+	}
+}
+
+func TestRunFigure3Shapes(t *testing.T) {
+	results, err := RunFigure3All(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d alignments", len(results))
+	}
+	for _, r := range results {
+		// PF >= GF at every skew.
+		for i := range r.PF.X {
+			if r.PF.Y[i] < r.GF.Y[i]-1e-9 {
+				t.Errorf("%v θ=%v: PF %v below GF %v", r.Alignment, r.PF.X[i], r.PF.Y[i], r.GF.Y[i])
+			}
+		}
+		// Equal at θ=0 (uniform profile).
+		if math.Abs(r.PF.Y[0]-r.GF.Y[0]) > 1e-6 {
+			t.Errorf("%v: PF %v != GF %v at θ=0", r.Alignment, r.PF.Y[0], r.GF.Y[0])
+		}
+		// The gap grows with the skew: compare last vs first.
+		last := len(r.PF.Y) - 1
+		if gapEnd := r.PF.Y[last] - r.GF.Y[last]; gapEnd < 0.05 {
+			t.Errorf("%v: PF-GF gap at θ=1.6 only %v", r.Alignment, gapEnd)
+		}
+		// PF technique's perceived freshness rises with skew.
+		if r.PF.Y[last] <= r.PF.Y[0] {
+			t.Errorf("%v: PF at θ=1.6 (%v) not above θ=0 (%v)", r.Alignment, r.PF.Y[last], r.PF.Y[0])
+		}
+	}
+	// The aligned case is the paper's dramatic one: GF collapses at
+	// high skew while PF stays high.
+	var aligned Figure3Result
+	for _, r := range results {
+		if r.Alignment == workload.Aligned {
+			aligned = r
+		}
+	}
+	last := len(aligned.GF.Y) - 1
+	if aligned.GF.Y[last] > 0.15 {
+		t.Errorf("aligned GF at θ=1.6 = %v, want collapse toward 0", aligned.GF.Y[last])
+	}
+	if aligned.PF.Y[last] < 0.5 {
+		t.Errorf("aligned PF at θ=1.6 = %v, want high", aligned.PF.Y[last])
+	}
+}
+
+func TestRunFigure5Shapes(t *testing.T) {
+	results, err := RunFigure5All(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		for _, s := range r.Techniques {
+			last := s.Len() - 1
+			// At K=500 (=N) every technique must essentially reach the
+			// ideal.
+			if math.Abs(s.Y[last]-r.BestCase) > 0.01 {
+				t.Errorf("%v %s: K=N PF %v vs best case %v", r.Alignment, s.Name, s.Y[last], r.BestCase)
+			}
+			// No technique may beat the ideal.
+			for i := range s.Y {
+				if s.Y[i] > r.BestCase+1e-6 {
+					t.Errorf("%v %s: PF %v above best case %v", r.Alignment, s.Name, s.Y[i], r.BestCase)
+				}
+			}
+			// Approach: the last point must be at least as good as the
+			// first (convergence toward the ideal).
+			if s.Y[last] < s.Y[0]-1e-9 {
+				t.Errorf("%v %s: PF fell from %v to %v as K grew", r.Alignment, s.Name, s.Y[0], s.Y[last])
+			}
+		}
+	}
+	// Under shuffled change, PF-partitioning must reach near-ideal
+	// faster than λ-partitioning: compare at K=25 (second point).
+	shuffled := results[0]
+	if shuffled.Alignment != workload.Shuffled {
+		t.Fatal("first result should be shuffled")
+	}
+	var pf, lam Series
+	for _, s := range shuffled.Techniques {
+		switch s.Name {
+		case "PF_PARTITIONING":
+			pf = s
+		case "LAMBDA_PARTITIONING":
+			lam = s
+		}
+	}
+	if pf.Y[1] <= lam.Y[1] {
+		t.Errorf("shuffled K=25: PF-partitioning %v not above λ-partitioning %v", pf.Y[1], lam.Y[1])
+	}
+}
+
+func TestRunFigure6Shapes(t *testing.T) {
+	res, err := RunFigure6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf, p, lam Series
+	for _, s := range res.Techniques {
+		switch s.Name {
+		case "PF_PARTITIONING":
+			pf = s
+		case "P_PARTITIONING":
+			p = s
+		case "LAMBDA_PARTITIONING":
+			lam = s
+		}
+	}
+	last := pf.Len() - 1
+	// PF rises with θ for the access-aware techniques.
+	if pf.Y[last] <= pf.Y[0] || p.Y[last] <= p.Y[0] {
+		t.Error("access-aware techniques should improve with skew")
+	}
+	// λ-partitioning falls behind at high skew (the paper's Figure 6).
+	if lam.Y[last] >= pf.Y[last]-0.02 {
+		t.Errorf("λ-partitioning %v too close to PF-partitioning %v at θ=1.6", lam.Y[last], pf.Y[last])
+	}
+}
+
+func TestRunFigure7Shapes(t *testing.T) {
+	res, err := RunFigure7(Options{BigN: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 50000 {
+		t.Fatalf("N = %d", res.N)
+	}
+	var pf, lam Series
+	for _, s := range res.Techniques {
+		switch s.Name {
+		case "PF_PARTITIONING":
+			pf = s
+		case "LAMBDA_PARTITIONING":
+			lam = s
+		}
+	}
+	// PF-partitioning is the clear winner at every partition count.
+	for i := range pf.Y {
+		if pf.Y[i] <= lam.Y[i] {
+			t.Errorf("K=%v: PF-partitioning %v not above λ %v", pf.X[i], pf.Y[i], lam.Y[i])
+		}
+		if pf.Y[i] > res.BestCase+1e-6 {
+			t.Errorf("PF above best case")
+		}
+	}
+	// Solutions beyond ~100 partitions do not appreciably improve.
+	atHundred := pf.Y[4] // K=100
+	last := pf.Y[len(pf.Y)-1]
+	if last-atHundred > 0.02 {
+		t.Errorf("PF still improving after 100 partitions: %v -> %v", atHundred, last)
+	}
+}
+
+func TestRunFigure8Shapes(t *testing.T) {
+	res, err := RunFigure8(Options{ClusterN: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := res.PerIterations[0]
+	ten := res.PerIterations[len(res.PerIterations)-1]
+	if zero.Name != "0 iterations" {
+		t.Fatalf("first series %q", zero.Name)
+	}
+	// Clustering must improve on plain partitioning at the smallest
+	// partition count, significantly.
+	if ten.Y[0] <= zero.Y[0] {
+		t.Errorf("10 iterations (%v) not above 0 iterations (%v) at K=20", ten.Y[0], zero.Y[0])
+	}
+	// A few iterations at 20 partitions should rival many plain
+	// partitions (the paper's punchline).
+	zeroLast := zero.Y[len(zero.Y)-1]
+	if ten.Y[0] < zeroLast-0.05 {
+		t.Errorf("clustered K=20 (%v) far below plain K=200 (%v)", ten.Y[0], zeroLast)
+	}
+}
+
+func TestRunFigure9Shapes(t *testing.T) {
+	res, err := RunFigure9(Options{ClusterN: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClusterLine) != len(Figure9ClusterCounts()) {
+		t.Fatalf("cluster line has %d points", len(res.ClusterLine))
+	}
+	for _, curve := range res.PerClusters {
+		// Time grows with iteration budget.
+		if curve[len(curve)-1].Seconds <= curve[0].Seconds {
+			t.Errorf("clusters=%d: 25 iterations (%vs) not slower than 0 (%vs)",
+				curve[0].Clusters, curve[len(curve)-1].Seconds, curve[0].Seconds)
+		}
+		// Iterations never hurt beyond noise.
+		if curve[len(curve)-1].Perceived < curve[0].Perceived-0.01 {
+			t.Errorf("clusters=%d: PF fell with iterations: %v -> %v",
+				curve[0].Clusters, curve[0].Perceived, curve[len(curve)-1].Perceived)
+		}
+	}
+}
+
+func TestRunFigure10Shapes(t *testing.T) {
+	res, err := RunFigure10(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync resources go to the pages with the lowest change rates:
+	// with aligned change (object 1 most volatile), the early objects
+	// get nothing and the late objects get funded.
+	if res.UniformFreq.Y[0] != 0 {
+		t.Errorf("most volatile object funded %v under uniform sizes", res.UniformFreq.Y[0])
+	}
+	lastIdx := res.UniformFreq.Len() - 1
+	if res.UniformFreq.Y[lastIdx] <= 0 {
+		t.Error("least volatile object not funded under uniform sizes")
+	}
+	// Pareto case: more total syncs, same total bandwidth.
+	var unifSyncs, parSyncs, unifBW, parBW float64
+	for i := 0; i < res.UniformFreq.Len(); i++ {
+		unifSyncs += res.UniformFreq.Y[i]
+		parSyncs += res.ParetoFreq.Y[i]
+		unifBW += res.UniformBandwidth.Y[i]
+		parBW += res.ParetoBandwidth.Y[i]
+	}
+	if parSyncs <= unifSyncs {
+		t.Errorf("pareto total syncs %v not above uniform %v (small objects are cheap)", parSyncs, unifSyncs)
+	}
+	if math.Abs(unifBW-parBW) > 1e-3*unifBW {
+		t.Errorf("total bandwidth differs: uniform %v vs pareto %v", unifBW, parBW)
+	}
+	// The Section 5.3 headline: the Pareto mirror's optimum beats the
+	// uniform mirror's by roughly the paper's 0.586 vs 0.312 margin.
+	if res.ParetoPF <= res.UniformPF {
+		t.Errorf("pareto optimum %v not above uniform optimum %v", res.ParetoPF, res.UniformPF)
+	}
+	if ratio := res.ParetoPF / res.UniformPF; ratio < 1.3 {
+		t.Errorf("pareto/uniform PF ratio %v, paper reports ~1.9", ratio)
+	}
+	// The deployment experiment: misallocating by ignoring sizes costs
+	// perceived freshness.
+	if res.SizeAwarePF < res.SizeBlindPF-1e-9 {
+		t.Errorf("size-aware %v below size-blind %v", res.SizeAwarePF, res.SizeBlindPF)
+	}
+	if len(res.Tables()) != 3 {
+		t.Error("figure10 must render three tables")
+	}
+}
+
+func TestRunFigure11Shapes(t *testing.T) {
+	res, err := RunFigure11(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FBA at least matches FFA everywhere and wins at small K.
+	for i := range res.FBA.Y {
+		if res.FBA.Y[i] < res.FFA.Y[i]-0.01 {
+			t.Errorf("K=%v: FBA %v below FFA %v", res.FBA.X[i], res.FBA.Y[i], res.FFA.Y[i])
+		}
+	}
+	if res.FBA.Y[0] <= res.FFA.Y[0] {
+		t.Errorf("K=10: FBA %v not above FFA %v", res.FBA.Y[0], res.FFA.Y[0])
+	}
+}
+
+func TestRegistryRunsAllQuick(t *testing.T) {
+	infos := All()
+	if len(infos) < 13 {
+		t.Fatalf("only %d experiments registered", len(infos))
+	}
+	seen := map[string]bool{}
+	for _, info := range infos {
+		if seen[info.ID] {
+			t.Fatalf("duplicate experiment id %q", info.ID)
+		}
+		seen[info.ID] = true
+	}
+	for _, id := range []string{"table1", "figure1", "figure2", "figure3", "figure5",
+		"figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
+		"ablation-policy", "ablation-solver", "ablation-estimate", "sim-validate",
+		"extension-selection", "extension-sensitivity", "extension-quantize",
+		"extension-push", "extension-age", "extension-hierarchical"} {
+		info, err := Find(id)
+		if err != nil {
+			t.Errorf("missing experiment %q", id)
+			continue
+		}
+		tables, err := info.Run(Options{Quick: true})
+		if err != nil {
+			t.Errorf("experiment %q failed: %v", id, err)
+			continue
+		}
+		if len(tables) == 0 {
+			t.Errorf("experiment %q produced no tables", id)
+		}
+		for _, tab := range tables {
+			var sb strings.Builder
+			if err := tab.Render(&sb); err != nil {
+				t.Errorf("experiment %q render: %v", id, err)
+			}
+			if err := tab.RenderCSV(&sb); err != nil {
+				t.Errorf("experiment %q csv: %v", id, err)
+			}
+		}
+	}
+	if _, err := Find("bogus"); err == nil {
+		t.Error("unknown id must fail")
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	pol, err := RunPolicyAblation(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pol.FixedOrder.Y {
+		if pol.FixedOrder.Y[i] <= pol.Poisson.Y[i] {
+			t.Errorf("θ=%v: fixed-order %v not above poisson %v",
+				pol.FixedOrder.X[i], pol.FixedOrder.Y[i], pol.Poisson.Y[i])
+		}
+	}
+
+	est, err := RunEstimateAblation(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range est.Points {
+		if p.EstimatedPF > p.OraclePF+1e-9 {
+			t.Errorf("estimated-rate schedule beats the oracle: %+v", p)
+		}
+	}
+	// More polls close the gap.
+	first, last := est.Points[0], est.Points[len(est.Points)-1]
+	if last.EstimatedPF < first.EstimatedPF-1e-9 {
+		t.Errorf("more polling made things worse: %v -> %v", first.EstimatedPF, last.EstimatedPF)
+	}
+	if last.OraclePF-last.EstimatedPF > 0.05 {
+		t.Errorf("25 polls/element still %v below oracle", last.OraclePF-last.EstimatedPF)
+	}
+}
+
+func TestSolverAblationShapes(t *testing.T) {
+	res, err := RunSolverAblation(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.GradientPF > p.WaterFillPF+1e-6 {
+			t.Errorf("N=%d: gradient PF %v above exact %v", p.N, p.GradientPF, p.WaterFillPF)
+		}
+		if p.WaterFillPF-p.GradientPF > 0.02 {
+			t.Errorf("N=%d: gradient PF %v far below exact %v", p.N, p.GradientPF, p.WaterFillPF)
+		}
+	}
+}
+
+func TestRunSelectionShapes(t *testing.T) {
+	res, err := RunSelection(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range res.Points {
+		if p.GreedyPF < p.InOrderPF-1e-9 {
+			t.Errorf("capacity %v: greedy %v below in-order %v", p.CapacityFrac, p.GreedyPF, p.InOrderPF)
+		}
+		if p.GreedyPF < prev-1e-9 {
+			t.Errorf("capacity %v: PF fell as capacity grew", p.CapacityFrac)
+		}
+		prev = p.GreedyPF
+	}
+	// Small mirrors are where selection matters: at 10% capacity the
+	// profile-driven mirror must be dramatically better than the
+	// uninformed one, and already close to the full-mirror optimum.
+	first := res.Points[0]
+	full := res.Points[len(res.Points)-1]
+	if first.GreedyPF < 3*first.InOrderPF {
+		t.Errorf("10%% capacity: greedy %v vs in-order %v, want a large margin", first.GreedyPF, first.InOrderPF)
+	}
+	if first.GreedyPF < 0.8*full.GreedyPF {
+		t.Errorf("10%% capacity greedy PF %v below 80%% of full-mirror %v", first.GreedyPF, full.GreedyPF)
+	}
+	// At full capacity the two hosting policies coincide (up to
+	// summation order).
+	if math.Abs(full.GreedyPF-full.InOrderPF) > 1e-12 {
+		t.Errorf("full capacity: greedy %v != in-order %v", full.GreedyPF, full.InOrderPF)
+	}
+}
+
+func TestSimValidateAgreement(t *testing.T) {
+	results, err := RunSimValidate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if math.Abs(r.TimeAvgPF-r.AnalyticPF) > 0.02 {
+			t.Errorf("θ=%v: time-avg %v vs analytic %v", r.Theta, r.TimeAvgPF, r.AnalyticPF)
+		}
+		if math.Abs(r.MonitoredPF-r.AnalyticPF) > 0.02 {
+			t.Errorf("θ=%v: monitored %v vs analytic %v", r.Theta, r.MonitoredPF, r.AnalyticPF)
+		}
+	}
+}

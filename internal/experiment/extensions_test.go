@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunSensitivityShapes(t *testing.T) {
+	res, err := RunSensitivity(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PF beats GF at every dispersion and every bandwidth ratio.
+	for i := range res.StdDevPF.X {
+		if res.StdDevPF.Y[i] <= res.StdDevGF.Y[i] {
+			t.Errorf("stddev %v: PF %v not above GF %v",
+				res.StdDevPF.X[i], res.StdDevPF.Y[i], res.StdDevGF.Y[i])
+		}
+	}
+	for i := range res.BandwidthPF.X {
+		if res.BandwidthPF.Y[i] <= res.BandwidthGF.Y[i] {
+			t.Errorf("bandwidth frac %v: PF %v not above GF %v",
+				res.BandwidthPF.X[i], res.BandwidthPF.Y[i], res.BandwidthGF.Y[i])
+		}
+	}
+	// Both techniques improve with bandwidth; PF's *relative*
+	// advantage is largest when bandwidth is scarce.
+	n := len(res.BandwidthPF.Y)
+	for i := 1; i < n; i++ {
+		if res.BandwidthPF.Y[i] <= res.BandwidthPF.Y[i-1] {
+			t.Error("PF did not improve with bandwidth")
+		}
+	}
+	firstRatio := res.BandwidthPF.Y[0] / res.BandwidthGF.Y[0]
+	lastRatio := res.BandwidthPF.Y[n-1] / res.BandwidthGF.Y[n-1]
+	if firstRatio <= lastRatio {
+		t.Errorf("PF/GF advantage should shrink with bandwidth: %v -> %v", firstRatio, lastRatio)
+	}
+}
+
+func TestRunPushShapes(t *testing.T) {
+	res, err := RunPush(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		// Priority push dominates FIFO push at every bandwidth (it
+		// spends the same cooperation budget profile-aware).
+		if p.PushPriorityPF < p.PushFIFOPF-0.01 {
+			t.Errorf("B=%v: priority push %v below FIFO push %v", p.Bandwidth, p.PushPriorityPF, p.PushFIFOPF)
+		}
+	}
+	// Scarcity regime (bandwidth far below the 1000 updates/period):
+	// profile-aware pull beats FIFO push.
+	scarce := res.Points[0]
+	if scarce.PullPF <= scarce.PushFIFOPF {
+		t.Errorf("scarce B=%v: pull %v not above FIFO push %v",
+			scarce.Bandwidth, scarce.PullPF, scarce.PushFIFOPF)
+	}
+	// Abundance regime: push overtakes the fixed pull schedule.
+	rich := res.Points[len(res.Points)-1]
+	if rich.PushFIFOPF <= rich.PullPF {
+		t.Errorf("rich B=%v: FIFO push %v not above pull %v",
+			rich.Bandwidth, rich.PushFIFOPF, rich.PullPF)
+	}
+}
+
+func TestRunAgeShapes(t *testing.T) {
+	res, err := RunAge(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		// The freshness optimum starves elements, so its perceived age
+		// is infinite; the age optimum keeps age finite everywhere.
+		if p.StarvedFresh == 0 {
+			t.Errorf("θ=%v: PF optimum starved no one (unexpected for B=250, U=1000)", p.Theta)
+		}
+		if !isInf(p.FreshOptAge) {
+			t.Errorf("θ=%v: PF-opt age %v, want +Inf with starved elements", p.Theta, p.FreshOptAge)
+		}
+		if isInf(p.AgeOptAge) || p.AgeOptAge <= 0 {
+			t.Errorf("θ=%v: age-opt age %v, want finite positive", p.Theta, p.AgeOptAge)
+		}
+		// Each schedule wins its own metric.
+		if p.AgeOptPF >= p.FreshOptPF {
+			t.Errorf("θ=%v: age-opt PF %v not below PF-opt %v", p.Theta, p.AgeOptPF, p.FreshOptPF)
+		}
+		// The PF sacrifice for bounded age stays modest.
+		if p.FreshOptPF-p.AgeOptPF > 0.15 {
+			t.Errorf("θ=%v: age-opt gives up %v PF", p.Theta, p.FreshOptPF-p.AgeOptPF)
+		}
+	}
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 0) }
+
+func TestRunHierarchicalShapes(t *testing.T) {
+	res, err := RunHierarchical(Options{ClusterN: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.HierPF < p.FlatPF {
+			t.Errorf("K=%d: multi-stage %v below flat %v", p.K, p.HierPF, p.FlatPF)
+		}
+		if p.HierPF > res.ExactPF+1e-9 {
+			t.Errorf("K=%d: multi-stage %v beats exact %v", p.K, p.HierPF, res.ExactPF)
+		}
+	}
+	// The revisionist claim: even at the smallest K the multi-stage
+	// heuristic lands within 2% of the exact optimum.
+	first := res.Points[0]
+	if res.ExactPF-first.HierPF > 0.02*res.ExactPF {
+		t.Errorf("K=%d multi-stage %v too far below exact %v", first.K, first.HierPF, res.ExactPF)
+	}
+}
+
+func TestRunQuantizeShapes(t *testing.T) {
+	res, err := RunQuantize(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.QuantizedPF > p.FractionalPF+1e-9 {
+			t.Errorf("B=%v: quantized %v above fractional %v", p.Bandwidth, p.QuantizedPF, p.FractionalPF)
+		}
+		if loss := p.FractionalPF - p.QuantizedPF; loss > 0.02 {
+			t.Errorf("B=%v: quantization loss %v too large", p.Bandwidth, loss)
+		}
+		if p.Slots != int(p.Bandwidth) {
+			t.Errorf("B=%v: %d slots", p.Bandwidth, p.Slots)
+		}
+	}
+	// The loss shrinks as the budget grows.
+	first := res.Points[0].FractionalPF - res.Points[0].QuantizedPF
+	last := res.Points[len(res.Points)-1].FractionalPF - res.Points[len(res.Points)-1].QuantizedPF
+	if last >= first {
+		t.Errorf("quantization loss did not shrink: %v -> %v", first, last)
+	}
+}

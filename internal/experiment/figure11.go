@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"freshen/internal/partition"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// Figure11Result reproduces Figure 11: Fixed Bandwidth Allocation
+// versus Fixed Frequency Allocation under PF/s-partitioning on a
+// variable-size mirror where change rate and size are reverse-aligned
+// (volatile objects are small — stock quotes vs movies) and access is
+// shuffled.
+type Figure11Result struct {
+	FBA Series
+	FFA Series
+}
+
+// Figure11PartitionCounts is the x-axis.
+func Figure11PartitionCounts() []int { return []int{10, 25, 50, 75, 100, 150, 200, 250} }
+
+// RunFigure11 sweeps partition counts for both allocation policies.
+func RunFigure11(opts Options) (Figure11Result, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	spec.ChangeAlignment = workload.Shuffled
+	spec.Sizes = workload.SizePareto
+	spec.ParetoShape = 1.1
+	spec.SizeAlignment = workload.Reverse
+	spec.Seed = opts.Seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return Figure11Result{}, err
+	}
+	counts := Figure11PartitionCounts()
+	if opts.Quick {
+		counts = []int{10, 100, 250}
+	}
+	res := Figure11Result{
+		FBA: Series{Name: "FIXED BANDWIDTH (FBA)"},
+		FFA: Series{Name: "FIXED FREQUENCY (FFA)"},
+	}
+	for _, k := range counts {
+		for _, alloc := range []partition.Allocation{partition.FBA, partition.FFA} {
+			r, err := partition.Solve(elems, spec.SyncsPerPeriod, partition.Options{
+				Key:           partition.KeyPFOverSize,
+				NumPartitions: k,
+				Allocation:    alloc,
+			})
+			if err != nil {
+				return res, err
+			}
+			if alloc == partition.FBA {
+				res.FBA.X = append(res.FBA.X, float64(k))
+				res.FBA.Y = append(res.FBA.Y, r.Solution.Perceived)
+			} else {
+				res.FFA.X = append(res.FFA.X, float64(k))
+				res.FFA.Y = append(res.FFA.Y, r.Solution.Perceived)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the comparison.
+func (r Figure11Result) Tables() []*textio.Table {
+	t := textio.NewTable("Figure 11: sync allocation policies (PF/s-partitioning, sizes reverse-aligned)",
+		"num partitions", r.FBA.Name, r.FFA.Name)
+	for i := range r.FBA.X {
+		t.AddRow(int(r.FBA.X[i]), r.FBA.Y[i], r.FFA.Y[i])
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure11",
+		Title: "FBA vs FFA bandwidth allocation for variable-size objects",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunFigure11(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

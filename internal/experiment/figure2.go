@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// Figure2Result illustrates the paper's Figure 2 alignment options:
+// per-element access and change frequency under the aligned and
+// reverse configurations of a Table 2 workload.
+type Figure2Result struct {
+	// Access is the Zipf access-frequency curve (identical in both
+	// alignments; elements are indexed in access-rank order).
+	Access Series
+	// AlignedChange and ReverseChange are the change-rate curves.
+	AlignedChange Series
+	ReverseChange Series
+}
+
+// RunFigure2 generates a Table 2 workload at θ = 1.0 under both
+// alignments.
+func RunFigure2(opts Options) (Figure2Result, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	spec.Seed = opts.Seed
+
+	var res Figure2Result
+	spec.ChangeAlignment = workload.Aligned
+	aligned, err := workload.Generate(spec)
+	if err != nil {
+		return res, err
+	}
+	spec.ChangeAlignment = workload.Reverse
+	reverse, err := workload.Generate(spec)
+	if err != nil {
+		return res, err
+	}
+	res.Access = Series{Name: "access"}
+	res.AlignedChange = Series{Name: "change (aligned)"}
+	res.ReverseChange = Series{Name: "change (reverse)"}
+	for i := range aligned {
+		x := float64(i + 1)
+		res.Access.X = append(res.Access.X, x)
+		res.Access.Y = append(res.Access.Y, aligned[i].AccessProb)
+		res.AlignedChange.X = append(res.AlignedChange.X, x)
+		res.AlignedChange.Y = append(res.AlignedChange.Y, aligned[i].Lambda)
+		res.ReverseChange.X = append(res.ReverseChange.X, x)
+		res.ReverseChange.Y = append(res.ReverseChange.Y, reverse[i].Lambda)
+	}
+	return res, nil
+}
+
+// Tables renders a down-sampled view (every 25th element) of the
+// curves.
+func (r Figure2Result) Tables() []*textio.Table {
+	t := textio.NewTable("Figure 2: alignment options (every 25th element)",
+		"page", "access prob", "change (aligned)", "change (reverse)")
+	for i := 0; i < r.Access.Len(); i += 25 {
+		t.AddRow(
+			fmt.Sprintf("%d", int(r.Access.X[i])),
+			r.Access.Y[i],
+			r.AlignedChange.Y[i],
+			r.ReverseChange.Y[i],
+		)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure2",
+		Title: "Alignment options: access vs change frequency shapes",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunFigure2(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

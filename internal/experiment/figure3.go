@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// Figure3Result reproduces Figure 3(a)-(c): perceived freshness of the
+// PF technique (our optimum) versus the GF technique (Cho &
+// Garcia-Molina's average-freshness optimum) as the Zipf interest skew
+// grows, for one change/access alignment.
+type Figure3Result struct {
+	Alignment workload.Alignment
+	// PF and GF share the θ grid in X.
+	PF Series
+	GF Series
+}
+
+// Figure3Thetas is the paper's skew sweep.
+func Figure3Thetas() []float64 {
+	return []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}
+}
+
+// RunFigure3 sweeps θ for one alignment on the Table 2 setup. Both
+// techniques' schedules are scored on perceived freshness under the
+// true profile.
+func RunFigure3(align workload.Alignment, opts Options) (Figure3Result, error) {
+	opts = opts.withDefaults()
+	res := Figure3Result{
+		Alignment: align,
+		PF:        Series{Name: "PF_TECHNIQUE"},
+		GF:        Series{Name: "GF_TECHNIQUE"},
+	}
+	thetas := Figure3Thetas()
+	if opts.Quick {
+		thetas = []float64{0, 0.8, 1.6}
+	}
+	for _, theta := range thetas {
+		spec := workload.TableTwo()
+		spec.Theta = theta
+		spec.ChangeAlignment = align
+		spec.Seed = opts.Seed
+		elems, err := workload.Generate(spec)
+		if err != nil {
+			return res, err
+		}
+		prob := solver.Problem{Elements: elems, Bandwidth: spec.SyncsPerPeriod}
+		pf, err := solver.WaterFill(prob)
+		if err != nil {
+			return res, err
+		}
+		gf, err := solver.SolveGF(prob)
+		if err != nil {
+			return res, err
+		}
+		res.PF.X = append(res.PF.X, theta)
+		res.PF.Y = append(res.PF.Y, pf.Perceived)
+		res.GF.X = append(res.GF.X, theta)
+		res.GF.Y = append(res.GF.Y, gf.Perceived)
+	}
+	return res, nil
+}
+
+// RunFigure3All runs the three subfigures in the paper's order:
+// shuffled-change, aligned, reverse.
+func RunFigure3All(opts Options) ([]Figure3Result, error) {
+	aligns := []workload.Alignment{workload.Shuffled, workload.Aligned, workload.Reverse}
+	out := make([]Figure3Result, 0, len(aligns))
+	for _, a := range aligns {
+		r, err := RunFigure3(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Tables renders the sweep.
+func (r Figure3Result) Tables() []*textio.Table {
+	t := textio.NewTable(
+		fmt.Sprintf("Figure 3 (%s): perceived freshness vs zipf skew", r.Alignment),
+		"theta", "PF_TECHNIQUE", "GF_TECHNIQUE")
+	for i := range r.PF.X {
+		t.AddRow(r.PF.X[i], r.PF.Y[i], r.GF.Y[i])
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure3",
+		Title: "Ideal case: PF vs GF technique across interest skew (3 alignments)",
+		Run: func(o Options) ([]*textio.Table, error) {
+			results, err := RunFigure3All(o)
+			if err != nil {
+				return nil, err
+			}
+			var tables []*textio.Table
+			for _, r := range results {
+				tables = append(tables, r.Tables()...)
+			}
+			return tables, nil
+		},
+	})
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// heuristicKeys are the four partitioning techniques Figure 5
+// compares, in the paper's legend order.
+var heuristicKeys = []partition.Key{
+	partition.KeyPF,
+	partition.KeyP,
+	partition.KeyLambda,
+	partition.KeyPOverLambda,
+}
+
+// Figure5Result reproduces Figure 5(a)-(c): perceived freshness versus
+// partition count for the four partitioning techniques against the
+// ideal (exact) solution, for one alignment of the Table 2 setup at
+// θ = 1.0.
+type Figure5Result struct {
+	Alignment workload.Alignment
+	// Techniques holds one series per key, named with the paper's
+	// legend labels (e.g. "PF_PARTITIONING").
+	Techniques []Series
+	// BestCase is the exact optimum, constant across partition counts.
+	BestCase float64
+}
+
+// Figure5PartitionCounts is the sweep of K.
+func Figure5PartitionCounts() []int {
+	return []int{10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
+}
+
+func legendName(k partition.Key) string {
+	switch k {
+	case partition.KeyPF:
+		return "PF_PARTITIONING"
+	case partition.KeyP:
+		return "P_PARTITIONING"
+	case partition.KeyLambda:
+		return "LAMBDA_PARTITIONING"
+	case partition.KeyPOverLambda:
+		return "P_OVER_LAMBDA_PARTITIONING"
+	case partition.KeyPFOverSize:
+		return "PF_OVER_SIZE_PARTITIONING"
+	case partition.KeySize:
+		return "SIZE_PARTITIONING"
+	default:
+		return k.String()
+	}
+}
+
+// RunFigure5 sweeps partition counts for one alignment.
+func RunFigure5(align workload.Alignment, opts Options) (Figure5Result, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	spec.ChangeAlignment = align
+	spec.Seed = opts.Seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return Figure5Result{}, err
+	}
+	counts := Figure5PartitionCounts()
+	if opts.Quick {
+		counts = []int{10, 100, 500}
+	}
+	return runPartitionSweep(elems, spec.SyncsPerPeriod, align, counts, heuristicKeys, partition.FFA)
+}
+
+// runPartitionSweep is the shared engine behind Figures 5, 7 and 11:
+// it evaluates each key at each partition count and the exact best
+// case.
+func runPartitionSweep(elems []freshness.Element, bandwidth float64, align workload.Alignment, counts []int, keys []partition.Key, alloc partition.Allocation) (Figure5Result, error) {
+	res := Figure5Result{Alignment: align}
+	for _, key := range keys {
+		s := Series{Name: legendName(key)}
+		for _, k := range counts {
+			r, err := partition.Solve(elems, bandwidth, partition.Options{
+				Key:           key,
+				NumPartitions: k,
+				Allocation:    alloc,
+			})
+			if err != nil {
+				return res, err
+			}
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, r.Solution.Perceived)
+		}
+		res.Techniques = append(res.Techniques, s)
+	}
+	best, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: bandwidth})
+	if err != nil {
+		return res, err
+	}
+	res.BestCase = best.Perceived
+	return res, nil
+}
+
+// RunFigure5All runs the three subfigures (shuffled, aligned,
+// reverse).
+func RunFigure5All(opts Options) ([]Figure5Result, error) {
+	aligns := []workload.Alignment{workload.Shuffled, workload.Aligned, workload.Reverse}
+	out := make([]Figure5Result, 0, len(aligns))
+	for _, a := range aligns {
+		r, err := RunFigure5(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Tables renders the sweep.
+func (r Figure5Result) Tables() []*textio.Table {
+	headers := []string{"num partitions"}
+	for _, s := range r.Techniques {
+		headers = append(headers, s.Name)
+	}
+	headers = append(headers, "best_case")
+	t := textio.NewTable(
+		fmt.Sprintf("Figure 5 (%s): perceived freshness vs num partitions", r.Alignment),
+		headers...)
+	for i := range r.Techniques[0].X {
+		cells := []interface{}{int(r.Techniques[0].X[i])}
+		for _, s := range r.Techniques {
+			cells = append(cells, s.Y[i])
+		}
+		cells = append(cells, r.BestCase)
+		t.AddRow(cells...)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure5",
+		Title: "Comparing partitioning techniques vs the ideal (3 alignments)",
+		Run: func(o Options) ([]*textio.Table, error) {
+			results, err := RunFigure5All(o)
+			if err != nil {
+				return nil, err
+			}
+			var tables []*textio.Table
+			for _, r := range results {
+				tables = append(tables, r.Tables()...)
+			}
+			return tables, nil
+		},
+	})
+}

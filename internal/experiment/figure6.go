@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"freshen/internal/partition"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// Figure6Result reproduces Figure 6: sensitivity of the partitioning
+// techniques to the Zipf skew θ under shuffled-change alignment, at a
+// fixed partition count.
+type Figure6Result struct {
+	// NumPartitions is the fixed K.
+	NumPartitions int
+	// Techniques holds one series per key over the θ grid.
+	Techniques []Series
+}
+
+// RunFigure6 sweeps θ at K = 50 partitions (Table 2 setup, shuffled
+// change).
+func RunFigure6(opts Options) (Figure6Result, error) {
+	opts = opts.withDefaults()
+	const numPartitions = 50
+	res := Figure6Result{NumPartitions: numPartitions}
+	thetas := Figure3Thetas()[1:] // the paper's x-axis starts above 0
+	if opts.Quick {
+		thetas = []float64{0.4, 1.0, 1.6}
+	}
+	for _, key := range heuristicKeys {
+		s := Series{Name: legendName(key)}
+		for _, theta := range thetas {
+			spec := workload.TableTwo()
+			spec.Theta = theta
+			spec.ChangeAlignment = workload.Shuffled
+			spec.Seed = opts.Seed
+			elems, err := workload.Generate(spec)
+			if err != nil {
+				return res, err
+			}
+			r, err := partition.Solve(elems, spec.SyncsPerPeriod, partition.Options{
+				Key:           key,
+				NumPartitions: numPartitions,
+			})
+			if err != nil {
+				return res, err
+			}
+			s.X = append(s.X, theta)
+			s.Y = append(s.Y, r.Solution.Perceived)
+		}
+		res.Techniques = append(res.Techniques, s)
+	}
+	return res, nil
+}
+
+// Tables renders the sweep.
+func (r Figure6Result) Tables() []*textio.Table {
+	headers := []string{"theta"}
+	for _, s := range r.Techniques {
+		headers = append(headers, s.Name)
+	}
+	t := textio.NewTable("Figure 6: partitioning sensitivity to zipf skew (shuffled change)", headers...)
+	for i := range r.Techniques[0].X {
+		cells := []interface{}{r.Techniques[0].X[i]}
+		for _, s := range r.Techniques {
+			cells = append(cells, s.Y[i])
+		}
+		t.AddRow(cells...)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure6",
+		Title: "Partitioning sensitivity to zipf skew under shuffled change",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunFigure6(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// Figure7Result reproduces Figure 7, the big case: the partitioning
+// techniques on the Table 3 setup (500 000 elements at paper scale),
+// where solving exactly per element is off the table for the NLP
+// package the paper used. BestCase is still reported here because the
+// water-filling solver handles the full problem — it serves as the
+// reference line the paper could not draw.
+type Figure7Result struct {
+	// N is the element count actually used.
+	N int
+	// Techniques holds one series per key over the partition counts.
+	Techniques []Series
+	// BestCase is the exact optimum for reference.
+	BestCase float64
+}
+
+// Figure7PartitionCounts is the paper's x-axis.
+func Figure7PartitionCounts() []int {
+	return []int{20, 40, 60, 80, 100, 120, 140, 160, 180, 200}
+}
+
+// RunFigure7 runs the big-case sweep. Options.BigN scales the element
+// count (default: the paper's 500 000); updates and syncs scale
+// proportionally so the per-element regime is unchanged.
+func RunFigure7(opts Options) (Figure7Result, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableThree()
+	if opts.BigN != spec.NumObjects {
+		ratio := float64(opts.BigN) / float64(spec.NumObjects)
+		spec.NumObjects = opts.BigN
+		spec.UpdatesPerPeriod *= ratio
+		spec.SyncsPerPeriod *= ratio
+	}
+	spec.Seed = opts.Seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return Figure7Result{}, err
+	}
+	counts := Figure7PartitionCounts()
+	if opts.Quick {
+		counts = []int{20, 100, 200}
+	}
+	sweep, err := runPartitionSweep(elems, spec.SyncsPerPeriod, spec.ChangeAlignment, counts, heuristicKeys, 0)
+	if err != nil {
+		return Figure7Result{}, err
+	}
+	return Figure7Result{
+		N:          spec.NumObjects,
+		Techniques: sweep.Techniques,
+		BestCase:   sweep.BestCase,
+	}, nil
+}
+
+// Tables renders the sweep.
+func (r Figure7Result) Tables() []*textio.Table {
+	headers := []string{"num partitions"}
+	for _, s := range r.Techniques {
+		headers = append(headers, s.Name)
+	}
+	headers = append(headers, "best_case")
+	t := textio.NewTable(fmt.Sprintf("Figure 7: big case (N=%d)", r.N), headers...)
+	for i := range r.Techniques[0].X {
+		cells := []interface{}{int(r.Techniques[0].X[i])}
+		for _, s := range r.Techniques {
+			cells = append(cells, s.Y[i])
+		}
+		cells = append(cells, r.BestCase)
+		t.AddRow(cells...)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure7",
+		Title: "Big case: partitioning techniques on the Table 3 setup",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunFigure7(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+
+	"freshen/internal/cluster"
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// Figure8Result reproduces Figure 8: the perceived-freshness
+// improvement from running k-means iterations on top of
+// PF-partitioning, as a function of the partition count, on the
+// Table 3 setup.
+type Figure8Result struct {
+	// N is the element count used (Options.ClusterN).
+	N int
+	// PerIterations holds one series per iteration count, named
+	// "<n> iterations".
+	PerIterations []Series
+}
+
+// Figure8Iterations is the paper's legend.
+func Figure8Iterations() []int { return []int{0, 1, 3, 5, 10} }
+
+// Figure8PartitionCounts is the paper's x-axis.
+func Figure8PartitionCounts() []int { return []int{20, 50, 100, 150, 200} }
+
+// clusterWorkload builds the Table 3 workload scaled to n elements.
+func clusterWorkload(n int, seed int64) ([]freshness.Element, float64, error) {
+	spec := workload.TableThree()
+	ratio := float64(n) / float64(spec.NumObjects)
+	spec.NumObjects = n
+	spec.UpdatesPerPeriod *= ratio
+	spec.SyncsPerPeriod *= ratio
+	spec.Seed = seed
+	elems, err := workload.Generate(spec)
+	return elems, spec.SyncsPerPeriod, err
+}
+
+// RunFigure8 sweeps partition counts and k-means iteration counts.
+func RunFigure8(opts Options) (Figure8Result, error) {
+	opts = opts.withDefaults()
+	elems, bandwidth, err := clusterWorkload(opts.ClusterN, opts.Seed)
+	if err != nil {
+		return Figure8Result{}, err
+	}
+	res := Figure8Result{N: opts.ClusterN}
+	counts := Figure8PartitionCounts()
+	iterations := Figure8Iterations()
+	if opts.Quick {
+		counts = []int{20, 100}
+		iterations = []int{0, 3}
+	}
+	solveOpts := partition.Options{Key: partition.KeyPF}
+	for _, iters := range iterations {
+		s := Series{Name: fmt.Sprintf("%d iterations", iters)}
+		for _, k := range counts {
+			seed, err := partition.Build(elems, partition.KeyPF, k, nil)
+			if err != nil {
+				return res, err
+			}
+			grouping := seed
+			if iters > 0 {
+				grouping, _, err = cluster.Refine(elems, seed, cluster.Config{Iterations: iters})
+				if err != nil {
+					return res, err
+				}
+			}
+			solveOpts.NumPartitions = k
+			r, err := partition.SolvePartitioned(elems, bandwidth, grouping, solveOpts)
+			if err != nil {
+				return res, err
+			}
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, r.Solution.Perceived)
+		}
+		res.PerIterations = append(res.PerIterations, s)
+	}
+	return res, nil
+}
+
+// Tables renders the sweep.
+func (r Figure8Result) Tables() []*textio.Table {
+	headers := []string{"num partitions"}
+	for _, s := range r.PerIterations {
+		headers = append(headers, s.Name)
+	}
+	t := textio.NewTable(
+		fmt.Sprintf("Figure 8: perceived freshness after clustering (N=%d)", r.N), headers...)
+	for i := range r.PerIterations[0].X {
+		cells := []interface{}{int(r.PerIterations[0].X[i])}
+		for _, s := range r.PerIterations {
+			cells = append(cells, s.Y[i])
+		}
+		t.AddRow(cells...)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure8",
+		Title: "Improvement in perceived freshness after k-means clustering",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunFigure8(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"freshen/internal/cluster"
+	"freshen/internal/partition"
+	"freshen/internal/textio"
+)
+
+// Figure9Point is one (time, quality) measurement: running the
+// pipeline with a given cluster count and iteration budget.
+type Figure9Point struct {
+	Clusters   int
+	Iterations int
+	Seconds    float64
+	Perceived  float64
+}
+
+// Figure9Result reproduces Figure 9: the time/quality trade-off of
+// buying partitions versus buying k-means iterations. ClusterLine is
+// the paper's "CLUSTER LINE" — the 0-iteration point of every cluster
+// count; PerClusters traces each cluster count as its iteration budget
+// grows.
+type Figure9Result struct {
+	N           int
+	ClusterLine []Figure9Point
+	PerClusters [][]Figure9Point
+}
+
+// Figure9ClusterCounts is the paper's legend.
+func Figure9ClusterCounts() []int { return []int{50, 150, 200, 300, 400} }
+
+// Figure9IterationBudgets is the per-curve iteration schedule.
+func Figure9IterationBudgets() []int { return []int{0, 1, 3, 5, 7, 10, 15, 25} }
+
+// RunFigure9 measures wall-clock time and perceived freshness for each
+// (clusters, iterations) cell. Each cell re-runs the full pipeline —
+// partition, refine, optimize — so Seconds reflects the cost a mirror
+// would actually pay.
+func RunFigure9(opts Options) (Figure9Result, error) {
+	opts = opts.withDefaults()
+	elems, bandwidth, err := clusterWorkload(opts.ClusterN, opts.Seed)
+	if err != nil {
+		return Figure9Result{}, err
+	}
+	res := Figure9Result{N: opts.ClusterN}
+	clusterCounts := Figure9ClusterCounts()
+	budgets := Figure9IterationBudgets()
+	if opts.Quick {
+		clusterCounts = []int{50, 200}
+		budgets = []int{0, 3}
+	}
+	for _, k := range clusterCounts {
+		var curve []Figure9Point
+		for _, iters := range budgets {
+			start := time.Now()
+			seed, err := partition.Build(elems, partition.KeyPF, k, nil)
+			if err != nil {
+				return res, err
+			}
+			grouping := seed
+			if iters > 0 {
+				grouping, _, err = cluster.Refine(elems, seed, cluster.Config{Iterations: iters})
+				if err != nil {
+					return res, err
+				}
+			}
+			r, err := partition.SolvePartitioned(elems, bandwidth, grouping, partition.Options{
+				Key:           partition.KeyPF,
+				NumPartitions: k,
+			})
+			if err != nil {
+				return res, err
+			}
+			pt := Figure9Point{
+				Clusters:   k,
+				Iterations: iters,
+				Seconds:    time.Since(start).Seconds(),
+				Perceived:  r.Solution.Perceived,
+			}
+			curve = append(curve, pt)
+			if iters == 0 {
+				res.ClusterLine = append(res.ClusterLine, pt)
+			}
+		}
+		res.PerClusters = append(res.PerClusters, curve)
+	}
+	return res, nil
+}
+
+// Tables renders all points as one long table.
+func (r Figure9Result) Tables() []*textio.Table {
+	t := textio.NewTable(
+		fmt.Sprintf("Figure 9: perceived freshness vs planning time (N=%d)", r.N),
+		"clusters", "iterations", "seconds", "perceived freshness")
+	for _, curve := range r.PerClusters {
+		for _, pt := range curve {
+			t.AddRow(pt.Clusters, pt.Iterations, pt.Seconds, pt.Perceived)
+		}
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "figure9",
+		Title: "Time/quality trade-off: partitions vs k-means iterations",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunFigure9(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

@@ -1,0 +1,13 @@
+package experiment
+
+import "freshen/internal/freshness"
+
+// permuteElements returns elems reordered so position i holds
+// elems[perm[i]].
+func permuteElements(elems []freshness.Element, perm []int) []freshness.Element {
+	out := make([]freshness.Element, len(elems))
+	for i, src := range perm {
+		out[i] = elems[src]
+	}
+	return out
+}

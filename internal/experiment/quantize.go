@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"freshen/internal/freshness"
+	"freshen/internal/schedule"
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// QuantizePoint measures the cost of executing whole refresh counts
+// instead of the fractional optimum at one bandwidth setting.
+type QuantizePoint struct {
+	Bandwidth    float64
+	FractionalPF float64
+	QuantizedPF  float64
+	// Slots is the integer refresh budget Σ counts.
+	Slots int
+}
+
+// QuantizeResult quantifies what a period-by-period executor loses to
+// integer refresh counts (largest-remainder rounding of the optimal
+// frequencies), across bandwidths, on the Table 2 setup at θ = 1.0.
+// The loss should vanish as the per-element budget grows.
+type QuantizeResult struct {
+	Points []QuantizePoint
+}
+
+// RunQuantize performs the sweep.
+func RunQuantize(opts Options) (QuantizeResult, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	spec.Seed = opts.Seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return QuantizeResult{}, err
+	}
+	bandwidths := []float64{50, 125, 250, 500, 1000, 2000}
+	if opts.Quick {
+		bandwidths = []float64{125, 1000}
+	}
+	var res QuantizeResult
+	for _, b := range bandwidths {
+		sol, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: b})
+		if err != nil {
+			return res, err
+		}
+		counts, err := schedule.Quantize(sol.Freqs)
+		if err != nil {
+			return res, err
+		}
+		slots := 0
+		for _, c := range counts {
+			slots += c
+		}
+		qpf, err := freshness.Perceived(freshness.FixedOrder{}, elems, schedule.QuantizedFreqs(counts))
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, QuantizePoint{
+			Bandwidth:    b,
+			FractionalPF: sol.Perceived,
+			QuantizedPF:  qpf,
+			Slots:        slots,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the sweep.
+func (r QuantizeResult) Tables() []*textio.Table {
+	t := textio.NewTable("Extension: integer refresh schedules (largest-remainder rounding)",
+		"bandwidth", "fractional PF", "quantized PF", "slots")
+	for _, p := range r.Points {
+		t.AddRow(p.Bandwidth, p.FractionalPF, p.QuantizedPF, p.Slots)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "extension-quantize",
+		Title: "Cost of integer (per-period) refresh schedules",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunQuantize(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

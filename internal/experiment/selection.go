@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"freshen/internal/selection"
+	"freshen/internal/stats"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// SelectionPoint is one capacity setting of the mirror-selection
+// extension experiment.
+type SelectionPoint struct {
+	// CapacityFrac is the mirror capacity as a fraction of the
+	// database size.
+	CapacityFrac float64
+	// GreedyPF is the perceived freshness of profile-driven selection.
+	GreedyPF float64
+	// InOrderPF hosts candidates in database order until full.
+	InOrderPF float64
+	// HostedCount is the number of objects the greedy mirror hosts.
+	HostedCount int
+}
+
+// SelectionResult quantifies the paper's future-work remark that
+// profiles "could influence which objects we include in the mirror
+// when the mirror is smaller than the database": perceived freshness
+// as the mirror's capacity shrinks, with and without profile-driven
+// selection. Candidates are presented in shuffled order so the
+// in-order baseline is genuinely uninformed.
+type SelectionResult struct {
+	Points []SelectionPoint
+}
+
+// RunSelection sweeps mirror capacities on a Table 2-style database at
+// θ = 1.0.
+func RunSelection(opts Options) (SelectionResult, error) {
+	opts = opts.withDefaults()
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	spec.Seed = opts.Seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	// Shuffle the candidate order so index order carries no interest
+	// signal (Generate indexes by access rank).
+	permuted := permuteElements(elems, stats.NewRNG(opts.Seed+99).Perm(len(elems)))
+
+	fracs := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	if opts.Quick {
+		fracs = []float64{0.25, 1.0}
+	}
+	var res SelectionResult
+	for _, frac := range fracs {
+		p := selection.Problem{
+			Candidates: permuted,
+			Capacity:   frac * float64(len(elems)),
+			Bandwidth:  spec.SyncsPerPeriod,
+		}
+		greedy, err := selection.Greedy(p)
+		if err != nil {
+			return res, err
+		}
+		inOrder, err := selection.HostAll(p)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, SelectionPoint{
+			CapacityFrac: frac,
+			GreedyPF:     greedy.Perceived,
+			InOrderPF:    inOrder.Perceived,
+			HostedCount:  greedy.HostedCount,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the sweep.
+func (r SelectionResult) Tables() []*textio.Table {
+	t := textio.NewTable("Extension: profile-driven mirror selection (capacity sweep)",
+		"capacity/db", "greedy selection PF", "host-in-order PF", "hosted objects")
+	for _, p := range r.Points {
+		t.AddRow(p.CapacityFrac, p.GreedyPF, p.InOrderPF, p.HostedCount)
+	}
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "extension-selection",
+		Title: "Profile-driven mirror content selection under a capacity limit",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunSelection(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

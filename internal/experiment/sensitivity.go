@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+	"freshen/internal/workload"
+)
+
+// SensitivityResult is the parameter sensitivity study the paper
+// defers to its technical report [2]: how perceived freshness of the
+// PF and GF techniques responds to the update-rate dispersion
+// (UpdateStdDev) and to the bandwidth-to-update ratio, on the Table 2
+// setup at θ = 1.0 under shuffled change.
+type SensitivityResult struct {
+	// StdDevPF / StdDevGF sweep UpdateStdDev at B = 250.
+	StdDevPF Series
+	StdDevGF Series
+	// BandwidthPF / BandwidthGF sweep the sync budget as a fraction of
+	// the update volume at σ = 1.
+	BandwidthPF Series
+	BandwidthGF Series
+}
+
+// RunSensitivity performs both sweeps.
+func RunSensitivity(opts Options) (SensitivityResult, error) {
+	opts = opts.withDefaults()
+	res := SensitivityResult{
+		StdDevPF:    Series{Name: "PF_TECHNIQUE"},
+		StdDevGF:    Series{Name: "GF_TECHNIQUE"},
+		BandwidthPF: Series{Name: "PF_TECHNIQUE"},
+		BandwidthGF: Series{Name: "GF_TECHNIQUE"},
+	}
+	stddevs := []float64{0.25, 0.5, 1, 2, 4}
+	fracs := []float64{0.05, 0.1, 0.25, 0.5, 1, 2}
+	if opts.Quick {
+		stddevs = []float64{0.5, 2}
+		fracs = []float64{0.1, 1}
+	}
+
+	for _, sd := range stddevs {
+		spec := workload.TableTwo()
+		spec.Theta = 1.0
+		spec.UpdateStdDev = sd
+		spec.Seed = opts.Seed
+		elems, err := workload.Generate(spec)
+		if err != nil {
+			return res, err
+		}
+		prob := solver.Problem{Elements: elems, Bandwidth: spec.SyncsPerPeriod}
+		pf, err := solver.WaterFill(prob)
+		if err != nil {
+			return res, err
+		}
+		gf, err := solver.SolveGF(prob)
+		if err != nil {
+			return res, err
+		}
+		res.StdDevPF.X = append(res.StdDevPF.X, sd)
+		res.StdDevPF.Y = append(res.StdDevPF.Y, pf.Perceived)
+		res.StdDevGF.X = append(res.StdDevGF.X, sd)
+		res.StdDevGF.Y = append(res.StdDevGF.Y, gf.Perceived)
+	}
+
+	for _, frac := range fracs {
+		spec := workload.TableTwo()
+		spec.Theta = 1.0
+		spec.Seed = opts.Seed
+		elems, err := workload.Generate(spec)
+		if err != nil {
+			return res, err
+		}
+		bandwidth := frac * spec.UpdatesPerPeriod
+		prob := solver.Problem{Elements: elems, Bandwidth: bandwidth}
+		pf, err := solver.WaterFill(prob)
+		if err != nil {
+			return res, err
+		}
+		gf, err := solver.SolveGF(prob)
+		if err != nil {
+			return res, err
+		}
+		res.BandwidthPF.X = append(res.BandwidthPF.X, frac)
+		res.BandwidthPF.Y = append(res.BandwidthPF.Y, pf.Perceived)
+		res.BandwidthGF.X = append(res.BandwidthGF.X, frac)
+		res.BandwidthGF.Y = append(res.BandwidthGF.Y, gf.Perceived)
+	}
+	return res, nil
+}
+
+// Tables renders both sweeps.
+func (r SensitivityResult) Tables() []*textio.Table {
+	sd := textio.NewTable("Sensitivity: update-rate dispersion (theta=1, B=250)",
+		"update stddev", "PF_TECHNIQUE", "GF_TECHNIQUE")
+	for i := range r.StdDevPF.X {
+		sd.AddRow(r.StdDevPF.X[i], r.StdDevPF.Y[i], r.StdDevGF.Y[i])
+	}
+	bw := textio.NewTable("Sensitivity: bandwidth as a fraction of update volume (theta=1, stddev=1)",
+		"syncs/updates", "PF_TECHNIQUE", "GF_TECHNIQUE")
+	for i := range r.BandwidthPF.X {
+		bw.AddRow(r.BandwidthPF.X[i], r.BandwidthPF.Y[i], r.BandwidthGF.Y[i])
+	}
+	return []*textio.Table{sd, bw}
+}
+
+func init() {
+	register(Info{
+		ID:    "extension-sensitivity",
+		Title: "Parameter sensitivity: update dispersion and bandwidth ratio",
+		Run: func(o Options) ([]*textio.Table, error) {
+			res, err := RunSensitivity(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

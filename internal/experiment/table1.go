@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+	"freshen/internal/textio"
+)
+
+// Table1Result reproduces the paper's Table 1: optimal synchronization
+// frequencies for the five-element example under three access
+// profiles.
+type Table1Result struct {
+	// ChangeFreqs is row (a): 1..5 changes/day.
+	ChangeFreqs []float64
+	// P1, P2, P3 are rows (b)-(d): the optimal sync frequencies under
+	// the uniform, aligned-skew and reverse-skew profiles.
+	P1, P2, P3 []float64
+	// PerceivedP1, PerceivedP2, PerceivedP3 are the optimal objective
+	// values (not printed in the paper but useful context).
+	PerceivedP1, PerceivedP2, PerceivedP3 float64
+}
+
+// Table1Profiles returns the example's three access profiles.
+func Table1Profiles() (p1, p2, p3 []float64) {
+	p1 = []float64{1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5}
+	p2 = []float64{1.0 / 15, 2.0 / 15, 3.0 / 15, 4.0 / 15, 5.0 / 15}
+	p3 = []float64{5.0 / 15, 4.0 / 15, 3.0 / 15, 2.0 / 15, 1.0 / 15}
+	return
+}
+
+// RunTable1 solves the paper's Section 2.2.1 example: five elements
+// changing 1..5 times/day, bandwidth 5 refreshes/day.
+func RunTable1() (Table1Result, error) {
+	res := Table1Result{ChangeFreqs: []float64{1, 2, 3, 4, 5}}
+	p1, p2, p3 := Table1Profiles()
+	solve := func(probs []float64) (solver.Solution, error) {
+		elems := make([]freshness.Element, 5)
+		for i := range elems {
+			elems[i] = freshness.Element{ID: i, Lambda: float64(i + 1), AccessProb: probs[i], Size: 1}
+		}
+		return solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: 5})
+	}
+	s1, err := solve(p1)
+	if err != nil {
+		return res, err
+	}
+	s2, err := solve(p2)
+	if err != nil {
+		return res, err
+	}
+	s3, err := solve(p3)
+	if err != nil {
+		return res, err
+	}
+	res.P1, res.PerceivedP1 = s1.Freqs, s1.Perceived
+	res.P2, res.PerceivedP2 = s2.Freqs, s2.Perceived
+	res.P3, res.PerceivedP3 = s3.Freqs, s3.Perceived
+	return res, nil
+}
+
+// Tables renders the result in the paper's row layout.
+func (r Table1Result) Tables() []*textio.Table {
+	t := textio.NewTable("Table 1: optimal sync frequencies for the 5-element example",
+		"row", "e1", "e2", "e3", "e4", "e5", "perceived")
+	addRow := func(label string, vals []float64, pf string) {
+		cells := make([]interface{}, 0, 7)
+		cells = append(cells, label)
+		for _, v := range vals {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		cells = append(cells, pf)
+		t.AddRow(cells...)
+	}
+	addRow("(a) change freq", r.ChangeFreqs, "")
+	addRow("(b) sync freq (P1)", r.P1, fmt.Sprintf("%.4f", r.PerceivedP1))
+	addRow("(c) sync freq (P2)", r.P2, fmt.Sprintf("%.4f", r.PerceivedP2))
+	addRow("(d) sync freq (P3)", r.P3, fmt.Sprintf("%.4f", r.PerceivedP3))
+	return []*textio.Table{t}
+}
+
+func init() {
+	register(Info{
+		ID:    "table1",
+		Title: "Optimal sync frequencies for the 5-element example (3 profiles)",
+		Run: func(Options) ([]*textio.Table, error) {
+			res, err := RunTable1()
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables(), nil
+		},
+	})
+}

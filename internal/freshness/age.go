@@ -1,0 +1,120 @@
+package freshness
+
+import "math"
+
+// Age metrics complement freshness: where freshness is the binary
+// "is the copy current", age is *how long* a stale copy has been
+// stale. Cho & Garcia-Molina define the age of element e at time t as
+// 0 if the copy is current and t − (time of the first un-synced
+// change) otherwise; the paper optimizes freshness but a mirror
+// operator watching an SLA usually reports both.
+//
+// For the Fixed-Order policy with refresh interval I = 1/f and Poisson
+// changes at rate λ, the time-averaged age has the closed form
+//
+//	Ā(f, λ) = I·(1/2 − 1/r + (1 − e^(−r))/r²),  r = λ/f = λ·I,
+//
+// obtained by integrating E[age at offset s] = s − (1 − e^(−λs))/λ
+// over one refresh interval. As f → ∞ the age vanishes (like λ/(6f²));
+// with no refreshing the age of a changing element grows without bound
+// (the function returns +Inf for f = 0, λ > 0).
+
+// FixedOrderAge returns the time-averaged age Ā(f, λ) of an element
+// under the Fixed-Order policy.
+func FixedOrderAge(freq, lambda float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if freq <= 0 {
+		return math.Inf(1)
+	}
+	r := lambda / freq
+	if r < 1e-4 {
+		// Series: 1/2 − 1/r + (1−e^(−r))/r² = r/6 − r²/24 + O(r³).
+		return (r/6 - r*r/24) / freq
+	}
+	return (0.5 - 1/r - math.Expm1(-r)/(r*r)) / freq
+}
+
+// PerceivedAge is the profile-weighted mean age Σᵢ pᵢ·Ā(fᵢ, λᵢ): the
+// expected staleness of the copy behind a random access. It is +Inf
+// whenever any accessed element is never refreshed but does change.
+func PerceivedAge(elems []Element, freqs []float64) (float64, error) {
+	if len(elems) != len(freqs) {
+		return 0, errLenMismatch(len(elems), len(freqs))
+	}
+	var a float64
+	for i, e := range elems {
+		if e.AccessProb == 0 {
+			continue
+		}
+		a += e.AccessProb * FixedOrderAge(freqs[i], e.Lambda)
+	}
+	return a, nil
+}
+
+// FixedOrderAgeMarginal returns −∂Ā/∂f, the (positive) rate at which
+// an element's time-averaged age falls per unit of extra refresh
+// frequency. Differentiating Ā = I·h(λI) gives
+//
+//	−∂Ā/∂f = (1/f²)·k(r),   k(r) = 1/2 + e^(−r)/r − (1−e^(−r))/r²,
+//
+// with k increasing from 0 (like r/3) to 1/2. The marginal therefore
+// diverges as f → 0 — unlike the freshness objective, the age
+// objective never starves a changing element — and decreases
+// monotonically in f (Ā is convex), so the same water-filling strategy
+// optimizes it.
+func FixedOrderAgeMarginal(freq, lambda float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if freq <= 0 {
+		return math.Inf(1)
+	}
+	r := lambda / freq
+	return fixedOrderK(r) / (freq * freq)
+}
+
+// fixedOrderK is k(r) = 1/2 + e^(−r)/r − (1−e^(−r))/r², the
+// dimensionless part of the age marginal.
+func fixedOrderK(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	if r < 1e-4 {
+		// Series: k(r) = r/3 − r²/8 + O(r³).
+		return r * (1.0/3.0 - r/8)
+	}
+	er := math.Exp(-r)
+	return 0.5 + er/r - (1-er)/(r*r)
+}
+
+// InvertFixedOrderAgeMarginal returns the frequency at which the age
+// marginal equals target (> 0). The marginal spans (0, ∞), so a
+// solution always exists for λ > 0.
+func InvertFixedOrderAgeMarginal(target, lambda float64) float64 {
+	if lambda <= 0 || target <= 0 || math.IsInf(target, 0) {
+		return 0
+	}
+	// Bracket f: the marginal decreases in f from +∞ to 0.
+	lo, hi := 0.0, 1.0
+	for FixedOrderAgeMarginal(hi, lambda) > target {
+		lo = hi
+		hi *= 2
+		if hi > 1e15 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if FixedOrderAgeMarginal(mid, lambda) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-14*hi {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}

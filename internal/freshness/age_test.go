@@ -1,0 +1,115 @@
+package freshness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedOrderAgeBoundaries(t *testing.T) {
+	if got := FixedOrderAge(1, 0); got != 0 {
+		t.Errorf("age of unchanging element = %v, want 0", got)
+	}
+	if got := FixedOrderAge(0, 2); !math.IsInf(got, 1) {
+		t.Errorf("age of unrefreshed changing element = %v, want +Inf", got)
+	}
+}
+
+func TestFixedOrderAgeMatchesNumericIntegration(t *testing.T) {
+	// Integrate E[age at offset s] = s − (1 − e^{−λs})/λ over one
+	// refresh interval numerically and compare with the closed form.
+	for _, freq := range []float64{0.25, 1, 3, 10} {
+		for _, lambda := range []float64{0.2, 1, 2.5, 8} {
+			interval := 1 / freq
+			const steps = 200000
+			var sum float64
+			for i := 0; i < steps; i++ {
+				s := (float64(i) + 0.5) * interval / steps
+				sum += s - (1-math.Exp(-lambda*s))/lambda
+			}
+			numeric := sum / steps
+			closed := FixedOrderAge(freq, lambda)
+			if math.Abs(numeric-closed) > 1e-6*(numeric+1e-12) {
+				t.Errorf("f=%v λ=%v: closed %v vs numeric %v", freq, lambda, closed, numeric)
+			}
+		}
+	}
+}
+
+func TestFixedOrderAgeSeriesBranch(t *testing.T) {
+	// The small-r series must agree with the direct formula at the
+	// switchover.
+	freq, lambda := 100000.0, 10.0 // r = 1e-4
+	r := lambda / freq
+	direct := (0.5 - 1/r - math.Expm1(-r)/(r*r)) / freq
+	series := (r/6 - r*r/24) / freq
+	// The direct form cancels ~8 digits at this r (0.5 − 10⁴ + …),
+	// which is why the series branch exists; they agree to the digits
+	// the direct form retains.
+	if math.Abs(direct-series) > 1e-6*series {
+		t.Errorf("series %v vs direct %v", series, direct)
+	}
+}
+
+func TestFixedOrderAgeMonotone(t *testing.T) {
+	// Age decreases in f and increases in λ.
+	f := func(rawF, rawL uint16) bool {
+		freq := float64(rawF%2000)/100 + 0.05
+		lambda := float64(rawL%2000)/100 + 0.05
+		a := FixedOrderAge(freq, lambda)
+		if a < 0 || math.IsNaN(a) {
+			return false
+		}
+		if FixedOrderAge(freq*1.5, lambda) > a+1e-12 {
+			return false
+		}
+		return FixedOrderAge(freq, lambda*1.5) >= a-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerceivedAge(t *testing.T) {
+	elems := []Element{
+		{Lambda: 2, AccessProb: 0.5, Size: 1},
+		{Lambda: 2, AccessProb: 0.5, Size: 1},
+	}
+	a, err := PerceivedAge(elems, []float64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FixedOrderAge(4, 2); math.Abs(a-want) > 1e-12 {
+		t.Errorf("PerceivedAge = %v, want %v", a, want)
+	}
+	// Unaccessed stale elements do not contribute, even with age +Inf.
+	elems[1].AccessProb = 0
+	elems[0].AccessProb = 1
+	a, err = PerceivedAge(elems, []float64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(a, 0) {
+		t.Errorf("unaccessed infinite-age element leaked into PerceivedAge: %v", a)
+	}
+	if _, err := PerceivedAge(elems, []float64{1}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestPerceivedAgeVsFreshnessTradeoff(t *testing.T) {
+	// More bandwidth lowers perceived age just as it raises perceived
+	// freshness.
+	elems := []Element{{Lambda: 3, AccessProb: 1, Size: 1}}
+	prev := math.Inf(1)
+	for _, f := range []float64{0.5, 1, 2, 4, 8} {
+		a, err := PerceivedAge(elems, []float64{f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a >= prev {
+			t.Errorf("age %v did not fall at f=%v (prev %v)", a, f, prev)
+		}
+		prev = a
+	}
+}

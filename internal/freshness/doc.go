@@ -1,0 +1,7 @@
+// Package freshness implements the paper's data model and freshness
+// mathematics: elements with Poisson change rates, access probabilities
+// and sizes; the Cho–Garcia-Molina time-averaged freshness closed form
+// for the Fixed-Order synchronization policy and its derivative; the
+// Poisson-order (random) policy used for ablations; and the aggregate
+// metrics — average freshness and the paper's perceived freshness.
+package freshness

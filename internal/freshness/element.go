@@ -1,0 +1,79 @@
+package freshness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Element is one local copy in the mirror. Lambda is the element's
+// change rate at the source (updates per period, Poisson), AccessProb
+// its share of the aggregate user profile, and Size its transfer cost
+// in bandwidth units (1.0 for the paper's fixed-size sections).
+type Element struct {
+	ID         int
+	Lambda     float64
+	AccessProb float64
+	Size       float64
+}
+
+// Validate reports whether the element's parameters are usable.
+func (e Element) Validate() error {
+	if e.Lambda < 0 || math.IsNaN(e.Lambda) || math.IsInf(e.Lambda, 0) {
+		return fmt.Errorf("freshness: element %d has invalid change rate %v", e.ID, e.Lambda)
+	}
+	if e.AccessProb < 0 || math.IsNaN(e.AccessProb) || math.IsInf(e.AccessProb, 0) {
+		return fmt.Errorf("freshness: element %d has invalid access probability %v", e.ID, e.AccessProb)
+	}
+	if !(e.Size > 0) || math.IsNaN(e.Size) || math.IsInf(e.Size, 0) {
+		return fmt.Errorf("freshness: element %d has invalid size %v", e.ID, e.Size)
+	}
+	return nil
+}
+
+// ValidateElements checks a whole mirror: every element valid and the
+// access probabilities forming a (sub-)distribution. The probabilities
+// need not sum exactly to 1 — partition representatives carry scaled
+// masses — but they must be non-negative and finite, which Validate
+// covers per element.
+func ValidateElements(elems []Element) error {
+	if len(elems) == 0 {
+		return fmt.Errorf("freshness: mirror has no elements")
+	}
+	for _, e := range elems {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalAccessProb returns the summed access probability of the mirror.
+func TotalAccessProb(elems []Element) float64 {
+	var s float64
+	for _, e := range elems {
+		s += e.AccessProb
+	}
+	return s
+}
+
+// TotalSize returns the summed element size.
+func TotalSize(elems []Element) float64 {
+	var s float64
+	for _, e := range elems {
+		s += e.Size
+	}
+	return s
+}
+
+// UniformProfile overwrites every element's access probability with
+// 1/N, the profile under which perceived freshness degenerates to the
+// average freshness optimized by Cho & Garcia-Molina.
+func UniformProfile(elems []Element) {
+	if len(elems) == 0 {
+		return
+	}
+	p := 1 / float64(len(elems))
+	for i := range elems {
+		elems[i].AccessProb = p
+	}
+}

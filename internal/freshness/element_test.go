@@ -1,0 +1,68 @@
+package freshness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElementValidate(t *testing.T) {
+	good := Element{ID: 1, Lambda: 2, AccessProb: 0.1, Size: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid element rejected: %v", err)
+	}
+	bad := []Element{
+		{Lambda: -1, AccessProb: 0.1, Size: 1},
+		{Lambda: math.NaN(), AccessProb: 0.1, Size: 1},
+		{Lambda: 1, AccessProb: -0.1, Size: 1},
+		{Lambda: 1, AccessProb: math.Inf(1), Size: 1},
+		{Lambda: 1, AccessProb: 0.1, Size: 0},
+		{Lambda: 1, AccessProb: 0.1, Size: -2},
+		{Lambda: 1, AccessProb: 0.1, Size: math.NaN()},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad element %d accepted: %+v", i, e)
+		}
+	}
+}
+
+func TestValidateElements(t *testing.T) {
+	if err := ValidateElements(nil); err == nil {
+		t.Error("empty mirror must be rejected")
+	}
+	elems := []Element{
+		{ID: 0, Lambda: 1, AccessProb: 0.5, Size: 1},
+		{ID: 1, Lambda: 2, AccessProb: 0.5, Size: 1},
+	}
+	if err := ValidateElements(elems); err != nil {
+		t.Errorf("valid mirror rejected: %v", err)
+	}
+	elems[1].Size = 0
+	if err := ValidateElements(elems); err == nil {
+		t.Error("mirror with invalid element accepted")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	elems := []Element{
+		{Lambda: 1, AccessProb: 0.25, Size: 2},
+		{Lambda: 2, AccessProb: 0.75, Size: 3},
+	}
+	if got := TotalAccessProb(elems); got != 1 {
+		t.Errorf("TotalAccessProb = %v, want 1", got)
+	}
+	if got := TotalSize(elems); got != 5 {
+		t.Errorf("TotalSize = %v, want 5", got)
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	elems := []Element{{AccessProb: 0.9, Size: 1}, {AccessProb: 0.1, Size: 1}, {Size: 1}, {Size: 1}}
+	UniformProfile(elems)
+	for i, e := range elems {
+		if e.AccessProb != 0.25 {
+			t.Errorf("element %d access prob %v, want 0.25", i, e.AccessProb)
+		}
+	}
+	UniformProfile(nil) // must not panic
+}

@@ -1,0 +1,53 @@
+package freshness
+
+import "fmt"
+
+// errLenMismatch reports an element/frequency vector length mismatch.
+func errLenMismatch(elems, freqs int) error {
+	return fmt.Errorf("freshness: %d elements but %d frequencies", elems, freqs)
+}
+
+// Perceived returns the perceived freshness of the mirror under the
+// given refresh frequencies: Σᵢ pᵢ·F(fᵢ, λᵢ) (the paper's Definition 4
+// combined with its Section 2 identity PF = Σ pᵢ F̄ᵢ). The freqs slice
+// must be element-aligned with elems.
+func Perceived(p Policy, elems []Element, freqs []float64) (float64, error) {
+	if len(elems) != len(freqs) {
+		return 0, fmt.Errorf("freshness: %d elements but %d frequencies", len(elems), len(freqs))
+	}
+	var pf float64
+	for i, e := range elems {
+		pf += e.AccessProb * p.Freshness(freqs[i], e.Lambda)
+	}
+	return pf, nil
+}
+
+// Average returns the unweighted mean freshness (1/N)·Σᵢ F(fᵢ, λᵢ),
+// the objective of the paper's GF baseline (Cho & Garcia-Molina).
+func Average(p Policy, elems []Element, freqs []float64) (float64, error) {
+	if len(elems) != len(freqs) {
+		return 0, fmt.Errorf("freshness: %d elements but %d frequencies", len(elems), len(freqs))
+	}
+	if len(elems) == 0 {
+		return 0, fmt.Errorf("freshness: mirror has no elements")
+	}
+	var sum float64
+	for i, e := range elems {
+		sum += p.Freshness(freqs[i], e.Lambda)
+	}
+	return sum / float64(len(elems)), nil
+}
+
+// BandwidthUsed returns Σᵢ sᵢ·fᵢ, the bandwidth a frequency vector
+// consumes under the extended (variable-size) constraint; with unit
+// sizes it is simply the total number of refreshes per period.
+func BandwidthUsed(elems []Element, freqs []float64) (float64, error) {
+	if len(elems) != len(freqs) {
+		return 0, fmt.Errorf("freshness: %d elements but %d frequencies", len(elems), len(freqs))
+	}
+	var b float64
+	for i, e := range elems {
+		b += e.Size * freqs[i]
+	}
+	return b, nil
+}

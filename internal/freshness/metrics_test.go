@@ -1,0 +1,78 @@
+package freshness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerceivedAndAverage(t *testing.T) {
+	fo := FixedOrder{}
+	elems := []Element{
+		{Lambda: 1, AccessProb: 0.8, Size: 1},
+		{Lambda: 1, AccessProb: 0.2, Size: 1},
+	}
+	freqs := []float64{1, 1}
+	f11 := fo.Freshness(1, 1)
+	pf, err := Perceived(fo, elems, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pf-f11) > 1e-12 {
+		t.Errorf("Perceived = %v, want %v (identical elements)", pf, f11)
+	}
+	af, err := Average(fo, elems, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(af-f11) > 1e-12 {
+		t.Errorf("Average = %v, want %v", af, f11)
+	}
+}
+
+func TestPerceivedWeighting(t *testing.T) {
+	// The hot element fresh, the cold one stale: PF must equal the hot
+	// element's access probability.
+	fo := FixedOrder{}
+	elems := []Element{
+		{Lambda: 0, AccessProb: 0.7, Size: 1}, // never changes: always fresh
+		{Lambda: 5, AccessProb: 0.3, Size: 1}, // never refreshed: always stale
+	}
+	pf, err := Perceived(fo, elems, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pf-0.7) > 1e-12 {
+		t.Errorf("Perceived = %v, want 0.7", pf)
+	}
+}
+
+func TestMetricLengthMismatch(t *testing.T) {
+	fo := FixedOrder{}
+	elems := []Element{{Lambda: 1, AccessProb: 1, Size: 1}}
+	if _, err := Perceived(fo, elems, []float64{1, 2}); err == nil {
+		t.Error("Perceived with mismatched lengths must fail")
+	}
+	if _, err := Average(fo, elems, nil); err == nil {
+		t.Error("Average with mismatched lengths must fail")
+	}
+	if _, err := Average(fo, nil, nil); err == nil {
+		t.Error("Average of empty mirror must fail")
+	}
+	if _, err := BandwidthUsed(elems, nil); err == nil {
+		t.Error("BandwidthUsed with mismatched lengths must fail")
+	}
+}
+
+func TestBandwidthUsed(t *testing.T) {
+	elems := []Element{
+		{Lambda: 1, AccessProb: 0.5, Size: 2},
+		{Lambda: 1, AccessProb: 0.5, Size: 0.5},
+	}
+	got, err := BandwidthUsed(elems, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 { // 2*3 + 0.5*4
+		t.Errorf("BandwidthUsed = %v, want 8", got)
+	}
+}

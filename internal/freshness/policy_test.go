@@ -1,0 +1,193 @@
+package freshness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var policies = []Policy{FixedOrder{}, PoissonOrder{}}
+
+func TestFreshnessBoundaryCases(t *testing.T) {
+	for _, p := range policies {
+		if got := p.Freshness(0, 2); got != 0 {
+			t.Errorf("%s: F(0, 2) = %v, want 0", p.Name(), got)
+		}
+		if got := p.Freshness(3, 0); got != 1 {
+			t.Errorf("%s: F(3, 0) = %v, want 1", p.Name(), got)
+		}
+		if got := p.Freshness(0, 0); got != 1 {
+			t.Errorf("%s: F(0, 0) = %v, want 1 (unchanging element is always fresh)", p.Name(), got)
+		}
+	}
+}
+
+func TestFixedOrderKnownValues(t *testing.T) {
+	fo := FixedOrder{}
+	// F(f=λ) = 1 - e^{-1} ≈ 0.63212.
+	if got, want := fo.Freshness(2, 2), 1-math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F(2,2) = %v, want %v", got, want)
+	}
+	// F(f, λ) with r = λ/f = 2: (1 - e^{-2})/2.
+	if got, want := fo.Freshness(1, 2), (1-math.Exp(-2))/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("F(1,2) = %v, want %v", got, want)
+	}
+	// Very high frequency: freshness approaches 1 - r/2.
+	if got, want := fo.Freshness(1e9, 1), 1-0.5e-9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("F(1e9,1) = %v, want %v", got, want)
+	}
+}
+
+func TestPoissonOrderKnownValues(t *testing.T) {
+	po := PoissonOrder{}
+	if got := po.Freshness(1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("F(1,1) = %v, want 0.5", got)
+	}
+	if got := po.Freshness(3, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("F(3,1) = %v, want 0.75", got)
+	}
+}
+
+func TestFixedOrderDominatesPoissonOrder(t *testing.T) {
+	// Cho & Garcia-Molina: Fixed-Order freshness beats Poisson-Order
+	// for every positive frequency and change rate.
+	fo, po := FixedOrder{}, PoissonOrder{}
+	for _, f := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		for _, l := range []float64{0.1, 1, 3, 10} {
+			if fo.Freshness(f, l) <= po.Freshness(f, l) {
+				t.Errorf("F_fixed(%v,%v)=%v <= F_poisson=%v", f, l,
+					fo.Freshness(f, l), po.Freshness(f, l))
+			}
+		}
+	}
+}
+
+func TestFreshnessPropertyBoundsAndMonotone(t *testing.T) {
+	for _, p := range policies {
+		p := p
+		f := func(rawF, rawL uint16) bool {
+			freq := float64(rawF) / 100
+			lambda := float64(rawL)/100 + 0.001
+			v := p.Freshness(freq, lambda)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			// Increasing in f.
+			if p.Freshness(freq+0.5, lambda) < v-1e-12 {
+				return false
+			}
+			// Decreasing in lambda.
+			if freq > 0 && p.Freshness(freq, lambda+0.5) > v+1e-12 {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestMarginalMatchesFiniteDifference(t *testing.T) {
+	for _, p := range policies {
+		for _, freq := range []float64{0.2, 0.7, 1, 2.5, 10, 100} {
+			for _, lambda := range []float64{0.3, 1, 4, 9} {
+				h := 1e-6 * freq
+				fd := (p.Freshness(freq+h, lambda) - p.Freshness(freq-h, lambda)) / (2 * h)
+				an := p.Marginal(freq, lambda)
+				if math.Abs(fd-an) > 1e-5*(math.Abs(an)+1e-9)+1e-9 {
+					t.Errorf("%s: marginal(%v,%v) analytic %v vs finite-diff %v",
+						p.Name(), freq, lambda, an, fd)
+				}
+			}
+		}
+	}
+}
+
+func TestMarginalLimits(t *testing.T) {
+	fo := FixedOrder{}
+	// At f -> 0+ the marginal is 1/λ.
+	if got := fo.Marginal(0, 4); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Marginal(0, 4) = %v, want 0.25", got)
+	}
+	// Marginal of an unchanging element is 0.
+	if got := fo.Marginal(1, 0); got != 0 {
+		t.Errorf("Marginal(1, 0) = %v, want 0", got)
+	}
+	// Monotone non-increasing in f.
+	prev := math.Inf(1)
+	for _, f := range []float64{0.01, 0.1, 0.5, 1, 2, 10, 1e3} {
+		m := fo.Marginal(f, 2)
+		if m > prev+1e-15 {
+			t.Fatalf("marginal increased at f=%v", f)
+		}
+		prev = m
+	}
+}
+
+func TestInvertMarginalRoundTrip(t *testing.T) {
+	for _, p := range policies {
+		for _, lambda := range []float64{0.2, 1, 3, 8} {
+			for _, freq := range []float64{0.05, 0.3, 1, 4, 25} {
+				target := p.Marginal(freq, lambda)
+				if target <= 0 || target*lambda > 1-1e-9 {
+					// Skip the numerically saturated region where the
+					// marginal equals its f->0 limit to machine
+					// precision; InvertMarginal documents it as
+					// unrecoverable (returns 0) and the water-filling
+					// solver never queries it there.
+					continue
+				}
+				got := p.InvertMarginal(target, lambda)
+				if math.Abs(got-freq) > 1e-6*freq+1e-8 {
+					t.Errorf("%s λ=%v: InvertMarginal(Marginal(%v)) = %v",
+						p.Name(), lambda, freq, got)
+				}
+			}
+		}
+	}
+}
+
+func TestInvertMarginalUnreachableTarget(t *testing.T) {
+	for _, p := range policies {
+		// The marginal never exceeds Marginal(0, λ) = 1/λ; asking for
+		// more must return 0 (the element gets no bandwidth).
+		if got := p.InvertMarginal(10, 1); got != 0 {
+			t.Errorf("%s: InvertMarginal(10, 1) = %v, want 0", p.Name(), got)
+		}
+		if got := p.InvertMarginal(0.5, 0); got != 0 {
+			t.Errorf("%s: λ=0 must get no bandwidth, got %v", p.Name(), got)
+		}
+		if got := p.InvertMarginal(0, 1); got != 0 {
+			t.Errorf("%s: non-positive target must return 0, got %v", p.Name(), got)
+		}
+	}
+}
+
+func TestInvertMarginalPropertyRoundTrip(t *testing.T) {
+	fo := FixedOrder{}
+	f := func(rawF, rawL uint16) bool {
+		freq := float64(rawF%5000)/100 + 0.01
+		lambda := float64(rawL%2000)/100 + 0.01
+		target := fo.Marginal(freq, lambda)
+		if target*lambda > 1-1e-9 { // numerically saturated, see above
+			return true
+		}
+		got := fo.InvertMarginal(target, lambda)
+		return math.Abs(got-freq) <= 1e-6*freq+1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedOrderGSeriesBranch(t *testing.T) {
+	// The small-r series branch must agree with the direct formula at
+	// the switchover point.
+	r := 1e-4
+	direct := 1 - math.Exp(-r)*(1+r)
+	series := r * r * (0.5 - r/3)
+	if math.Abs(direct-series) > 1e-16 {
+		t.Errorf("series %v vs direct %v at r=%v", series, direct, r)
+	}
+}

@@ -1,0 +1,84 @@
+package httpmirror
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// SourceClient talks the source protocol against an upstream base URL.
+type SourceClient struct {
+	base string
+	http *http.Client
+}
+
+// NewSourceClient creates a client for the given base URL (e.g.
+// "http://origin:8080"). client may be nil for http.DefaultClient.
+func NewSourceClient(base string, client *http.Client) *SourceClient {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &SourceClient{base: strings.TrimRight(base, "/"), http: client}
+}
+
+// Catalog fetches the upstream object list.
+func (c *SourceClient) Catalog() ([]CatalogEntry, error) {
+	resp, err := c.http.Get(c.base + "/catalog")
+	if err != nil {
+		return nil, fmt.Errorf("httpmirror: catalog: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpmirror: catalog: upstream returned %s", resp.Status)
+	}
+	var entries []CatalogEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("httpmirror: catalog: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("httpmirror: upstream catalog is empty")
+	}
+	return entries, nil
+}
+
+// Fetch downloads one object, returning its body and version.
+func (c *SourceClient) Fetch(id int) (body []byte, version int, err error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/object/%d", c.base, id))
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpmirror: fetch %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("httpmirror: fetch %d: upstream returned %s", id, resp.Status)
+	}
+	version, err = strconv.Atoi(resp.Header.Get("X-Version"))
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpmirror: fetch %d: bad X-Version %q", id, resp.Header.Get("X-Version"))
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpmirror: fetch %d: %w", id, err)
+	}
+	return body, version, nil
+}
+
+// Version checks an object's current version without transferring the
+// body (HEAD) — the cheap change poll.
+func (c *SourceClient) Version(id int) (int, error) {
+	resp, err := c.http.Head(fmt.Sprintf("%s/object/%d", c.base, id))
+	if err != nil {
+		return 0, fmt.Errorf("httpmirror: head %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpmirror: head %d: upstream returned %s", id, resp.Status)
+	}
+	v, err := strconv.Atoi(resp.Header.Get("X-Version"))
+	if err != nil {
+		return 0, fmt.Errorf("httpmirror: head %d: bad X-Version %q", id, resp.Header.Get("X-Version"))
+	}
+	return v, nil
+}

@@ -1,0 +1,19 @@
+// Package httpmirror turns the planning library into a runnable
+// mirror service: a Mirror fetches objects from an upstream Source
+// over HTTP on the schedule a plan prescribes, serves local copies,
+// learns the master profile from its own access log, estimates
+// per-object change rates from what its refreshes observe (every fetch
+// doubles as a change poll), and re-plans periodically — the full loop
+// the paper's system diagram implies for a deployment rather than a
+// simulation.
+//
+// The source protocol is deliberately minimal so any origin can
+// implement it:
+//
+//	GET  /catalog      -> JSON [{"id":0,"size":1}, ...]
+//	GET  /object/{id}  -> body with X-Version header
+//	HEAD /object/{id}  -> X-Version header only (cheap change check)
+//
+// SimulatedSource implements it with Poisson-updating objects and
+// backs both the mocksource command and the package tests.
+package httpmirror

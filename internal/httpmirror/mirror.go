@@ -1,0 +1,367 @@
+package httpmirror
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"freshen/internal/core"
+	"freshen/internal/estimate"
+	"freshen/internal/freshness"
+	"freshen/internal/schedule"
+)
+
+// Config assembles a mirror service.
+type Config struct {
+	// Upstream is the origin to mirror.
+	Upstream *SourceClient
+	// Plan configures the planner; Plan.Bandwidth is the refresh
+	// budget per period.
+	Plan core.Config
+	// PriorLambda seeds change-rate knowledge before the mirror's own
+	// polls accumulate; 0 means 1 change/period.
+	PriorLambda float64
+	// ReplanEvery is the replanning cadence in periods; 0 means 5.
+	ReplanEvery float64
+	// ProfileSmoothing is the Laplace pseudo-count applied when the
+	// profile is learned from the access log; 0 means 1.
+	ProfileSmoothing float64
+	// Seed drives refresh phases.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PriorLambda == 0 {
+		c.PriorLambda = 1
+	}
+	if c.ReplanEvery == 0 {
+		c.ReplanEvery = 5
+	}
+	if c.ProfileSmoothing == 0 {
+		c.ProfileSmoothing = 1
+	}
+	return c
+}
+
+// copyState is one locally held object.
+type copyState struct {
+	body      []byte
+	version   int
+	fetchedAt float64
+	lastPoll  float64
+	fetches   int
+	accesses  int
+}
+
+// Mirror is the running service: local copies, the live plan, the
+// refresh iterator, and the learning state. Methods are safe for
+// concurrent use.
+type Mirror struct {
+	mu         sync.Mutex
+	cfg        Config
+	elems      []freshness.Element
+	copies     []copyState
+	tracker    *estimate.Tracker
+	plan       core.Plan
+	iter       *schedule.Iterator
+	iterBase   float64 // m.now at the last iterator rebuild
+	lastReplan float64
+	now        float64
+	replans    int
+	accesses   int
+	transfers  int
+}
+
+// New creates a mirror: it pulls the upstream catalog, seeds every
+// local copy with an initial fetch, and computes the first plan under
+// a uniform profile and the prior change rate.
+func New(cfg Config) (*Mirror, error) {
+	if cfg.Upstream == nil {
+		return nil, fmt.Errorf("httpmirror: Upstream is required")
+	}
+	cfg = cfg.withDefaults()
+	catalog, err := cfg.Upstream.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	n := len(catalog)
+	m := &Mirror{
+		cfg:    cfg,
+		elems:  make([]freshness.Element, n),
+		copies: make([]copyState, n),
+	}
+	m.tracker, err = estimate.NewTracker(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, entry := range catalog {
+		if entry.ID != i {
+			return nil, fmt.Errorf("httpmirror: catalog ids must be dense, got %d at position %d", entry.ID, i)
+		}
+		m.elems[i] = freshness.Element{
+			ID:         entry.ID,
+			Lambda:     cfg.PriorLambda,
+			AccessProb: 1 / float64(n),
+			Size:       entry.Size,
+		}
+		body, ver, err := cfg.Upstream.Fetch(entry.ID)
+		if err != nil {
+			return nil, fmt.Errorf("httpmirror: seeding copy %d: %w", entry.ID, err)
+		}
+		m.copies[i] = copyState{body: body, version: ver, fetches: 1}
+	}
+	if err := m.replanLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// replanLocked recomputes the plan from the current element knowledge
+// and rebuilds the refresh iterator. Callers hold m.mu (or are New).
+func (m *Mirror) replanLocked() error {
+	plan, err := core.MakePlan(m.elems, m.cfg.Plan)
+	if err != nil {
+		return err
+	}
+	iter, err := schedule.NewIterator(plan.Freqs, true, m.cfg.Seed+int64(m.replans))
+	if err != nil {
+		return err
+	}
+	m.plan = plan
+	m.iter = iter
+	m.iterBase = m.now
+	m.lastReplan = m.now
+	m.replans++
+	return nil
+}
+
+// Step advances the mirror clock to now (in periods), performing every
+// refresh that came due and re-planning on cadence. It returns the
+// number of refreshes performed.
+func (m *Mirror) Step(now float64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now < m.now {
+		return 0, fmt.Errorf("httpmirror: clock moved backwards (%v < %v)", now, m.now)
+	}
+	refreshes := 0
+	for {
+		ev, ok := m.iter.Peek()
+		if !ok || m.iterBase+ev.Time > now {
+			break
+		}
+		m.iter.Next()
+		due := m.iterBase + ev.Time
+		if err := m.refreshLocked(ev.Element, due); err != nil {
+			return refreshes, err
+		}
+		refreshes++
+	}
+	m.now = now
+	if now-m.lastReplan >= m.cfg.ReplanEvery {
+		m.learnLocked()
+		if err := m.replanLocked(); err != nil {
+			return refreshes, err
+		}
+	}
+	return refreshes, nil
+}
+
+// refreshLocked refreshes one object conditionally: a HEAD reveals the
+// upstream version, and the body is transferred only when it differs
+// from the stored copy — the refresh always counts as a change poll,
+// but an unchanged object costs no body transfer.
+func (m *Mirror) refreshLocked(id int, at float64) error {
+	c := &m.copies[id]
+	ver, err := m.cfg.Upstream.Version(id)
+	if err != nil {
+		return fmt.Errorf("httpmirror: polling %d: %w", id, err)
+	}
+	changed := ver != c.version
+	if elapsed := at - c.lastPoll; elapsed > 0 {
+		if err := m.tracker.Record(id, elapsed, changed); err != nil {
+			return err
+		}
+	}
+	c.lastPoll = at
+	c.fetches++
+	if !changed {
+		return nil
+	}
+	body, ver, err := m.cfg.Upstream.Fetch(id)
+	if err != nil {
+		return fmt.Errorf("httpmirror: refreshing %d: %w", id, err)
+	}
+	c.body = body
+	c.version = ver
+	c.fetchedAt = at
+	m.transfers++
+	return nil
+}
+
+// learnLocked folds the access log and poll history into the element
+// knowledge the next plan uses.
+func (m *Mirror) learnLocked() {
+	// Profile: Laplace-smoothed access counts.
+	total := m.cfg.ProfileSmoothing * float64(len(m.elems))
+	for i := range m.copies {
+		total += float64(m.copies[i].accesses)
+	}
+	for i := range m.elems {
+		m.elems[i].AccessProb = (float64(m.copies[i].accesses) + m.cfg.ProfileSmoothing) / total
+	}
+	// Change rates: MLE per element, prior where unpolled.
+	if ests, err := m.tracker.Estimates(m.cfg.PriorLambda); err == nil {
+		for i, l := range ests {
+			m.elems[i].Lambda = l
+		}
+	}
+}
+
+// Run drives the refresh loop against the wall clock, mapping one
+// scheduling period to periodLength, until ctx is cancelled (which is
+// a normal shutdown, reported as nil). Refresh errors are returned
+// immediately; an operator that prefers to ride out upstream blips
+// should wrap Run in its own retry loop.
+func (m *Mirror) Run(ctx context.Context, periodLength time.Duration) error {
+	if periodLength <= 0 {
+		return fmt.Errorf("httpmirror: period length must be positive, got %v", periodLength)
+	}
+	tick := periodLength / 100
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	// Resume from the mirror's current clock so a restarted Run (after
+	// an upstream error) never drives time backwards.
+	base := m.Status().Now
+	start := time.Now()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			now := base + time.Since(start).Seconds()/periodLength.Seconds()
+			if _, err := m.Step(now); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Access serves one local copy, recording the access for profile
+// learning. It returns the stored body and version.
+func (m *Mirror) Access(id int) (body []byte, version int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.copies) {
+		return nil, 0, fmt.Errorf("httpmirror: object %d outside [0, %d)", id, len(m.copies))
+	}
+	c := &m.copies[id]
+	c.accesses++
+	m.accesses++
+	return c.body, c.version, nil
+}
+
+// Status is the mirror's observable state.
+type Status struct {
+	Objects       int     `json:"objects"`
+	Now           float64 `json:"now_periods"`
+	Accesses      int     `json:"accesses"`
+	Fetches       int     `json:"fetches"`
+	Transfers     int     `json:"transfers"`
+	Replans       int     `json:"replans"`
+	PlannedPF     float64 `json:"planned_perceived_freshness"`
+	PlannedAvg    float64 `json:"planned_average_freshness"`
+	BandwidthUsed float64 `json:"bandwidth_used"`
+	Strategy      string  `json:"strategy"`
+}
+
+// Status reports the mirror's current state.
+func (m *Mirror) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fetches := 0
+	for i := range m.copies {
+		fetches += m.copies[i].fetches
+	}
+	return Status{
+		Objects:       len(m.copies),
+		Now:           m.now,
+		Accesses:      m.accesses,
+		Fetches:       fetches,
+		Transfers:     m.transfers,
+		Replans:       m.replans,
+		PlannedPF:     m.plan.Perceived,
+		PlannedAvg:    m.plan.AvgFreshness,
+		BandwidthUsed: m.plan.BandwidthUsed,
+		Strategy:      m.plan.Strategy.String(),
+	}
+}
+
+// Plan returns the current plan.
+func (m *Mirror) Plan() core.Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.plan
+}
+
+// ForceReplan learns from the current logs and re-plans immediately.
+func (m *Mirror) ForceReplan() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.learnLocked()
+	return m.replanLocked()
+}
+
+// Handler serves the mirror API: GET /object/{id}, GET /status,
+// POST /replan.
+func (m *Mirror) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/object/"))
+		if err != nil {
+			http.Error(w, "bad object id", http.StatusBadRequest)
+			return
+		}
+		body, ver, err := m.Access(id)
+		if err != nil {
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("X-Version", strconv.Itoa(ver))
+		w.Write(body)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(m.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/replan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := m.ForceReplan(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -1,0 +1,156 @@
+package httpmirror
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"freshen/internal/stats"
+)
+
+// CatalogEntry describes one object a source offers.
+type CatalogEntry struct {
+	ID   int     `json:"id"`
+	Size float64 `json:"size"`
+}
+
+// SimulatedSource is an origin whose objects change as independent
+// Poisson processes on a caller-supplied clock (time is in periods, as
+// everywhere in this repository). It is safe for concurrent use.
+type SimulatedSource struct {
+	mu      sync.Mutex
+	rng     *stats.RNG
+	lambdas []float64
+	sizes   []float64
+	version []int
+	nextUp  []float64 // time of each object's next update
+	now     float64
+}
+
+// NewSimulatedSource creates a source with the given change rates and
+// sizes (sizes may be nil for unit sizes). All objects start at
+// version 0 at time 0.
+func NewSimulatedSource(lambdas, sizes []float64, seed int64) (*SimulatedSource, error) {
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("httpmirror: source needs at least one object")
+	}
+	if sizes != nil && len(sizes) != len(lambdas) {
+		return nil, fmt.Errorf("httpmirror: %d sizes for %d objects", len(sizes), len(lambdas))
+	}
+	s := &SimulatedSource{
+		rng:     stats.NewRNG(seed),
+		lambdas: append([]float64(nil), lambdas...),
+		version: make([]int, len(lambdas)),
+		nextUp:  make([]float64, len(lambdas)),
+	}
+	if sizes == nil {
+		s.sizes = make([]float64, len(lambdas))
+		for i := range s.sizes {
+			s.sizes[i] = 1
+		}
+	} else {
+		s.sizes = append([]float64(nil), sizes...)
+	}
+	for i, l := range lambdas {
+		if l < 0 {
+			return nil, fmt.Errorf("httpmirror: object %d has negative change rate %v", i, l)
+		}
+		s.nextUp[i] = s.next(l, 0)
+	}
+	return s, nil
+}
+
+// next returns the next Poisson event time after t for rate l, or +Inf
+// for rate 0.
+func (s *SimulatedSource) next(l, t float64) float64 {
+	if l <= 0 {
+		return inf
+	}
+	return t + s.rng.ExpFloat64()/l
+}
+
+const inf = 1e308
+
+// Advance moves the source clock forward, applying any updates due.
+func (s *SimulatedSource) Advance(now float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now > s.now {
+		s.now = now
+	}
+	for i := range s.lambdas {
+		for s.nextUp[i] <= s.now {
+			s.version[i]++
+			s.nextUp[i] = s.next(s.lambdas[i], s.nextUp[i])
+		}
+	}
+}
+
+// Now returns the source clock.
+func (s *SimulatedSource) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Version returns an object's current version.
+func (s *SimulatedSource) Version(id int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.version) {
+		return 0, fmt.Errorf("httpmirror: object %d outside [0, %d)", id, len(s.version))
+	}
+	return s.version[id], nil
+}
+
+// Catalog lists the source's objects.
+func (s *SimulatedSource) Catalog() []CatalogEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CatalogEntry, len(s.lambdas))
+	for i := range out {
+		out[i] = CatalogEntry{ID: i, Size: s.sizes[i]}
+	}
+	return out
+}
+
+// Handler serves the source protocol over HTTP.
+func (s *SimulatedSource) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/catalog", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Catalog()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
+		idStr := strings.TrimPrefix(r.URL.Path, "/object/")
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			http.Error(w, "bad object id", http.StatusBadRequest)
+			return
+		}
+		ver, err := s.Version(id)
+		if err != nil {
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("X-Version", strconv.Itoa(ver))
+		switch r.Method {
+		case http.MethodHead:
+			// headers only
+		case http.MethodGet:
+			fmt.Fprintf(w, "object %d version %d", id, ver)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}

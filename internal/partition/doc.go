@@ -1,0 +1,14 @@
+// Package partition implements the paper's Section 3 heuristics that
+// make freshening scale: sort the elements by one of several criteria,
+// chop the sorted order into K contiguous partitions, solve the small
+// Transformed Problem over one representative per partition, and hand
+// each partition's bandwidth down to its members.
+//
+// The sort keys are the paper's four — access probability (P), change
+// frequency (λ), their ratio (P/λ) and perceived freshness at a
+// reference frequency (PF) — plus the Section 5 size-aware variants
+// PF/s and Size. Bandwidth is handed down by either Fixed Frequency
+// Allocation (FFA: every member refreshed at the representative's
+// frequency) or Fixed Bandwidth Allocation (FBA: every member receives
+// the same bandwidth, so small objects refresh more often).
+package partition

@@ -1,0 +1,30 @@
+package partition
+
+import (
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/workload"
+)
+
+// testElementsSized builds a variable-size mirror in the paper's
+// Figure 11 configuration: Pareto sizes reverse-aligned with change
+// rate (volatile objects are small), shuffled access.
+func testElementsSized(t *testing.T, n int, seed int64) []freshness.Element {
+	t.Helper()
+	spec := workload.TableTwo()
+	spec.NumObjects = n
+	spec.UpdatesPerPeriod = 2 * float64(n)
+	spec.SyncsPerPeriod = float64(n) / 2
+	spec.Theta = 1.0
+	spec.ChangeAlignment = workload.Shuffled
+	spec.Sizes = workload.SizePareto
+	spec.ParetoShape = 1.1
+	spec.SizeAlignment = workload.Reverse
+	spec.Seed = seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elems
+}

@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+)
+
+// SolveHierarchical is the multi-stage approach the paper's Section
+// 3.2 describes and dismisses: first allocate bandwidth *between*
+// partitions by solving the Transformed Problem over representatives,
+// then solve each partition's own small optimization exactly with its
+// allocation, instead of spreading the partition's bandwidth evenly
+// (FFA/FBA). The paper dropped it because, with its NLP package, "the
+// sheer number of subproblems is too large"; with the water-filling
+// solver the subproblems are cheap, and the repository's
+// extension-hierarchical experiment re-evaluates the trade.
+func SolveHierarchical(elems []freshness.Element, bandwidth float64, opts Options) (Result, error) {
+	part, err := Build(elems, opts.Key, opts.NumPartitions, opts.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	return SolveHierarchicalPartitioned(elems, bandwidth, part, opts)
+}
+
+// SolveHierarchicalPartitioned runs the two stages over an existing
+// grouping.
+func SolveHierarchicalPartitioned(elems []freshness.Element, bandwidth float64, part Partitioning, opts Options) (Result, error) {
+	if err := part.Validate(len(elems)); err != nil {
+		return Result{}, err
+	}
+	reps := Representatives(elems, part)
+	tp := TransformedProblem(reps, bandwidth, opts.Policy)
+	repSol, err := solver.WaterFill(tp)
+	if err != nil {
+		return Result{}, err
+	}
+
+	freqs := make([]float64, len(elems))
+	for ri, rep := range reps {
+		// The partition's bandwidth share under the transformed
+		// problem: members × mean size × representative frequency.
+		share := float64(rep.Count) * rep.Size * repSol.Freqs[ri]
+		if share <= 0 {
+			continue
+		}
+		group := part.Groups[rep.Group]
+		sub := make([]freshness.Element, len(group))
+		for i, idx := range group {
+			sub[i] = elems[idx]
+		}
+		subSol, err := solver.WaterFill(solver.Problem{
+			Elements:  sub,
+			Bandwidth: share,
+			Policy:    opts.Policy,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		for i, idx := range group {
+			freqs[idx] = subSol.Freqs[i]
+		}
+	}
+
+	pol := policyOrDefault(opts.Policy)
+	pf, err := freshness.Perceived(pol, elems, freqs)
+	if err != nil {
+		return Result{}, err
+	}
+	bw, err := freshness.BandwidthUsed(elems, freqs)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Solution: solver.Solution{
+			Freqs:         freqs,
+			Perceived:     pf,
+			BandwidthUsed: bw,
+			Multiplier:    repSol.Multiplier,
+		},
+		Partitioning:    part,
+		Representatives: reps,
+		RepFreqs:        repSol.Freqs,
+	}, nil
+}

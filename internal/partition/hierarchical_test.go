@@ -1,0 +1,69 @@
+package partition
+
+import (
+	"testing"
+
+	"freshen/internal/solver"
+)
+
+func TestSolveHierarchicalBeatsFlat(t *testing.T) {
+	// Re-solving inside each partition can only improve on handing
+	// every member the same frequency.
+	elems := testElements(t, 600, 1.0, 29)
+	const bandwidth = 300
+	for _, k := range []int{5, 20, 60} {
+		opts := Options{Key: KeyPF, NumPartitions: k}
+		flat, err := Solve(elems, bandwidth, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hier, err := SolveHierarchical(elems, bandwidth, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hier.Solution.Perceived < flat.Solution.Perceived-1e-9 {
+			t.Errorf("K=%d: hierarchical %v below flat %v",
+				k, hier.Solution.Perceived, flat.Solution.Perceived)
+		}
+		if hier.Solution.BandwidthUsed > bandwidth*(1+1e-6) {
+			t.Errorf("K=%d: over budget %v", k, hier.Solution.BandwidthUsed)
+		}
+	}
+}
+
+func TestSolveHierarchicalNearExact(t *testing.T) {
+	// With per-group exact solves, even very few partitions land near
+	// the global optimum (the inter-group split is the only
+	// approximation).
+	elems := testElements(t, 500, 1.2, 31)
+	const bandwidth = 250
+	exact, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: bandwidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := SolveHierarchical(elems, bandwidth, Options{Key: KeyPF, NumPartitions: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Solution.Perceived > exact.Perceived+1e-9 {
+		t.Errorf("hierarchical %v beats exact %v", hier.Solution.Perceived, exact.Perceived)
+	}
+	if exact.Perceived-hier.Solution.Perceived > 0.01 {
+		t.Errorf("hierarchical K=10 %v too far below exact %v",
+			hier.Solution.Perceived, exact.Perceived)
+	}
+}
+
+func TestSolveHierarchicalValidation(t *testing.T) {
+	elems := testElements(t, 10, 1.0, 33)
+	if _, err := SolveHierarchical(nil, 5, Options{NumPartitions: 2}); err == nil {
+		t.Error("empty mirror must fail")
+	}
+	if _, err := SolveHierarchical(elems, 5, Options{NumPartitions: 0}); err == nil {
+		t.Error("zero partitions must fail")
+	}
+	bad := Partitioning{Groups: [][]int{{0}}}
+	if _, err := SolveHierarchicalPartitioned(elems, 5, bad, Options{}); err == nil {
+		t.Error("corrupt grouping must fail")
+	}
+}

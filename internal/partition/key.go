@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// ReferenceFreq is the fixed synchronization frequency at which the PF
+// sort keys evaluate perceived freshness. The paper's footnote 3 notes
+// the exact value is immaterial and uses 1.0.
+const ReferenceFreq = 1.0
+
+// Key is a partitioning sort criterion.
+type Key int
+
+// The paper's partitioning techniques.
+const (
+	// KeyP sorts by access probability (P-Partitioning).
+	KeyP Key = iota
+	// KeyLambda sorts by change frequency (λ-Partitioning).
+	KeyLambda
+	// KeyPOverLambda sorts by p/λ (P/λ-Partitioning): bandwidth should
+	// rise with p and fall with λ, so the ratio groups elements with
+	// similar claims on bandwidth.
+	KeyPOverLambda
+	// KeyPF sorts by the element's perceived freshness at the
+	// reference frequency, p·F(f₀, λ) (PF-Partitioning) — the paper's
+	// winner.
+	KeyPF
+	// KeyPFOverSize is the Section 5 size-aware PF key: the reference
+	// bandwidth buys a big object fewer refreshes, so the key is
+	// p·F(f₀/s, λ) (PF/s-Partitioning).
+	KeyPFOverSize
+	// KeySize sorts by object size (Size-Partitioning), the Section 5
+	// baseline that, like P- and λ-Partitioning, captures only one
+	// attribute.
+	KeySize
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (k Key) String() string {
+	switch k {
+	case KeyP:
+		return "P"
+	case KeyLambda:
+		return "LAMBDA"
+	case KeyPOverLambda:
+		return "P_OVER_LAMBDA"
+	case KeyPF:
+		return "PF"
+	case KeyPFOverSize:
+		return "PF_OVER_SIZE"
+	case KeySize:
+		return "SIZE"
+	default:
+		return fmt.Sprintf("Key(%d)", int(k))
+	}
+}
+
+// ParseKey converts an experiment-flag string to a Key.
+func ParseKey(s string) (Key, error) {
+	switch s {
+	case "P", "p":
+		return KeyP, nil
+	case "LAMBDA", "lambda":
+		return KeyLambda, nil
+	case "P_OVER_LAMBDA", "p-over-lambda", "p/lambda":
+		return KeyPOverLambda, nil
+	case "PF", "pf":
+		return KeyPF, nil
+	case "PF_OVER_SIZE", "pf-over-size", "pf/s":
+		return KeyPFOverSize, nil
+	case "SIZE", "size":
+		return KeySize, nil
+	default:
+		return 0, fmt.Errorf("partition: unknown key %q", s)
+	}
+}
+
+// Keys lists every sort key, in the paper's comparison order.
+func Keys() []Key {
+	return []Key{KeyPF, KeyP, KeyLambda, KeyPOverLambda, KeyPFOverSize, KeySize}
+}
+
+// Value computes the key's sort value for one element under the given
+// policy (nil means Fixed-Order).
+func (k Key) Value(e freshness.Element, pol freshness.Policy) float64 {
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	switch k {
+	case KeyP:
+		return e.AccessProb
+	case KeyLambda:
+		return e.Lambda
+	case KeyPOverLambda:
+		if e.Lambda == 0 {
+			return math.Inf(1)
+		}
+		return e.AccessProb / e.Lambda
+	case KeyPF:
+		return e.AccessProb * pol.Freshness(ReferenceFreq, e.Lambda)
+	case KeyPFOverSize:
+		return e.AccessProb * pol.Freshness(ReferenceFreq/e.Size, e.Lambda)
+	case KeySize:
+		return e.Size
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"freshen/internal/freshness"
+)
+
+// Partitioning is a disjoint grouping of element indices. Groups may
+// differ in size by at most one when produced by Build; k-means
+// refinement may unbalance them further (and may leave groups empty).
+type Partitioning struct {
+	// Key records the sort criterion the grouping started from.
+	Key Key
+	// Groups holds element indices; every index in [0, N) appears in
+	// exactly one group.
+	Groups [][]int
+}
+
+// Build sorts the elements by the key and assigns successive runs to k
+// partitions, as evenly as possible (the paper's ⌈N/k⌉ scheme: when k
+// does not divide N some partitions hold one element fewer).
+func Build(elems []freshness.Element, key Key, k int, pol freshness.Policy) (Partitioning, error) {
+	if err := freshness.ValidateElements(elems); err != nil {
+		return Partitioning{}, err
+	}
+	n := len(elems)
+	if k <= 0 {
+		return Partitioning{}, fmt.Errorf("partition: need at least one partition, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	vals := make([]float64, n)
+	for i, e := range elems {
+		vals[i] = key.Value(e, pol)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+
+	groups := make([][]int, k)
+	base, rem := n/k, n%k
+	pos := 0
+	for g := 0; g < k; g++ {
+		size := base
+		if g < rem {
+			size++
+		}
+		groups[g] = append([]int(nil), order[pos:pos+size]...)
+		pos += size
+	}
+	return Partitioning{Key: key, Groups: groups}, nil
+}
+
+// Validate checks that the partitioning is a true partition of [0, n).
+func (p Partitioning) Validate(n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for g, group := range p.Groups {
+		for _, idx := range group {
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("partition: group %d references element %d outside [0, %d)", g, idx, n)
+			}
+			if seen[idx] {
+				return fmt.Errorf("partition: element %d appears in more than one group", idx)
+			}
+			seen[idx] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("partition: %d of %d elements covered", count, n)
+	}
+	return nil
+}
+
+// NumGroups returns the number of non-empty groups.
+func (p Partitioning) NumGroups() int {
+	n := 0
+	for _, g := range p.Groups {
+		if len(g) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Representative is one partition's stand-in element in the
+// Transformed Problem, carrying the member count so the objective and
+// constraint can be scaled.
+type Representative struct {
+	// Group indexes into Partitioning.Groups.
+	Group int
+	// Count is the number of member elements.
+	Count int
+	// Lambda, AccessProb and Size are the member means (the paper's
+	// representative construction).
+	Lambda     float64
+	AccessProb float64
+	Size       float64
+}
+
+// Representatives averages each non-empty group's access probability,
+// change frequency and size into its representative element.
+func Representatives(elems []freshness.Element, p Partitioning) []Representative {
+	reps := make([]Representative, 0, len(p.Groups))
+	for g, group := range p.Groups {
+		if len(group) == 0 {
+			continue
+		}
+		var rep Representative
+		rep.Group = g
+		rep.Count = len(group)
+		for _, idx := range group {
+			rep.Lambda += elems[idx].Lambda
+			rep.AccessProb += elems[idx].AccessProb
+			rep.Size += elems[idx].Size
+		}
+		inv := 1 / float64(len(group))
+		rep.Lambda *= inv
+		rep.AccessProb *= inv
+		rep.Size *= inv
+		reps = append(reps, rep)
+	}
+	return reps
+}

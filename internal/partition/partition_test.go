@@ -1,0 +1,196 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"freshen/internal/freshness"
+	"freshen/internal/workload"
+)
+
+func testElements(t *testing.T, n int, theta float64, seed int64) []freshness.Element {
+	t.Helper()
+	spec := workload.TableTwo()
+	spec.NumObjects = n
+	spec.UpdatesPerPeriod = 2 * float64(n)
+	spec.SyncsPerPeriod = float64(n) / 2
+	spec.Theta = theta
+	spec.Seed = seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elems
+}
+
+func TestBuildEvenSplit(t *testing.T) {
+	elems := testElements(t, 100, 1.0, 1)
+	p, err := Build(elems, KeyP, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups) != 7 {
+		t.Fatalf("got %d groups, want 7", len(p.Groups))
+	}
+	// 100 = 7*14 + 2: two groups of 15, five of 14.
+	var big, small int
+	for _, g := range p.Groups {
+		switch len(g) {
+		case 15:
+			big++
+		case 14:
+			small++
+		default:
+			t.Fatalf("group size %d, want 14 or 15", len(g))
+		}
+	}
+	if big != 2 || small != 5 {
+		t.Errorf("got %d groups of 15 and %d of 14, want 2 and 5", big, small)
+	}
+}
+
+func TestBuildSortedRuns(t *testing.T) {
+	elems := testElements(t, 200, 1.2, 2)
+	for _, key := range Keys() {
+		p, err := Build(elems, key, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Contiguous runs of the sort order: every value in group g
+		// must be <= every value in group g+1.
+		prevMax := math.Inf(-1)
+		for gi, g := range p.Groups {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, idx := range g {
+				v := key.Value(elems[idx], nil)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			if lo < prevMax-1e-15 {
+				t.Errorf("key %v: group %d overlaps previous (lo %v < prev max %v)", key, gi, lo, prevMax)
+			}
+			prevMax = hi
+		}
+	}
+}
+
+func TestBuildMorePartitionsThanElements(t *testing.T) {
+	elems := testElements(t, 5, 0.5, 3)
+	p, err := Build(elems, KeyPF, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumGroups(); got != 5 {
+		t.Errorf("NumGroups = %d, want 5 (clamped to element count)", got)
+	}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	elems := testElements(t, 10, 0.5, 4)
+	if _, err := Build(elems, KeyP, 0, nil); err == nil {
+		t.Error("zero partitions must fail")
+	}
+	if _, err := Build(nil, KeyP, 3, nil); err == nil {
+		t.Error("empty mirror must fail")
+	}
+}
+
+func TestPartitioningValidateCatchesCorruption(t *testing.T) {
+	bad := Partitioning{Groups: [][]int{{0, 1}, {1}}}
+	if err := bad.Validate(3); err == nil {
+		t.Error("duplicate element must fail validation")
+	}
+	bad = Partitioning{Groups: [][]int{{0, 5}}}
+	if err := bad.Validate(3); err == nil {
+		t.Error("out-of-range element must fail validation")
+	}
+	bad = Partitioning{Groups: [][]int{{0}}}
+	if err := bad.Validate(3); err == nil {
+		t.Error("missing elements must fail validation")
+	}
+}
+
+func TestRepresentativesMeans(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 1, AccessProb: 0.1, Size: 1},
+		{ID: 1, Lambda: 3, AccessProb: 0.3, Size: 2},
+		{ID: 2, Lambda: 5, AccessProb: 0.6, Size: 3},
+	}
+	p := Partitioning{Groups: [][]int{{0, 1}, {2}, {}}}
+	reps := Representatives(elems, p)
+	if len(reps) != 2 {
+		t.Fatalf("got %d representatives, want 2 (empty group skipped)", len(reps))
+	}
+	if reps[0].Count != 2 || math.Abs(reps[0].Lambda-2) > 1e-12 ||
+		math.Abs(reps[0].AccessProb-0.2) > 1e-12 || math.Abs(reps[0].Size-1.5) > 1e-12 {
+		t.Errorf("rep 0 = %+v, want means λ=2 p=0.2 s=1.5 count=2", reps[0])
+	}
+	if reps[1].Group != 1 || reps[1].Count != 1 || reps[1].Lambda != 5 {
+		t.Errorf("rep 1 = %+v", reps[1])
+	}
+}
+
+func TestKeyValues(t *testing.T) {
+	e := freshness.Element{Lambda: 2, AccessProb: 0.4, Size: 4}
+	fo := freshness.FixedOrder{}
+	if got := KeyP.Value(e, nil); got != 0.4 {
+		t.Errorf("KeyP = %v", got)
+	}
+	if got := KeyLambda.Value(e, nil); got != 2 {
+		t.Errorf("KeyLambda = %v", got)
+	}
+	if got := KeyPOverLambda.Value(e, nil); got != 0.2 {
+		t.Errorf("KeyPOverLambda = %v", got)
+	}
+	if got, want := KeyPF.Value(e, nil), 0.4*fo.Freshness(1, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KeyPF = %v, want %v", got, want)
+	}
+	if got, want := KeyPFOverSize.Value(e, nil), 0.4*fo.Freshness(0.25, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KeyPFOverSize = %v, want %v", got, want)
+	}
+	if got := KeySize.Value(e, nil); got != 4 {
+		t.Errorf("KeySize = %v", got)
+	}
+	// λ = 0 sorts last under P/λ.
+	if got := KeyPOverLambda.Value(freshness.Element{Lambda: 0, AccessProb: 0.1, Size: 1}, nil); !math.IsInf(got, 1) {
+		t.Errorf("KeyPOverLambda at λ=0 = %v, want +Inf", got)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	for _, k := range Keys() {
+		got, err := ParseKey(k.String())
+		if err != nil {
+			t.Errorf("ParseKey(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKey(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKey("nope"); err == nil {
+		t.Error("bogus key must fail")
+	}
+}
+
+func TestBuildPropertyIsPartition(t *testing.T) {
+	elems := testElements(t, 64, 0.9, 5)
+	f := func(rawK uint8, rawKey uint8) bool {
+		k := int(rawK%100) + 1
+		key := Keys()[int(rawKey)%len(Keys())]
+		p, err := Build(elems, key, k, nil)
+		if err != nil {
+			return false
+		}
+		return p.Validate(len(elems)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

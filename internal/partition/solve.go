@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"fmt"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+)
+
+// Allocation is the policy for handing a partition's bandwidth down to
+// its member elements.
+type Allocation int
+
+// Allocation policies (paper Section 5.2).
+const (
+	// FFA, Fixed Frequency Allocation: every member is refreshed at
+	// the representative's frequency. Correct for unit sizes, but with
+	// variable sizes it hands large members disproportionate
+	// bandwidth.
+	FFA Allocation = iota
+	// FBA, Fixed Bandwidth Allocation: every member receives the same
+	// bandwidth (representative size × representative frequency), so a
+	// member's frequency is that bandwidth divided by its own size.
+	// The paper shows FBA always outperforms FFA for variable sizes;
+	// the two coincide for unit sizes.
+	FBA
+)
+
+// String implements fmt.Stringer.
+func (a Allocation) String() string {
+	switch a {
+	case FFA:
+		return "FFA"
+	case FBA:
+		return "FBA"
+	default:
+		return fmt.Sprintf("Allocation(%d)", int(a))
+	}
+}
+
+// TransformedProblem builds the small optimization instance over
+// partition representatives: maximize Σ_g n_g·p̄_g·F(f_g, λ̄_g) subject
+// to Σ_g n_g·s̄_g·f_g ≤ B. Scaling weight and size by the member count
+// makes the small instance's KKT conditions agree with treating every
+// member as identical to its representative.
+func TransformedProblem(reps []Representative, bandwidth float64, pol freshness.Policy) solver.Problem {
+	elems := make([]freshness.Element, len(reps))
+	for i, r := range reps {
+		elems[i] = freshness.Element{
+			ID:         r.Group,
+			Lambda:     r.Lambda,
+			AccessProb: float64(r.Count) * r.AccessProb,
+			Size:       float64(r.Count) * r.Size,
+		}
+	}
+	return solver.Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol}
+}
+
+// Options configures the heuristic pipeline.
+type Options struct {
+	// Key is the partitioning sort criterion.
+	Key Key
+	// NumPartitions is the target partition count K.
+	NumPartitions int
+	// Allocation hands partition bandwidth to members; the zero value
+	// FFA matches the paper's Sections 3–4 (unit sizes).
+	Allocation Allocation
+	// Policy is the synchronization policy; nil means Fixed-Order.
+	Policy freshness.Policy
+}
+
+// Result is the heuristic outcome: the full per-element schedule plus
+// the intermediate artifacts for inspection.
+type Result struct {
+	// Solution is the per-element frequency assignment and its scores.
+	Solution solver.Solution
+	// Partitioning is the grouping used.
+	Partitioning Partitioning
+	// Representatives are the transformed problem's elements.
+	Representatives []Representative
+	// RepFreqs are the transformed problem's optimal frequencies,
+	// aligned with Representatives.
+	RepFreqs []float64
+}
+
+// Solve runs the two-step heuristic: partition, solve the transformed
+// problem exactly, and expand the representative frequencies to all
+// members under the chosen allocation.
+func Solve(elems []freshness.Element, bandwidth float64, opts Options) (Result, error) {
+	part, err := Build(elems, opts.Key, opts.NumPartitions, opts.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	return SolvePartitioned(elems, bandwidth, part, opts)
+}
+
+// SolvePartitioned runs the optimization and allocation steps over an
+// existing grouping (used directly after k-means refinement, whose
+// groups are no longer contiguous runs of a sort order).
+func SolvePartitioned(elems []freshness.Element, bandwidth float64, part Partitioning, opts Options) (Result, error) {
+	if err := part.Validate(len(elems)); err != nil {
+		return Result{}, err
+	}
+	reps := Representatives(elems, part)
+	tp := TransformedProblem(reps, bandwidth, opts.Policy)
+	repSol, err := solver.WaterFill(tp)
+	if err != nil {
+		return Result{}, err
+	}
+
+	freqs := make([]float64, len(elems))
+	for ri, rep := range reps {
+		f := repSol.Freqs[ri]
+		switch opts.Allocation {
+		case FBA:
+			// Equal bandwidth per member: b = s̄·f, so fᵢ = s̄·f/sᵢ.
+			b := rep.Size * f
+			for _, idx := range part.Groups[rep.Group] {
+				freqs[idx] = b / elems[idx].Size
+			}
+		default: // FFA
+			for _, idx := range part.Groups[rep.Group] {
+				freqs[idx] = f
+			}
+		}
+	}
+
+	sol := solver.Solution{Freqs: freqs, Multiplier: repSol.Multiplier, Iterations: repSol.Iterations}
+	pf, err := freshness.Perceived(policyOrDefault(opts.Policy), elems, freqs)
+	if err != nil {
+		return Result{}, err
+	}
+	bw, err := freshness.BandwidthUsed(elems, freqs)
+	if err != nil {
+		return Result{}, err
+	}
+	sol.Perceived = pf
+	sol.BandwidthUsed = bw
+	return Result{
+		Solution:        sol,
+		Partitioning:    part,
+		Representatives: reps,
+		RepFreqs:        repSol.Freqs,
+	}, nil
+}
+
+func policyOrDefault(p freshness.Policy) freshness.Policy {
+	if p == nil {
+		return freshness.FixedOrder{}
+	}
+	return p
+}

@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+)
+
+func TestSolveRespectsBandwidth(t *testing.T) {
+	elems := testElements(t, 300, 1.0, 7)
+	const bandwidth = 150
+	for _, key := range Keys() {
+		for _, k := range []int{1, 5, 30, 300} {
+			res, err := Solve(elems, bandwidth, Options{Key: key, NumPartitions: k})
+			if err != nil {
+				t.Fatalf("key %v k=%d: %v", key, k, err)
+			}
+			if res.Solution.BandwidthUsed > bandwidth*(1+1e-6) {
+				t.Errorf("key %v k=%d: bandwidth %v over budget %v",
+					key, k, res.Solution.BandwidthUsed, bandwidth)
+			}
+			if res.Solution.Perceived < 0 || res.Solution.Perceived > 1 {
+				t.Errorf("key %v k=%d: PF %v out of [0,1]", key, k, res.Solution.Perceived)
+			}
+		}
+	}
+}
+
+func TestSolveWithNPartitionsMatchesExact(t *testing.T) {
+	// With one partition per element the heuristic degenerates to the
+	// exact solution.
+	elems := testElements(t, 120, 1.1, 9)
+	const bandwidth = 60
+	exact, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: bandwidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(elems, bandwidth, Options{Key: KeyPF, NumPartitions: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Solution.Perceived-exact.Perceived) > 1e-6 {
+		t.Errorf("N-partition heuristic PF %v != exact %v",
+			res.Solution.Perceived, exact.Perceived)
+	}
+}
+
+func TestSolveQualityImprovesWithPartitions(t *testing.T) {
+	// More partitions must (weakly, up to noise) approach the exact
+	// optimum: the K=N value must beat the K=1 value, and K=50 must be
+	// at least as good as K=2 within a small tolerance.
+	elems := testElements(t, 400, 1.0, 11)
+	const bandwidth = 200
+	pf := func(k int) float64 {
+		res, err := Solve(elems, bandwidth, Options{Key: KeyPF, NumPartitions: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Solution.Perceived
+	}
+	pf1, pf2, pf50, pfN := pf(1), pf(2), pf(50), pf(400)
+	if pfN < pf1 {
+		t.Errorf("K=N PF %v below K=1 PF %v", pfN, pf1)
+	}
+	if pf50 < pf2-0.01 {
+		t.Errorf("K=50 PF %v materially below K=2 PF %v", pf50, pf2)
+	}
+	if pfN < pf50-1e-9 {
+		t.Errorf("K=N PF %v below K=50 PF %v", pfN, pf50)
+	}
+}
+
+func TestPFPartitioningBeatsLambdaUnderSkew(t *testing.T) {
+	// The paper's Figure 6: under shuffled-change and strong skew,
+	// λ-Partitioning cannot match PF-Partitioning at modest K.
+	elems := testElements(t, 500, 1.4, 13)
+	const bandwidth, k = 250, 25
+	pfRes, err := Solve(elems, bandwidth, Options{Key: KeyPF, NumPartitions: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lamRes, err := Solve(elems, bandwidth, Options{Key: KeyLambda, NumPartitions: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfRes.Solution.Perceived <= lamRes.Solution.Perceived {
+		t.Errorf("PF-partitioning %v not above λ-partitioning %v at theta=1.4",
+			pfRes.Solution.Perceived, lamRes.Solution.Perceived)
+	}
+}
+
+func TestTransformedProblemScaling(t *testing.T) {
+	reps := []Representative{
+		{Group: 0, Count: 4, Lambda: 2, AccessProb: 0.1, Size: 1.5},
+		{Group: 1, Count: 1, Lambda: 1, AccessProb: 0.6, Size: 1},
+	}
+	tp := TransformedProblem(reps, 10, nil)
+	if len(tp.Elements) != 2 {
+		t.Fatalf("got %d transformed elements", len(tp.Elements))
+	}
+	if math.Abs(tp.Elements[0].AccessProb-0.4) > 1e-12 {
+		t.Errorf("weight = %v, want count*mean = 0.4", tp.Elements[0].AccessProb)
+	}
+	if math.Abs(tp.Elements[0].Size-6) > 1e-12 {
+		t.Errorf("size = %v, want count*mean = 6", tp.Elements[0].Size)
+	}
+	if tp.Bandwidth != 10 {
+		t.Errorf("bandwidth = %v", tp.Bandwidth)
+	}
+}
+
+func TestFFAvsFBAUnitSizesIdentical(t *testing.T) {
+	elems := testElements(t, 100, 1.0, 17)
+	const bandwidth = 50
+	ffa, err := Solve(elems, bandwidth, Options{Key: KeyPF, NumPartitions: 10, Allocation: FFA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fba, err := Solve(elems, bandwidth, Options{Key: KeyPF, NumPartitions: 10, Allocation: FBA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ffa.Solution.Freqs {
+		if math.Abs(ffa.Solution.Freqs[i]-fba.Solution.Freqs[i]) > 1e-9 {
+			t.Fatalf("unit sizes: FFA and FBA differ at element %d", i)
+		}
+	}
+}
+
+func TestFBAEqualBandwidthPerMember(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 2, AccessProb: 0.25, Size: 4},
+		{ID: 1, Lambda: 2, AccessProb: 0.25, Size: 1},
+		{ID: 2, Lambda: 2, AccessProb: 0.25, Size: 0.5},
+		{ID: 3, Lambda: 2, AccessProb: 0.25, Size: 2},
+	}
+	res, err := Solve(elems, 6, Options{Key: KeyPF, NumPartitions: 1, Allocation: FBA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member must consume the same bandwidth sᵢ·fᵢ.
+	want := elems[0].Size * res.Solution.Freqs[0]
+	for i, e := range elems {
+		got := e.Size * res.Solution.Freqs[i]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("member %d bandwidth %v, want %v", i, got, want)
+		}
+	}
+	// The smallest object must refresh most often.
+	if res.Solution.Freqs[2] <= res.Solution.Freqs[0] {
+		t.Errorf("small object freq %v not above large object freq %v",
+			res.Solution.Freqs[2], res.Solution.Freqs[0])
+	}
+	if math.Abs(res.Solution.BandwidthUsed-6) > 1e-6 {
+		t.Errorf("bandwidth used %v, want 6", res.Solution.BandwidthUsed)
+	}
+}
+
+func TestFBABeatsFFAWithVariableSizes(t *testing.T) {
+	// Section 5.3: with variable sizes (reverse size/λ alignment), FBA
+	// outperforms FFA at modest partition counts.
+	elems := testElementsSized(t, 400, 19)
+	const bandwidth, k = 200, 20
+	ffa, err := Solve(elems, bandwidth, Options{Key: KeyPFOverSize, NumPartitions: k, Allocation: FFA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fba, err := Solve(elems, bandwidth, Options{Key: KeyPFOverSize, NumPartitions: k, Allocation: FBA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fba.Solution.Perceived <= ffa.Solution.Perceived {
+		t.Errorf("FBA %v not above FFA %v", fba.Solution.Perceived, ffa.Solution.Perceived)
+	}
+	if ffa.Solution.BandwidthUsed > bandwidth*(1+1e-6) {
+		t.Errorf("FFA over budget: %v", ffa.Solution.BandwidthUsed)
+	}
+	if fba.Solution.BandwidthUsed > bandwidth*(1+1e-6) {
+		t.Errorf("FBA over budget: %v", fba.Solution.BandwidthUsed)
+	}
+}
+
+func TestSolvePartitionedRejectsCorruptGrouping(t *testing.T) {
+	elems := testElements(t, 10, 1.0, 23)
+	bad := Partitioning{Groups: [][]int{{0, 1, 2}}}
+	if _, err := SolvePartitioned(elems, 5, bad, Options{}); err == nil {
+		t.Error("incomplete grouping must fail")
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	if FFA.String() != "FFA" || FBA.String() != "FBA" {
+		t.Error("allocation stringer broken")
+	}
+	if Allocation(9).String() == "" {
+		t.Error("unknown allocation must still print")
+	}
+}

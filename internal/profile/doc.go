@@ -1,0 +1,12 @@
+// Package profile models user interest. Each user submits a profile —
+// a declarative statement of the relative importance of the mirror's
+// elements — and the mirror site aggregates them, optionally weighting
+// users by importance, into the single master profile (an access
+// probability distribution) that drives scheduling.
+//
+// The package also provides the two acquisition paths the paper's
+// conclusion describes: direct synthetic profiles (Zipf-skewed) and a
+// learner that builds the master profile by monitoring the request log,
+// plus a drift monitor that tells the mirror when the profile has
+// shifted enough that the freshening schedule should be re-solved.
+package profile

@@ -1,0 +1,121 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+)
+
+// TotalVariation returns the total-variation distance between two
+// distributions over the same elements: ½·Σ|aᵢ − bᵢ| ∈ [0, 1].
+func TotalVariation(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("profile: distributions have different sizes %d and %d", len(a), len(b))
+	}
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d / 2, nil
+}
+
+// Monitor watches the live access stream and reports when the profile
+// has drifted far enough from the one the current schedule was solved
+// for that re-solving is warranted. The paper notes large mirrors must
+// "periodically solve the Core Problem to ensure that the freshening
+// schedule still produces good results"; Monitor makes that trigger
+// interest-driven instead of purely periodic.
+type Monitor struct {
+	baseline  []float64
+	threshold float64
+	minCount  int
+	counts    []float64
+	total     int
+}
+
+// NewMonitor creates a drift monitor against the given baseline
+// profile. A re-solve is signalled when the total-variation distance
+// between the baseline and the empirical profile of accesses observed
+// so far exceeds threshold, but never before minCount accesses have
+// been seen. Size minCount so sampling noise stays below the
+// threshold: the expected TV distance of n samples from an N-element
+// baseline is on the order of sqrt(N/(2πn)), so minCount should be
+// comfortably above N/(2π·threshold²).
+func NewMonitor(baseline []float64, threshold float64, minCount int) (*Monitor, error) {
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("profile: baseline profile is empty")
+	}
+	if !(threshold > 0) || threshold > 1 {
+		return nil, fmt.Errorf("profile: drift threshold must be in (0, 1], got %v", threshold)
+	}
+	if minCount < 1 {
+		return nil, fmt.Errorf("profile: minCount must be at least 1, got %d", minCount)
+	}
+	m := &Monitor{
+		baseline:  append([]float64(nil), baseline...),
+		threshold: threshold,
+		minCount:  minCount,
+		counts:    make([]float64, len(baseline)),
+	}
+	return m, nil
+}
+
+// Observe records one access and reports whether the accumulated
+// drift now crosses the threshold.
+func (m *Monitor) Observe(element int) (drifted bool, err error) {
+	if element < 0 || element >= len(m.counts) {
+		return false, fmt.Errorf("profile: access to element %d outside [0, %d)", element, len(m.counts))
+	}
+	m.counts[element]++
+	m.total++
+	if m.total < m.minCount {
+		return false, nil
+	}
+	d, err := m.Drift()
+	if err != nil {
+		return false, err
+	}
+	return d > m.threshold, nil
+}
+
+// Drift returns the current total-variation distance between the
+// baseline and the empirical profile, or 0 before any access.
+func (m *Monitor) Drift() (float64, error) {
+	if m.total == 0 {
+		return 0, nil
+	}
+	emp := make([]float64, len(m.counts))
+	for i, c := range m.counts {
+		emp[i] = c / float64(m.total)
+	}
+	return TotalVariation(m.baseline, emp)
+}
+
+// Empirical returns the observed profile so far (nil before any
+// access). Callers use it as the new baseline when re-solving.
+func (m *Monitor) Empirical() []float64 {
+	if m.total == 0 {
+		return nil
+	}
+	emp := make([]float64, len(m.counts))
+	for i, c := range m.counts {
+		emp[i] = c / float64(m.total)
+	}
+	return emp
+}
+
+// Reset re-baselines the monitor (typically on the Empirical profile
+// just used for a re-solve) and clears the observation window.
+func (m *Monitor) Reset(baseline []float64) error {
+	if len(baseline) != len(m.counts) {
+		return fmt.Errorf("profile: baseline has %d entries, monitor tracks %d", len(baseline), len(m.counts))
+	}
+	copy(m.baseline, baseline)
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	m.total = 0
+	return nil
+}
+
+// Total returns the number of accesses observed since the last reset.
+func (m *Monitor) Total() int { return m.total }

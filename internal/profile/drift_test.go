@@ -1,0 +1,134 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalVariation(t *testing.T) {
+	d, err := TotalVariation([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("TV of disjoint distributions = %v, want 1", d)
+	}
+	d, err = TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("TV of identical distributions = %v, want 0", d)
+	}
+	if _, err := TotalVariation([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestMonitorSignalsDrift(t *testing.T) {
+	baseline := []float64{0.5, 0.5}
+	m, err := NewMonitor(baseline, 0.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed accesses that all hit element 0: empirical profile (1, 0),
+	// TV distance 0.5 > 0.3, but not before 10 observations.
+	for i := 0; i < 9; i++ {
+		drifted, err := m.Observe(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drifted {
+			t.Fatalf("drift signalled after %d < minCount observations", i+1)
+		}
+	}
+	drifted, err := m.Observe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted {
+		t.Error("drift not signalled at TV distance 0.5 with threshold 0.3")
+	}
+	if got := m.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+}
+
+func TestMonitorStableProfileNoDrift(t *testing.T) {
+	baseline := []float64{0.5, 0.5}
+	m, err := NewMonitor(baseline, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		drifted, err := m.Observe(i % 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drifted {
+			t.Fatalf("false drift alarm at observation %d", i+1)
+		}
+	}
+	d, err := m.Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-9 {
+		t.Errorf("drift = %v for a perfectly matching stream", d)
+	}
+}
+
+func TestMonitorResetAndEmpirical(t *testing.T) {
+	m, err := NewMonitor([]float64{1, 0}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Empirical() != nil {
+		t.Error("Empirical before any access must be nil")
+	}
+	if _, err := m.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	emp := m.Empirical()
+	if emp[1] != 1 {
+		t.Errorf("Empirical = %v, want [0 1]", emp)
+	}
+	if err := m.Reset(emp); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 0 {
+		t.Error("Reset did not clear the observation window")
+	}
+	d, err := m.Drift()
+	if err != nil || d != 0 {
+		t.Errorf("Drift after reset = %v, %v", d, err)
+	}
+	if err := m.Reset([]float64{1}); err == nil {
+		t.Error("Reset with wrong length must fail")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, 0.5, 1); err == nil {
+		t.Error("empty baseline must fail")
+	}
+	if _, err := NewMonitor([]float64{1}, 0, 1); err == nil {
+		t.Error("zero threshold must fail")
+	}
+	if _, err := NewMonitor([]float64{1}, 1.5, 1); err == nil {
+		t.Error("threshold above 1 must fail")
+	}
+	if _, err := NewMonitor([]float64{1}, 0.5, 0); err == nil {
+		t.Error("minCount 0 must fail")
+	}
+	m, err := NewMonitor([]float64{1, 0}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe(7); err == nil {
+		t.Error("out-of-range access must fail")
+	}
+	if math.IsNaN(func() float64 { d, _ := m.Drift(); return d }()) {
+		t.Error("Drift must never be NaN")
+	}
+}

@@ -1,0 +1,71 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMA is an exponentially weighted access-profile estimator for
+// long-running mirrors: unlike FromAccessLog, which weighs the whole
+// history equally, it discounts old accesses with a configurable
+// half-life so the learned profile follows the community's current
+// interests. Updates are O(1) per access (a global scale factor is
+// maintained instead of decaying every element).
+type EWMA struct {
+	weights []float64
+	scale   float64 // multiplier applied per access: weights decay by scale
+	decay   float64
+	mass    float64
+}
+
+// NewEWMA creates an estimator over n elements whose past weight
+// halves every halfLifeAccesses accesses.
+func NewEWMA(n int, halfLifeAccesses float64) (*EWMA, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profile: EWMA needs at least one element, got %d", n)
+	}
+	if !(halfLifeAccesses > 0) || math.IsInf(halfLifeAccesses, 0) {
+		return nil, fmt.Errorf("profile: half-life must be positive and finite, got %v", halfLifeAccesses)
+	}
+	return &EWMA{
+		weights: make([]float64, n),
+		scale:   1,
+		decay:   math.Exp2(-1 / halfLifeAccesses),
+	}, nil
+}
+
+// Observe records one access.
+func (e *EWMA) Observe(element int) error {
+	if element < 0 || element >= len(e.weights) {
+		return fmt.Errorf("profile: access to element %d outside [0, %d)", element, len(e.weights))
+	}
+	// Decaying every weight per access would be O(n); instead the
+	// *new* observation is recorded with an ever-growing inverse
+	// scale, which is equivalent up to normalization.
+	e.scale /= e.decay
+	e.weights[element] += e.scale
+	e.mass += e.scale
+	// Renormalize before the scale overflows float64.
+	if e.scale > 1e300 {
+		inv := 1 / e.scale
+		for i := range e.weights {
+			e.weights[i] *= inv
+		}
+		e.mass *= inv
+		e.scale = 1
+	}
+	return nil
+}
+
+// Profile returns the current exponentially weighted access
+// distribution, or an error before any observation.
+func (e *EWMA) Profile() ([]float64, error) {
+	if e.mass == 0 {
+		return nil, fmt.Errorf("profile: EWMA has no observations")
+	}
+	out := make([]float64, len(e.weights))
+	for i, w := range e.weights {
+		out[i] = w / e.mass
+	}
+	return out, nil
+}

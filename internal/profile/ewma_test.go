@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMAValidation(t *testing.T) {
+	if _, err := NewEWMA(0, 10); err == nil {
+		t.Error("zero elements must fail")
+	}
+	if _, err := NewEWMA(5, 0); err == nil {
+		t.Error("zero half-life must fail")
+	}
+	e, err := NewEWMA(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(7); err == nil {
+		t.Error("out-of-range access must fail")
+	}
+	if _, err := e.Profile(); err == nil {
+		t.Error("profile before observations must fail")
+	}
+}
+
+func TestEWMAStationaryStreamMatchesCounts(t *testing.T) {
+	e, err := NewEWMA(2, 1e9) // effectively no decay
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		elem := 0
+		if i%3 == 2 {
+			elem = 1
+		}
+		if err := e.Observe(elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := e.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-2.0/3.0) > 0.01 {
+		t.Errorf("profile %v, want about [2/3 1/3]", p)
+	}
+}
+
+func TestEWMAFollowsShift(t *testing.T) {
+	// 1000 accesses to element 0, then 100 to element 1: with a
+	// half-life of 20 accesses, the recent burst dominates.
+	e, err := NewEWMA(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := e.Observe(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.Observe(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := e.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] < 0.9 {
+		t.Errorf("after the shift element 1 holds %v, want > 0.9", p[1])
+	}
+	// A plain count-based profile would still favour element 0.
+	counts, err := FromAccessLog(2, append(repeat(0, 1000), repeat(1, 100)...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] > 0.2 {
+		t.Errorf("count profile %v unexpectedly shifted", counts)
+	}
+}
+
+func TestEWMARenormalizationStable(t *testing.T) {
+	// Tiny half-life forces the internal scale to grow fast and
+	// exercises the overflow renormalization path.
+	e, err := NewEWMA(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		if err := e.Observe(i % 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := e.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("profile corrupted: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("profile sums to %v", sum)
+	}
+	// With half-life 0.1 the last access is nearly everything.
+	if p[(200000-1)%3] < 0.99 {
+		t.Errorf("last-accessed element holds %v, want ~1", p[(200000-1)%3])
+	}
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/stats"
+)
+
+// User is one client of the mirror. Interests maps element index to a
+// non-negative relative importance; it is normalized during
+// aggregation, so only ratios matter. Weight lets the mirror operator
+// prioritize some users (the paper's "generals or higher paying
+// customers"); zero-weight users are ignored.
+type User struct {
+	Name      string
+	Weight    float64
+	Interests map[int]float64
+}
+
+// Validate reports whether the user profile is usable for a mirror of
+// n elements.
+func (u User) Validate(n int) error {
+	if u.Weight < 0 || math.IsNaN(u.Weight) || math.IsInf(u.Weight, 0) {
+		return fmt.Errorf("profile: user %q has invalid weight %v", u.Name, u.Weight)
+	}
+	for idx, v := range u.Interests {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("profile: user %q references element %d outside [0, %d)", u.Name, idx, n)
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("profile: user %q has invalid interest %v in element %d", u.Name, v, idx)
+		}
+	}
+	return nil
+}
+
+// mass returns the user's total interest mass.
+func (u User) mass() float64 {
+	var m float64
+	for _, v := range u.Interests {
+		m += v
+	}
+	return m
+}
+
+// Aggregate combines user profiles into the master profile for a
+// mirror of n elements: each user's interests are normalized to a
+// probability distribution, scaled by the user's weight, summed, and
+// renormalized. Users with zero weight or zero interest mass are
+// skipped; if nothing remains the aggregate is undefined and an error
+// is returned.
+func Aggregate(n int, users []User) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profile: mirror must have at least one element, got %d", n)
+	}
+	master := make([]float64, n)
+	var contributed bool
+	for _, u := range users {
+		if err := u.Validate(n); err != nil {
+			return nil, err
+		}
+		if u.Weight == 0 {
+			continue
+		}
+		m := u.mass()
+		if m == 0 {
+			continue
+		}
+		for idx, v := range u.Interests {
+			master[idx] += u.Weight * v / m
+		}
+		contributed = true
+	}
+	if !contributed {
+		return nil, fmt.Errorf("profile: no user contributed interest mass")
+	}
+	return stats.Normalize(master)
+}
+
+// Zipf builds a master profile directly from a Zipf distribution with
+// skew theta: the element at position perm[r] receives the probability
+// of rank r+1. A nil perm means element index equals rank order
+// (element 0 is the hottest).
+func Zipf(n int, theta float64, perm []int) ([]float64, error) {
+	z, err := stats.NewZipf(n, theta)
+	if err != nil {
+		return nil, err
+	}
+	probs := z.Probs()
+	if perm == nil {
+		return probs, nil
+	}
+	if len(perm) != n {
+		return nil, fmt.Errorf("profile: permutation has %d entries for %d elements", len(perm), n)
+	}
+	out := make([]float64, n)
+	seen := make([]bool, n)
+	for r, idx := range perm {
+		if idx < 0 || idx >= n || seen[idx] {
+			return nil, fmt.Errorf("profile: perm is not a permutation of [0, %d)", n)
+		}
+		seen[idx] = true
+		out[idx] = probs[r]
+	}
+	return out, nil
+}
+
+// FromAccessLog estimates the master profile from an observed access
+// log — the "simple learning algorithm that monitors the system
+// request log" of the paper's conclusion. Each entry is an element
+// index. Smoothing adds the given pseudo-count to every element
+// (Laplace smoothing) so unobserved elements keep a small positive
+// probability; pass 0 for the raw maximum-likelihood estimate.
+func FromAccessLog(n int, accesses []int, smoothing float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profile: mirror must have at least one element, got %d", n)
+	}
+	if smoothing < 0 || math.IsNaN(smoothing) || math.IsInf(smoothing, 0) {
+		return nil, fmt.Errorf("profile: smoothing must be finite and non-negative, got %v", smoothing)
+	}
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = smoothing
+	}
+	for _, a := range accesses {
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("profile: access to element %d outside [0, %d)", a, n)
+		}
+		counts[a]++
+	}
+	return stats.Normalize(counts)
+}

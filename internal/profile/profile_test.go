@@ -1,0 +1,149 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateTwoUsers(t *testing.T) {
+	users := []User{
+		{Name: "a", Weight: 1, Interests: map[int]float64{0: 1, 1: 1}},
+		{Name: "b", Weight: 1, Interests: map[int]float64{1: 2}},
+	}
+	got, err := Aggregate(3, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User a contributes (0.5, 0.5, 0); user b contributes (0, 1, 0);
+	// the sum (0.5, 1.5, 0) normalizes to (0.25, 0.75, 0).
+	want := []float64{0.25, 0.75, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("master[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregateUserWeighting(t *testing.T) {
+	// A general with weight 3 counts three times a private's vote.
+	users := []User{
+		{Name: "general", Weight: 3, Interests: map[int]float64{0: 1}},
+		{Name: "private", Weight: 1, Interests: map[int]float64{1: 1}},
+	}
+	got, err := Aggregate(2, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.75) > 1e-12 || math.Abs(got[1]-0.25) > 1e-12 {
+		t.Errorf("master = %v, want [0.75 0.25]", got)
+	}
+}
+
+func TestAggregateInterestRatiosOnly(t *testing.T) {
+	// A user's absolute interest scale must not matter, only ratios:
+	// a user with interests {0:100} carries no more force than {0:1}.
+	a := []User{
+		{Weight: 1, Interests: map[int]float64{0: 100}},
+		{Weight: 1, Interests: map[int]float64{1: 1}},
+	}
+	got, err := Aggregate(2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.5) > 1e-12 {
+		t.Errorf("master = %v, want [0.5 0.5]", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(0, nil); err == nil {
+		t.Error("empty mirror must fail")
+	}
+	if _, err := Aggregate(2, nil); err == nil {
+		t.Error("no users must fail")
+	}
+	if _, err := Aggregate(2, []User{{Weight: 0, Interests: map[int]float64{0: 1}}}); err == nil {
+		t.Error("all-zero-weight users must fail")
+	}
+	if _, err := Aggregate(2, []User{{Weight: 1, Interests: map[int]float64{5: 1}}}); err == nil {
+		t.Error("out-of-range interest must fail")
+	}
+	if _, err := Aggregate(2, []User{{Weight: -1, Interests: map[int]float64{0: 1}}}); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := Aggregate(2, []User{{Weight: 1, Interests: map[int]float64{0: -1}}}); err == nil {
+		t.Error("negative interest must fail")
+	}
+}
+
+func TestZipfProfile(t *testing.T) {
+	got, err := Zipf(4, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] <= got[1] || got[1] <= got[2] || got[2] <= got[3] {
+		t.Errorf("default zipf profile not rank-ordered: %v", got)
+	}
+	// With a permutation, rank 1 probability lands on perm[0].
+	perm := []int{3, 2, 1, 0}
+	rev, err := Zipf(4, 1.0, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(rev[3-i]-got[i]) > 1e-12 {
+			t.Errorf("permuted profile mismatch at %d: %v vs %v", i, rev, got)
+		}
+	}
+}
+
+func TestZipfProfileBadPerm(t *testing.T) {
+	if _, err := Zipf(3, 1, []int{0, 1}); err == nil {
+		t.Error("short permutation must fail")
+	}
+	if _, err := Zipf(3, 1, []int{0, 1, 1}); err == nil {
+		t.Error("non-bijective permutation must fail")
+	}
+	if _, err := Zipf(3, 1, []int{0, 1, 5}); err == nil {
+		t.Error("out-of-range permutation must fail")
+	}
+}
+
+func TestFromAccessLog(t *testing.T) {
+	got, err := FromAccessLog(3, []int{0, 0, 1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.75, 0.25, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("profile[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Laplace smoothing keeps unseen elements positive.
+	smoothed, err := FromAccessLog(3, []int{0, 0, 1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smoothed[2] <= 0 {
+		t.Errorf("smoothed profile gives element 2 mass %v, want > 0", smoothed[2])
+	}
+	if math.Abs(smoothed[2]-1.0/7.0) > 1e-12 {
+		t.Errorf("smoothed[2] = %v, want 1/7", smoothed[2])
+	}
+}
+
+func TestFromAccessLogErrors(t *testing.T) {
+	if _, err := FromAccessLog(0, nil, 0); err == nil {
+		t.Error("empty mirror must fail")
+	}
+	if _, err := FromAccessLog(2, []int{5}, 0); err == nil {
+		t.Error("out-of-range access must fail")
+	}
+	if _, err := FromAccessLog(2, nil, 0); err == nil {
+		t.Error("no accesses and no smoothing must fail (zero mass)")
+	}
+	if _, err := FromAccessLog(2, nil, -1); err == nil {
+		t.Error("negative smoothing must fail")
+	}
+}

@@ -1,0 +1,8 @@
+// Package schedule turns a vector of per-element refresh frequencies
+// into a concrete synchronization timeline. Under the paper's
+// Fixed-Order policy every element is refreshed at a fixed interval
+// 1/fᵢ; the timeline merges those per-element arithmetic progressions
+// into one time-ordered stream of sync operations, the form consumed
+// by the simulator's Synchronization Scheduler and by a real mirror's
+// fetch loop.
+package schedule

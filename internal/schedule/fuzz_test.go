@@ -1,0 +1,42 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantize checks budget preservation and per-element proximity on
+// arbitrary frequency vectors.
+func FuzzQuantize(f *testing.F) {
+	f.Add([]byte{10, 20, 30})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		freqs := make([]float64, len(raw))
+		var total float64
+		for i, b := range raw {
+			freqs[i] = float64(b) / 16
+			total += freqs[i]
+		}
+		counts, err := Quantize(freqs)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count %d", c)
+			}
+			if math.Abs(float64(c)-freqs[i]) >= 1 {
+				t.Fatalf("count %d strays from frequency %v", c, freqs[i])
+			}
+			sum += c
+		}
+		if sum != int(math.Round(total)) {
+			t.Fatalf("counts sum %d, budget %v", sum, total)
+		}
+	})
+}

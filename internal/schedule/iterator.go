@@ -1,0 +1,99 @@
+package schedule
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"freshen/internal/stats"
+)
+
+// Iterator yields a plan's refresh operations one at a time, forever —
+// the form a live mirror's fetch loop consumes. Unlike Timeline it has
+// no horizon: each Next call returns the next due (time, element) pair
+// under Fixed-Order spacing, with per-element intervals 1/fᵢ.
+//
+// Iterator is not safe for concurrent use; a fetch loop owns it.
+type Iterator struct {
+	freqs []float64
+	h     eventHeap
+}
+
+// NewIterator builds an iterator over the frequency vector. Elements
+// with zero frequency never appear. randomPhase staggers first
+// refreshes within each element's interval using seed; otherwise every
+// element starts at its half-interval point.
+func NewIterator(freqs []float64, randomPhase bool, seed int64) (*Iterator, error) {
+	it := &Iterator{freqs: append([]float64(nil), freqs...)}
+	var r *stats.RNG
+	if randomPhase {
+		r = stats.NewRNG(seed)
+	}
+	for i, f := range freqs {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("schedule: element %d has invalid frequency %v", i, f)
+		}
+		if f == 0 {
+			continue
+		}
+		interval := 1 / f
+		phase := 0.5 * interval
+		if r != nil {
+			phase = r.Float64() * interval
+		}
+		heap.Push(&it.h, SyncEvent{Time: phase, Element: i})
+	}
+	return it, nil
+}
+
+// Next returns the next due refresh and schedules the element's
+// subsequent one. ok is false when the iterator is empty (every
+// frequency was zero).
+func (it *Iterator) Next() (ev SyncEvent, ok bool) {
+	if it.h.Len() == 0 {
+		return SyncEvent{}, false
+	}
+	ev = heap.Pop(&it.h).(SyncEvent)
+	heap.Push(&it.h, SyncEvent{
+		Time:    ev.Time + 1/it.freqs[ev.Element],
+		Element: ev.Element,
+	})
+	return ev, true
+}
+
+// Peek returns the next due refresh without consuming it.
+func (it *Iterator) Peek() (ev SyncEvent, ok bool) {
+	if it.h.Len() == 0 {
+		return SyncEvent{}, false
+	}
+	return it.h[0], true
+}
+
+// Reschedule replaces the frequency of one element from now on: its
+// pending occurrence keeps its due time (or is inserted at now +
+// interval if the element was idle), and subsequent occurrences follow
+// the new interval. Setting freq to 0 removes the element after its
+// pending occurrence fires; Next skips retired elements lazily.
+func (it *Iterator) Reschedule(element int, freq, now float64) error {
+	if element < 0 || element >= len(it.freqs) {
+		return fmt.Errorf("schedule: element %d outside [0, %d)", element, len(it.freqs))
+	}
+	if freq < 0 || math.IsNaN(freq) || math.IsInf(freq, 0) {
+		return fmt.Errorf("schedule: invalid frequency %v", freq)
+	}
+	wasIdle := it.freqs[element] == 0
+	it.freqs[element] = freq
+	if wasIdle && freq > 0 {
+		heap.Push(&it.h, SyncEvent{Time: now + 1/freq, Element: element})
+	}
+	if freq == 0 && !wasIdle {
+		// Remove the pending occurrence so the element retires now.
+		for i := range it.h {
+			if it.h[i].Element == element {
+				heap.Remove(&it.h, i)
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantize rounds fractional per-period refresh frequencies to whole
+// refresh counts while preserving the total budget — what a mirror
+// that plans period-by-period actually executes. It uses the largest-
+// remainder method: every element gets ⌊fᵢ⌋ refreshes, and the
+// leftover budget goes to the elements with the largest fractional
+// parts (ties broken by lower index for determinism). Sizes are not
+// consulted: quantization is about slot counts, so callers with sized
+// objects should quantize the frequency vector their bandwidth-aware
+// solver produced.
+//
+// The returned counts satisfy Σ counts = round(Σ freqs) exactly.
+func Quantize(freqs []float64) ([]int, error) {
+	counts := make([]int, len(freqs))
+	type frac struct {
+		idx int
+		rem float64
+	}
+	var rems []frac
+	var total float64
+	for i, f := range freqs {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("schedule: element %d has invalid frequency %v", i, f)
+		}
+		total += f
+		floor := math.Floor(f)
+		counts[i] = int(floor)
+		if rem := f - floor; rem > 0 {
+			rems = append(rems, frac{idx: i, rem: rem})
+		}
+	}
+	budget := int(math.Round(total))
+	used := 0
+	for _, c := range counts {
+		used += c
+	}
+	leftover := budget - used
+	if leftover < 0 {
+		// Impossible with floor counts, but guard against float edge
+		// cases where Round(total) < Σ floors.
+		leftover = 0
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].rem > rems[b].rem })
+	for i := 0; i < leftover && i < len(rems); i++ {
+		counts[rems[i].idx]++
+	}
+	return counts, nil
+}
+
+// QuantizedFreqs converts whole refresh counts back to a frequency
+// vector (refreshes per period) for scoring with the closed forms.
+func QuantizedFreqs(counts []int) []float64 {
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizePreservesBudget(t *testing.T) {
+	freqs := []float64{1.15, 1.36, 1.35, 1.14, 0.0}
+	counts, err := Quantize(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("total %d, want round(5.0) = 5", total)
+	}
+	// Floors sum to 4 against a budget of 5: one leftover slot goes to
+	// the largest remainder (0.36).
+	want := []int{1, 2, 1, 1, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts = %v, want %v", counts, want)
+			break
+		}
+	}
+}
+
+func TestQuantizeExactIntegers(t *testing.T) {
+	counts, err := Quantize([]float64{2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	if _, err := Quantize([]float64{-1}); err == nil {
+		t.Error("negative frequency must fail")
+	}
+	if _, err := Quantize([]float64{math.NaN()}); err == nil {
+		t.Error("NaN must fail")
+	}
+}
+
+func TestQuantizePropertyBudgetAndProximity(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		freqs := make([]float64, len(raw))
+		var total float64
+		for i, v := range raw {
+			freqs[i] = float64(v%800) / 100
+			total += freqs[i]
+		}
+		counts, err := Quantize(freqs)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, c := range counts {
+			// Each count is within 1 of its frequency.
+			if math.Abs(float64(c)-freqs[i]) >= 1 {
+				return false
+			}
+			sum += c
+		}
+		return sum == int(math.Round(total))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizedFreqs(t *testing.T) {
+	got := QuantizedFreqs([]int{0, 2, 5})
+	if got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("QuantizedFreqs = %v", got)
+	}
+}
+
+func TestIteratorMatchesTimeline(t *testing.T) {
+	freqs := []float64{1.5, 0, 3.7}
+	events, err := Timeline(freqs, Options{Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIterator(freqs, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator dried up at %d", i)
+		}
+		if math.Abs(got.Time-want.Time) > 1e-9 || got.Element != want.Element {
+			t.Fatalf("event %d: iterator %+v vs timeline %+v", i, got, want)
+		}
+	}
+	// And it keeps going past any horizon.
+	next, ok := it.Next()
+	if !ok || next.Time < 10 {
+		t.Errorf("iterator should continue past the horizon, got %+v ok=%v", next, ok)
+	}
+}
+
+func TestIteratorEmptyAndPeek(t *testing.T) {
+	it, err := NewIterator([]float64{0, 0}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("all-zero iterator must be empty")
+	}
+	if _, ok := it.Peek(); ok {
+		t.Error("all-zero iterator Peek must be empty")
+	}
+
+	it, err = NewIterator([]float64{2}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok := it.Peek()
+	if !ok {
+		t.Fatal("peek failed")
+	}
+	n1, _ := it.Next()
+	if p1 != n1 {
+		t.Errorf("Peek %+v != Next %+v", p1, n1)
+	}
+}
+
+func TestIteratorValidation(t *testing.T) {
+	if _, err := NewIterator([]float64{-1}, false, 0); err == nil {
+		t.Error("negative frequency must fail")
+	}
+	it, err := NewIterator([]float64{1}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Reschedule(5, 1, 0); err == nil {
+		t.Error("out-of-range element must fail")
+	}
+	if err := it.Reschedule(0, math.Inf(1), 0); err == nil {
+		t.Error("infinite frequency must fail")
+	}
+}
+
+func TestIteratorReschedule(t *testing.T) {
+	it, err := NewIterator([]float64{1, 1}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speed element 0 up to 4/period at t=0: its pending occurrence
+	// (t=0.5) stays, subsequent ones follow the 0.25 interval.
+	if err := it.Reschedule(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	var zeroTimes []float64
+	for i := 0; i < 12; i++ {
+		ev, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator dried up")
+		}
+		if ev.Element == 0 {
+			zeroTimes = append(zeroTimes, ev.Time)
+		}
+	}
+	if len(zeroTimes) < 3 {
+		t.Fatalf("element 0 appeared %d times in 12 events after speed-up", len(zeroTimes))
+	}
+	if math.Abs(zeroTimes[0]-0.5) > 1e-9 {
+		t.Errorf("pending occurrence moved: %v", zeroTimes[0])
+	}
+	for i := 1; i < len(zeroTimes); i++ {
+		if math.Abs(zeroTimes[i]-zeroTimes[i-1]-0.25) > 1e-9 {
+			t.Errorf("interval after reschedule: %v", zeroTimes[i]-zeroTimes[i-1])
+		}
+	}
+}
+
+func TestIteratorRetireAndRevive(t *testing.T) {
+	it, err := NewIterator([]float64{2, 2}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retire element 1 immediately: it must never fire.
+	if err := it.Reschedule(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		ev, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator dried up")
+		}
+		if ev.Element == 1 {
+			t.Fatal("retired element fired")
+		}
+	}
+	// Revive it at t=4 with frequency 1: first occurrence at 5.
+	if err := it.Reschedule(1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator dried up")
+		}
+		if ev.Element == 1 {
+			if math.Abs(ev.Time-5) > 1e-9 {
+				t.Errorf("revived element first fires at %v, want 5", ev.Time)
+			}
+			break
+		}
+		if ev.Time > 20 {
+			t.Fatal("revived element never fired")
+		}
+	}
+}

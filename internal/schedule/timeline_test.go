@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineEvenSpacing(t *testing.T) {
+	events, err := Timeline([]float64{2}, Options{Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequency 2 over horizon 10, phased at half-interval 0.25:
+	// events at 0.25, 0.75, 1.25, ..., 9.75 — twenty of them.
+	if len(events) != 20 {
+		t.Fatalf("got %d events, want 20", len(events))
+	}
+	for i, ev := range events {
+		want := 0.25 + 0.5*float64(i)
+		if math.Abs(ev.Time-want) > 1e-9 {
+			t.Errorf("event %d at %v, want %v", i, ev.Time, want)
+		}
+		if ev.Element != 0 {
+			t.Errorf("event %d element %d", i, ev.Element)
+		}
+	}
+}
+
+func TestTimelineMergedSorted(t *testing.T) {
+	freqs := []float64{1.5, 0, 3.7, 0.4}
+	events, err := Timeline(freqs, Options{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(freqs))
+	prev := -1.0
+	for _, ev := range events {
+		if ev.Time < prev {
+			t.Fatal("events out of order")
+		}
+		prev = ev.Time
+		if ev.Time < 0 || ev.Time >= 100 {
+			t.Fatalf("event at %v outside horizon", ev.Time)
+		}
+		counts[ev.Element]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-frequency element synced %d times", counts[1])
+	}
+	for i, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		want := f * 100
+		if math.Abs(float64(counts[i])-want) > 1 {
+			t.Errorf("element %d synced %d times, want about %v", i, counts[i], want)
+		}
+	}
+}
+
+func TestTimelineRandomPhaseDeterministic(t *testing.T) {
+	freqs := []float64{1, 2, 3}
+	a, err := Timeline(freqs, Options{Horizon: 10, RandomPhase: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Timeline(freqs, Options{Horizon: 10, RandomPhase: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	c, err := Timeline(freqs, Options{Horizon: 10, RandomPhase: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical timelines")
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	if _, err := Timeline([]float64{1}, Options{Horizon: 0}); err == nil {
+		t.Error("zero horizon must fail")
+	}
+	if _, err := Timeline([]float64{-1}, Options{Horizon: 10}); err == nil {
+		t.Error("negative frequency must fail")
+	}
+	if _, err := Timeline([]float64{math.NaN()}, Options{Horizon: 10}); err == nil {
+		t.Error("NaN frequency must fail")
+	}
+	// All-zero frequencies yield an empty timeline, not an error.
+	events, err := Timeline([]float64{0, 0}, Options{Horizon: 10})
+	if err != nil || len(events) != 0 {
+		t.Errorf("all-zero freqs: %v, %v", events, err)
+	}
+}
+
+func TestOrder(t *testing.T) {
+	events := []SyncEvent{{Time: 1, Element: 2}, {Time: 2, Element: 0}}
+	got := Order(events)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Errorf("Order = %v, want [2 0]", got)
+	}
+}
+
+func TestTimelinePropertyIntervalsExact(t *testing.T) {
+	// Property: consecutive syncs of the same element are exactly one
+	// interval apart (the Fixed-Order premise behind the closed form).
+	f := func(rawF uint8, seed int64) bool {
+		freq := float64(rawF%40)/4 + 0.25
+		events, err := Timeline([]float64{freq}, Options{Horizon: 50, RandomPhase: true, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(events); i++ {
+			if math.Abs(events[i].Time-events[i-1].Time-1/freq) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

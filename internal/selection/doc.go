@@ -1,0 +1,16 @@
+// Package selection implements the extension sketched in the paper's
+// conclusion: when the mirror is smaller than the database, profile
+// knowledge should also decide *which* objects to host, not just how
+// often to refresh them. ("Notice that in Figure 10 there are a
+// significant number of objects that do not get refreshed at all...
+// this could influence which objects we include in the mirror when the
+// mirror is smaller than the database.")
+//
+// The joint problem — pick a subset within a storage capacity, then
+// split the refresh bandwidth across it — is solved greedily: objects
+// are admitted in order of the perceived-freshness value they could
+// contribute per unit of storage, and the refresh schedule for the
+// admitted set is re-solved exactly. Unhosted objects are assumed to
+// miss (contribute zero freshness), which makes the objective the
+// fraction of accesses served fresh *from the mirror*.
+package selection

@@ -1,0 +1,186 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+)
+
+// Problem is the joint host-and-freshen instance: choose which
+// candidate elements the mirror stores (Σ sizes of hosted ≤ Capacity)
+// and how to split the refresh bandwidth among the hosted ones.
+type Problem struct {
+	// Candidates is the full database the mirror could host from.
+	Candidates []freshness.Element
+	// Capacity is the storage budget in size units.
+	Capacity float64
+	// Bandwidth is the refresh budget per period.
+	Bandwidth float64
+	// Policy is the synchronization policy; nil means Fixed-Order.
+	Policy freshness.Policy
+}
+
+// Validate checks the instance.
+func (p Problem) Validate() error {
+	if err := freshness.ValidateElements(p.Candidates); err != nil {
+		return err
+	}
+	if !(p.Capacity > 0) || math.IsInf(p.Capacity, 0) {
+		return fmt.Errorf("selection: capacity must be positive and finite, got %v", p.Capacity)
+	}
+	if p.Bandwidth < 0 || math.IsNaN(p.Bandwidth) || math.IsInf(p.Bandwidth, 0) {
+		return fmt.Errorf("selection: bandwidth must be non-negative and finite, got %v", p.Bandwidth)
+	}
+	return nil
+}
+
+// Result is a hosting decision plus the refresh schedule for it.
+type Result struct {
+	// Hosted marks which candidates the mirror stores.
+	Hosted []bool
+	// Freqs is candidate-aligned; unhosted candidates have frequency 0.
+	Freqs []float64
+	// Perceived is the fraction of accesses served fresh from the
+	// mirror: unhosted candidates contribute 0 even if they never
+	// change, because an access to them misses.
+	Perceived float64
+	// HostedCount and SizeUsed describe the selection.
+	HostedCount int
+	SizeUsed    float64
+}
+
+// Greedy solves the joint problem with a density greedy: candidates
+// are ranked by the perceived-freshness value they could contribute
+// per unit of storage — pᵢ·F(f̄ᵢ, λᵢ)/sᵢ at the fair-share frequency
+// f̄ᵢ = Bandwidth/(Capacity/sᵢ estimate) — admitted until the capacity
+// is exhausted, and the refresh schedule for the admitted set is then
+// solved exactly. The value estimate uses the fair-share refresh rate
+// each element would get if the bandwidth were spread across a full
+// mirror, which makes stable hot elements (cheap to keep fresh) rank
+// above volatile ones of equal interest.
+func Greedy(p Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.Candidates)
+	pol := p.Policy
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+
+	// Fair-share refresh frequency if the whole capacity were filled:
+	// bandwidth spread over Capacity size units of hosted data.
+	fairShare := p.Bandwidth / p.Capacity // refreshes per size unit
+	type ranked struct {
+		idx     int
+		density float64
+	}
+	order := make([]ranked, n)
+	for i, e := range p.Candidates {
+		value := e.AccessProb * pol.Freshness(fairShare*1.0, e.Lambda)
+		order[i] = ranked{idx: i, density: value / e.Size}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].density > order[b].density })
+
+	res := Result{
+		Hosted: make([]bool, n),
+		Freqs:  make([]float64, n),
+	}
+	var hosted []int
+	for _, r := range order {
+		size := p.Candidates[r.idx].Size
+		if res.SizeUsed+size > p.Capacity {
+			continue // try smaller candidates further down the ranking
+		}
+		if r.density <= 0 && res.SizeUsed > 0 {
+			break // nothing of value left
+		}
+		res.Hosted[r.idx] = true
+		res.SizeUsed += size
+		hosted = append(hosted, r.idx)
+	}
+	res.HostedCount = len(hosted)
+	if len(hosted) == 0 {
+		return res, nil
+	}
+
+	sub := make([]freshness.Element, len(hosted))
+	for i, idx := range hosted {
+		sub[i] = p.Candidates[idx]
+	}
+	sol, err := solver.WaterFill(solver.Problem{
+		Elements:  sub,
+		Bandwidth: p.Bandwidth,
+		Policy:    p.Policy,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for i, idx := range hosted {
+		res.Freqs[idx] = sol.Freqs[i]
+	}
+	// Score over all candidates: misses contribute zero.
+	var pf float64
+	for i, e := range p.Candidates {
+		if res.Hosted[i] {
+			pf += e.AccessProb * pol.Freshness(res.Freqs[i], e.Lambda)
+		}
+	}
+	res.Perceived = pf
+	return res, nil
+}
+
+// HostAll returns the baseline that ignores the capacity constraint's
+// selectivity: host the candidates in index order until capacity runs
+// out (the "mirror whatever fits" policy), then schedule exactly. It
+// exists so tests and examples can quantify what profile-driven
+// selection adds.
+func HostAll(p Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.Candidates)
+	res := Result{
+		Hosted: make([]bool, n),
+		Freqs:  make([]float64, n),
+	}
+	var hosted []int
+	for i, e := range p.Candidates {
+		if res.SizeUsed+e.Size > p.Capacity {
+			continue
+		}
+		res.Hosted[i] = true
+		res.SizeUsed += e.Size
+		hosted = append(hosted, i)
+	}
+	res.HostedCount = len(hosted)
+	if len(hosted) == 0 {
+		return res, nil
+	}
+	sub := make([]freshness.Element, len(hosted))
+	for i, idx := range hosted {
+		sub[i] = p.Candidates[idx]
+	}
+	sol, err := solver.WaterFill(solver.Problem{
+		Elements:  sub,
+		Bandwidth: p.Bandwidth,
+		Policy:    p.Policy,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	pol := p.Policy
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	var pf float64
+	for i, idx := range hosted {
+		res.Freqs[idx] = sol.Freqs[i]
+		pf += p.Candidates[idx].AccessProb * pol.Freshness(sol.Freqs[i], p.Candidates[idx].Lambda)
+	}
+	res.Perceived = pf
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/workload"
+)
+
+func TestRunAgeMatchesClosedForm(t *testing.T) {
+	// Uniform allocation funds every element, keeping the analytic
+	// perceived age finite so the two can be compared.
+	spec := workload.TableTwo()
+	spec.NumObjects = 200
+	spec.UpdatesPerPeriod = 400
+	spec.SyncsPerPeriod = 100
+	spec.Theta = 1.0
+	spec.Seed = 5
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := make([]float64, len(elems))
+	for i := range freqs {
+		freqs[i] = spec.SyncsPerPeriod / float64(len(elems))
+	}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             freqs,
+		Periods:           80,
+		WarmupPeriods:     8,
+		AccessesPerPeriod: 1000,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.AnalyticAge, 0) || math.IsNaN(res.AnalyticAge) {
+		t.Fatalf("analytic age = %v", res.AnalyticAge)
+	}
+	if rel := math.Abs(res.MeasuredAge-res.AnalyticAge) / res.AnalyticAge; rel > 0.05 {
+		t.Errorf("measured age %v vs analytic %v (rel %.3f)", res.MeasuredAge, res.AnalyticAge, rel)
+	}
+}
+
+func TestRunAgeStarvedElementGrows(t *testing.T) {
+	// A changing element that is never refreshed accumulates age
+	// roughly linearly: over a window of length T its time-averaged
+	// age approaches T/2 (plus the pre-window backlog).
+	elems := []freshness.Element{{ID: 0, Lambda: 10, AccessProb: 1, Size: 1}}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{0},
+		Periods:           20,
+		WarmupPeriods:     2,
+		AccessesPerPeriod: 100,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.AnalyticAge, 1) {
+		t.Errorf("analytic age for an unrefreshed element = %v, want +Inf", res.AnalyticAge)
+	}
+	// Goes stale almost immediately (λ=10); measured mean age over
+	// [2, 20] is about mean of (t - t0) ≈ 11 - small.
+	if res.MeasuredAge < 8 || res.MeasuredAge > 12 {
+		t.Errorf("measured age %v, want about 11", res.MeasuredAge)
+	}
+}
+
+func TestRunAgeUnchangingElementZero(t *testing.T) {
+	elems := []freshness.Element{{ID: 0, Lambda: 0, AccessProb: 1, Size: 1}}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{0},
+		Periods:           10,
+		WarmupPeriods:     1,
+		AccessesPerPeriod: 100,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredAge != 0 || res.AnalyticAge != 0 {
+		t.Errorf("unchanging element: measured %v analytic %v, want 0", res.MeasuredAge, res.AnalyticAge)
+	}
+}
+
+func TestRunAgePoissonDisciplineNaN(t *testing.T) {
+	elems := []freshness.Element{{ID: 0, Lambda: 1, AccessProb: 1, Size: 1}}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{2},
+		Periods:           10,
+		WarmupPeriods:     1,
+		AccessesPerPeriod: 100,
+		Discipline:        PoissonSync,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.AnalyticAge) {
+		t.Errorf("poisson analytic age = %v, want NaN (not implemented)", res.AnalyticAge)
+	}
+	if res.MeasuredAge <= 0 {
+		t.Errorf("poisson measured age = %v, want positive", res.MeasuredAge)
+	}
+}

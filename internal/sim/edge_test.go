@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+func TestRunZeroMassProfileDisablesAccesses(t *testing.T) {
+	// All access probabilities zero: the request generator is off and
+	// monitored PF is reported as 0 (no accesses), while time-averaged
+	// freshness still measures.
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 2, AccessProb: 0, Size: 1},
+		{ID: 1, Lambda: 2, AccessProb: 0, Size: 1},
+	}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{2, 2},
+		Periods:           20,
+		WarmupPeriods:     2,
+		AccessesPerPeriod: 5000,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 0 || res.MonitoredPF != 0 {
+		t.Errorf("accesses %d monitored %v, want 0", res.Accesses, res.MonitoredPF)
+	}
+	if res.AvgFreshness <= 0 {
+		t.Errorf("avg freshness %v, want positive (syncs still run)", res.AvgFreshness)
+	}
+	if res.Syncs == 0 {
+		t.Error("no syncs performed")
+	}
+}
+
+func TestRunPerElementStats(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 0, AccessProb: 0.75, Size: 1}, // always fresh
+		{ID: 1, Lambda: 20, AccessProb: 0.25, Size: 1},
+	}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{0, 1},
+		Periods:           40,
+		WarmupPeriods:     4,
+		AccessesPerPeriod: 4000,
+		CollectPerElement: true,
+		Seed:              9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerElement) != 2 {
+		t.Fatalf("PerElement has %d entries", len(res.PerElement))
+	}
+	pe := res.PerElement
+	if pe[0].Freshness != 1 || pe[0].Age != 0 {
+		t.Errorf("unchanging element: %+v", pe[0])
+	}
+	if pe[1].Freshness > 0.2 {
+		t.Errorf("volatile under-refreshed element freshness %v, want low", pe[1].Freshness)
+	}
+	if pe[1].Age <= 0 {
+		t.Errorf("volatile element age %v, want positive", pe[1].Age)
+	}
+	// Per-element counters roll up to the totals.
+	if pe[0].Accesses+pe[1].Accesses != res.Accesses {
+		t.Errorf("per-element accesses %d+%d != total %d", pe[0].Accesses, pe[1].Accesses, res.Accesses)
+	}
+	if pe[0].FreshAccesses+pe[1].FreshAccesses != res.FreshAccesses {
+		t.Error("per-element fresh accesses do not roll up")
+	}
+	// Access shares follow the profile.
+	share := float64(pe[0].Accesses) / float64(res.Accesses)
+	if share < 0.72 || share > 0.78 {
+		t.Errorf("element 0 access share %v, want about 0.75", share)
+	}
+
+	// Off by default.
+	res2, err := Run(Config{
+		Elements: elems, Freqs: []float64{0, 1},
+		Periods: 10, WarmupPeriods: 1, AccessesPerPeriod: 100, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PerElement != nil {
+		t.Error("PerElement should be nil unless requested")
+	}
+}
+
+func TestRunPoissonSyncCounts(t *testing.T) {
+	// Under the Poisson discipline the sync count is itself Poisson
+	// with mean Σf × window; verify it lands in a plausible band.
+	elems := []freshness.Element{{ID: 0, Lambda: 1, AccessProb: 1, Size: 1}}
+	res, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{4},
+		Periods:           100,
+		WarmupPeriods:     10,
+		AccessesPerPeriod: 100,
+		Discipline:        PoissonSync,
+		Seed:              2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 * res.MeasuredTime
+	if float64(res.Syncs) < want*0.8 || float64(res.Syncs) > want*1.2 {
+		t.Errorf("poisson syncs %d, want about %v", res.Syncs, want)
+	}
+}
+
+func TestRunWarmupExcludesInitialFreshness(t *testing.T) {
+	// A never-refreshed volatile element starts fresh; without warmup
+	// the initial fresh interval pollutes the measurement, with warmup
+	// it does not. Compare the two directly.
+	elems := []freshness.Element{{ID: 0, Lambda: 0.5, AccessProb: 1, Size: 1}}
+	short, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{0},
+		Periods:           10,
+		WarmupPeriods:     1,
+		AccessesPerPeriod: 100,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(Config{
+		Elements:          elems,
+		Freqs:             []float64{0},
+		Periods:           10,
+		WarmupPeriods:     8,
+		AccessesPerPeriod: 100,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With λ=0.5 the element is likely still fresh early on; the late
+	// window must see less freshness than the early-inclusive one.
+	if long.TimeAveragedPF > short.TimeAveragedPF+1e-9 {
+		t.Errorf("longer warmup measured more freshness: %v vs %v",
+			long.TimeAveragedPF, short.TimeAveragedPF)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the three event streams of Figure 4.
+type eventKind uint8
+
+const (
+	evUpdate eventKind = iota // Update Generator -> Source
+	evSync                    // Synchronization Scheduler -> Mirror
+	evAccess                  // User Request Generator -> Mirror
+)
+
+// event is one scheduled occurrence. Each stream re-arms itself when
+// its event fires, so the heap holds at most one update and one sync
+// event per element plus one access event.
+type event struct {
+	time float64
+	kind eventKind
+	elem int
+}
+
+// eventQueue is a min-heap of events ordered by time; ties break by
+// kind (updates before syncs before accesses, so a refresh that
+// coincides with an update is conservatively treated as fetching the
+// pre-update value) and then element index, keeping runs deterministic.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].elem < q[j].elem
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// push is a convenience wrapper.
+func (q *eventQueue) push(ev event) { heap.Push(q, ev) }
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event { return heap.Pop(q).(event) }

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+// PushConfig describes a push-based refresh run: the source notifies
+// the mirror the instant an element changes (the cooperation the
+// paper's related work assumes and typical sources do not offer), and
+// the mirror works through the dirty set at its bandwidth's service
+// rate. Comparing its perceived freshness with the pull-optimal
+// schedule at the same bandwidth bounds what source cooperation would
+// buy.
+type PushConfig struct {
+	// Elements is the mirror.
+	Elements []freshness.Element
+	// Bandwidth is the service rate: refreshes per period.
+	Bandwidth float64
+	// PeriodLength, Periods, WarmupPeriods, AccessesPerPeriod and Seed
+	// behave as in Config.
+	PeriodLength      float64
+	Periods           int
+	WarmupPeriods     int
+	AccessesPerPeriod float64
+	Seed              int64
+	// Priority makes the server refresh the dirty element with the
+	// highest access probability first instead of FIFO order — the
+	// smarter cooperative mirror a profile-aware source could run.
+	Priority bool
+}
+
+// RunPush executes a push-notification simulation. The mirror keeps a
+// FIFO of dirty elements (duplicates collapsed — refreshing an element
+// clears all its pending changes) and a single server that completes
+// one refresh every 1/Bandwidth periods while the queue is non-empty.
+func RunPush(cfg PushConfig) (Result, error) {
+	base := Config{
+		Elements:          cfg.Elements,
+		Freqs:             make([]float64, len(cfg.Elements)),
+		PeriodLength:      cfg.PeriodLength,
+		Periods:           cfg.Periods,
+		WarmupPeriods:     cfg.WarmupPeriods,
+		AccessesPerPeriod: cfg.AccessesPerPeriod,
+		Seed:              cfg.Seed,
+	}
+	if err := base.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !(cfg.Bandwidth > 0) {
+		return Result{}, fmt.Errorf("sim: push bandwidth must be positive, got %v", cfg.Bandwidth)
+	}
+	base = base.withDefaults()
+	n := len(base.Elements)
+	horizon := base.PeriodLength * float64(base.Periods)
+	measureStart := base.PeriodLength * float64(base.WarmupPeriods)
+	service := base.PeriodLength / cfg.Bandwidth
+
+	r := stats.NewRNG(base.Seed)
+	updateRNG := r.Split()
+	accessRNG := r.Split()
+
+	var accessAlias *stats.Alias
+	accessRate := base.AccessesPerPeriod / base.PeriodLength
+	if accessRate > 0 {
+		weights := make([]float64, n)
+		var mass float64
+		for i, e := range base.Elements {
+			weights[i] = e.AccessProb
+			mass += e.AccessProb
+		}
+		if mass > 0 {
+			var err error
+			accessAlias, err = stats.NewAlias(weights)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	freshSince := make([]float64, n)
+	staleSince := make([]float64, n)
+	freshTime := make([]float64, n)
+	ageTime := make([]float64, n)
+	fresh := make([]bool, n)
+	queued := make([]bool, n)
+	for i := range fresh {
+		fresh[i] = true
+	}
+	var queue dirtyQueue = &fifoQueue{}
+	if cfg.Priority {
+		weights := make([]float64, n)
+		for i, e := range base.Elements {
+			weights[i] = e.AccessProb
+		}
+		queue = &priorityQueue{weights: weights}
+	}
+	serverBusy := false
+
+	q := &eventQueue{}
+	for i, e := range base.Elements {
+		if e.Lambda > 0 {
+			rate := e.Lambda / base.PeriodLength
+			q.push(event{time: updateRNG.ExpFloat64() / rate, kind: evUpdate, elem: i})
+		}
+	}
+	if accessAlias != nil {
+		q.push(event{time: accessRNG.ExpFloat64() / accessRate, kind: evAccess})
+	}
+
+	res := Result{MeasuredTime: horizon - measureStart}
+	for q.Len() > 0 {
+		ev := q.pop()
+		if ev.time >= horizon {
+			continue
+		}
+		switch ev.kind {
+		case evUpdate:
+			i := ev.elem
+			if fresh[i] {
+				if ev.time > measureStart {
+					start := freshSince[i]
+					if start < measureStart {
+						start = measureStart
+					}
+					freshTime[i] += ev.time - start
+				}
+				fresh[i] = false
+				staleSince[i] = ev.time
+			}
+			if ev.time > measureStart {
+				res.Updates++
+			}
+			// The push notification: enqueue unless already pending.
+			if !queued[i] {
+				queued[i] = true
+				queue.add(i)
+				if !serverBusy {
+					serverBusy = true
+					q.push(event{time: ev.time + service, kind: evSync})
+				}
+			}
+			rate := base.Elements[i].Lambda / base.PeriodLength
+			q.push(event{time: ev.time + updateRNG.ExpFloat64()/rate, kind: evUpdate, elem: i})
+
+		case evSync: // service completion
+			i, ok := queue.pop()
+			if !ok {
+				serverBusy = false
+				break
+			}
+			queued[i] = false
+			if !fresh[i] {
+				ageTime[i] += ageIntegral(staleSince[i], measureStart, ev.time)
+				fresh[i] = true
+				freshSince[i] = ev.time
+			}
+			if ev.time > measureStart {
+				res.Syncs++
+			}
+			if queue.size() > 0 {
+				q.push(event{time: ev.time + service, kind: evSync})
+			} else {
+				serverBusy = false
+			}
+
+		case evAccess:
+			i := accessAlias.Sample(accessRNG)
+			if ev.time > measureStart {
+				res.Accesses++
+				if fresh[i] {
+					res.FreshAccesses++
+				}
+			}
+			q.push(event{time: ev.time + accessRNG.ExpFloat64()/accessRate, kind: evAccess})
+		}
+	}
+
+	for i := range fresh {
+		if fresh[i] {
+			start := freshSince[i]
+			if start < measureStart {
+				start = measureStart
+			}
+			if start < horizon {
+				freshTime[i] += horizon - start
+			}
+		} else {
+			ageTime[i] += ageIntegral(staleSince[i], measureStart, horizon)
+		}
+	}
+
+	window := res.MeasuredTime
+	var pfTime, avg, age float64
+	for i, e := range base.Elements {
+		frac := freshTime[i] / window
+		pfTime += e.AccessProb * frac
+		avg += frac
+		age += e.AccessProb * ageTime[i] / window
+	}
+	res.TimeAveragedPF = pfTime
+	res.AvgFreshness = avg / float64(n)
+	res.MeasuredAge = age
+	if res.Accesses > 0 {
+		res.MonitoredPF = float64(res.FreshAccesses) / float64(res.Accesses)
+	}
+	return res, nil
+}
+
+// dirtyQueue is the pending-refresh set of the push server.
+type dirtyQueue interface {
+	add(i int)
+	pop() (int, bool)
+	size() int
+}
+
+// fifoQueue refreshes in notification order.
+type fifoQueue struct {
+	l list.List
+}
+
+func (q *fifoQueue) add(i int) { q.l.PushBack(i) }
+func (q *fifoQueue) pop() (int, bool) {
+	front := q.l.Front()
+	if front == nil {
+		return 0, false
+	}
+	return q.l.Remove(front).(int), true
+}
+func (q *fifoQueue) size() int { return q.l.Len() }
+
+// priorityQueue refreshes the hottest dirty element first.
+type priorityQueue struct {
+	weights []float64
+	items   []int
+}
+
+func (q *priorityQueue) add(i int) { heap.Push(q, i) }
+func (q *priorityQueue) size() int { return len(q.items) }
+func (q *priorityQueue) pop() (int, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return heap.Pop(q).(int), true
+}
+
+// heap.Interface over items, max-ordered by weight with index
+// tiebreak for determinism.
+func (q *priorityQueue) Len() int { return len(q.items) }
+func (q *priorityQueue) Less(a, b int) bool {
+	wa, wb := q.weights[q.items[a]], q.weights[q.items[b]]
+	if wa != wb {
+		return wa > wb
+	}
+	return q.items[a] < q.items[b]
+}
+func (q *priorityQueue) Swap(a, b int) { q.items[a], q.items[b] = q.items[b], q.items[a] }
+
+// Push implements heap.Interface.
+func (q *priorityQueue) Push(x interface{}) { q.items = append(q.items, x.(int)) }
+
+// Pop implements heap.Interface.
+func (q *priorityQueue) Pop() interface{} {
+	n := len(q.items)
+	v := q.items[n-1]
+	q.items = q.items[:n-1]
+	return v
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+func TestRunPushAbundantBandwidthNearPerfect(t *testing.T) {
+	// With service capacity far above the update volume, every change
+	// is repaired almost immediately: PF approaches 1.
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 2, AccessProb: 0.5, Size: 1},
+		{ID: 1, Lambda: 1, AccessProb: 0.5, Size: 1},
+	}
+	res, err := RunPush(PushConfig{
+		Elements:          elems,
+		Bandwidth:         300,
+		Periods:           40,
+		WarmupPeriods:     4,
+		AccessesPerPeriod: 2000,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeAveragedPF < 0.98 {
+		t.Errorf("abundant push PF = %v, want near 1", res.TimeAveragedPF)
+	}
+	if res.MeasuredAge > 0.01 {
+		t.Errorf("abundant push age = %v, want near 0", res.MeasuredAge)
+	}
+}
+
+func TestRunPushDedupe(t *testing.T) {
+	// A single element updating much faster than the server can fetch:
+	// the dedupe means the server refreshes it once per service slot,
+	// never building a backlog of duplicate work.
+	elems := []freshness.Element{{ID: 0, Lambda: 100, AccessProb: 1, Size: 1}}
+	res, err := RunPush(PushConfig{
+		Elements:          elems,
+		Bandwidth:         10,
+		Periods:           30,
+		WarmupPeriods:     3,
+		AccessesPerPeriod: 1000,
+		Seed:              2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := res.MeasuredTime
+	// At most one sync per service interval.
+	if float64(res.Syncs) > 10*window*1.02 {
+		t.Errorf("%d syncs in %v periods at service rate 10", res.Syncs, window)
+	}
+	if res.Syncs == 0 {
+		t.Error("no syncs performed")
+	}
+}
+
+func TestRunPushPriorityBeatsFIFOUnderOverload(t *testing.T) {
+	// Overloaded server (updates >> bandwidth), skewed interest: the
+	// priority queue protects the hot element, FIFO does not.
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 5, AccessProb: 0.9, Size: 1},
+	}
+	for i := 1; i < 50; i++ {
+		elems = append(elems, freshness.Element{ID: i, Lambda: 5, AccessProb: 0.1 / 49, Size: 1})
+	}
+	cfg := PushConfig{
+		Elements:          elems,
+		Bandwidth:         25, // half the 250 updates/period
+		Periods:           40,
+		WarmupPeriods:     4,
+		AccessesPerPeriod: 5000,
+		Seed:              3,
+	}
+	fifo, err := RunPush(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Priority = true
+	prio, err := RunPush(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.TimeAveragedPF <= fifo.TimeAveragedPF+0.05 {
+		t.Errorf("priority %v not clearly above FIFO %v under overload",
+			prio.TimeAveragedPF, fifo.TimeAveragedPF)
+	}
+}
+
+func TestRunPushValidation(t *testing.T) {
+	elems := []freshness.Element{{ID: 0, Lambda: 1, AccessProb: 1, Size: 1}}
+	if _, err := RunPush(PushConfig{Elements: elems, Bandwidth: 0}); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+	if _, err := RunPush(PushConfig{Bandwidth: 1}); err == nil {
+		t.Error("empty mirror must fail")
+	}
+}
+
+func TestRunPushMonitoredMatchesTimeAveraged(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 3, AccessProb: 0.6, Size: 1},
+		{ID: 1, Lambda: 1, AccessProb: 0.4, Size: 1},
+	}
+	res, err := RunPush(PushConfig{
+		Elements:          elems,
+		Bandwidth:         2,
+		Periods:           80,
+		WarmupPeriods:     8,
+		AccessesPerPeriod: 20000,
+		Seed:              4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MonitoredPF-res.TimeAveragedPF) > 0.02 {
+		t.Errorf("monitored %v vs time-averaged %v", res.MonitoredPF, res.TimeAveragedPF)
+	}
+}

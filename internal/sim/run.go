@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"math"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+// Run executes one simulation. The Source starts in sync with the
+// Mirror (every element fresh); the warmup periods let the system
+// reach steady state before measurement begins.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.Elements)
+	horizon := cfg.PeriodLength * float64(cfg.Periods)
+	measureStart := cfg.PeriodLength * float64(cfg.WarmupPeriods)
+
+	r := stats.NewRNG(cfg.Seed)
+	updateRNG := r.Split()
+	syncRNG := r.Split()
+	accessRNG := r.Split()
+
+	// The User Request Generator draws elements from the master
+	// profile; an all-zero profile disables accesses entirely.
+	var accessAlias *stats.Alias
+	accessRate := cfg.AccessesPerPeriod / cfg.PeriodLength
+	if accessRate > 0 {
+		weights := make([]float64, n)
+		var mass float64
+		for i, e := range cfg.Elements {
+			weights[i] = e.AccessProb
+			mass += e.AccessProb
+		}
+		if mass > 0 {
+			var err error
+			accessAlias, err = stats.NewAlias(weights)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	// Mirror state. An element is fresh while the mirror's copy still
+	// matches the source, i.e. no update has landed since its last
+	// sync.
+	freshSince := make([]float64, n) // valid while fresh[i]
+	staleSince := make([]float64, n) // first un-synced change; valid while !fresh[i]
+	freshTime := make([]float64, n)
+	ageTime := make([]float64, n) // integral of age over the window
+	fresh := make([]bool, n)
+	for i := range fresh {
+		fresh[i] = true
+	}
+
+	q := &eventQueue{}
+	// Arm the update streams (Poisson, rate λᵢ per period).
+	for i, e := range cfg.Elements {
+		if e.Lambda > 0 {
+			rate := e.Lambda / cfg.PeriodLength
+			q.push(event{time: updateRNG.ExpFloat64() / rate, kind: evUpdate, elem: i})
+		}
+	}
+	// Arm the sync streams.
+	for i, f := range cfg.Freqs {
+		if f <= 0 {
+			continue
+		}
+		interval := cfg.PeriodLength / f
+		switch cfg.Discipline {
+		case PoissonSync:
+			q.push(event{time: syncRNG.ExpFloat64() * interval, kind: evSync, elem: i})
+		default: // FixedOrderSync: random phase, then exact intervals
+			q.push(event{time: syncRNG.Float64() * interval, kind: evSync, elem: i})
+		}
+	}
+	// Arm the access stream.
+	if accessAlias != nil {
+		q.push(event{time: accessRNG.ExpFloat64() / accessRate, kind: evAccess})
+	}
+
+	res := Result{MeasuredTime: horizon - measureStart}
+	var perElem []ElementStats
+	if cfg.CollectPerElement {
+		perElem = make([]ElementStats, n)
+	}
+	for q.Len() > 0 {
+		ev := q.pop()
+		if ev.time >= horizon {
+			continue
+		}
+		switch ev.kind {
+		case evUpdate:
+			i := ev.elem
+			if fresh[i] {
+				if ev.time > measureStart {
+					start := freshSince[i]
+					if start < measureStart {
+						start = measureStart
+					}
+					freshTime[i] += ev.time - start
+				}
+				fresh[i] = false
+				staleSince[i] = ev.time
+			}
+			if ev.time > measureStart {
+				res.Updates++
+			}
+			rate := cfg.Elements[i].Lambda / cfg.PeriodLength
+			q.push(event{time: ev.time + updateRNG.ExpFloat64()/rate, kind: evUpdate, elem: i})
+
+		case evSync:
+			i := ev.elem
+			if !fresh[i] {
+				ageTime[i] += ageIntegral(staleSince[i], measureStart, ev.time)
+				fresh[i] = true
+				freshSince[i] = ev.time
+			}
+			if ev.time > measureStart {
+				res.Syncs++
+			}
+			interval := cfg.PeriodLength / cfg.Freqs[i]
+			next := ev.time + interval
+			if cfg.Discipline == PoissonSync {
+				next = ev.time + syncRNG.ExpFloat64()*interval
+			}
+			q.push(event{time: next, kind: evSync, elem: i})
+
+		case evAccess:
+			i := accessAlias.Sample(accessRNG)
+			if ev.time > measureStart {
+				res.Accesses++
+				if fresh[i] {
+					res.FreshAccesses++
+				}
+				if perElem != nil {
+					perElem[i].Accesses++
+					if fresh[i] {
+						perElem[i].FreshAccesses++
+					}
+				}
+			}
+			q.push(event{time: ev.time + accessRNG.ExpFloat64()/accessRate, kind: evAccess})
+		}
+	}
+
+	// Close the books at the horizon: credit fresh time to elements
+	// still fresh and age to elements still stale.
+	for i := range fresh {
+		if fresh[i] {
+			start := freshSince[i]
+			if start < measureStart {
+				start = measureStart
+			}
+			if start < horizon {
+				freshTime[i] += horizon - start
+			}
+		} else {
+			ageTime[i] += ageIntegral(staleSince[i], measureStart, horizon)
+		}
+	}
+
+	// Freshness Evaluator, both modes.
+	window := res.MeasuredTime
+	var pfTime, avg, age float64
+	for i, e := range cfg.Elements {
+		frac := freshTime[i] / window
+		pfTime += e.AccessProb * frac
+		avg += frac
+		age += e.AccessProb * ageTime[i] / window
+	}
+	res.TimeAveragedPF = pfTime
+	res.AvgFreshness = avg / float64(n)
+	res.MeasuredAge = age
+	if res.Accesses > 0 {
+		res.MonitoredPF = float64(res.FreshAccesses) / float64(res.Accesses)
+	}
+	if perElem != nil {
+		for i := range perElem {
+			perElem[i].Freshness = freshTime[i] / window
+			perElem[i].Age = ageTime[i] / window
+		}
+		res.PerElement = perElem
+	}
+
+	var pol freshness.Policy = freshness.FixedOrder{}
+	if cfg.Discipline == PoissonSync {
+		pol = freshness.PoissonOrder{}
+	}
+	// Frequencies are per period; the closed form is per unit time, so
+	// rates and frequencies share the period unit and cancel.
+	analytic, err := freshness.Perceived(pol, cfg.Elements, cfg.Freqs)
+	if err != nil {
+		return Result{}, err
+	}
+	res.AnalyticPF = analytic
+	if cfg.Discipline == PoissonSync {
+		res.AnalyticAge = math.NaN()
+	} else {
+		// The closed form is per unit time; the simulator's frequencies
+		// and rates are per period, so scale by PeriodLength.
+		aa, err := freshness.PerceivedAge(cfg.Elements, cfg.Freqs)
+		if err != nil {
+			return Result{}, err
+		}
+		res.AnalyticAge = aa * cfg.PeriodLength
+	}
+	return res, nil
+}
+
+// ageIntegral integrates the age of a copy that went stale at t0 over
+// the part of [t0, t] inside the measurement window starting at w:
+// age at time s is s − t0.
+func ageIntegral(t0, w, t float64) float64 {
+	lo := t0
+	if w > lo {
+		lo = w
+	}
+	if t <= lo {
+		return 0
+	}
+	a, b := lo-t0, t-t0
+	return (b*b - a*a) / 2
+}

@@ -1,0 +1,150 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// MinimizeAge solves the dual of the Core Problem for operators whose
+// SLA is phrased in staleness depth rather than hit freshness:
+// minimize the perceived age Σ pᵢ·Ā(fᵢ, λᵢ) subject to Σ sᵢ·fᵢ ≤ B.
+// The age objective is convex with an unbounded marginal at f = 0, so
+// the same Lagrange water-filling applies — with the notable
+// difference that every accessed, changing element receives bandwidth
+// (nothing may be allowed to age without bound). Fixed-Order policy
+// only.
+func MinimizeAge(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if p.Policy != nil {
+		if _, ok := p.Policy.(freshness.FixedOrder); !ok {
+			return Solution{}, fmt.Errorf("solver: MinimizeAge supports the Fixed-Order policy only")
+		}
+	}
+	n := len(p.Elements)
+	sol := Solution{Freqs: make([]float64, n)}
+
+	active := false
+	for _, e := range p.Elements {
+		if e.AccessProb > 0 && e.Lambda > 0 {
+			active = true
+			break
+		}
+	}
+	if !active || p.Bandwidth == 0 {
+		if err := sol.evaluate(p); err != nil {
+			return Solution{}, err
+		}
+		return sol, nil
+	}
+
+	usage := func(mu float64) float64 {
+		var total float64
+		for _, e := range p.Elements {
+			if e.AccessProb <= 0 || e.Lambda <= 0 {
+				continue
+			}
+			f := freshness.InvertFixedOrderAgeMarginal(mu*e.Size/e.AccessProb, e.Lambda)
+			total += e.Size * f
+		}
+		return total
+	}
+
+	// The age marginal is unbounded at f = 0, so any positive μ funds
+	// every active element; bracket μ from both sides.
+	muLo, muHi := 1.0, 1.0
+	for usage(muLo) < p.Bandwidth {
+		muLo /= 2
+		if muLo < 1e-300 {
+			break
+		}
+	}
+	for usage(muHi) > p.Bandwidth {
+		muHi *= 2
+		if muHi > 1e300 {
+			break
+		}
+	}
+	iters := 0
+	for i := 0; i < 200; i++ {
+		iters++
+		mid := 0.5 * (muLo + muHi)
+		u := usage(mid)
+		if u > p.Bandwidth {
+			muLo = mid
+		} else {
+			muHi = mid
+			if p.Bandwidth-u <= waterFillTol*p.Bandwidth {
+				break
+			}
+		}
+		if muHi-muLo <= 1e-15*muHi {
+			break
+		}
+	}
+	mu := muHi
+	for i, e := range p.Elements {
+		if e.AccessProb <= 0 || e.Lambda <= 0 {
+			continue
+		}
+		sol.Freqs[i] = freshness.InvertFixedOrderAgeMarginal(mu*e.Size/e.AccessProb, e.Lambda)
+	}
+	sol.Multiplier = mu
+	sol.Iterations = iters
+	if err := sol.evaluate(p); err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}
+
+// PerceivedAgeOf scores a solution's frequencies on the perceived-age
+// metric (convenience wrapper, +Inf when an accessed changing element
+// is unfunded).
+func PerceivedAgeOf(p Problem, s Solution) (float64, error) {
+	return freshness.PerceivedAge(p.Elements, s.Freqs)
+}
+
+// VerifyAgeKKT checks the optimality conditions of the age program:
+// feasibility and equal marginal age reduction per unit bandwidth
+// across all funded elements.
+func VerifyAgeKKT(p Problem, s Solution, tol float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(s.Freqs) != len(p.Elements) {
+		return fmt.Errorf("solver: solution has %d frequencies for %d elements", len(s.Freqs), len(p.Elements))
+	}
+	var used float64
+	for i, e := range p.Elements {
+		if s.Freqs[i] < 0 || math.IsNaN(s.Freqs[i]) {
+			return fmt.Errorf("solver: element %d has invalid frequency %v", i, s.Freqs[i])
+		}
+		used += e.Size * s.Freqs[i]
+	}
+	if used > p.Bandwidth*(1+tol)+tol {
+		return fmt.Errorf("solver: bandwidth used %v exceeds budget %v", used, p.Bandwidth)
+	}
+	mu := s.Multiplier
+	if mu <= 0 {
+		return fmt.Errorf("solver: multiplier %v not positive", mu)
+	}
+	for i, e := range p.Elements {
+		if e.AccessProb <= 0 || e.Lambda <= 0 {
+			if s.Freqs[i] != 0 {
+				return fmt.Errorf("solver: valueless element %d funded", i)
+			}
+			continue
+		}
+		if s.Freqs[i] == 0 {
+			return fmt.Errorf("solver: active element %d unfunded; the age objective forbids starvation", i)
+		}
+		v := e.AccessProb * freshness.FixedOrderAgeMarginal(s.Freqs[i], e.Lambda) / e.Size
+		if math.Abs(v-mu) > tol*mu {
+			return fmt.Errorf("solver: element %d marginal %v != multiplier %v", i, v, mu)
+		}
+	}
+	return nil
+}

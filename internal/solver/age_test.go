@@ -1,0 +1,164 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"freshen/internal/freshness"
+)
+
+func TestMinimizeAgeKKT(t *testing.T) {
+	probs := []float64{0.05, 0.3, 0.15, 0.4, 0.1}
+	p := table1Problem(probs)
+	sol, err := MinimizeAge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAgeKKT(p, sol, 1e-6); err != nil {
+		t.Errorf("age KKT violated: %v", err)
+	}
+	if math.Abs(sol.BandwidthUsed-5) > 1e-6 {
+		t.Errorf("bandwidth used %v, want 5", sol.BandwidthUsed)
+	}
+}
+
+func TestMinimizeAgeFundsEverything(t *testing.T) {
+	// Contrast with the freshness objective: under P1 the freshness
+	// optimum starves element 5 (Table 1 row b), the age optimum does
+	// not.
+	probs := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	p := table1Problem(probs)
+	fresh, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Freqs[4] != 0 {
+		t.Fatalf("precondition: freshness optimum should starve element 5, got %v", fresh.Freqs[4])
+	}
+	age, err := MinimizeAge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range age.Freqs {
+		if f <= 0 {
+			t.Errorf("age optimum starves element %d", i+1)
+		}
+	}
+}
+
+func TestMinimizeAgeBeatsFreshnessOptimumOnAge(t *testing.T) {
+	probs := []float64{0.1, 0.15, 0.2, 0.25, 0.3}
+	p := table1Problem(probs)
+	ageSol, err := MinimizeAge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSol, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageOfAge, err := PerceivedAgeOf(p, ageSol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageOfFresh, err := PerceivedAgeOf(p, freshSol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ageOfAge < ageOfFresh) {
+		t.Errorf("age optimum's age %v not below freshness optimum's %v", ageOfAge, ageOfFresh)
+	}
+	// And vice versa on freshness.
+	if !(freshSol.Perceived > ageSol.Perceived) {
+		t.Errorf("freshness optimum's PF %v not above age optimum's %v",
+			freshSol.Perceived, ageSol.Perceived)
+	}
+}
+
+func TestMinimizeAgeRandomProblemsDominateUniform(t *testing.T) {
+	// Property: the age optimum's perceived age is never above the
+	// uniform allocation's.
+	f := func(seed int64, rawN uint8) bool {
+		p := randomProblem(seed, int(rawN%15)+2, true)
+		sol, err := MinimizeAge(p)
+		if err != nil {
+			return false
+		}
+		uni, err := Uniform(p)
+		if err != nil {
+			return false
+		}
+		a, err := PerceivedAgeOf(p, sol)
+		if err != nil {
+			return false
+		}
+		b, err := PerceivedAgeOf(p, uni)
+		if err != nil {
+			return false
+		}
+		return a <= b+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeAgeValidation(t *testing.T) {
+	if _, err := MinimizeAge(Problem{}); err == nil {
+		t.Error("empty problem must fail")
+	}
+	p := table1Problem([]float64{0.2, 0.2, 0.2, 0.2, 0.2})
+	p.Policy = freshness.PoissonOrder{}
+	if _, err := MinimizeAge(p); err == nil {
+		t.Error("poisson policy must be rejected")
+	}
+}
+
+func TestMinimizeAgeValuelessElements(t *testing.T) {
+	p := Problem{
+		Elements: []freshness.Element{
+			{ID: 0, Lambda: 0, AccessProb: 1, Size: 1},
+			{ID: 1, Lambda: 2, AccessProb: 0, Size: 1},
+		},
+		Bandwidth: 5,
+	}
+	sol, err := MinimizeAge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Freqs[0] != 0 || sol.Freqs[1] != 0 {
+		t.Errorf("valueless elements funded: %v", sol.Freqs)
+	}
+}
+
+func TestAgeMarginalMatchesFiniteDifference(t *testing.T) {
+	for _, freq := range []float64{0.3, 1, 2.5, 10} {
+		for _, lambda := range []float64{0.4, 1, 3, 9} {
+			h := 1e-6 * freq
+			fd := -(freshness.FixedOrderAge(freq+h, lambda) - freshness.FixedOrderAge(freq-h, lambda)) / (2 * h)
+			an := freshness.FixedOrderAgeMarginal(freq, lambda)
+			if math.Abs(fd-an) > 1e-4*(math.Abs(an)+1e-12) {
+				t.Errorf("f=%v λ=%v: analytic %v vs finite-diff %v", freq, lambda, an, fd)
+			}
+		}
+	}
+}
+
+func TestInvertAgeMarginalRoundTrip(t *testing.T) {
+	for _, lambda := range []float64{0.3, 1, 4} {
+		for _, freq := range []float64{0.05, 0.5, 2, 20} {
+			target := freshness.FixedOrderAgeMarginal(freq, lambda)
+			got := freshness.InvertFixedOrderAgeMarginal(target, lambda)
+			if math.Abs(got-freq) > 1e-6*freq {
+				t.Errorf("λ=%v: round trip %v -> %v", lambda, freq, got)
+			}
+		}
+	}
+	if got := freshness.InvertFixedOrderAgeMarginal(1, 0); got != 0 {
+		t.Errorf("λ=0 must get 0, got %v", got)
+	}
+	if got := freshness.InvertFixedOrderAgeMarginal(0, 1); got != 0 {
+		t.Errorf("target 0 must get 0, got %v", got)
+	}
+}

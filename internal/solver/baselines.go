@@ -1,0 +1,44 @@
+package solver
+
+// Uniform allocates the same refresh frequency to every element:
+// fᵢ = B / Σ sⱼ. With unit sizes this is the naive "refresh everything
+// equally" policy the paper's introduction argues against.
+func Uniform(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	var sizeSum float64
+	for _, e := range p.Elements {
+		sizeSum += e.Size
+	}
+	freq := p.Bandwidth / sizeSum
+	sol := Solution{Freqs: make([]float64, len(p.Elements))}
+	for i := range sol.Freqs {
+		sol.Freqs[i] = freq
+	}
+	err := sol.evaluate(p)
+	return sol, err
+}
+
+// Proportional splits the bandwidth budget in proportion to access
+// probability and converts each element's share to a frequency by its
+// size: fᵢ = B·pᵢ / (sᵢ·Σpⱼ). It is the intuitive "popularity only"
+// heuristic that ignores change rates; the experiments use it to show
+// how much the change-rate-aware optimum adds.
+func Proportional(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	var probSum float64
+	for _, e := range p.Elements {
+		probSum += e.AccessProb
+	}
+	sol := Solution{Freqs: make([]float64, len(p.Elements))}
+	if probSum > 0 {
+		for i, e := range p.Elements {
+			sol.Freqs[i] = p.Bandwidth * e.AccessProb / (e.Size * probSum)
+		}
+	}
+	err := sol.evaluate(p)
+	return sol, err
+}

@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// Blend solves the combined objective
+//
+//	maximize Σ pᵢ·[F(fᵢ, λᵢ) − ageWeight·Ā(fᵢ, λᵢ)]
+//
+// subject to the bandwidth constraint: the paper's perceived freshness
+// tempered by a staleness-depth penalty. ageWeight = 0 reduces to
+// WaterFill; any positive weight makes the marginal value unbounded at
+// f = 0 (the age term dominates), so every accessed, changing element
+// receives bandwidth — the operator dials how much freshness to trade
+// for bounded age with one knob. Fixed-Order policy only.
+func Blend(p Problem, ageWeight float64) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if ageWeight < 0 || math.IsNaN(ageWeight) || math.IsInf(ageWeight, 0) {
+		return Solution{}, fmt.Errorf("solver: ageWeight must be finite and non-negative, got %v", ageWeight)
+	}
+	if p.Policy != nil {
+		if _, ok := p.Policy.(freshness.FixedOrder); !ok {
+			return Solution{}, fmt.Errorf("solver: Blend supports the Fixed-Order policy only")
+		}
+	}
+	if ageWeight == 0 {
+		return WaterFill(p)
+	}
+	pol := freshness.FixedOrder{}
+	n := len(p.Elements)
+	sol := Solution{Freqs: make([]float64, n)}
+
+	active := false
+	for _, e := range p.Elements {
+		if e.AccessProb > 0 && e.Lambda > 0 {
+			active = true
+			break
+		}
+	}
+	if !active || p.Bandwidth == 0 {
+		if err := sol.evaluate(p); err != nil {
+			return Solution{}, err
+		}
+		return sol, nil
+	}
+
+	// Combined marginal: d/df [F − w·Ā] = F'(f) + w·(−Ā'(f)), both
+	// positive and decreasing, so their sum is too; invert per element
+	// by bisection on f.
+	marginal := func(f, lambda float64) float64 {
+		return pol.Marginal(f, lambda) + ageWeight*freshness.FixedOrderAgeMarginal(f, lambda)
+	}
+	invert := func(target, lambda float64) float64 {
+		lo, hi := 0.0, 1.0
+		for marginal(hi, lambda) > target {
+			lo = hi
+			hi *= 2
+			if hi > 1e15 {
+				break
+			}
+		}
+		for i := 0; i < 200; i++ {
+			mid := 0.5 * (lo + hi)
+			if marginal(mid, lambda) > target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+			if hi-lo <= 1e-14*hi {
+				break
+			}
+		}
+		return 0.5 * (lo + hi)
+	}
+	usage := func(mu float64) float64 {
+		var total float64
+		for _, e := range p.Elements {
+			if e.AccessProb <= 0 || e.Lambda <= 0 {
+				continue
+			}
+			total += e.Size * invert(mu*e.Size/e.AccessProb, e.Lambda)
+		}
+		return total
+	}
+
+	muLo, muHi := 1.0, 1.0
+	for usage(muLo) < p.Bandwidth {
+		muLo /= 2
+		if muLo < 1e-300 {
+			break
+		}
+	}
+	for usage(muHi) > p.Bandwidth {
+		muHi *= 2
+		if muHi > 1e300 {
+			break
+		}
+	}
+	iters := 0
+	for i := 0; i < 200; i++ {
+		iters++
+		mid := 0.5 * (muLo + muHi)
+		u := usage(mid)
+		if u > p.Bandwidth {
+			muLo = mid
+		} else {
+			muHi = mid
+			if p.Bandwidth-u <= waterFillTol*p.Bandwidth {
+				break
+			}
+		}
+		if muHi-muLo <= 1e-15*muHi {
+			break
+		}
+	}
+	mu := muHi
+	for i, e := range p.Elements {
+		if e.AccessProb <= 0 || e.Lambda <= 0 {
+			continue
+		}
+		sol.Freqs[i] = invert(mu*e.Size/e.AccessProb, e.Lambda)
+	}
+	sol.Multiplier = mu
+	sol.Iterations = iters
+	if err := sol.evaluate(p); err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}

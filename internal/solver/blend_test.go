@@ -1,0 +1,104 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+func TestBlendZeroWeightEqualsWaterFill(t *testing.T) {
+	probs := []float64{0.1, 0.3, 0.25, 0.2, 0.15}
+	p := table1Problem(probs)
+	a, err := Blend(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Freqs {
+		if math.Abs(a.Freqs[i]-b.Freqs[i]) > 1e-9 {
+			t.Fatalf("zero weight diverged from WaterFill at element %d", i)
+		}
+	}
+}
+
+func TestBlendInterpolatesBetweenObjectives(t *testing.T) {
+	probs := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	p := table1Problem(probs)
+	fresh, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	age, err := MinimizeAge(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep the knob: PF decreases monotonically from the freshness
+	// optimum toward the age optimum, and perceived age becomes finite
+	// as soon as the weight is positive.
+	prevPF := fresh.Perceived + 1e-12
+	for _, w := range []float64{0.001, 0.01, 0.1, 1, 10, 100} {
+		sol, err := Blend(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Perceived > prevPF+1e-9 {
+			t.Errorf("w=%v: PF %v rose above previous %v", w, sol.Perceived, prevPF)
+		}
+		prevPF = sol.Perceived
+		a, err := PerceivedAgeOf(p, sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(a, 0) {
+			t.Errorf("w=%v: blended schedule still has infinite age", w)
+		}
+		if sol.BandwidthUsed > p.Bandwidth*(1+1e-6) {
+			t.Errorf("w=%v: over budget", w)
+		}
+	}
+	// At a large weight the schedule approaches the pure age optimum.
+	heavy, err := Blend(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range heavy.Freqs {
+		if math.Abs(heavy.Freqs[i]-age.Freqs[i]) > 0.05*(age.Freqs[i]+0.1) {
+			t.Errorf("w=1000: element %d freq %v vs age optimum %v", i, heavy.Freqs[i], age.Freqs[i])
+		}
+	}
+}
+
+func TestBlendValidation(t *testing.T) {
+	p := table1Problem([]float64{0.2, 0.2, 0.2, 0.2, 0.2})
+	if _, err := Blend(p, -1); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := Blend(p, math.Inf(1)); err == nil {
+		t.Error("infinite weight must fail")
+	}
+	p.Policy = freshness.PoissonOrder{}
+	if _, err := Blend(p, 1); err == nil {
+		t.Error("poisson policy must be rejected")
+	}
+	if _, err := Blend(Problem{}, 1); err == nil {
+		t.Error("empty problem must fail")
+	}
+}
+
+func TestBlendValuelessProblem(t *testing.T) {
+	p := Problem{
+		Elements:  []freshness.Element{{Lambda: 0, AccessProb: 1, Size: 1}},
+		Bandwidth: 3,
+	}
+	sol, err := Blend(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Freqs[0] != 0 || sol.Perceived != 1 {
+		t.Errorf("unchanging element: %+v", sol)
+	}
+}

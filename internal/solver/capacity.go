@@ -1,0 +1,81 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// BandwidthForTarget answers the capacity-planning question: what is
+// the smallest refresh budget under which the optimal schedule reaches
+// the target perceived freshness? It bisects on bandwidth around the
+// optimal-PF curve, which is concave and increasing in B.
+//
+// The achievable ceiling is Σ pᵢ over elements that can be kept fresh
+// plus the mass on never-changing elements; a target above the
+// asymptotic limit (as B → ∞ perceived freshness approaches Σ pᵢ)
+// yields an error.
+func BandwidthForTarget(elems []freshness.Element, target float64, pol freshness.Policy) (float64, error) {
+	if err := freshness.ValidateElements(elems); err != nil {
+		return 0, err
+	}
+	if !(target > 0) || target >= 1 || math.IsNaN(target) {
+		return 0, fmt.Errorf("solver: target perceived freshness must be in (0, 1), got %v", target)
+	}
+	pfAt := func(bandwidth float64) (float64, error) {
+		sol, err := WaterFill(Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol})
+		if err != nil {
+			return 0, err
+		}
+		return sol.Perceived, nil
+	}
+
+	// Base perceived freshness with zero bandwidth: never-changing
+	// elements are always fresh.
+	base, err := pfAt(0)
+	if err != nil {
+		return 0, err
+	}
+	if base >= target {
+		return 0, nil
+	}
+
+	// Bracket: grow B until the target is reached or the curve
+	// plateaus out of reach.
+	var totalLambda float64
+	for _, e := range elems {
+		totalLambda += e.Lambda * e.Size
+	}
+	lo, hi := 0.0, math.Max(totalLambda, 1)
+	for i := 0; ; i++ {
+		pf, err := pfAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if pf >= target {
+			break
+		}
+		if i >= 40 {
+			return 0, fmt.Errorf("solver: target %v unreachable (PF %v at bandwidth %v)", target, pf, hi)
+		}
+		lo = hi
+		hi *= 2
+	}
+	for i := 0; i < 100; i++ {
+		mid := 0.5 * (lo + hi)
+		pf, err := pfAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if pf >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo <= 1e-6*hi {
+			break
+		}
+	}
+	return hi, nil
+}

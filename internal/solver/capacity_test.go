@@ -1,0 +1,86 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/workload"
+)
+
+func TestBandwidthForTargetRoundTrip(t *testing.T) {
+	spec := workload.TableTwo()
+	spec.Theta = 1.0
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []float64{0.4, 0.6304, 0.8} {
+		b, err := BandwidthForTarget(elems, target, nil)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		sol, err := WaterFill(Problem{Elements: elems, Bandwidth: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Perceived < target-1e-4 {
+			t.Errorf("target %v: bandwidth %v achieves only %v", target, b, sol.Perceived)
+		}
+		// Minimality: 2% less bandwidth must fall short.
+		tight, err := WaterFill(Problem{Elements: elems, Bandwidth: b * 0.98})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tight.Perceived >= target {
+			t.Errorf("target %v: bandwidth %v is not minimal (%v suffices)", target, b, b*0.98)
+		}
+	}
+	// The paper's operating point cross-check: PF 0.6304 at B=250.
+	b, err := BandwidthForTarget(elems, 0.6304, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-250) > 5 {
+		t.Errorf("bandwidth for PF 0.6304 = %v, want about 250", b)
+	}
+}
+
+func TestBandwidthForTargetFreeTargets(t *testing.T) {
+	// Never-changing elements satisfy small targets at zero bandwidth.
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 0, AccessProb: 0.5, Size: 1},
+		{ID: 1, Lambda: 5, AccessProb: 0.5, Size: 1},
+	}
+	b, err := BandwidthForTarget(elems, 0.4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 {
+		t.Errorf("target below the free base needs bandwidth %v, want 0", b)
+	}
+}
+
+func TestBandwidthForTargetUnreachable(t *testing.T) {
+	// Perceived freshness approaches but never exactly reaches 1 for a
+	// changing element; a target requiring bandwidth beyond the
+	// bracket's 2^40 growth cap must be reported unreachable rather
+	// than looping forever (here: F = 1 − λ/(2f) needs f ≈ 5e12, the
+	// cap stops near 1e12).
+	elems := []freshness.Element{{ID: 0, Lambda: 1, AccessProb: 1, Size: 1}}
+	if _, err := BandwidthForTarget(elems, 1-1e-13, nil); err == nil {
+		t.Error("absurd target should be unreachable within the bracket cap")
+	}
+}
+
+func TestBandwidthForTargetValidation(t *testing.T) {
+	elems := []freshness.Element{{ID: 0, Lambda: 1, AccessProb: 1, Size: 1}}
+	for _, target := range []float64{0, -0.5, 1, 1.5, math.NaN()} {
+		if _, err := BandwidthForTarget(elems, target, nil); err == nil {
+			t.Errorf("target %v accepted", target)
+		}
+	}
+	if _, err := BandwidthForTarget(nil, 0.5, nil); err == nil {
+		t.Error("empty mirror must fail")
+	}
+}

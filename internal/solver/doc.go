@@ -1,0 +1,18 @@
+// Package solver solves the paper's Core and Extended Problems: choose
+// refresh frequencies fᵢ maximizing perceived freshness Σ pᵢ·F(fᵢ, λᵢ)
+// subject to the bandwidth constraint Σ sᵢ·fᵢ ≤ B, fᵢ ≥ 0.
+//
+// The primary solver, WaterFill, implements the Lagrange-multiplier
+// solution derived in the paper's Appendix directly: at the optimum
+// every element with positive frequency has the same marginal value of
+// bandwidth, pᵢ·(∂F/∂f)(fᵢ, λᵢ)/sᵢ = μ, and every starved element has
+// peak marginal value pᵢ/(λᵢ·sᵢ) ≤ μ. Because the objective is concave
+// (the paper's footnote 2) and the marginal is monotone in f, the
+// multiplier is found by bisection and each frequency by inverting the
+// marginal — an exact O(N log 1/ε) method that replaces the IMSL
+// non-linear-programming library the authors used.
+//
+// Gradient is a deliberately generic projected-gradient-ascent solver
+// standing in for that off-the-shelf NLP package; it reaches the same
+// optimum far more slowly and anchors the scalability comparisons.
+package solver

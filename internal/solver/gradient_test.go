@@ -1,0 +1,142 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"freshen/internal/freshness"
+)
+
+func TestGradientMatchesWaterFill(t *testing.T) {
+	probs := []float64{0.05, 0.3, 0.15, 0.4, 0.1}
+	p := table1Problem(probs)
+	exact, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Gradient(p, GradientOptions{MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Perceived-exact.Perceived) > 2e-3 {
+		t.Errorf("gradient PF %v vs exact %v", approx.Perceived, exact.Perceived)
+	}
+	if approx.BandwidthUsed > p.Bandwidth*(1+1e-9) {
+		t.Errorf("gradient over budget: %v > %v", approx.BandwidthUsed, p.Bandwidth)
+	}
+}
+
+func TestGradientSizedObjects(t *testing.T) {
+	p := Problem{
+		Elements: []freshness.Element{
+			{ID: 0, Lambda: 1, AccessProb: 0.3, Size: 2},
+			{ID: 1, Lambda: 3, AccessProb: 0.5, Size: 0.5},
+			{ID: 2, Lambda: 2, AccessProb: 0.2, Size: 1},
+		},
+		Bandwidth: 6,
+	}
+	exact, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Gradient(p, GradientOptions{MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Perceived-exact.Perceived) > 2e-3 {
+		t.Errorf("gradient PF %v vs exact %v", approx.Perceived, exact.Perceived)
+	}
+}
+
+func TestGradientValidation(t *testing.T) {
+	if _, err := Gradient(Problem{}, GradientOptions{}); err == nil {
+		t.Error("empty problem must fail")
+	}
+}
+
+func TestGradientValuelessProblem(t *testing.T) {
+	p := Problem{
+		Elements:  []freshness.Element{{Lambda: 0, AccessProb: 1, Size: 1}},
+		Bandwidth: 5,
+	}
+	sol, err := Gradient(p, GradientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Perceived != 1 {
+		t.Errorf("Perceived = %v, want 1 (element never changes)", sol.Perceived)
+	}
+}
+
+func TestProjectBandwidth(t *testing.T) {
+	elems := []freshness.Element{
+		{Size: 1}, {Size: 2}, {Size: 1},
+	}
+	y := []float64{4, 3, 1}
+	out := make([]float64, 3)
+	projectBandwidth(y, elems, 6, out)
+	var used float64
+	for i, e := range elems {
+		if out[i] < 0 {
+			t.Errorf("projection produced negative frequency %v", out[i])
+		}
+		used += e.Size * out[i]
+	}
+	if math.Abs(used-6) > 1e-9 {
+		t.Errorf("projected usage %v, want 6", used)
+	}
+	// Order statistics preserved per unit size: fᵢ = yᵢ − τ·sᵢ, so the
+	// element with the largest y/s ratio keeps the largest f/s margin.
+	if out[0] <= out[2] {
+		t.Errorf("projection reordered elements: %v", out)
+	}
+}
+
+func TestProjectBandwidthZeroBudget(t *testing.T) {
+	elems := []freshness.Element{{Size: 1}, {Size: 1}}
+	out := []float64{9, 9}
+	projectBandwidth([]float64{1, 2}, elems, 0, out)
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("zero budget projection = %v, want zeros", out)
+	}
+}
+
+func TestProjectBandwidthAlreadyFeasible(t *testing.T) {
+	elems := []freshness.Element{{Size: 1}, {Size: 1}}
+	out := make([]float64, 2)
+	projectBandwidth([]float64{1, 1}, elems, 10, out)
+	if out[0] != 1 || out[1] != 1 {
+		t.Errorf("feasible point moved: %v", out)
+	}
+}
+
+func TestProjectBandwidthProperty(t *testing.T) {
+	// Property: the projection is feasible and leaves non-negative
+	// frequencies, for any non-negative input.
+	f := func(raw []uint8, rawB uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		elems := make([]freshness.Element, len(raw))
+		y := make([]float64, len(raw))
+		for i, v := range raw {
+			elems[i] = freshness.Element{Size: float64(v%7)/2 + 0.5}
+			y[i] = float64(v) / 10
+		}
+		b := float64(rawB)/10 + 0.1
+		out := make([]float64, len(raw))
+		projectBandwidth(y, elems, b, out)
+		var used float64
+		for i, e := range elems {
+			if out[i] < 0 {
+				return false
+			}
+			used += e.Size * out[i]
+		}
+		return used <= b*(1+1e-6)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

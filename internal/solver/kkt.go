@@ -1,0 +1,59 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// VerifyKKT checks that a solution satisfies the optimality conditions
+// of the concave program within the relative tolerance tol:
+//
+//   - feasibility: fᵢ ≥ 0 and Σ sᵢ·fᵢ ≤ B (1+tol);
+//   - stationarity: every funded element's marginal value of bandwidth
+//     equals the multiplier, pᵢ·(∂F/∂f)(fᵢ,λᵢ)/sᵢ ≈ μ;
+//   - complementary slackness: every starved element's peak marginal
+//     value is at most μ.
+//
+// It is used by tests and by callers that want independent evidence a
+// schedule is optimal rather than merely feasible.
+func VerifyKKT(p Problem, s Solution, tol float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(s.Freqs) != len(p.Elements) {
+		return fmt.Errorf("solver: solution has %d frequencies for %d elements", len(s.Freqs), len(p.Elements))
+	}
+	pol := p.policy()
+	var used float64
+	for i, e := range p.Elements {
+		f := s.Freqs[i]
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("solver: element %d has invalid frequency %v", i, f)
+		}
+		used += e.Size * f
+	}
+	if used > p.Bandwidth*(1+tol)+tol {
+		return fmt.Errorf("solver: bandwidth used %v exceeds budget %v", used, p.Bandwidth)
+	}
+	mu := s.Multiplier
+	if mu <= 0 {
+		return fmt.Errorf("solver: multiplier %v not positive; cannot check stationarity", mu)
+	}
+	for i, e := range p.Elements {
+		if e.AccessProb <= 0 || e.Lambda <= 0 {
+			if s.Freqs[i] != 0 {
+				return fmt.Errorf("solver: valueless element %d funded with frequency %v", i, s.Freqs[i])
+			}
+			continue
+		}
+		value := e.AccessProb * pol.Marginal(s.Freqs[i], e.Lambda) / e.Size
+		if s.Freqs[i] > 0 {
+			if math.Abs(value-mu) > tol*mu {
+				return fmt.Errorf("solver: element %d funded but marginal value %v != multiplier %v", i, value, mu)
+			}
+		} else if value > mu*(1+tol) {
+			return fmt.Errorf("solver: element %d starved but marginal value %v > multiplier %v", i, value, mu)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// Problem is one instance of the Core (unit sizes) or Extended
+// (variable sizes) freshening problem.
+type Problem struct {
+	// Elements to schedule. AccessProb entries act as objective
+	// weights; they need not sum to 1 (partition representatives carry
+	// scaled masses).
+	Elements []freshness.Element
+	// Bandwidth is the refresh budget per period: Σ sᵢ·fᵢ ≤ Bandwidth.
+	Bandwidth float64
+	// Policy is the synchronization-order policy; nil defaults to the
+	// paper's Fixed-Order policy.
+	Policy freshness.Policy
+}
+
+// policy returns the effective policy.
+func (p Problem) policy() freshness.Policy {
+	if p.Policy == nil {
+		return freshness.FixedOrder{}
+	}
+	return p.Policy
+}
+
+// Validate checks the problem is well-formed.
+func (p Problem) Validate() error {
+	if err := freshness.ValidateElements(p.Elements); err != nil {
+		return err
+	}
+	if p.Bandwidth < 0 || math.IsNaN(p.Bandwidth) || math.IsInf(p.Bandwidth, 0) {
+		return fmt.Errorf("solver: bandwidth must be a finite non-negative number, got %v", p.Bandwidth)
+	}
+	return nil
+}
+
+// Solution is a frequency assignment together with its quality.
+type Solution struct {
+	// Freqs is element-aligned with Problem.Elements.
+	Freqs []float64
+	// Perceived is Σ pᵢ·F(fᵢ, λᵢ) under the problem's weights.
+	Perceived float64
+	// BandwidthUsed is Σ sᵢ·fᵢ.
+	BandwidthUsed float64
+	// Multiplier is the Lagrange multiplier μ at the optimum (0 when
+	// the constraint is slack or the solver does not expose one).
+	Multiplier float64
+	// Iterations counts outer solver iterations, for instrumentation.
+	Iterations int
+}
+
+// evaluate fills the quality fields of a solution in place.
+func (s *Solution) evaluate(p Problem) error {
+	pf, err := freshness.Perceived(p.policy(), p.Elements, s.Freqs)
+	if err != nil {
+		return err
+	}
+	bw, err := freshness.BandwidthUsed(p.Elements, s.Freqs)
+	if err != nil {
+		return err
+	}
+	s.Perceived = pf
+	s.BandwidthUsed = bw
+	return nil
+}

@@ -1,0 +1,280 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+// table1Problem builds the paper's five-element example: change rates
+// 1..5 per day, bandwidth 5 refreshes per day.
+func table1Problem(probs []float64) Problem {
+	elems := make([]freshness.Element, 5)
+	for i := range elems {
+		elems[i] = freshness.Element{
+			ID:         i,
+			Lambda:     float64(i + 1),
+			AccessProb: probs[i],
+			Size:       1,
+		}
+	}
+	return Problem{Elements: elems, Bandwidth: 5}
+}
+
+func TestWaterFillTable1(t *testing.T) {
+	// Golden values from the paper's Table 1 (rows b, c, d), ±0.02 for
+	// their two-decimal rounding.
+	cases := []struct {
+		name  string
+		probs []float64
+		want  []float64
+	}{
+		{
+			name:  "P1 uniform",
+			probs: []float64{1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5},
+			want:  []float64{1.15, 1.36, 1.35, 1.14, 0.00},
+		},
+		{
+			name:  "P2 aligned",
+			probs: []float64{1.0 / 15, 2.0 / 15, 3.0 / 15, 4.0 / 15, 5.0 / 15},
+			want:  []float64{0.33, 0.67, 1.00, 1.33, 1.67},
+		},
+		{
+			name:  "P3 reverse",
+			probs: []float64{5.0 / 15, 4.0 / 15, 3.0 / 15, 2.0 / 15, 1.0 / 15},
+			want:  []float64{1.68, 1.83, 1.49, 0.00, 0.00},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := WaterFill(table1Problem(tc.probs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range tc.want {
+				if math.Abs(sol.Freqs[i]-want) > 0.02 {
+					t.Errorf("element %d: freq %.4f, want %.2f (full: %.4v)",
+						i+1, sol.Freqs[i], want, sol.Freqs)
+				}
+			}
+			if math.Abs(sol.BandwidthUsed-5) > 1e-6 {
+				t.Errorf("bandwidth used %v, want 5", sol.BandwidthUsed)
+			}
+		})
+	}
+}
+
+func TestWaterFillSatisfiesKKT(t *testing.T) {
+	probs := []float64{0.05, 0.3, 0.15, 0.4, 0.1}
+	sol, err := WaterFill(table1Problem(probs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKKT(table1Problem(probs), sol, 1e-6); err != nil {
+		t.Errorf("KKT violated: %v", err)
+	}
+}
+
+func TestWaterFillValidation(t *testing.T) {
+	if _, err := WaterFill(Problem{}); err == nil {
+		t.Error("empty problem must fail")
+	}
+	p := table1Problem([]float64{0.2, 0.2, 0.2, 0.2, 0.2})
+	p.Bandwidth = -1
+	if _, err := WaterFill(p); err == nil {
+		t.Error("negative bandwidth must fail")
+	}
+	p.Bandwidth = math.Inf(1)
+	if _, err := WaterFill(p); err == nil {
+		t.Error("infinite bandwidth must fail")
+	}
+}
+
+func TestWaterFillZeroBandwidth(t *testing.T) {
+	p := table1Problem([]float64{0.2, 0.2, 0.2, 0.2, 0.2})
+	p.Bandwidth = 0
+	sol, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range sol.Freqs {
+		if f != 0 {
+			t.Errorf("element %d funded %v with zero budget", i, f)
+		}
+	}
+	if sol.Perceived != 0 {
+		t.Errorf("Perceived = %v, want 0", sol.Perceived)
+	}
+}
+
+func TestWaterFillValuelessElements(t *testing.T) {
+	// Elements with zero access probability or zero change rate must
+	// receive nothing; the rest split the full budget.
+	p := Problem{
+		Elements: []freshness.Element{
+			{ID: 0, Lambda: 2, AccessProb: 0, Size: 1},   // unread
+			{ID: 1, Lambda: 0, AccessProb: 0.5, Size: 1}, // never changes
+			{ID: 2, Lambda: 2, AccessProb: 0.5, Size: 1},
+		},
+		Bandwidth: 3,
+	}
+	sol, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Freqs[0] != 0 || sol.Freqs[1] != 0 {
+		t.Errorf("valueless elements funded: %v", sol.Freqs)
+	}
+	if math.Abs(sol.Freqs[2]-3) > 1e-6 {
+		t.Errorf("element 2 got %v, want the whole budget 3", sol.Freqs[2])
+	}
+}
+
+func TestWaterFillAllValueless(t *testing.T) {
+	p := Problem{
+		Elements: []freshness.Element{
+			{Lambda: 0, AccessProb: 0.5, Size: 1},
+			{Lambda: 3, AccessProb: 0, Size: 1},
+		},
+		Bandwidth: 10,
+	}
+	sol, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Freqs[0] != 0 || sol.Freqs[1] != 0 {
+		t.Errorf("freqs = %v, want all zero", sol.Freqs)
+	}
+	// The never-changing element is permanently fresh.
+	if math.Abs(sol.Perceived-0.5) > 1e-12 {
+		t.Errorf("Perceived = %v, want 0.5", sol.Perceived)
+	}
+}
+
+func TestWaterFillMoreBandwidthNeverHurts(t *testing.T) {
+	probs := []float64{0.1, 0.15, 0.2, 0.25, 0.3}
+	prev := -1.0
+	for _, b := range []float64{1, 2, 5, 10, 25, 100} {
+		p := table1Problem(probs)
+		p.Bandwidth = b
+		sol, err := WaterFill(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Perceived < prev-1e-9 {
+			t.Errorf("bandwidth %v: PF %v dropped below %v", b, sol.Perceived, prev)
+		}
+		prev = sol.Perceived
+	}
+}
+
+func TestWaterFillBeatsBaselines(t *testing.T) {
+	probs := []float64{0.5, 0.05, 0.3, 0.05, 0.1}
+	p := table1Problem(probs)
+	opt, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Uniform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Proportional(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Perceived < uni.Perceived-1e-9 {
+		t.Errorf("optimal %v below uniform %v", opt.Perceived, uni.Perceived)
+	}
+	if opt.Perceived < prop.Perceived-1e-9 {
+		t.Errorf("optimal %v below proportional %v", opt.Perceived, prop.Perceived)
+	}
+}
+
+func TestWaterFillSizedObjects(t *testing.T) {
+	// Two identical elements except for size: the smaller one must get
+	// at least as high a refresh frequency, and the budget must bind
+	// on Σ s·f.
+	p := Problem{
+		Elements: []freshness.Element{
+			{ID: 0, Lambda: 2, AccessProb: 0.5, Size: 4},
+			{ID: 1, Lambda: 2, AccessProb: 0.5, Size: 0.25},
+		},
+		Bandwidth: 4,
+	}
+	sol, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Freqs[1] <= sol.Freqs[0] {
+		t.Errorf("small object freq %v not above large object freq %v", sol.Freqs[1], sol.Freqs[0])
+	}
+	if math.Abs(sol.BandwidthUsed-4) > 1e-6 {
+		t.Errorf("bandwidth used %v, want 4", sol.BandwidthUsed)
+	}
+	if err := VerifyKKT(p, sol, 1e-6); err != nil {
+		t.Errorf("KKT violated: %v", err)
+	}
+}
+
+func TestSolveGFMatchesUniformProfileOptimum(t *testing.T) {
+	// Under a uniform profile PF and GF coincide (the paper's theta=0
+	// observation): the GF schedule must equal the PF schedule.
+	probs := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	p := table1Problem(probs)
+	pf, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := SolveGF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pf.Freqs {
+		if math.Abs(pf.Freqs[i]-gf.Freqs[i]) > 1e-6 {
+			t.Errorf("element %d: PF freq %v vs GF freq %v", i, pf.Freqs[i], gf.Freqs[i])
+		}
+	}
+}
+
+func TestSolveGFScoredOnTrueProfile(t *testing.T) {
+	// With a skewed profile, the GF schedule must score no better than
+	// the PF optimum on perceived freshness.
+	probs := []float64{0.02, 0.03, 0.05, 0.2, 0.7}
+	p := table1Problem(probs)
+	pf, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := SolveGF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Perceived > pf.Perceived+1e-9 {
+		t.Errorf("GF perceived %v exceeds PF optimum %v", gf.Perceived, pf.Perceived)
+	}
+	if gf.Perceived >= pf.Perceived {
+		t.Logf("note: GF matched PF exactly (possible only for degenerate profiles)")
+	}
+}
+
+func TestWaterFillPoissonPolicy(t *testing.T) {
+	p := table1Problem([]float64{0.1, 0.2, 0.3, 0.25, 0.15})
+	p.Policy = freshness.PoissonOrder{}
+	sol, err := WaterFill(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKKT(p, sol, 1e-6); err != nil {
+		t.Errorf("KKT violated under poisson policy: %v", err)
+	}
+	// Fixed-Order must dominate Poisson-Order at the respective optima.
+	fixed, err := WaterFill(table1Problem([]float64{0.1, 0.2, 0.3, 0.25, 0.15}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Perceived <= sol.Perceived {
+		t.Errorf("fixed-order optimum %v not above poisson optimum %v", fixed.Perceived, sol.Perceived)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasValidation(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights must fail")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("zero-mass weights must fail")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight must fail")
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(13)
+	const draws = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := Sum(weights)
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d: empirical %v, want %v", i, got, want)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[1])
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias must always return 0")
+		}
+	}
+}
+
+func TestAliasPropertyInRange(t *testing.T) {
+	r := NewRNG(31)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			weights[i] = float64(v)
+			sum += weights[i]
+		}
+		a, err := NewAlias(weights)
+		if sum == 0 {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 32; i++ {
+			k := a.Sample(r)
+			if k < 0 || k >= len(weights) || weights[k] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

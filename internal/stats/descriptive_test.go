@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDescriptiveBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Sum(xs); got != 40 {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+}
+
+func TestDescriptiveEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Sum(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-slice moments must be 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max must be +/-Inf")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty Quantile must be NaN")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ws := []float64{1, 0, 1}
+	if got := WeightedMean(xs, ws); got != 2 {
+		t.Errorf("WeightedMean = %v, want 2", got)
+	}
+	if got := WeightedMean(xs, []float64{0, 0, 0}); got != 0 {
+		t.Errorf("zero-weight WeightedMean = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v, want 4", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.9, 10, 42} {
+		h.Observe(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if h.Count(0) != 3 { // -1 (clamped), 0, 1.9
+		t.Errorf("bin 0 count = %d, want 3", h.Count(0))
+	}
+	if h.Count(4) != 3 { // 9.9, 10 (clamped), 42 (clamped)
+		t.Errorf("bin 4 count = %d, want 3", h.Count(4))
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.Fraction(0); math.Abs(got-3.0/7.0) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range must fail")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(1234), NewRNG(1234)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	// Split streams must diverge from the parent.
+	c := NewRNG(1234)
+	d := c.Split()
+	same := true
+	for i := 0; i < 16; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("split stream identical to parent stream")
+	}
+}

@@ -1,0 +1,10 @@
+// Package stats provides the statistical substrate for the freshening
+// system: seeded random number generation, the distributions used by the
+// paper's workloads (Zipf access skew, Gamma change rates, Pareto object
+// sizes, Poisson update processes), discrete sampling via Vose's alias
+// method, and small descriptive-statistics helpers.
+//
+// Everything is built on the standard library only and is deterministic
+// given an explicit seed, so every experiment in the repository can be
+// reproduced bit-for-bit.
+package stats

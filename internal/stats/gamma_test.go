@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGammaValidation(t *testing.T) {
+	bad := [][2]float64{{0, 1}, {-1, 1}, {1, 0}, {1, -2}, {math.Inf(1), 1}}
+	for _, c := range bad {
+		if _, err := NewGamma(c[0], c[1]); err == nil {
+			t.Errorf("NewGamma(%v, %v) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+func TestNewGammaMeanStdDev(t *testing.T) {
+	g, err := NewGammaMeanStdDev(2.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Mean()-2.0) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", g.Mean())
+	}
+	if math.Abs(g.StdDev()-1.0) > 1e-12 {
+		t.Errorf("StdDev = %v, want 1", g.StdDev())
+	}
+	// Paper's Table 2: mean 2, stddev 1 -> shape 4, scale 0.5.
+	if math.Abs(g.Shape()-4) > 1e-12 || math.Abs(g.Scale()-0.5) > 1e-12 {
+		t.Errorf("shape=%v scale=%v, want 4 and 0.5", g.Shape(), g.Scale())
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	cases := []struct{ mean, stddev float64 }{
+		{2.0, 1.0},  // Table 2
+		{2.0, 2.0},  // Table 3 (shape 1)
+		{2.0, 3.0},  // shape < 1 path
+		{10.0, 1.0}, // large shape
+	}
+	r := NewRNG(99)
+	const n = 200000
+	for _, c := range cases {
+		g, err := NewGammaMeanStdDev(c.mean, c.stddev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := g.SampleN(r, n)
+		if m := Mean(xs); math.Abs(m-c.mean) > 0.05*c.mean+0.05 {
+			t.Errorf("mean=%v stddev=%v: sample mean %v", c.mean, c.stddev, m)
+		}
+		if s := StdDev(xs); math.Abs(s-c.stddev) > 0.07*c.stddev+0.05 {
+			t.Errorf("mean=%v stddev=%v: sample stddev %v", c.mean, c.stddev, s)
+		}
+	}
+}
+
+func TestGammaSamplePositive(t *testing.T) {
+	g, err := NewGammaMeanStdDev(0.5, 1.5) // shape < 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		if x := g.Sample(r); !(x > 0) || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("Sample returned %v, want positive finite", x)
+		}
+	}
+}
+
+func TestGammaPropertyPositiveFinite(t *testing.T) {
+	r := NewRNG(11)
+	f := func(rawMean, rawStd uint16) bool {
+		mean := float64(rawMean%1000)/100 + 0.01
+		std := float64(rawStd%1000)/100 + 0.01
+		g, err := NewGammaMeanStdDev(mean, std)
+		if err != nil {
+			return false
+		}
+		x := g.Sample(r)
+		if math.IsInf(x, 0) || math.IsNaN(x) || x < 0 {
+			return false
+		}
+		// Extremely small shapes legitimately underflow to 0 (the
+		// variate is below float64 range); see Gamma.Sample.
+		if g.Shape() >= 1e-2 && x == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

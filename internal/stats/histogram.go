@@ -1,0 +1,66 @@
+package stats
+
+import "fmt"
+
+// Histogram is a fixed-width bin histogram over [lo, hi). Values
+// outside the range are clamped into the first or last bin so no
+// observation is silently dropped.
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range must satisfy hi > lo, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int, bins),
+	}, nil
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(x float64) {
+	i := int((x - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Fraction returns the fraction of observations in bin i, or 0 when
+// the histogram is empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}

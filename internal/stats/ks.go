@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov returns the one-sample KS statistic
+// D = sup |F̂(x) − F(x)| between the samples' empirical CDF and the
+// hypothesized CDF. Compare against KSCriticalValue to test fit.
+func KolmogorovSmirnov(samples []float64, cdf func(float64) float64) (float64, error) {
+	n := len(samples)
+	if n == 0 {
+		return 0, fmt.Errorf("stats: KS test needs samples")
+	}
+	sorted := make([]float64, n)
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return 0, fmt.Errorf("stats: hypothesized CDF returned %v at %v", f, x)
+		}
+		lo := f - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the asymptotic critical value of the KS
+// statistic at significance level alpha ∈ {0.10, 0.05, 0.01}:
+// c(α)/√n with the standard coefficients.
+func KSCriticalValue(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: KS critical value needs n > 0")
+	}
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.22
+	case 0.05:
+		c = 1.36
+	case 0.01:
+		c = 1.63
+	default:
+		return 0, fmt.Errorf("stats: unsupported KS significance level %v", alpha)
+	}
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// RegularizedGammaP computes P(a, x), the regularized lower incomplete
+// gamma function, by series expansion for x < a+1 and by a Lentz
+// continued fraction for the complement otherwise (the standard
+// split). It backs GammaCDF; the standard library offers no incomplete
+// gamma.
+func RegularizedGammaP(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series: P(a,x) = e^{-x} x^a / Γ(a) · Σ x^n / (a(a+1)…(a+n)).
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 1000; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-16 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x), modified Lentz.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 1000; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}
+
+// CDF returns the gamma cumulative distribution function at x.
+func (g *Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegularizedGammaP(g.shape, x/g.scale)
+}
+
+// CDF returns the Pareto cumulative distribution function at x.
+func (p *Pareto) CDF(x float64) float64 {
+	if x <= p.scale {
+		return 0
+	}
+	return 1 - math.Pow(p.scale/x, p.shape)
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	cases := []struct{ a, x, want float64 }{
+		// P(1, x) = 1 - e^{-x}.
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 2, 1 - math.Exp(-2)},
+		// P(a, a) approaches 1/2 for large a; exact value at a=10 is
+		// about 0.5421 (Abramowitz & Stegun).
+		{10, 10, 0.5420703}, // uses the continued-fraction branch
+		// Small x, series branch: P(2, 0.1) = 1 - e^{-0.1}(1 + 0.1).
+		{2, 0.1, 1 - math.Exp(-0.1)*1.1},
+		// P(0.5, x) = erf(sqrt(x)).
+		{0.5, 1.0, math.Erf(1)},
+	}
+	for _, c := range cases {
+		got := RegularizedGammaP(c.a, c.x)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("P(%v, %v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+	if got := RegularizedGammaP(1, 0); got != 0 {
+		t.Errorf("P(1, 0) = %v, want 0", got)
+	}
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) || !math.IsNaN(RegularizedGammaP(1, -1)) {
+		t.Error("invalid arguments must return NaN")
+	}
+}
+
+func TestRegularizedGammaPMonotoneAndBounded(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 4, 25} {
+		prev := -1.0
+		for x := 0.0; x < 4*a+10; x += 0.25 {
+			p := RegularizedGammaP(a, x)
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				t.Fatalf("P(%v, %v) = %v not monotone in [0,1] (prev %v)", a, x, p, prev)
+			}
+			prev = p
+		}
+		if prev < 0.999 {
+			t.Errorf("P(%v, large) = %v, want near 1", a, prev)
+		}
+	}
+}
+
+func TestGammaSamplesPassKS(t *testing.T) {
+	r := NewRNG(77)
+	for _, c := range []struct{ mean, stddev float64 }{{2, 1}, {2, 2}, {5, 0.5}} {
+		g, err := NewGammaMeanStdDev(c.mean, c.stddev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := g.SampleN(r, 5000)
+		d, err := KolmogorovSmirnov(samples, g.CDF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crit, err := KSCriticalValue(len(samples), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > crit {
+			t.Errorf("gamma(mean=%v, stddev=%v): KS D=%v exceeds critical %v", c.mean, c.stddev, d, crit)
+		}
+	}
+}
+
+func TestParetoSamplesPassKS(t *testing.T) {
+	r := NewRNG(78)
+	p, err := NewParetoMean(1.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := p.SampleN(r, 5000)
+	d, err := KolmogorovSmirnov(samples, p.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(len(samples), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Errorf("pareto: KS D=%v exceeds critical %v", d, crit)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	// Exponential samples against a uniform CDF must fail decisively.
+	r := NewRNG(79)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = r.ExpFloat64()
+	}
+	uniformCDF := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 5 {
+			return 1
+		}
+		return x / 5
+	}
+	d, err := KolmogorovSmirnov(samples, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(len(samples), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 3*crit {
+		t.Errorf("KS failed to reject a wrong distribution: D=%v crit=%v", d, crit)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty samples must fail")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, func(float64) float64 { return 2 }); err == nil {
+		t.Error("invalid CDF must fail")
+	}
+	if _, err := KSCriticalValue(0, 0.05); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := KSCriticalValue(10, 0.5); err == nil {
+		t.Error("unsupported alpha must fail")
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pareto is a Pareto (type I) distribution with shape a and scale m:
+// P(X > x) = (m/x)^a for x >= m. The paper models web object sizes
+// with a Pareto of shape 1.1 normalized to mean 1 (its footnote 4:
+// the mean is a*m/(a-1) for a > 1).
+type Pareto struct {
+	shape float64
+	scale float64
+}
+
+// NewPareto builds a Pareto distribution from shape and scale.
+func NewPareto(shape, scale float64) (*Pareto, error) {
+	if !(shape > 0) || math.IsInf(shape, 0) {
+		return nil, fmt.Errorf("stats: pareto shape must be positive and finite, got %v", shape)
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("stats: pareto scale must be positive and finite, got %v", scale)
+	}
+	return &Pareto{shape: shape, scale: scale}, nil
+}
+
+// NewParetoMean builds a Pareto with the given shape whose mean equals
+// mean. The shape must exceed 1 for the mean to exist.
+func NewParetoMean(shape, mean float64) (*Pareto, error) {
+	if shape <= 1 {
+		return nil, fmt.Errorf("stats: pareto mean undefined for shape %v <= 1", shape)
+	}
+	if !(mean > 0) {
+		return nil, fmt.Errorf("stats: pareto mean must be positive, got %v", mean)
+	}
+	return NewPareto(shape, mean*(shape-1)/shape)
+}
+
+// Shape returns the shape parameter a.
+func (p *Pareto) Shape() float64 { return p.shape }
+
+// Scale returns the scale parameter m (the minimum value).
+func (p *Pareto) Scale() float64 { return p.scale }
+
+// Mean returns a*m/(a-1), or +Inf when the shape does not exceed 1.
+func (p *Pareto) Mean() float64 {
+	if p.shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.shape * p.scale / (p.shape - 1)
+}
+
+// Sample draws one Pareto variate by inverse-CDF: m / U^(1/a).
+func (p *Pareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.scale / math.Pow(u, 1/p.shape)
+}
+
+// SampleN draws n variates.
+func (p *Pareto) SampleN(r *RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Sample(r)
+	}
+	return out
+}

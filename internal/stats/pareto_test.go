@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewParetoValidation(t *testing.T) {
+	if _, err := NewPareto(0, 1); err == nil {
+		t.Error("shape 0 must fail")
+	}
+	if _, err := NewPareto(1.1, 0); err == nil {
+		t.Error("scale 0 must fail")
+	}
+	if _, err := NewParetoMean(1.0, 1.0); err == nil {
+		t.Error("mean undefined for shape <= 1, must fail")
+	}
+	if _, err := NewParetoMean(1.1, -1); err == nil {
+		t.Error("negative mean must fail")
+	}
+}
+
+func TestParetoMeanParameterization(t *testing.T) {
+	// Paper footnote 4: shape 1.1, mean 1 -> scale (a-1)/a = 1/11.
+	p, err := NewParetoMean(1.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Scale()-1.0/11.0) > 1e-12 {
+		t.Errorf("Scale = %v, want 1/11", p.Scale())
+	}
+	if math.Abs(p.Mean()-1.0) > 1e-12 {
+		t.Errorf("Mean = %v, want 1", p.Mean())
+	}
+}
+
+func TestParetoSampleBounds(t *testing.T) {
+	p, err := NewPareto(1.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(21)
+	for i := 0; i < 50000; i++ {
+		if x := p.Sample(r); x < 0.5 {
+			t.Fatalf("Sample returned %v below scale 0.5", x)
+		}
+	}
+}
+
+func TestParetoSampleMedian(t *testing.T) {
+	// The Pareto median is m * 2^(1/a); sample medians are far more
+	// stable than sample means for shape 1.1's heavy tail.
+	p, err := NewParetoMean(1.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(5)
+	xs := p.SampleN(r, 100000)
+	wantMedian := p.Scale() * math.Pow(2, 1/p.Shape())
+	if got := Quantile(xs, 0.5); math.Abs(got-wantMedian) > 0.02*wantMedian {
+		t.Errorf("sample median %v, want about %v", got, wantMedian)
+	}
+}
+
+func TestParetoInfiniteMeanReported(t *testing.T) {
+	p, err := NewPareto(0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Mean(), 1) {
+		t.Errorf("Mean for shape 0.9 = %v, want +Inf", p.Mean())
+	}
+}

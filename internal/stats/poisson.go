@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonSample draws one Poisson(mean) variate. For small means it
+// uses Knuth's product method; for large means it uses the PA
+// acceptance/complement-free normal refinement (Atkinson's PTRS-style
+// rejection), which stays exact and O(1).
+func PoissonSample(r *RNG, mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		return poissonKnuth(r, mean)
+	default:
+		return poissonRejection(r, mean)
+	}
+}
+
+func poissonKnuth(r *RNG, mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonRejection implements the transformed-rejection method of
+// Hörmann (PTRS, 1993) for mean >= 10. It needs only log-gamma from
+// the standard library.
+func poissonRejection(r *RNG, mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mean)-mean-lg {
+			return int(k)
+		}
+	}
+}
+
+// PoissonProcess returns the ordered event times of a homogeneous
+// Poisson process with the given rate over [0, horizon). The expected
+// number of events is rate*horizon.
+func PoissonProcess(r *RNG, rate, horizon float64) ([]float64, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("stats: poisson process rate must be non-negative, got %v", rate)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("stats: poisson process horizon must be non-negative, got %v", horizon)
+	}
+	if rate == 0 || horizon == 0 {
+		return nil, nil
+	}
+	times := make([]float64, 0, int(rate*horizon)+1)
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / rate
+		if t >= horizon {
+			return times, nil
+		}
+		times = append(times, t)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonSampleMoments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 100000
+	for _, mean := range []float64{0.5, 2, 8, 29.5, 30, 50, 200} {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := float64(PoissonSample(r, mean))
+			sum += x
+			sumSq += x * x
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.03*mean+0.03 {
+			t.Errorf("mean %v: sample mean %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.08*mean+0.08 {
+			t.Errorf("mean %v: sample variance %v, want about %v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonSampleEdgeCases(t *testing.T) {
+	r := NewRNG(1)
+	if got := PoissonSample(r, 0); got != 0 {
+		t.Errorf("PoissonSample(0) = %d, want 0", got)
+	}
+	if got := PoissonSample(r, -3); got != 0 {
+		t.Errorf("PoissonSample(-3) = %d, want 0", got)
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	r := NewRNG(23)
+	times, err := PoissonProcess(r, 4.0, 1000.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected count 4000; allow 5 sigma (sigma ~ 63).
+	if n := float64(len(times)); math.Abs(n-4000) > 320 {
+		t.Errorf("got %v events, want about 4000", n)
+	}
+	for i, tm := range times {
+		if tm < 0 || tm >= 1000 {
+			t.Fatalf("event %d at %v outside [0, 1000)", i, tm)
+		}
+		if i > 0 && tm < times[i-1] {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestPoissonProcessEdges(t *testing.T) {
+	r := NewRNG(2)
+	if ts, err := PoissonProcess(r, 0, 100); err != nil || len(ts) != 0 {
+		t.Errorf("rate 0: got %v, %v", ts, err)
+	}
+	if ts, err := PoissonProcess(r, 5, 0); err != nil || len(ts) != 0 {
+		t.Errorf("horizon 0: got %v, %v", ts, err)
+	}
+	if _, err := PoissonProcess(r, -1, 100); err == nil {
+		t.Error("negative rate must fail")
+	}
+	if _, err := PoissonProcess(r, 1, -100); err == nil {
+		t.Error("negative horizon must fail")
+	}
+}

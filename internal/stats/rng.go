@@ -1,0 +1,28 @@
+package stats
+
+import "math/rand"
+
+// RNG is the random source used throughout the repository. It wraps
+// math/rand.Rand so callers never touch the global source and every
+// stochastic component can be seeded independently.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent generator from r. Each call advances r,
+// so successive splits yield distinct streams. Splitting lets one
+// experiment seed drive several components (update generator, request
+// generator, workload builder) without correlated draws.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Int63())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	return r.Rand.Perm(n)
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf models the generalized Zipf (zeta) distribution over ranks
+// 1..N used by the paper for access probabilities: the probability of
+// the element with rank i is proportional to 1/i^theta. Theta = 0 is
+// the uniform distribution; the paper sweeps theta in [0, 1.6]
+// following the web-access measurements it cites.
+//
+// The standard library's rand.Zipf requires its skew parameter to be
+// strictly greater than 1, so it cannot express the paper's range; this
+// implementation supports any theta >= 0.
+type Zipf struct {
+	n     int
+	theta float64
+	probs []float64 // probs[i] is the probability of rank i+1
+	cdf   []float64 // cumulative distribution for inverse sampling
+}
+
+// NewZipf builds a Zipf distribution over n ranks with skew theta.
+func NewZipf(n int, theta float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf needs at least one rank, got %d", n)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("stats: zipf skew must be a finite non-negative number, got %v", theta)
+	}
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		probs: make([]float64, n),
+		cdf:   make([]float64, n),
+	}
+	var norm float64
+	for i := 0; i < n; i++ {
+		w := math.Pow(float64(i+1), -theta)
+		z.probs[i] = w
+		norm += w
+	}
+	var cum float64
+	for i := 0; i < n; i++ {
+		z.probs[i] /= norm
+		cum += z.probs[i]
+		z.cdf[i] = cum
+	}
+	z.cdf[n-1] = 1 // guard against accumulated rounding
+	return z, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Prob returns the probability of rank i (1-based).
+func (z *Zipf) Prob(rank int) float64 {
+	if rank < 1 || rank > z.n {
+		return 0
+	}
+	return z.probs[rank-1]
+}
+
+// Probs returns a copy of the full probability vector indexed by
+// rank-1. The vector sums to 1.
+func (z *Zipf) Probs() []float64 {
+	out := make([]float64, z.n)
+	copy(out, z.probs)
+	return out
+}
+
+// Sample draws a rank in [1, n] by inverting the CDF.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// sort.SearchFloat64s finds the first cdf entry >= u.
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i + 1
+}
+
+// ErrEmptyDistribution is returned when a discrete distribution has no
+// probability mass.
+var ErrEmptyDistribution = errors.New("stats: distribution has no probability mass")
+
+// Normalize scales the vector in place so it sums to 1 and returns it.
+// It returns ErrEmptyDistribution if the sum is not positive.
+func Normalize(probs []float64) ([]float64, error) {
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("stats: probability mass must be non-negative, got %v", p)
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return nil, ErrEmptyDistribution
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs, nil
+}

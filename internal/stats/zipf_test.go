@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		theta float64
+	}{
+		{"zero ranks", 0, 1.0},
+		{"negative ranks", -5, 1.0},
+		{"negative theta", 10, -0.5},
+		{"nan theta", 10, math.NaN()},
+		{"inf theta", 10, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewZipf(tc.n, tc.theta); err == nil {
+				t.Fatalf("NewZipf(%d, %v) succeeded, want error", tc.n, tc.theta)
+			}
+		})
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z, err := NewZipf(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank <= 8; rank++ {
+		if got, want := z.Prob(rank), 1.0/8.0; math.Abs(got-want) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", rank, got, want)
+		}
+	}
+}
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.4, 0.8, 1.0, 1.2, 1.6, 2.5} {
+		z, err := NewZipf(1000, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum := Sum(z.Probs()); math.Abs(sum-1) > 1e-9 {
+			t.Errorf("theta=%v: probs sum to %v, want 1", theta, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, err := NewZipf(100, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 2; rank <= 100; rank++ {
+		if z.Prob(rank) > z.Prob(rank-1) {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v; zipf must be non-increasing in rank",
+				rank, z.Prob(rank), rank-1, z.Prob(rank-1))
+		}
+	}
+}
+
+func TestZipfKnownRatios(t *testing.T) {
+	// For theta = 1, P(rank 1) / P(rank 2) must be exactly 2.
+	z, err := NewZipf(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := z.Prob(1) / z.Prob(2); math.Abs(ratio-2) > 1e-12 {
+		t.Errorf("P(1)/P(2) = %v, want 2", ratio)
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z, err := NewZipf(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Prob(0) != 0 || z.Prob(11) != 0 || z.Prob(-3) != 0 {
+		t.Error("out-of-range ranks must have probability 0")
+	}
+}
+
+func TestZipfSampleMatchesDistribution(t *testing.T) {
+	const n, draws = 20, 200000
+	z, err := NewZipf(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(7)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	for rank := 1; rank <= n; rank++ {
+		got := float64(counts[rank]) / draws
+		want := z.Prob(rank)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical %v vs true %v", rank, got, want)
+		}
+	}
+}
+
+func TestZipfSampleAlwaysInRange(t *testing.T) {
+	z, err := NewZipf(5, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(42)
+	for i := 0; i < 10000; i++ {
+		if rank := z.Sample(r); rank < 1 || rank > 5 {
+			t.Fatalf("Sample returned %d, want in [1, 5]", rank)
+		}
+	}
+}
+
+func TestZipfPropertyNormalized(t *testing.T) {
+	// Property: for any n in [1, 500] and theta in [0, 2], the
+	// probability vector sums to 1 and every entry is positive.
+	f := func(rawN uint16, rawTheta uint16) bool {
+		n := int(rawN%500) + 1
+		theta := float64(rawTheta%2000) / 1000.0
+		z, err := NewZipf(n, theta)
+		if err != nil {
+			return false
+		}
+		probs := z.Probs()
+		sum := 0.0
+		for _, p := range probs {
+			if p <= 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.25) > 1e-12 || math.Abs(got[1]-0.75) > 1e-12 {
+		t.Errorf("Normalize([1 3]) = %v, want [0.25 0.75]", got)
+	}
+	if _, err := Normalize([]float64{0, 0}); err == nil {
+		t.Error("Normalize of zero mass must fail")
+	}
+	if _, err := Normalize([]float64{1, -1}); err == nil {
+		t.Error("Normalize with negative mass must fail")
+	}
+}

@@ -1,0 +1,4 @@
+// Package textio renders experiment results as aligned text tables
+// (for the terminal) and CSV (for plotting), the two output formats of
+// the repository's experiment harness and CLI.
+package textio

@@ -1,0 +1,87 @@
+package textio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"freshen/internal/freshness"
+)
+
+// elementHeader is the canonical CSV column set for element files.
+var elementHeader = []string{"id", "lambda", "access_prob", "size"}
+
+// WriteElements emits a mirror as CSV with columns
+// id,lambda,access_prob,size.
+func WriteElements(w io.Writer, elems []freshness.Element) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(elementHeader); err != nil {
+		return err
+	}
+	for _, e := range elems {
+		rec := []string{
+			strconv.Itoa(e.ID),
+			strconv.FormatFloat(e.Lambda, 'g', -1, 64),
+			strconv.FormatFloat(e.AccessProb, 'g', -1, 64),
+			strconv.FormatFloat(e.Size, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadElements parses a mirror from CSV written by WriteElements (or
+// by hand: a header line id,lambda,access_prob,size followed by one
+// row per element).
+func ReadElements(r io.Reader) ([]freshness.Element, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(elementHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("textio: reading element header: %w", err)
+	}
+	for i, want := range elementHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("textio: element CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var elems []freshness.Element
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("textio: reading element row: %w", err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("textio: line %d: bad id %q", line, rec[0])
+		}
+		lambda, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("textio: line %d: bad lambda %q", line, rec[1])
+		}
+		p, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("textio: line %d: bad access_prob %q", line, rec[2])
+		}
+		size, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("textio: line %d: bad size %q", line, rec[3])
+		}
+		e := freshness.Element{ID: id, Lambda: lambda, AccessProb: p, Size: size}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("textio: line %d: %w", line, err)
+		}
+		elems = append(elems, e)
+	}
+	if len(elems) == 0 {
+		return nil, fmt.Errorf("textio: element CSV has no rows")
+	}
+	return elems, nil
+}

@@ -1,0 +1,54 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+func TestElementsRoundTrip(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 2.5, AccessProb: 0.75, Size: 1},
+		{ID: 1, Lambda: 0, AccessProb: 0.25, Size: 3.25},
+	}
+	var sb strings.Builder
+	if err := WriteElements(&sb, elems); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadElements(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d elements", len(got))
+	}
+	for i := range elems {
+		if got[i] != elems[i] {
+			t.Errorf("element %d: %+v != %+v", i, got[i], elems[i])
+		}
+	}
+}
+
+func TestReadElementsErrors(t *testing.T) {
+	cases := []struct {
+		name, csv string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c,d\n1,1,1,1\n"},
+		{"no rows", "id,lambda,access_prob,size\n"},
+		{"bad id", "id,lambda,access_prob,size\nx,1,0.5,1\n"},
+		{"bad lambda", "id,lambda,access_prob,size\n1,x,0.5,1\n"},
+		{"bad prob", "id,lambda,access_prob,size\n1,1,x,1\n"},
+		{"bad size", "id,lambda,access_prob,size\n1,1,0.5,x\n"},
+		{"invalid element", "id,lambda,access_prob,size\n1,-1,0.5,1\n"},
+		{"wrong fields", "id,lambda,access_prob,size\n1,1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadElements(strings.NewReader(tc.csv)); err == nil {
+				t.Errorf("ReadElements(%q) succeeded, want error", tc.csv)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadElements checks the element CSV parser never panics and
+// that everything it accepts round-trips.
+func FuzzReadElements(f *testing.F) {
+	f.Add("id,lambda,access_prob,size\n0,1,0.5,1\n1,2,0.5,2\n")
+	f.Add("id,lambda,access_prob,size\n")
+	f.Add("")
+	f.Add("id,lambda,access_prob,size\n0,abc,0.5,1\n")
+	f.Add("id,lambda,access_prob,size\n0,1,0.5,1,extra\n")
+	f.Add("id,lambda,access_prob,size\n-1,-1,-1,-1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		elems, err := ReadElements(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(elems) == 0 {
+			t.Fatal("accepted input with zero elements")
+		}
+		var sb strings.Builder
+		if err := WriteElements(&sb, elems); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadElements(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(again) != len(elems) {
+			t.Fatalf("round trip changed element count: %d -> %d", len(elems), len(again))
+		}
+		for i := range elems {
+			if again[i] != elems[i] {
+				t.Fatalf("round trip changed element %d: %+v -> %+v", i, elems[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 42)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "1.5000") {
+		t.Errorf("float not formatted to 4 decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Error("missing int cell")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "alpha" is 5 wide, so the header row pads "name"
+	// to 5 characters before the two-space gap.
+	if !strings.Contains(out, "name   value") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.AddRow(1)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("empty title must not emit a blank line")
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.AddRow("x,y", 2.0)
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("missing CSV header: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma cell not quoted: %q", out)
+	}
+	if strings.Contains(out, "ignored") {
+		t.Error("CSV must not contain the title")
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if got := formatCell(float32(0.5)); got != "0.5000" {
+		t.Errorf("float32 = %q", got)
+	}
+	if got := formatCell("s"); got != "s" {
+		t.Errorf("string = %q", got)
+	}
+	if got := formatCell(true); got != "true" {
+		t.Errorf("bool = %q", got)
+	}
+}

@@ -1,0 +1,8 @@
+// Package workload generates the synthetic mirrors the paper's
+// experiments run on: per-element change rates drawn from a gamma
+// distribution, access probabilities from a Zipf distribution, object
+// sizes fixed or Pareto-distributed, and the three alignments of
+// change and access frequency the paper studies (aligned, reverse and
+// shuffled-change). The Table 2 and Table 3 parameter sets are encoded
+// as presets.
+package workload

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"sort"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+// Generate builds the mirror a spec describes. Elements are indexed in
+// access-rank order: element 0 carries the highest access probability.
+// Change rates are gamma-distributed and related to access rank by
+// ChangeAlignment; sizes, when Pareto, are related to change-rate rank
+// by SizeAlignment. Generation is deterministic in Spec.Seed.
+func Generate(s Spec) ([]freshness.Element, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(s.Seed)
+
+	zipf, err := stats.NewZipf(s.NumObjects, s.Theta)
+	if err != nil {
+		return nil, err
+	}
+	probs := zipf.Probs()
+
+	gamma, err := stats.NewGammaMeanStdDev(s.MeanChangeRate(), s.UpdateStdDev)
+	if err != nil {
+		return nil, err
+	}
+	lambdas := gamma.SampleN(r.Split(), s.NumObjects)
+	alignTo(lambdas, s.ChangeAlignment, r.Split())
+
+	sizes := make([]float64, s.NumObjects)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	if s.Sizes == SizePareto {
+		pareto, err := stats.NewParetoMean(s.ParetoShape, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		sizes = pareto.SampleN(r.Split(), s.NumObjects)
+		// Sizes align to change-rate rank, not access rank: order the
+		// sizes, then hand them out walking the elements from the most
+		// to the least volatile (or the opposite, or at random).
+		alignToKey(sizes, lambdas, s.SizeAlignment, r.Split())
+	}
+
+	elems := make([]freshness.Element, s.NumObjects)
+	for i := range elems {
+		elems[i] = freshness.Element{
+			ID:         i,
+			Lambda:     lambdas[i],
+			AccessProb: probs[i],
+			Size:       sizes[i],
+		}
+	}
+	return elems, nil
+}
+
+// alignTo orders vals in place relative to the access rank implied by
+// index order (index 0 = hottest): Aligned sorts descending, Reverse
+// ascending, Shuffled applies a random permutation.
+func alignTo(vals []float64, a Alignment, r *stats.RNG) {
+	switch a {
+	case Aligned:
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	case Reverse:
+		sort.Float64s(vals)
+	case Shuffled:
+		r.Shuffle(len(vals), func(i, j int) {
+			vals[i], vals[j] = vals[j], vals[i]
+		})
+	}
+}
+
+// alignToKey orders vals relative to the rank order of key: under
+// Aligned the largest value lands on the index holding the largest
+// key, under Reverse on the smallest key, under Shuffled at random.
+func alignToKey(vals, key []float64, a Alignment, r *stats.RNG) {
+	if a == Shuffled {
+		r.Shuffle(len(vals), func(i, j int) {
+			vals[i], vals[j] = vals[j], vals[i]
+		})
+		return
+	}
+	// Rank the key indices: order[0] is the index of the largest key.
+	order := make([]int, len(key))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return key[order[i]] > key[order[j]] })
+
+	sorted := append([]float64(nil), vals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted))) // descending
+	if a == Reverse {
+		for i, j := 0, len(sorted)-1; i < j; i, j = i+1, j-1 {
+			sorted[i], sorted[j] = sorted[j], sorted[i]
+		}
+	}
+	for rank, idx := range order {
+		vals[idx] = sorted[rank]
+	}
+}

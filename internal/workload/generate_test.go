@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+func TestGenerateTableTwoShape(t *testing.T) {
+	spec := TableTwo()
+	spec.Theta = 1.0
+	elems, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 500 {
+		t.Fatalf("got %d elements, want 500", len(elems))
+	}
+	if err := freshness.ValidateElements(elems); err != nil {
+		t.Fatal(err)
+	}
+	// Access probabilities sum to 1 and are rank-ordered.
+	var psum float64
+	for i, e := range elems {
+		psum += e.AccessProb
+		if i > 0 && e.AccessProb > elems[i-1].AccessProb {
+			t.Fatalf("access probs not rank-ordered at %d", i)
+		}
+		if e.Size != 1 {
+			t.Fatalf("uniform sizes expected, element %d has %v", i, e.Size)
+		}
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		t.Errorf("access probabilities sum to %v", psum)
+	}
+	// Mean change rate near UpdatesPerPeriod / NumObjects = 2.
+	var lsum float64
+	for _, e := range elems {
+		lsum += e.Lambda
+	}
+	if mean := lsum / 500; math.Abs(mean-2) > 0.15 {
+		t.Errorf("mean change rate %v, want about 2", mean)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := TableTwo()
+	spec.Theta = 0.8
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at element %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	spec.Seed = 2
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Lambda != c[i].Lambda {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical change rates")
+	}
+}
+
+func TestGenerateAlignments(t *testing.T) {
+	base := TableTwo()
+	base.Theta = 1.2
+
+	base.ChangeAlignment = Aligned
+	aligned, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(aligned); i++ {
+		if aligned[i].Lambda > aligned[i-1].Lambda {
+			t.Fatalf("aligned: lambda increased at %d", i)
+		}
+	}
+
+	base.ChangeAlignment = Reverse
+	reverse, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reverse); i++ {
+		if reverse[i].Lambda < reverse[i-1].Lambda {
+			t.Fatalf("reverse: lambda decreased at %d", i)
+		}
+	}
+
+	base.ChangeAlignment = Shuffled
+	shuffled, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedRuns := 0
+	for i := 1; i < len(shuffled); i++ {
+		if shuffled[i].Lambda <= shuffled[i-1].Lambda {
+			sortedRuns++
+		}
+	}
+	// A shuffled sequence of 500 values must be far from sorted.
+	if sortedRuns > 350 || sortedRuns < 150 {
+		t.Errorf("shuffled lambdas look ordered: %d/499 descending steps", sortedRuns)
+	}
+}
+
+func TestGenerateParetoSizes(t *testing.T) {
+	spec := TableTwo()
+	spec.Sizes = SizePareto
+	spec.ParetoShape = 1.1
+	spec.SizeAlignment = Aligned
+	spec.ChangeAlignment = Aligned
+	elems, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes aligned to change rate: since change rates are themselves
+	// aligned (descending), sizes must descend too.
+	for i := 1; i < len(elems); i++ {
+		if elems[i].Size > elems[i-1].Size {
+			t.Fatalf("size-aligned workload: size increased at %d", i)
+		}
+	}
+	var minSize float64 = math.Inf(1)
+	for _, e := range elems {
+		if e.Size < minSize {
+			minSize = e.Size
+		}
+	}
+	// Pareto(1.1, mean 1) has scale 1/11 ≈ 0.0909; no size may fall
+	// below the scale.
+	if minSize < 1.0/11.0-1e-12 {
+		t.Errorf("min size %v below the Pareto scale", minSize)
+	}
+}
+
+func TestGenerateSizeReverseAlignment(t *testing.T) {
+	spec := TableTwo()
+	spec.Sizes = SizePareto
+	spec.ParetoShape = 1.1
+	spec.SizeAlignment = Reverse
+	spec.ChangeAlignment = Shuffled
+	elems, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse size alignment: the most volatile element has the
+	// smallest size and the least volatile the largest.
+	var hotIdx, coldIdx int
+	for i, e := range elems {
+		if e.Lambda > elems[hotIdx].Lambda {
+			hotIdx = i
+		}
+		if e.Lambda < elems[coldIdx].Lambda {
+			coldIdx = i
+		}
+	}
+	var minSize, maxSize = math.Inf(1), math.Inf(-1)
+	for _, e := range elems {
+		minSize = math.Min(minSize, e.Size)
+		maxSize = math.Max(maxSize, e.Size)
+	}
+	if elems[hotIdx].Size != minSize {
+		t.Errorf("most volatile element has size %v, want the minimum %v", elems[hotIdx].Size, minSize)
+	}
+	if elems[coldIdx].Size != maxSize {
+		t.Errorf("least volatile element has size %v, want the maximum %v", elems[coldIdx].Size, maxSize)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := TableTwo()
+	bad.NumObjects = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("NumObjects 0 must fail")
+	}
+	bad = TableTwo()
+	bad.UpdateStdDev = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero UpdateStdDev must fail")
+	}
+	bad = TableTwo()
+	bad.Theta = -1
+	if _, err := Generate(bad); err == nil {
+		t.Error("negative Theta must fail")
+	}
+	bad = TableTwo()
+	bad.Sizes = SizePareto
+	bad.ParetoShape = 1.0
+	if _, err := Generate(bad); err == nil {
+		t.Error("Pareto shape <= 1 must fail")
+	}
+}
+
+func TestParseAlignment(t *testing.T) {
+	for _, s := range []string{"aligned", "reverse", "shuffled", "shuffled-change", "shuffle"} {
+		if _, err := ParseAlignment(s); err != nil {
+			t.Errorf("ParseAlignment(%q) failed: %v", s, err)
+		}
+	}
+	if _, err := ParseAlignment("bogus"); err == nil {
+		t.Error("bogus alignment must fail")
+	}
+}
+
+func TestAlignToKey(t *testing.T) {
+	key := []float64{3, 1, 2}
+	vals := []float64{10, 20, 30}
+	alignToKey(vals, key, Aligned, stats.NewRNG(1))
+	// Largest value 30 lands on the largest key (index 0).
+	if vals[0] != 30 || vals[2] != 20 || vals[1] != 10 {
+		t.Errorf("aligned alignToKey = %v, want [30 10 20]", vals)
+	}
+	vals = []float64{10, 20, 30}
+	alignToKey(vals, key, Reverse, stats.NewRNG(1))
+	if vals[0] != 10 || vals[1] != 30 || vals[2] != 20 {
+		t.Errorf("reverse alignToKey = %v, want [10 30 20]", vals)
+	}
+}
+
+func TestSpecStringers(t *testing.T) {
+	if Aligned.String() != "aligned" || Reverse.String() != "reverse" || Shuffled.String() != "shuffled" {
+		t.Error("alignment stringer broken")
+	}
+	if Alignment(99).String() == "" {
+		t.Error("unknown alignment must still print")
+	}
+	if SizeUniform.String() != "uniform" || SizePareto.String() != "pareto" {
+		t.Error("size dist stringer broken")
+	}
+	if SizeDist(42).String() == "" {
+		t.Error("unknown size dist must still print")
+	}
+}
+
+func TestTableThreePreset(t *testing.T) {
+	s := TableThree()
+	if s.NumObjects != 500000 || s.UpdatesPerPeriod != 1000000 || s.SyncsPerPeriod != 250000 {
+		t.Errorf("TableThree preset wrong: %+v", s)
+	}
+	if s.Theta != 1.0 || s.UpdateStdDev != 2.0 {
+		t.Errorf("TableThree parameters wrong: %+v", s)
+	}
+	if got := s.MeanChangeRate(); got != 2 {
+		t.Errorf("MeanChangeRate = %v, want 2", got)
+	}
+}

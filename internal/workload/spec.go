@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alignment relates two per-element attribute orderings (the paper's
+// Figure 2): under Aligned the hottest element is also the most
+// volatile (or largest); under Reverse the orderings oppose; under
+// Shuffled the attribute is randomly permuted so no relationship
+// exists.
+type Alignment int
+
+// Alignment values.
+const (
+	Aligned Alignment = iota
+	Reverse
+	Shuffled
+)
+
+// String implements fmt.Stringer.
+func (a Alignment) String() string {
+	switch a {
+	case Aligned:
+		return "aligned"
+	case Reverse:
+		return "reverse"
+	case Shuffled:
+		return "shuffled"
+	default:
+		return fmt.Sprintf("Alignment(%d)", int(a))
+	}
+}
+
+// ParseAlignment converts an experiment-flag string to an Alignment.
+func ParseAlignment(s string) (Alignment, error) {
+	switch s {
+	case "aligned":
+		return Aligned, nil
+	case "reverse":
+		return Reverse, nil
+	case "shuffled", "shuffled-change", "shuffle":
+		return Shuffled, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown alignment %q", s)
+	}
+}
+
+// SizeDist selects the object-size distribution.
+type SizeDist int
+
+// SizeDist values.
+const (
+	// SizeUniform gives every object size 1.0, the paper's Section 2-4
+	// assumption.
+	SizeUniform SizeDist = iota
+	// SizePareto draws sizes from a Pareto distribution (Section 5);
+	// the paper uses shape 1.1 with mean 1.0.
+	SizePareto
+)
+
+// String implements fmt.Stringer.
+func (s SizeDist) String() string {
+	switch s {
+	case SizeUniform:
+		return "uniform"
+	case SizePareto:
+		return "pareto"
+	default:
+		return fmt.Sprintf("SizeDist(%d)", int(s))
+	}
+}
+
+// Spec describes a synthetic mirror in the paper's vocabulary. The
+// zero value is not valid; start from TableTwo or TableThree or fill
+// every field.
+type Spec struct {
+	// NumObjects is the number of elements in the mirror (Table 2: 500;
+	// Table 3: 500 000).
+	NumObjects int
+	// UpdatesPerPeriod is the expected total number of source updates
+	// per synchronization period; the per-element gamma mean is
+	// UpdatesPerPeriod / NumObjects (Table 2: 1000 → mean 2).
+	UpdatesPerPeriod float64
+	// SyncsPerPeriod is the refresh bandwidth B (Table 2: 250).
+	SyncsPerPeriod float64
+	// Theta is the Zipf skew of the access distribution, 0 (uniform)
+	// to 1.6 in the paper's sweeps.
+	Theta float64
+	// UpdateStdDev is the standard deviation of the per-element gamma
+	// change-rate distribution (Table 2: 1.0; Table 3: 2.0).
+	UpdateStdDev float64
+	// ChangeAlignment relates change rates to access rank.
+	ChangeAlignment Alignment
+	// Sizes selects the object-size distribution.
+	Sizes SizeDist
+	// ParetoShape is the Pareto shape when Sizes == SizePareto
+	// (paper: 1.1). The scale is derived so the mean size is 1.
+	ParetoShape float64
+	// SizeAlignment relates sizes to *change-rate* rank when sizes are
+	// variable (Figure 10 aligns them; Figure 11 reverses them).
+	SizeAlignment Alignment
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// TableTwo returns the paper's Table 2 setup for the ideal-case
+// experiments: 500 objects, 1000 updates and 250 syncs per period,
+// UpdateStdDev 1.0. Theta and ChangeAlignment vary per experiment and
+// default to 0 / Shuffled.
+func TableTwo() Spec {
+	return Spec{
+		NumObjects:       500,
+		UpdatesPerPeriod: 1000,
+		SyncsPerPeriod:   250,
+		Theta:            0,
+		UpdateStdDev:     1.0,
+		ChangeAlignment:  Shuffled,
+		Sizes:            SizeUniform,
+		Seed:             1,
+	}
+}
+
+// TableThree returns the paper's Table 3 setup for the large
+// partitioning experiments: 500 000 objects, 10⁶ updates and 250 000
+// syncs per period, Theta 1.0, UpdateStdDev 2.0.
+func TableThree() Spec {
+	return Spec{
+		NumObjects:       500000,
+		UpdatesPerPeriod: 1000000,
+		SyncsPerPeriod:   250000,
+		Theta:            1.0,
+		UpdateStdDev:     2.0,
+		ChangeAlignment:  Shuffled,
+		Sizes:            SizeUniform,
+		Seed:             1,
+	}
+}
+
+// Validate checks the spec is generatable.
+func (s Spec) Validate() error {
+	if s.NumObjects <= 0 {
+		return fmt.Errorf("workload: NumObjects must be positive, got %d", s.NumObjects)
+	}
+	if !(s.UpdatesPerPeriod > 0) || math.IsInf(s.UpdatesPerPeriod, 0) {
+		return fmt.Errorf("workload: UpdatesPerPeriod must be positive and finite, got %v", s.UpdatesPerPeriod)
+	}
+	if s.SyncsPerPeriod < 0 || math.IsNaN(s.SyncsPerPeriod) || math.IsInf(s.SyncsPerPeriod, 0) {
+		return fmt.Errorf("workload: SyncsPerPeriod must be non-negative and finite, got %v", s.SyncsPerPeriod)
+	}
+	if s.Theta < 0 || math.IsNaN(s.Theta) || math.IsInf(s.Theta, 0) {
+		return fmt.Errorf("workload: Theta must be non-negative and finite, got %v", s.Theta)
+	}
+	if !(s.UpdateStdDev > 0) || math.IsInf(s.UpdateStdDev, 0) {
+		return fmt.Errorf("workload: UpdateStdDev must be positive and finite, got %v", s.UpdateStdDev)
+	}
+	if s.Sizes == SizePareto && s.ParetoShape <= 1 {
+		return fmt.Errorf("workload: ParetoShape must exceed 1 for a unit mean, got %v", s.ParetoShape)
+	}
+	return nil
+}
+
+// MeanChangeRate returns the per-element gamma mean,
+// UpdatesPerPeriod / NumObjects.
+func (s Spec) MeanChangeRate() float64 {
+	return s.UpdatesPerPeriod / float64(s.NumObjects)
+}
