@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench-solver bench clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The solver's worker pool and the clustering code are the two places
+# goroutines share buffers; run them under the race detector.
+race:
+	$(GO) test -race ./internal/solver/... ./internal/cluster/...
+
+ci: build vet test race
+
+# Engine-vs-reference timings; writes BENCH_solver.json.
+bench-solver:
+	$(GO) run ./cmd/freshenctl bench-solver
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/solver/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+	"freshen/internal/workload"
+)
+
+// benchCase is one measured configuration in BENCH_solver.json.
+type benchCase struct {
+	Policy         string  `json:"policy"`
+	N              int     `json:"n"`
+	EngineNsOp     int64   `json:"engine_ns_op"`
+	ReferenceNsOp  int64   `json:"reference_ns_op"`
+	Speedup        float64 `json:"speedup"`
+	EngineAllocsOp uint64  `json:"engine_allocs_op"`
+	EngineIters    int     `json:"engine_iterations"`
+}
+
+// benchReport is the BENCH_solver.json document.
+type benchReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	GoVersion  string      `json:"go_version"`
+	Cases      []benchCase `json:"cases"`
+}
+
+// cmdBenchSolver times the solve engine against the frozen pre-engine
+// reference on Table-3-style workloads (Zipf access, gamma change
+// rates, Pareto sizes) and writes the measurements to a JSON file.
+func cmdBenchSolver(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bench-solver", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_solver.json", "output JSON path")
+	quick := fs.Bool("quick", false, "skip the N=1e6 cases")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Fail on an unwritable output path before spending minutes
+	// benchmarking, not after.
+	probe, err := os.OpenFile(*out, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	sizes := []int{10_000, 100_000, 1_000_000}
+	if *quick {
+		sizes = sizes[:2]
+	}
+	policies := []struct {
+		name string
+		pol  freshness.Policy
+	}{
+		{"fixed-order", freshness.FixedOrder{}},
+		{"poisson-order", freshness.PoissonOrder{}},
+	}
+
+	report := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	fmt.Fprintf(w, "%-14s %8s %14s %14s %9s %10s\n",
+		"policy", "n", "engine", "reference", "speedup", "allocs/op")
+	for _, n := range sizes {
+		elems, bandwidth, err := benchWorkload(n, *seed)
+		if err != nil {
+			return err
+		}
+		for _, pc := range policies {
+			p := solver.Problem{Elements: elems, Bandwidth: bandwidth, Policy: pc.pol}
+			c, err := runBenchCase(p, pc.name, n)
+			if err != nil {
+				return err
+			}
+			report.Cases = append(report.Cases, c)
+			fmt.Fprintf(w, "%-14s %8d %14s %14s %8.2fx %10d\n",
+				c.Policy, c.N, time.Duration(c.EngineNsOp), time.Duration(c.ReferenceNsOp),
+				c.Speedup, c.EngineAllocsOp)
+		}
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", *out)
+	return nil
+}
+
+// benchWorkload scales the paper's Table 3 shape (Zipf θ=1, gamma
+// change rates, Pareto-1.1 sizes, budget = half the updates) to n
+// elements.
+func benchWorkload(n int, seed int64) ([]freshness.Element, float64, error) {
+	spec := workload.TableThree()
+	spec.NumObjects = n
+	spec.UpdatesPerPeriod = 2 * float64(n)
+	spec.SyncsPerPeriod = 0.5 * float64(n)
+	spec.Sizes = workload.SizePareto
+	spec.ParetoShape = 1.1
+	spec.Seed = seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return elems, spec.SyncsPerPeriod, nil
+}
+
+// runBenchCase measures one (policy, n) configuration: median-of-reps
+// wall clock for the engine and the reference, and the engine's
+// steady-state allocation count from the runtime's malloc counter.
+func runBenchCase(p solver.Problem, policy string, n int) (benchCase, error) {
+	reps := 5
+	if n >= 1_000_000 {
+		reps = 2
+	}
+	eng := solver.NewEngine()
+	// Warm-up solve: grows the engine's buffers and faults in the data.
+	sol, err := eng.WaterFill(p)
+	if err != nil {
+		return benchCase{}, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	engNs := int64(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := eng.WaterFill(p); err != nil {
+			return benchCase{}, err
+		}
+		if d := time.Since(start).Nanoseconds(); d < engNs {
+			engNs = d
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	allocs := (ms1.Mallocs - ms0.Mallocs) / uint64(reps)
+
+	refNs := int64(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := solver.ReferenceWaterFill(p); err != nil {
+			return benchCase{}, err
+		}
+		if d := time.Since(start).Nanoseconds(); d < refNs {
+			refNs = d
+		}
+	}
+
+	return benchCase{
+		Policy:         policy,
+		N:              n,
+		EngineNsOp:     engNs,
+		ReferenceNsOp:  refNs,
+		Speedup:        float64(refNs) / float64(engNs),
+		EngineAllocsOp: allocs,
+		EngineIters:    sol.Iterations,
+	}, nil
+}

@@ -12,6 +12,7 @@
 //	freshenctl workload -n N -updates U -syncs B [-theta T] [-stddev S] [-align A] [-pareto-sizes] [-seed N]
 //	freshenctl learn -log access.log (-n N | -input elems.csv) [-smoothing S]
 //	freshenctl capacity -input elems.csv -target PF
+//	freshenctl bench-solver [-out BENCH_solver.json] [-quick] [-seed N]
 //
 // Flags come before positional arguments (standard flag package
 // ordering).
@@ -49,6 +50,8 @@ func run(args []string) error {
 		return cmdLearn(os.Stdout, args[1:])
 	case "capacity":
 		return cmdCapacity(os.Stdout, args[1:])
+	case "bench-solver":
+		return cmdBenchSolver(os.Stdout, args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -69,5 +72,6 @@ Subcommands:
   workload    generate a synthetic element CSV (gamma/zipf/pareto)
   learn       build the master profile from an access log
   capacity    minimum bandwidth for a target perceived freshness
+  bench-solver  time the solve engine against the pre-engine reference
 `)
 }

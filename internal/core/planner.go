@@ -101,11 +101,15 @@ type Plan struct {
 // MakePlan computes a refresh plan for the mirror.
 func MakePlan(elems []freshness.Element, cfg Config) (Plan, error) {
 	start := time.Now()
+	// One solve engine serves the whole plan, whichever strategy runs:
+	// the exact solve, the transformed problem of the heuristics, or
+	// both across a k-means refinement.
+	eng := solver.NewEngine()
 	var sol solver.Solution
 	var numParts int
 	switch cfg.Strategy {
 	case StrategyExact:
-		s, err := solver.WaterFill(solver.Problem{
+		s, err := eng.WaterFill(solver.Problem{
 			Elements:  elems,
 			Bandwidth: cfg.Bandwidth,
 			Policy:    cfg.Policy,
@@ -125,6 +129,7 @@ func MakePlan(elems []freshness.Element, cfg Config) (Plan, error) {
 			NumPartitions: cfg.NumPartitions,
 			Allocation:    cfg.Allocation,
 			Policy:        cfg.Policy,
+			Engine:        eng,
 		}
 		part, err := partition.Build(elems, cfg.Key, cfg.NumPartitions, cfg.Policy)
 		if err != nil {

@@ -93,11 +93,29 @@ func fixedOrderK(r float64) float64 {
 // marginal equals target (> 0). The marginal spans (0, ∞), so a
 // solution always exists for λ > 0.
 func InvertFixedOrderAgeMarginal(target, lambda float64) float64 {
+	return InvertFixedOrderAgeMarginalWarm(target, lambda, 0)
+}
+
+// InvertFixedOrderAgeMarginalWarm is InvertFixedOrderAgeMarginal with
+// a warm-start hint: the frequency returned by a previous inversion
+// for the same element at a nearby target. A good hint turns the
+// bracketing phase into one or two probes around the old root; a zero
+// (or wrong) hint falls back to the cold geometric bracket.
+func InvertFixedOrderAgeMarginalWarm(target, lambda, hint float64) float64 {
 	if lambda <= 0 || target <= 0 || math.IsInf(target, 0) {
 		return 0
 	}
 	// Bracket f: the marginal decreases in f from +∞ to 0.
 	lo, hi := 0.0, 1.0
+	if hint > 0 && !math.IsInf(hint, 0) {
+		if FixedOrderAgeMarginal(hint, lambda) > target {
+			// Root is above the hint.
+			lo, hi = hint, 2*hint
+		} else {
+			// Root is below the hint; keep lo = 0 and shrink from it.
+			hi = hint
+		}
+	}
 	for FixedOrderAgeMarginal(hi, lambda) > target {
 		lo = hi
 		hi *= 2

@@ -10,31 +10,40 @@ func errLenMismatch(elems, freqs int) error {
 // Perceived returns the perceived freshness of the mirror under the
 // given refresh frequencies: Σᵢ pᵢ·F(fᵢ, λᵢ) (the paper's Definition 4
 // combined with its Section 2 identity PF = Σ pᵢ F̄ᵢ). The freqs slice
-// must be element-aligned with elems.
+// must be element-aligned with elems. Large mirrors are reduced over
+// deterministic shards in parallel: each Freshness evaluation costs an
+// exp, which dominates scoring at web-mirror scale.
 func Perceived(p Policy, elems []Element, freqs []float64) (float64, error) {
 	if len(elems) != len(freqs) {
-		return 0, fmt.Errorf("freshness: %d elements but %d frequencies", len(elems), len(freqs))
+		return 0, errLenMismatch(len(elems), len(freqs))
 	}
-	var pf float64
-	for i, e := range elems {
-		pf += e.AccessProb * p.Freshness(freqs[i], e.Lambda)
-	}
+	pf := reduceShards(len(elems), func(lo, hi int) float64 {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += elems[i].AccessProb * p.Freshness(freqs[i], elems[i].Lambda)
+		}
+		return sum
+	})
 	return pf, nil
 }
 
 // Average returns the unweighted mean freshness (1/N)·Σᵢ F(fᵢ, λᵢ),
 // the objective of the paper's GF baseline (Cho & Garcia-Molina).
+// Reduced the same sharded way as Perceived.
 func Average(p Policy, elems []Element, freqs []float64) (float64, error) {
 	if len(elems) != len(freqs) {
-		return 0, fmt.Errorf("freshness: %d elements but %d frequencies", len(elems), len(freqs))
+		return 0, errLenMismatch(len(elems), len(freqs))
 	}
 	if len(elems) == 0 {
 		return 0, fmt.Errorf("freshness: mirror has no elements")
 	}
-	var sum float64
-	for i, e := range elems {
-		sum += p.Freshness(freqs[i], e.Lambda)
-	}
+	sum := reduceShards(len(elems), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += p.Freshness(freqs[i], elems[i].Lambda)
+		}
+		return s
+	})
 	return sum / float64(len(elems)), nil
 }
 
@@ -43,11 +52,14 @@ func Average(p Policy, elems []Element, freqs []float64) (float64, error) {
 // sizes it is simply the total number of refreshes per period.
 func BandwidthUsed(elems []Element, freqs []float64) (float64, error) {
 	if len(elems) != len(freqs) {
-		return 0, fmt.Errorf("freshness: %d elements but %d frequencies", len(elems), len(freqs))
+		return 0, errLenMismatch(len(elems), len(freqs))
 	}
-	var b float64
-	for i, e := range elems {
-		b += e.Size * freqs[i]
-	}
+	b := reduceShards(len(elems), func(lo, hi int) float64 {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += elems[i].Size * freqs[i]
+		}
+		return sum
+	})
 	return b, nil
 }

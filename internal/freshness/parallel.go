@@ -1,0 +1,47 @@
+package freshness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the element count below which metric reductions
+// stay on the calling goroutine: under it, goroutine hand-off costs
+// more than the arithmetic saved.
+const parallelThreshold = 16384
+
+// reduceShards evaluates fn over contiguous index shards of [0, n) —
+// in parallel when n is large enough — and returns the shard sums
+// added in shard order. The fixed chunking and ordered reduction make
+// the result deterministic for a given n and GOMAXPROCS regardless of
+// goroutine scheduling.
+func reduceShards(n int, fn func(lo, hi int) float64) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers < 2 {
+		return fn(0, n)
+	}
+	partial := make([]float64, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, t := range partial {
+		total += t
+	}
+	return total
+}

@@ -30,6 +30,19 @@ type Policy interface {
 	InvertMarginal(target, lambda float64) float64
 }
 
+// WarmStartInverter is an optional Policy extension for solvers whose
+// inner loop calls InvertMarginal many times per element with a
+// slowly moving target (the water-filling bisection moves its
+// multiplier a little per iteration). InvertMarginalWarm returns the
+// same frequency InvertMarginal would, plus an opaque per-element hint
+// that seeds the next inversion for the same element; a zero hint
+// means cold start. Implementations must accept an arbitrary
+// non-negative hint and still converge to the correct root — a stale
+// or wildly wrong hint may only cost iterations, never accuracy.
+type WarmStartInverter interface {
+	InvertMarginalWarm(target, lambda, hint float64) (freq, nextHint float64)
+}
+
 // FixedOrder is the paper's synchronization policy: every element is
 // refreshed at evenly spaced instants, all elements in the same order
 // each period. Cho & Garcia-Molina's closed form for its time-averaged
@@ -87,9 +100,19 @@ func fixedOrderG(r float64) float64 {
 }
 
 // InvertMarginal implements Policy: solve g(λ/f)/λ = target for f.
-func (FixedOrder) InvertMarginal(target, lambda float64) float64 {
+func (fo FixedOrder) InvertMarginal(target, lambda float64) float64 {
+	f, _ := fo.InvertMarginalWarm(target, lambda, 0)
+	return f
+}
+
+// InvertMarginalWarm implements WarmStartInverter. The hint is the
+// dimensionless root r = λ/f of the previous inversion for the same
+// element; when the solver's multiplier moves a little between calls,
+// the safeguarded Newton below converges from the hint in one or two
+// exp evaluations instead of the handful a cold start needs.
+func (FixedOrder) InvertMarginalWarm(target, lambda, hint float64) (float64, float64) {
 	if lambda <= 0 || target <= 0 {
-		return 0
+		return 0, 0
 	}
 	want := target * lambda // g(r) sought, in (0, 1)
 	if want > 1-1e-9 {
@@ -100,78 +123,107 @@ func (FixedOrder) InvertMarginal(target, lambda float64) float64 {
 		// of the common path because math.FMA falls back to software
 		// on pre-FMA3 CPUs), then solve e^(−r)(1+r) = δ by the fixed
 		// point r = log1p(r) − log δ (a contraction with rate
-		// 1/(1+r)), accurate down to δ = 5e−324. Without this branch
-		// the inversion — and therefore the water-filling solver's
-		// bandwidth usage — would jump by λ/37 at every element's
-		// funding cutoff.
+		// 1/(1+r), globally convergent for any positive seed, so a
+		// warm hint is a valid start), accurate down to δ = 5e−324.
+		// Without this branch the inversion — and therefore the
+		// water-filling solver's bandwidth usage — would jump by λ/37
+		// at every element's funding cutoff.
 		delta := math.FMA(-target, lambda, 1)
 		if delta <= 0 {
 			// The target meets or exceeds the f->0 limit 1/λ: no
 			// positive frequency attains it.
-			return 0
+			return 0, 0
 		}
-		r := -math.Log(delta)
+		logDelta := math.Log(delta)
+		r := hint
+		if !(r > 0) {
+			r = -logDelta
+		}
 		for i := 0; i < 100; i++ {
-			next := math.Log1p(r) - math.Log(delta)
+			next := math.Log1p(r) - logDelta
 			if math.Abs(next-r) <= 1e-14*next {
 				r = next
 				break
 			}
 			r = next
 		}
-		return lambda / r
+		return lambda / r, r
 	}
-	// g is increasing in r; solve g(r) = want by Newton safeguarded
-	// with a bisection bracket (g' = r·e^(−r) changes convexity at
-	// r = 1, so raw Newton can overshoot). Each iteration costs one
-	// exp, and the good starting guesses below converge in a handful
-	// of steps — this inversion is the inner loop of the whole solver.
-	var r float64
-	if want < 0.5 {
-		// g(r) ≈ r²/2 for small r.
-		r = math.Sqrt(2 * want)
-	} else {
-		// 1 − g(r) = e^(−r)(1+r) ≈ e^(−r)·r for larger r.
-		r = -math.Log1p(-want)
-		if r < 1 {
-			r = 1
+	r := fixedOrderInvertG(want, hint)
+	if r <= 0 {
+		return 0, 0
+	}
+	return lambda / r, r
+}
+
+// fixedOrderInvertG solves g(r) = want for r ∈ (0, ∞) given want in
+// (0, 1−1e-9]. g is increasing in r; the root is found by Newton
+// safeguarded with a bracket (g' = r·e^(−r) changes convexity at r = 1,
+// so raw Newton can overshoot). Each iteration costs one exp, and a
+// warm seed near the root converges in 1–2 steps — this inversion is
+// the inner loop of the whole solver.
+func fixedOrderInvertG(want, seed float64) float64 {
+	r := seed
+	if !(r > 0) {
+		if want < 0.5 {
+			// g(r) ≈ r²/2 for small r.
+			r = math.Sqrt(2 * want)
+		} else {
+			// 1 − g(r) = e^(−r)(1+r) ≈ e^(−r)·r for larger r.
+			r = -math.Log1p(-want)
+			if r < 1 {
+				r = 1
+			}
 		}
 	}
-	lo, hi := 0.0, math.Max(2*r, 2.0)
-	for fixedOrderG(hi) < want {
-		lo = hi
-		hi *= 2
-		if hi > 1e12 {
-			break
-		}
-	}
-	if r <= lo || r >= hi {
-		r = 0.5 * (lo + hi)
-	}
+	lo, hi := 0.0, math.Inf(1)
 	for i := 0; i < 80; i++ {
 		e := math.Exp(-r)
-		g := 1 - e*(1+r)
+		var g float64
+		if r < 1e-4 {
+			// Series: the closed form loses all precision here.
+			g = r * r * (0.5 - r/3)
+		} else {
+			g = 1 - e*(1+r)
+		}
 		if g < want {
 			lo = r
 		} else {
 			hi = r
 		}
-		next := 0.5 * (lo + hi)
+		var next float64
+		stepped := false
 		if d := r * e; d > 0 {
-			if n := r - (g-want)/d; n > lo && n < hi {
-				next = n
+			next = r - (g-want)/d
+			stepped = next > lo && next < hi
+		}
+		if !stepped {
+			// Newton left the bracket (bad warm seed or convexity
+			// flip): double upward while the root is unbracketed,
+			// bisect once it is.
+			if math.IsInf(hi, 1) {
+				next = 2 * math.Max(r, 1)
+			} else {
+				next = 0.5 * (lo + hi)
 			}
 		}
-		if math.Abs(next-r) <= 1e-15*next {
-			r = next
-			break
+		// Newton converges quadratically here, so the error left after
+		// a step of size s is ≈ |1−r|/(2r)·s²: once a Newton step is
+		// down to 1e-8·r the iterate is already ~1e-15-accurate, and
+		// waiting for the step itself to reach 1e-15 would pay two more
+		// exp evaluations per inversion for nothing. Safeguard steps
+		// (doubling/bisection) carry no such guarantee and keep the
+		// strict criterion.
+		if stepped {
+			if math.Abs(next-r) <= 1e-8*next {
+				return next
+			}
+		} else if math.Abs(next-r) <= 1e-15*next {
+			return next
 		}
 		r = next
 	}
-	if r <= 0 {
-		return 0
-	}
-	return lambda / r
+	return r
 }
 
 // PoissonOrder refreshes each element at exponentially distributed
@@ -219,4 +271,11 @@ func (PoissonOrder) InvertMarginal(target, lambda float64) float64 {
 		return 0
 	}
 	return f
+}
+
+// InvertMarginalWarm implements WarmStartInverter. The inversion is
+// closed-form, so the hint is unused; implementing the interface keeps
+// the Poisson policy on the solver engine's pruned fast path.
+func (po PoissonOrder) InvertMarginalWarm(target, lambda, _ float64) (float64, float64) {
+	return po.InvertMarginal(target, lambda), 0
 }

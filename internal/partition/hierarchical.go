@@ -30,12 +30,20 @@ func SolveHierarchicalPartitioned(elems []freshness.Element, bandwidth float64, 
 	}
 	reps := Representatives(elems, part)
 	tp := TransformedProblem(reps, bandwidth, opts.Policy)
-	repSol, err := solver.WaterFill(tp)
+	repSol, err := solveTransformed(tp, opts)
 	if err != nil {
 		return Result{}, err
 	}
 
+	// One engine serves every per-partition subproblem: the "sheer
+	// number of subproblems" the paper worried about becomes a loop of
+	// warm, allocation-free solves over shared buffers.
+	eng := opts.Engine
+	if eng == nil {
+		eng = solver.NewEngine()
+	}
 	freqs := make([]float64, len(elems))
+	var sub []freshness.Element
 	for ri, rep := range reps {
 		// The partition's bandwidth share under the transformed
 		// problem: members × mean size × representative frequency.
@@ -44,11 +52,11 @@ func SolveHierarchicalPartitioned(elems []freshness.Element, bandwidth float64, 
 			continue
 		}
 		group := part.Groups[rep.Group]
-		sub := make([]freshness.Element, len(group))
-		for i, idx := range group {
-			sub[i] = elems[idx]
+		sub = sub[:0]
+		for _, idx := range group {
+			sub = append(sub, elems[idx])
 		}
-		subSol, err := solver.WaterFill(solver.Problem{
+		subSol, err := eng.WaterFill(solver.Problem{
 			Elements:  sub,
 			Bandwidth: share,
 			Policy:    opts.Policy,

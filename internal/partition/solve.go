@@ -67,6 +67,21 @@ type Options struct {
 	Allocation Allocation
 	// Policy is the synchronization policy; nil means Fixed-Order.
 	Policy freshness.Policy
+	// Engine, when non-nil, is the solve engine used for the
+	// transformed problem (and the per-partition subproblems of the
+	// hierarchical variant). Callers running many partitioned solves —
+	// k-means sweeps, the experiment harness — can pass one engine and
+	// amortize its buffers; nil uses the solver's shared pool.
+	Engine *solver.Engine
+}
+
+// solveTransformed solves the small representative instance with the
+// caller's engine when one is provided.
+func solveTransformed(tp solver.Problem, opts Options) (solver.Solution, error) {
+	if opts.Engine != nil {
+		return opts.Engine.WaterFill(tp)
+	}
+	return solver.WaterFill(tp)
 }
 
 // Result is the heuristic outcome: the full per-element schedule plus
@@ -103,7 +118,7 @@ func SolvePartitioned(elems []freshness.Element, bandwidth float64, part Partiti
 	}
 	reps := Representatives(elems, part)
 	tp := TransformedProblem(reps, bandwidth, opts.Policy)
-	repSol, err := solver.WaterFill(tp)
+	repSol, err := solveTransformed(tp, opts)
 	if err != nil {
 		return Result{}, err
 	}

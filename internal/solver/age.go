@@ -16,6 +16,16 @@ import (
 // (nothing may be allowed to age without bound). Fixed-Order policy
 // only.
 func MinimizeAge(p Problem) (Solution, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	return e.MinimizeAge(p)
+}
+
+// MinimizeAge solves the age program on this engine. The age marginal
+// is unbounded at f = 0, so every active element is always funded —
+// cutoff pruning never fires — but the engine still provides the
+// warm-started inversions, worker pool and allocation-free bisection.
+func (e *Engine) MinimizeAge(p Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -24,80 +34,7 @@ func MinimizeAge(p Problem) (Solution, error) {
 			return Solution{}, fmt.Errorf("solver: MinimizeAge supports the Fixed-Order policy only")
 		}
 	}
-	n := len(p.Elements)
-	sol := Solution{Freqs: make([]float64, n)}
-
-	active := false
-	for _, e := range p.Elements {
-		if e.AccessProb > 0 && e.Lambda > 0 {
-			active = true
-			break
-		}
-	}
-	if !active || p.Bandwidth == 0 {
-		if err := sol.evaluate(p); err != nil {
-			return Solution{}, err
-		}
-		return sol, nil
-	}
-
-	usage := func(mu float64) float64 {
-		var total float64
-		for _, e := range p.Elements {
-			if e.AccessProb <= 0 || e.Lambda <= 0 {
-				continue
-			}
-			f := freshness.InvertFixedOrderAgeMarginal(mu*e.Size/e.AccessProb, e.Lambda)
-			total += e.Size * f
-		}
-		return total
-	}
-
-	// The age marginal is unbounded at f = 0, so any positive μ funds
-	// every active element; bracket μ from both sides.
-	muLo, muHi := 1.0, 1.0
-	for usage(muLo) < p.Bandwidth {
-		muLo /= 2
-		if muLo < 1e-300 {
-			break
-		}
-	}
-	for usage(muHi) > p.Bandwidth {
-		muHi *= 2
-		if muHi > 1e300 {
-			break
-		}
-	}
-	iters := 0
-	for i := 0; i < 200; i++ {
-		iters++
-		mid := 0.5 * (muLo + muHi)
-		u := usage(mid)
-		if u > p.Bandwidth {
-			muLo = mid
-		} else {
-			muHi = mid
-			if p.Bandwidth-u <= waterFillTol*p.Bandwidth {
-				break
-			}
-		}
-		if muHi-muLo <= 1e-15*muHi {
-			break
-		}
-	}
-	mu := muHi
-	for i, e := range p.Elements {
-		if e.AccessProb <= 0 || e.Lambda <= 0 {
-			continue
-		}
-		sol.Freqs[i] = freshness.InvertFixedOrderAgeMarginal(mu*e.Size/e.AccessProb, e.Lambda)
-	}
-	sol.Multiplier = mu
-	sol.Iterations = iters
-	if err := sol.evaluate(p); err != nil {
-		return Solution{}, err
-	}
-	return sol, nil
+	return e.solveCurve(p, ageCurve{}, false)
 }
 
 // PerceivedAgeOf scores a solution's frequencies on the perceived-age

@@ -18,6 +18,18 @@ import (
 // receives bandwidth — the operator dials how much freshness to trade
 // for bounded age with one knob. Fixed-Order policy only.
 func Blend(p Problem, ageWeight float64) (Solution, error) {
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	return e.Blend(p, ageWeight)
+}
+
+// Blend solves the combined objective on this engine. The combined
+// marginal d/df [F − w·Ā] = F'(f) + w·(−Ā'(f)) is positive and
+// decreasing (both terms are), so the engine's shared bisection
+// applies; per-element inversions bisect on f with warm-started
+// brackets, and the age term makes every active element fund, as in
+// MinimizeAge.
+func (e *Engine) Blend(p Problem, ageWeight float64) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -30,106 +42,7 @@ func Blend(p Problem, ageWeight float64) (Solution, error) {
 		}
 	}
 	if ageWeight == 0 {
-		return WaterFill(p)
+		return e.WaterFill(p)
 	}
-	pol := freshness.FixedOrder{}
-	n := len(p.Elements)
-	sol := Solution{Freqs: make([]float64, n)}
-
-	active := false
-	for _, e := range p.Elements {
-		if e.AccessProb > 0 && e.Lambda > 0 {
-			active = true
-			break
-		}
-	}
-	if !active || p.Bandwidth == 0 {
-		if err := sol.evaluate(p); err != nil {
-			return Solution{}, err
-		}
-		return sol, nil
-	}
-
-	// Combined marginal: d/df [F − w·Ā] = F'(f) + w·(−Ā'(f)), both
-	// positive and decreasing, so their sum is too; invert per element
-	// by bisection on f.
-	marginal := func(f, lambda float64) float64 {
-		return pol.Marginal(f, lambda) + ageWeight*freshness.FixedOrderAgeMarginal(f, lambda)
-	}
-	invert := func(target, lambda float64) float64 {
-		lo, hi := 0.0, 1.0
-		for marginal(hi, lambda) > target {
-			lo = hi
-			hi *= 2
-			if hi > 1e15 {
-				break
-			}
-		}
-		for i := 0; i < 200; i++ {
-			mid := 0.5 * (lo + hi)
-			if marginal(mid, lambda) > target {
-				lo = mid
-			} else {
-				hi = mid
-			}
-			if hi-lo <= 1e-14*hi {
-				break
-			}
-		}
-		return 0.5 * (lo + hi)
-	}
-	usage := func(mu float64) float64 {
-		var total float64
-		for _, e := range p.Elements {
-			if e.AccessProb <= 0 || e.Lambda <= 0 {
-				continue
-			}
-			total += e.Size * invert(mu*e.Size/e.AccessProb, e.Lambda)
-		}
-		return total
-	}
-
-	muLo, muHi := 1.0, 1.0
-	for usage(muLo) < p.Bandwidth {
-		muLo /= 2
-		if muLo < 1e-300 {
-			break
-		}
-	}
-	for usage(muHi) > p.Bandwidth {
-		muHi *= 2
-		if muHi > 1e300 {
-			break
-		}
-	}
-	iters := 0
-	for i := 0; i < 200; i++ {
-		iters++
-		mid := 0.5 * (muLo + muHi)
-		u := usage(mid)
-		if u > p.Bandwidth {
-			muLo = mid
-		} else {
-			muHi = mid
-			if p.Bandwidth-u <= waterFillTol*p.Bandwidth {
-				break
-			}
-		}
-		if muHi-muLo <= 1e-15*muHi {
-			break
-		}
-	}
-	mu := muHi
-	for i, e := range p.Elements {
-		if e.AccessProb <= 0 || e.Lambda <= 0 {
-			continue
-		}
-		sol.Freqs[i] = invert(mu*e.Size/e.AccessProb, e.Lambda)
-	}
-	sol.Multiplier = mu
-	sol.Iterations = iters
-	if err := sol.evaluate(p); err != nil {
-		return Solution{}, err
-	}
-	return sol, nil
+	return e.solveCurve(p, blendCurve{ageWeight: ageWeight}, false)
 }

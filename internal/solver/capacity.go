@@ -23,8 +23,12 @@ func BandwidthForTarget(elems []freshness.Element, target float64, pol freshness
 	if !(target > 0) || target >= 1 || math.IsNaN(target) {
 		return 0, fmt.Errorf("solver: target perceived freshness must be in (0, 1), got %v", target)
 	}
+	// One engine serves every probe of the outer bandwidth bisection,
+	// so the ~100 inner solves share buffers instead of re-allocating.
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
 	pfAt := func(bandwidth float64) (float64, error) {
-		sol, err := WaterFill(Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol})
+		sol, err := e.WaterFill(Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol})
 		if err != nil {
 			return 0, err
 		}

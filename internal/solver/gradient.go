@@ -82,13 +82,16 @@ func Gradient(p Problem, opts GradientOptions) (Solution, error) {
 	iters := 0
 	for t := 0; t < opts.MaxIterations; t++ {
 		iters++
-		for i, e := range p.Elements {
-			grad[i] = e.AccessProb * pol.Marginal(f[i], e.Lambda)
-		}
 		step := baseStep / math.Sqrt(float64(t+1))
-		for i := range f {
-			y[i] = f[i] + step*grad[i]
-		}
+		// The marginal evaluations dominate each pass at scale; shard
+		// them the same deterministic way as the solve engine.
+		parallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := p.Elements[i]
+				grad[i] = e.AccessProb * pol.Marginal(f[i], e.Lambda)
+				y[i] = f[i] + step*grad[i]
+			}
+		})
 		projectBandwidth(y, p.Elements, p.Bandwidth, f)
 		if t%16 == 15 {
 			obj, err := Solution{Freqs: f}.perceived(p)
@@ -136,14 +139,16 @@ func (s Solution) perceived(p Problem) (float64, error) {
 // gradient ascent from a non-negative start guarantees.
 func projectBandwidth(y []float64, elems []freshness.Element, bandwidth float64, out []float64) {
 	usage := func(tau float64) float64 {
-		var u float64
-		for i, e := range elems {
-			v := y[i] - tau*e.Size
-			if v > 0 {
-				u += e.Size * v
+		return shardedSum(len(elems), func(lo, hi int) float64 {
+			var u float64
+			for i := lo; i < hi; i++ {
+				v := y[i] - tau*elems[i].Size
+				if v > 0 {
+					u += elems[i].Size * v
+				}
 			}
-		}
-		return u
+			return u
+		})
 	}
 	if bandwidth <= 0 {
 		for i := range out {

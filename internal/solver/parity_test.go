@@ -1,0 +1,126 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+// parityWorkload draws a Table-2/Table-3-style instance: Zipf-like
+// access skew, Gamma-spread change rates, unit or Pareto sizes.
+func parityWorkload(seed int64, n int, pareto bool) []freshness.Element {
+	r := stats.NewRNG(seed)
+	elems := make([]freshness.Element, n)
+	var probSum float64
+	for i := range elems {
+		// Power-law access mass with a random exponent in [0.5, 1.5).
+		p := math.Pow(float64(i+1), -(0.5 + r.Float64()))
+		lambda := r.Float64()*8 + 1e-3
+		size := 1.0
+		if pareto {
+			// Pareto(α≈1.5) truncated: heavy-tailed like web object sizes.
+			size = math.Min(1/math.Pow(1-r.Float64(), 1/1.5), 1e3)
+		}
+		elems[i] = freshness.Element{ID: i, Lambda: lambda, AccessProb: p, Size: size}
+		probSum += p
+	}
+	for i := range elems {
+		elems[i].AccessProb /= probSum
+	}
+	return elems
+}
+
+// TestEngineParityWithReference proves the engine computes the same
+// schedules as the frozen pre-engine solver. Both sides run the
+// bisection to full multiplier resolution (comparing two solvers is
+// only well-conditioned when both resolve μ equally tightly — see
+// referenceWaterFill), after which Freqs, Perceived and BandwidthUsed
+// must agree to ~1e-12 on the scales that enter the computation, and
+// the engine must never exceed the budget.
+func TestEngineParityWithReference(t *testing.T) {
+	policies := []freshness.Policy{freshness.FixedOrder{}, freshness.PoissonOrder{}}
+	for _, pol := range policies {
+		for _, pareto := range []bool{false, true} {
+			for _, n := range []int{3, 17, 128, 1024} {
+				for seed := int64(1); seed <= 4; seed++ {
+					name := fmt.Sprintf("%s/pareto=%v/n=%d/seed=%d", pol.Name(), pareto, n, seed)
+					t.Run(name, func(t *testing.T) {
+						elems := parityWorkload(seed, n, pareto)
+						var totalSize float64
+						for _, e := range elems {
+							totalSize += e.Size
+						}
+						r := stats.NewRNG(seed * 977)
+						bandwidth := totalSize * (0.1 + 1.4*r.Float64())
+						p := Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol}
+
+						ref, err := referenceWaterFill(p, true)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := WaterFill(p)
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						if got.BandwidthUsed > bandwidth*(1+1e-12) {
+							t.Fatalf("budget exceeded: used %v of %v", got.BandwidthUsed, bandwidth)
+						}
+						if d := math.Abs(got.Perceived - ref.Perceived); d > 1e-12*(1+ref.Perceived) {
+							t.Errorf("Perceived %v vs reference %v (Δ=%g)", got.Perceived, ref.Perceived, d)
+						}
+						if d := math.Abs(got.BandwidthUsed - ref.BandwidthUsed); d > 1e-12*(1+bandwidth) {
+							t.Errorf("BandwidthUsed %v vs reference %v (Δ=%g)", got.BandwidthUsed, ref.BandwidthUsed, d)
+						}
+						for i := range got.Freqs {
+							// The per-element frequency scale is B/sᵢ (the
+							// frequency the whole budget would buy); 1e-12
+							// of that, plus 1e-12 relative, absorbs the
+							// conditioning of elements sitting near the
+							// final multiplier's funding cutoff.
+							tol := 1e-12 * (1 + got.Freqs[i] + bandwidth/elems[i].Size)
+							if d := math.Abs(got.Freqs[i] - ref.Freqs[i]); d > tol {
+								t.Errorf("element %d: freq %v vs reference %v (Δ=%g, tol=%g)",
+									i, got.Freqs[i], ref.Freqs[i], d, tol)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParityHistoricalReference compares against the reference
+// with its historical early exit enabled: the coarse metrics must
+// still agree (schedules from a loosely- and a tightly-resolved
+// multiplier differ per element, but not in objective value or budget
+// terms beyond the early exit's own 1e-10 tolerance).
+func TestEngineParityHistoricalReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		elems := parityWorkload(seed, 257, seed%2 == 0)
+		var totalSize float64
+		for _, e := range elems {
+			totalSize += e.Size
+		}
+		bandwidth := totalSize * 0.6
+		p := Problem{Elements: elems, Bandwidth: bandwidth}
+		ref, err := ReferenceWaterFill(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WaterFill(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got.Perceived - ref.Perceived); d > 1e-9*(1+ref.Perceived) {
+			t.Errorf("seed %d: Perceived %v vs historical reference %v", seed, got.Perceived, ref.Perceived)
+		}
+		if got.BandwidthUsed > bandwidth*(1+1e-12) {
+			t.Errorf("seed %d: budget exceeded: %v of %v", seed, got.BandwidthUsed, bandwidth)
+		}
+	}
+}

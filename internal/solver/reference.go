@@ -1,0 +1,164 @@
+package solver
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ReferenceWaterFill is the frozen pre-engine water-filling solver,
+// kept verbatim for two jobs: the parity property test proves the
+// engine computes the same schedules, and the bench-solver harness
+// measures the engine's speedup against it on the same machine. It
+// re-inverts every element's marginal from scratch at each bisection
+// step, spawns fresh goroutines per usage evaluation, and finishes
+// with the original O(n²) residual top-up — exactly the costs the
+// engine removes. Do not optimize this function.
+func ReferenceWaterFill(p Problem) (Solution, error) {
+	return referenceWaterFill(p, false)
+}
+
+// referenceWaterFill optionally disables the reference's early exit so
+// the multiplier resolves to the same 1e-15 relative bracket the
+// engine uses. Comparing schedules between two solvers is only
+// well-conditioned when both resolve μ equally tightly: with the loose
+// 1e-10 bandwidth early exit, two correct solvers can stop at
+// multipliers far enough apart that near-cutoff elements differ
+// visibly. The parity test therefore compares against the
+// fully-resolved reference; benchmarks use the historical behaviour.
+func referenceWaterFill(p Problem, fullResolve bool) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	pol := p.policy()
+	n := len(p.Elements)
+	sol := Solution{Freqs: make([]float64, n)}
+
+	// Peak marginal value of bandwidth per element: pᵢ·(∂F/∂f)(0,λᵢ)/sᵢ.
+	muHi := 0.0
+	active := false
+	for _, e := range p.Elements {
+		if e.AccessProb <= 0 || e.Lambda <= 0 {
+			continue
+		}
+		active = true
+		if m := e.AccessProb * pol.Marginal(0, e.Lambda) / e.Size; m > muHi {
+			muHi = m
+		}
+	}
+	if !active || p.Bandwidth == 0 || muHi == 0 {
+		err := sol.evaluate(p)
+		return sol, err
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	const parallelThreshold = 16384
+	if n < parallelThreshold || workers < 2 {
+		workers = 1
+	}
+	usageRange := func(mu float64, lo, hi int) float64 {
+		var total float64
+		for _, e := range p.Elements[lo:hi] {
+			if e.AccessProb <= 0 || e.Lambda <= 0 {
+				continue
+			}
+			f := pol.InvertMarginal(mu*e.Size/e.AccessProb, e.Lambda)
+			total += e.Size * f
+		}
+		return total
+	}
+	usage := func(mu float64) float64 {
+		if workers == 1 {
+			return usageRange(mu, 0, n)
+		}
+		partial := make([]float64, workers)
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				partial[w] = usageRange(mu, lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		var total float64
+		for _, t := range partial {
+			total += t
+		}
+		return total
+	}
+
+	muLo := muHi
+	for i := 0; i < 4096; i++ {
+		muLo /= 2
+		if usage(muLo) >= p.Bandwidth {
+			break
+		}
+	}
+
+	iters := 0
+	for i := 0; i < 200; i++ {
+		iters++
+		mid := 0.5 * (muLo + muHi)
+		u := usage(mid)
+		if u > p.Bandwidth {
+			muLo = mid
+		} else {
+			muHi = mid
+			if !fullResolve && p.Bandwidth-u <= waterFillTol*p.Bandwidth {
+				break
+			}
+		}
+		if muHi-muLo <= 1e-15*muHi {
+			break
+		}
+	}
+	mu := muHi
+	for i, e := range p.Elements {
+		if e.AccessProb <= 0 || e.Lambda <= 0 {
+			continue
+		}
+		sol.Freqs[i] = pol.InvertMarginal(mu*e.Size/e.AccessProb, e.Lambda)
+	}
+	var used float64
+	for i, e := range p.Elements {
+		used += e.Size * sol.Freqs[i]
+	}
+	if residual := p.Bandwidth - used; residual > p.Bandwidth*1e-14 {
+		muFill := mu * (1 - 1e-9)
+		for round := 0; round <= len(p.Elements) && residual > p.Bandwidth*1e-14; round++ {
+			best, bestGain := -1, 0.0
+			for i, e := range p.Elements {
+				if e.AccessProb <= 0 || e.Lambda <= 0 {
+					continue
+				}
+				cap := pol.InvertMarginal(muFill*e.Size/e.AccessProb, e.Lambda)
+				if gain := cap - sol.Freqs[i]; gain > bestGain {
+					best, bestGain = i, gain
+				}
+			}
+			if best < 0 {
+				break
+			}
+			size := p.Elements[best].Size
+			df := residual / size
+			if df > bestGain {
+				df = bestGain
+			}
+			sol.Freqs[best] += df
+			residual -= df * size
+		}
+	}
+	sol.Multiplier = mu
+	sol.Iterations = iters
+	err := sol.evaluate(p)
+	return sol, err
+}

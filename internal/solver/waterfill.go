@@ -1,14 +1,12 @@
 package solver
 
 import (
-	"runtime"
-	"sync"
-
 	"freshen/internal/freshness"
 )
 
-// waterFillTol is the relative bandwidth tolerance of the multiplier
-// bisection.
+// waterFillTol is the relative bandwidth tolerance the frozen
+// reference solver uses for its early exit; the engine instead runs
+// the bisection to full multiplier resolution (see engine.go).
 const waterFillTol = 1e-10
 
 // WaterFill solves the problem exactly via the Appendix's Lagrange
@@ -16,167 +14,18 @@ const waterFillTol = 1e-10
 // element's frequency is the inverse of its marginal-value curve at
 // μ·sᵢ/pᵢ, and total bandwidth usage is monotone decreasing in μ, so
 // the budget-matching multiplier is unique.
+//
+// The heavy lifting happens in the solve engine (engine.go): funding
+// cutoffs are precomputed and sorted so each candidate μ only touches
+// the funded prefix, marginal inversions warm-start from the previous
+// bisection iterate, and large mirrors shard across a per-solve worker
+// pool with a deterministic reduction order. Engines are recycled
+// through a pool, so steady-state solves allocate only the returned
+// frequency vector.
 func WaterFill(p Problem) (Solution, error) {
-	if err := p.Validate(); err != nil {
-		return Solution{}, err
-	}
-	pol := p.policy()
-	n := len(p.Elements)
-	sol := Solution{Freqs: make([]float64, n)}
-
-	// Peak marginal value of bandwidth per element: pᵢ·(∂F/∂f)(0,λᵢ)/sᵢ.
-	// Elements with zero weight or zero change rate never earn
-	// bandwidth and stay at frequency 0.
-	muHi := 0.0
-	active := false
-	for _, e := range p.Elements {
-		if e.AccessProb <= 0 || e.Lambda <= 0 {
-			continue
-		}
-		active = true
-		if m := e.AccessProb * pol.Marginal(0, e.Lambda) / e.Size; m > muHi {
-			muHi = m
-		}
-	}
-	if !active || p.Bandwidth == 0 || muHi == 0 {
-		err := sol.evaluate(p)
-		return sol, err
-	}
-
-	// usage evaluates Σ sᵢ·fᵢ(μ). For big mirrors the per-element
-	// marginal inversions dominate the solve, so they are sharded
-	// across workers; partial sums are reduced in worker order to keep
-	// the result deterministic.
-	workers := runtime.GOMAXPROCS(0)
-	const parallelThreshold = 16384
-	if n < parallelThreshold || workers < 2 {
-		workers = 1
-	}
-	usageRange := func(mu float64, lo, hi int) float64 {
-		var total float64
-		for _, e := range p.Elements[lo:hi] {
-			if e.AccessProb <= 0 || e.Lambda <= 0 {
-				continue
-			}
-			f := pol.InvertMarginal(mu*e.Size/e.AccessProb, e.Lambda)
-			total += e.Size * f
-		}
-		return total
-	}
-	usage := func(mu float64) float64 {
-		if workers == 1 {
-			return usageRange(mu, 0, n)
-		}
-		partial := make([]float64, workers)
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				partial[w] = usageRange(mu, lo, hi)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		var total float64
-		for _, t := range partial {
-			total += t
-		}
-		return total
-	}
-
-	// Bracket the multiplier: usage(muHi) = 0 < B; shrink muLo until
-	// usage(muLo) >= B. Usage grows without bound as μ → 0 for any
-	// active element, so this terminates.
-	muLo := muHi
-	for i := 0; i < 4096; i++ {
-		muLo /= 2
-		if usage(muLo) >= p.Bandwidth {
-			break
-		}
-	}
-
-	iters := 0
-	for i := 0; i < 200; i++ {
-		iters++
-		mid := 0.5 * (muLo + muHi)
-		u := usage(mid)
-		if u > p.Bandwidth {
-			muLo = mid
-		} else {
-			muHi = mid
-			// Early exit only from the feasible side: muHi then both
-			// respects the budget and fills it to tolerance.
-			if p.Bandwidth-u <= waterFillTol*p.Bandwidth {
-				break
-			}
-		}
-		if muHi-muLo <= 1e-15*muHi {
-			break
-		}
-	}
-	// The bisection maintains usage(muLo) >= B >= usage(muHi); taking
-	// the high end guarantees the final schedule never exceeds the
-	// budget (the midpoint could overshoot by the width of the last
-	// bracket).
-	mu := muHi
-	for i, e := range p.Elements {
-		if e.AccessProb <= 0 || e.Lambda <= 0 {
-			continue
-		}
-		sol.Freqs[i] = pol.InvertMarginal(mu*e.Size/e.AccessProb, e.Lambda)
-	}
-	// Top up the residual. The multiplier is only resolvable to ~1e-15
-	// relative, and an element whose funding cutoff coincides with μ
-	// to that precision absorbs its bandwidth discontinuously in float
-	// arithmetic, which can leave a sliver of the budget unused. Fill
-	// the sliver by raising elements toward the frequency they would
-	// hold at μ·(1−1e-9): that keeps every funded marginal within 1e-9
-	// of the multiplier (optimality to the precision μ itself carries)
-	// while restoring budget tightness. The fill frontier usage at
-	// μ·(1−1e-9) is at least the budget by the bisection invariant, so
-	// the loop always exhausts the residual.
-	var used float64
-	for i, e := range p.Elements {
-		used += e.Size * sol.Freqs[i]
-	}
-	if residual := p.Bandwidth - used; residual > p.Bandwidth*1e-14 {
-		muFill := mu * (1 - 1e-9)
-		for round := 0; round <= len(p.Elements) && residual > p.Bandwidth*1e-14; round++ {
-			best, bestGain := -1, 0.0
-			for i, e := range p.Elements {
-				if e.AccessProb <= 0 || e.Lambda <= 0 {
-					continue
-				}
-				cap := pol.InvertMarginal(muFill*e.Size/e.AccessProb, e.Lambda)
-				if gain := cap - sol.Freqs[i]; gain > bestGain {
-					best, bestGain = i, gain
-				}
-			}
-			if best < 0 {
-				break
-			}
-			size := p.Elements[best].Size
-			df := residual / size
-			if df > bestGain {
-				df = bestGain
-			}
-			sol.Freqs[best] += df
-			residual -= df * size
-		}
-	}
-	sol.Multiplier = mu
-	sol.Iterations = iters
-	err := sol.evaluate(p)
-	return sol, err
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	return e.WaterFill(p)
 }
 
 // SolveGF solves the same instance under the GF (General Freshening)
