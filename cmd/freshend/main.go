@@ -5,21 +5,31 @@
 // its own access log and per-object change rates from its refresh
 // polls, and re-planning on cadence.
 //
+// The refresh pipeline is fault tolerant: upstream calls carry
+// per-request timeouts and retry transient failures with backoff, a
+// circuit breaker pauses refreshing through outages (the mirror keeps
+// serving its local copies), and objects whose refreshes keep failing
+// are quarantined out of the plan until a recovery probe succeeds.
+//
 // Usage:
 //
 //	freshend -addr :8081 -upstream http://localhost:8080 \
 //	         -bandwidth 250 -period 10s -strategy clustered -partitions 50
 //
 // Endpoints: GET /object/{id} (serve a copy), GET /status (JSON
-// metrics), POST /replan (learn + re-plan now).
+// metrics), GET /healthz (breaker + quarantine state), POST /replan
+// (learn + re-plan now).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"freshen/internal/core"
@@ -37,28 +47,72 @@ func main() {
 	iterations := flag.Int("iterations", 10, "k-means iterations for the clustered strategy")
 	replanEvery := flag.Float64("replan-every", 5, "replanning cadence in periods")
 	seed := flag.Int64("seed", 1, "phase seed")
+	upTimeout := flag.Duration("upstream-timeout", 5*time.Second, "per-request upstream timeout")
+	upRetries := flag.Int("upstream-retries", 3, "attempts per upstream call (1 disables retries)")
+	breakerAfter := flag.Int("breaker-after", 5, "consecutive failures that open the circuit breaker (negative disables)")
+	breakerCooldown := flag.Float64("breaker-cooldown", 2, "breaker cooldown in periods")
+	quarantineAfter := flag.Int("quarantine-after", 3, "per-object consecutive failures before quarantine (negative disables)")
+	probeEvery := flag.Float64("probe-every", 1, "quarantine recovery-probe cadence in periods")
 	flag.Parse()
 
-	if err := run(*addr, *upstream, *bandwidth, *period, *strategy, *partitions, *iterations, *replanEvery, *seed); err != nil {
+	cfg := config{
+		addr:            *addr,
+		upstream:        *upstream,
+		bandwidth:       *bandwidth,
+		period:          *period,
+		strategy:        *strategy,
+		partitions:      *partitions,
+		iterations:      *iterations,
+		replanEvery:     *replanEvery,
+		seed:            *seed,
+		upTimeout:       *upTimeout,
+		upRetries:       *upRetries,
+		breakerAfter:    *breakerAfter,
+		breakerCooldown: *breakerCooldown,
+		quarantineAfter: *quarantineAfter,
+		probeEvery:      *probeEvery,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, upstream string, bandwidth float64, period time.Duration, strategy string, partitions, iterations int, replanEvery float64, seed int64) error {
-	if upstream == "" {
+type config struct {
+	addr, upstream         string
+	bandwidth              float64
+	period                 time.Duration
+	strategy               string
+	partitions, iterations int
+	replanEvery            float64
+	seed                   int64
+	upTimeout              time.Duration
+	upRetries              int
+	breakerAfter           int
+	breakerCooldown        float64
+	quarantineAfter        int
+	probeEvery             float64
+}
+
+// run builds the mirror and serves it until ctx is cancelled (SIGINT/
+// SIGTERM), then shuts down gracefully: the refresh loop stops before
+// the listener closes.
+func run(ctx context.Context, cfg config) error {
+	if cfg.upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
-	if bandwidth <= 0 || period <= 0 || replanEvery <= 0 {
+	if cfg.bandwidth <= 0 || cfg.period <= 0 || cfg.replanEvery <= 0 {
 		return fmt.Errorf("bandwidth, period and replan-every must be positive")
 	}
 	planCfg := core.Config{
-		Bandwidth:        bandwidth,
+		Bandwidth:        cfg.bandwidth,
 		Key:              partition.KeyPF,
-		NumPartitions:    partitions,
-		KMeansIterations: iterations,
+		NumPartitions:    cfg.partitions,
+		KMeansIterations: cfg.iterations,
 		Allocation:       partition.FBA,
 	}
-	switch strategy {
+	switch cfg.strategy {
 	case "exact":
 		planCfg.Strategy = core.StrategyExact
 	case "partitioned":
@@ -66,34 +120,76 @@ func run(addr, upstream string, bandwidth float64, period time.Duration, strateg
 	case "clustered":
 		planCfg.Strategy = core.StrategyClustered
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", cfg.strategy)
 	}
 
-	m, err := httpmirror.New(httpmirror.Config{
-		Upstream:    httpmirror.NewSourceClient(upstream, nil),
+	client := httpmirror.NewSourceClient(cfg.upstream, nil)
+	client.SetRetryPolicy(httpmirror.RetryPolicy{
+		MaxAttempts: cfg.upRetries,
+		Timeout:     cfg.upTimeout,
+	})
+	m, err := httpmirror.New(ctx, httpmirror.Config{
+		Upstream:    client,
 		Plan:        planCfg,
-		ReplanEvery: replanEvery,
-		Seed:        seed,
+		ReplanEvery: cfg.replanEvery,
+		Fault: httpmirror.FaultPolicy{
+			BreakerThreshold: cfg.breakerAfter,
+			BreakerCooldown:  cfg.breakerCooldown,
+			QuarantineAfter:  cfg.quarantineAfter,
+			ProbeEvery:       cfg.probeEvery,
+		},
+		Seed: cfg.seed,
 	})
 	if err != nil {
 		return err
 	}
 	log.Printf("freshend: mirroring %s (%d objects), bandwidth %.0f/period, period %v, strategy %s",
-		upstream, m.Status().Objects, bandwidth, period, strategy)
+		cfg.upstream, m.Status().Objects, cfg.bandwidth, cfg.period, cfg.strategy)
 
+	// The refresh loop: upstream trouble is absorbed by retries, the
+	// breaker, and quarantine; only internal errors surface, and even
+	// those restart the loop rather than killing the daemon.
+	loopDone := make(chan struct{})
 	go func() {
-		// Refresh-loop errors (e.g. the upstream going away) are
-		// logged and the loop restarted; the mirror keeps serving its
-		// last copies meanwhile.
+		defer close(loopDone)
 		for {
-			if err := m.Run(context.Background(), period); err != nil {
-				log.Printf("freshend: refresh loop: %v (retrying in %v)", err, period)
-				time.Sleep(period)
-				continue
+			err := m.Run(ctx, cfg.period)
+			if err == nil {
+				return // ctx cancelled: clean shutdown
 			}
-			return
+			log.Printf("freshend: refresh loop: %v (restarting in %v)", err, cfg.period)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(cfg.period):
+			}
 		}
 	}()
 
-	return http.ListenAndServe(addr, m.Handler())
+	srv := &http.Server{
+		Addr:         cfg.addr,
+		Handler:      m.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: the refresh loop first, then the listener.
+	log.Print("freshend: shutting down")
+	<-loopDone
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

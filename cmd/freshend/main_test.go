@@ -1,9 +1,26 @@
 package main
 
 import (
+	"context"
 	"testing"
 	"time"
 )
+
+func testConfig(upstream, strategy string, bandwidth, replanEvery float64, period time.Duration) config {
+	return config{
+		addr:        ":0",
+		upstream:    upstream,
+		bandwidth:   bandwidth,
+		period:      period,
+		strategy:    strategy,
+		partitions:  10,
+		iterations:  3,
+		replanEvery: replanEvery,
+		seed:        1,
+		upTimeout:   time.Second,
+		upRetries:   1,
+	}
+}
 
 func TestRunValidation(t *testing.T) {
 	cases := []struct {
@@ -20,8 +37,8 @@ func TestRunValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := run(":0", tc.upstream, tc.bandwidth, tc.period, tc.strategy, 10, 3, tc.replanEvery, 1)
-			if err == nil {
+			cfg := testConfig(tc.upstream, tc.strategy, tc.bandwidth, tc.replanEvery, tc.period)
+			if err := run(context.Background(), cfg); err == nil {
 				t.Fatal("invalid configuration accepted")
 			}
 		})
@@ -31,8 +48,8 @@ func TestRunValidation(t *testing.T) {
 func TestRunUnreachableUpstream(t *testing.T) {
 	// A valid configuration against a dead upstream must fail at the
 	// catalog fetch, not hang.
-	err := run(":0", "http://127.0.0.1:1", 10, time.Second, "exact", 10, 3, 5, 1)
-	if err == nil {
+	cfg := testConfig("http://127.0.0.1:1", "exact", 10, 5, time.Second)
+	if err := run(context.Background(), cfg); err == nil {
 		t.Fatal("unreachable upstream accepted")
 	}
 }

@@ -3,9 +3,16 @@
 // source a freshend mirror can poll. It speaks the minimal source
 // protocol (GET /catalog, GET|HEAD /object/{id} with X-Version).
 //
+// For resilience testing the origin can misbehave on demand:
+// -fault-rate injects probabilistic 500s, -fault-latency delays every
+// response, -stall-prob hangs a fraction of requests, and
+// -outage-after/-outage-for schedule a full-outage window during which
+// every request gets a 503.
+//
 // Usage:
 //
-//	mocksource -addr :8080 -n 500 -mean 2 -stddev 1 -period 10s
+//	mocksource -addr :8080 -n 500 -mean 2 -stddev 1 -period 10s \
+//	           -fault-rate 0.2 -outage-after 1m -outage-for 30s
 //
 // -period maps one scheduling period to wall-clock time: with
 // -period 10s and -mean 2, each object changes about twice every ten
@@ -23,6 +30,16 @@ import (
 	"freshen/internal/stats"
 )
 
+// faultFlags groups the injection knobs.
+type faultFlags struct {
+	rate        float64
+	latency     time.Duration
+	stallProb   float64
+	stallFor    time.Duration
+	outageAfter time.Duration
+	outageFor   time.Duration
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int("n", 500, "number of objects")
@@ -31,20 +48,55 @@ func main() {
 	pareto := flag.Bool("pareto-sizes", false, "draw object sizes from Pareto(1.1, mean 1)")
 	period := flag.Duration("period", 10*time.Second, "wall-clock length of one period")
 	seed := flag.Int64("seed", 1, "generation seed")
+	faultRate := flag.Float64("fault-rate", 0, "probability a request fails with 500")
+	faultLatency := flag.Duration("fault-latency", 0, "latency added to every response")
+	stallProb := flag.Float64("stall-prob", 0, "probability a request stalls")
+	stallFor := flag.Duration("stall-for", 30*time.Second, "how long a stalled request hangs")
+	outageAfter := flag.Duration("outage-after", 0, "delay before a full-outage window opens")
+	outageFor := flag.Duration("outage-for", 0, "length of the outage window (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *n, *mean, *stddev, *pareto, *period, *seed); err != nil {
+	faults := faultFlags{
+		rate:        *faultRate,
+		latency:     *faultLatency,
+		stallProb:   *stallProb,
+		stallFor:    *stallFor,
+		outageAfter: *outageAfter,
+		outageFor:   *outageFor,
+	}
+	if err := run(*addr, *n, *mean, *stddev, *pareto, *period, *seed, faults); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, n int, mean, stddev float64, pareto bool, period time.Duration, seed int64) error {
+func run(addr string, n int, mean, stddev float64, pareto bool, period time.Duration, seed int64, faults faultFlags) error {
 	if n <= 0 || mean <= 0 || stddev <= 0 || period <= 0 {
 		return fmt.Errorf("n, mean, stddev and period must be positive")
 	}
-	gamma, err := stats.NewGammaMeanStdDev(mean, stddev)
+	if faults.rate < 0 || faults.rate > 1 || faults.stallProb < 0 || faults.stallProb > 1 {
+		return fmt.Errorf("fault-rate and stall-prob must be in [0, 1]")
+	}
+	handler, err := buildHandler(n, mean, stddev, pareto, period, seed, faults)
 	if err != nil {
 		return err
+	}
+	log.Printf("mocksource: %d objects, mean rate %.2f/period, period %v, listening on %s",
+		n, mean, period, addr)
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     handler,
+		ReadTimeout: 10 * time.Second,
+		// No WriteTimeout: stall injection must be able to outlive it.
+	}
+	return srv.ListenAndServe()
+}
+
+// buildHandler assembles the simulated source (with its clock driver)
+// and wraps it in the fault injector when any injection is requested.
+func buildHandler(n int, mean, stddev float64, pareto bool, period time.Duration, seed int64, faults faultFlags) (http.Handler, error) {
+	gamma, err := stats.NewGammaMeanStdDev(mean, stddev)
+	if err != nil {
+		return nil, err
 	}
 	rng := stats.NewRNG(seed)
 	lambdas := gamma.SampleN(rng, n)
@@ -52,13 +104,13 @@ func run(addr string, n int, mean, stddev float64, pareto bool, period time.Dura
 	if pareto {
 		p, err := stats.NewParetoMean(1.1, 1.0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sizes = p.SampleN(rng, n)
 	}
 	src, err := httpmirror.NewSimulatedSource(lambdas, sizes, seed+1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Advance the simulated clock with wall time.
@@ -71,7 +123,22 @@ func run(addr string, n int, mean, stddev float64, pareto bool, period time.Dura
 		}
 	}()
 
-	log.Printf("mocksource: %d objects, mean rate %.2f/period, period %v, listening on %s",
-		n, mean, period, addr)
-	return http.ListenAndServe(addr, src.Handler())
+	var handler http.Handler = src.Handler()
+	if faults.rate > 0 || faults.latency > 0 || faults.stallProb > 0 || faults.outageFor > 0 {
+		inj, err := httpmirror.NewFaultInjector(handler, httpmirror.ChaosConfig{
+			ErrorRate: faults.rate,
+			Latency:   faults.latency,
+			StallProb: faults.stallProb,
+			StallFor:  faults.stallFor,
+			Seed:      seed + 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		httpmirror.ScheduleOutage(inj, faults.outageAfter, faults.outageFor)
+		log.Printf("mocksource: fault injection on (rate %.2f, latency %v, stall %.2f, outage %v after %v)",
+			faults.rate, faults.latency, faults.stallProb, faults.outageFor, faults.outageAfter)
+		handler = inj
+	}
+	return handler, nil
 }

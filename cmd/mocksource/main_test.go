@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -11,17 +13,54 @@ func TestRunValidation(t *testing.T) {
 		n            int
 		mean, stddev float64
 		period       time.Duration
+		faults       faultFlags
 	}{
-		{"zero objects", 0, 2, 1, time.Second},
-		{"zero mean", 10, 0, 1, time.Second},
-		{"zero stddev", 10, 2, 0, time.Second},
-		{"zero period", 10, 2, 1, 0},
+		{"zero objects", 0, 2, 1, time.Second, faultFlags{}},
+		{"zero mean", 10, 0, 1, time.Second, faultFlags{}},
+		{"zero stddev", 10, 2, 0, time.Second, faultFlags{}},
+		{"zero period", 10, 2, 1, 0, faultFlags{}},
+		{"fault rate above 1", 10, 2, 1, time.Second, faultFlags{rate: 1.5}},
+		{"negative stall prob", 10, 2, 1, time.Second, faultFlags{stallProb: -0.1}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(":0", tc.n, tc.mean, tc.stddev, false, tc.period, 1); err == nil {
+			if err := run(":0", tc.n, tc.mean, tc.stddev, false, tc.period, 1, tc.faults); err == nil {
 				t.Fatal("invalid configuration accepted")
 			}
 		})
+	}
+}
+
+func TestBuildHandlerInjectsFaults(t *testing.T) {
+	// With a certain fault rate every request fails with 500.
+	h, err := buildHandler(3, 2, 1, false, time.Second, 1, faultFlags{rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("fault rate 1 returned %s, want 500", resp.Status)
+	}
+
+	// Without injection the catalog serves normally.
+	h, err = buildHandler(3, 2, 1, false, time.Second, 1, faultFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(h)
+	defer srv2.Close()
+	resp, err = srv2.Client().Get(srv2.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("clean source returned %s", resp.Status)
 	}
 }

@@ -1,41 +1,195 @@
 package httpmirror
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
+// RetryPolicy bounds how a SourceClient rides out transient upstream
+// failures. Every request gets a per-attempt timeout; 5xx responses,
+// timeouts and connection errors are retried with exponential backoff
+// plus full jitter, capped at MaxAttempts per call. 4xx responses and
+// malformed payloads are permanent and never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (first attempt
+	// included); 0 means 3. 1 disables retries.
+	MaxAttempts int
+	// Timeout bounds each individual attempt; 0 means 5s.
+	Timeout time.Duration
+	// BaseBackoff is the delay before the first retry; 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means 2s.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 5 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number n (n = 1 for the first
+// retry): exponential growth with full jitter, capped at MaxBackoff.
+func (p RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff << uint(n-1)
+	if d > p.MaxBackoff || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxBackoff
+	}
+	return time.Duration(rng.Int63n(int64(d)) + 1)
+}
+
+// permanentError marks a failure that retrying cannot fix (4xx,
+// malformed payload).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// statusError reports a non-200 upstream response; 5xx and 429 are
+// retryable, everything else is permanent.
+type statusError struct {
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string { return "upstream returned " + e.status }
+
 // SourceClient talks the source protocol against an upstream base URL.
+// All calls are context-aware and retry transient failures per the
+// client's RetryPolicy. It is safe for concurrent use.
 type SourceClient struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries  atomic.Int64 // attempts beyond the first, across all calls
+	failures atomic.Int64 // calls that exhausted every attempt
 }
 
 // NewSourceClient creates a client for the given base URL (e.g.
-// "http://origin:8080"). client may be nil for http.DefaultClient.
+// "http://origin:8080"). client may be nil for http.DefaultClient. The
+// default RetryPolicy applies; use SetRetryPolicy to tune it.
 func NewSourceClient(base string, client *http.Client) *SourceClient {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &SourceClient{base: strings.TrimRight(base, "/"), http: client}
+	return &SourceClient{
+		base:   strings.TrimRight(base, "/"),
+		http:   client,
+		policy: RetryPolicy{}.withDefaults(),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// SetRetryPolicy replaces the client's retry policy (zero fields take
+// defaults). Call before sharing the client across goroutines.
+func (c *SourceClient) SetRetryPolicy(p RetryPolicy) { c.policy = p.withDefaults() }
+
+// Retries returns how many retry attempts the client has made in total.
+func (c *SourceClient) Retries() int64 { return c.retries.Load() }
+
+// Failures returns how many calls exhausted every attempt.
+func (c *SourceClient) Failures() int64 { return c.failures.Load() }
+
+// retryable reports whether an attempt's failure is worth retrying.
+func retryable(err error) bool {
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
+	}
+	// Connection errors, timeouts, and deadline expiry are transient;
+	// the caller cancelling is not.
+	return !errors.Is(err, context.Canceled)
+}
+
+// do runs one protocol call with per-attempt timeouts and retries.
+func (c *SourceClient) do(ctx context.Context, attempt func(context.Context) error) error {
+	var err error
+	for try := 1; ; try++ {
+		actx, cancel := context.WithTimeout(ctx, c.policy.Timeout)
+		err = attempt(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if try >= c.policy.MaxAttempts || !retryable(err) || ctx.Err() != nil {
+			c.failures.Add(1)
+			return err
+		}
+		c.retries.Add(1)
+		c.mu.Lock()
+		sleep := c.policy.backoff(try, c.rng)
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			c.failures.Add(1)
+			return err
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// get issues one GET/HEAD and checks the status code.
+func (c *SourceClient) get(ctx context.Context, method, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, nil)
+	if err != nil {
+		return nil, &permanentError{err}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, &statusError{code: resp.StatusCode, status: resp.Status}
+	}
+	return resp, nil
 }
 
 // Catalog fetches the upstream object list.
-func (c *SourceClient) Catalog() ([]CatalogEntry, error) {
-	resp, err := c.http.Get(c.base + "/catalog")
-	if err != nil {
-		return nil, fmt.Errorf("httpmirror: catalog: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpmirror: catalog: upstream returned %s", resp.Status)
-	}
+func (c *SourceClient) Catalog(ctx context.Context) ([]CatalogEntry, error) {
 	var entries []CatalogEntry
-	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+	err := c.do(ctx, func(ctx context.Context) error {
+		resp, err := c.get(ctx, http.MethodGet, c.base+"/catalog")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		entries = entries[:0]
+		if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+			return &permanentError{err}
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, fmt.Errorf("httpmirror: catalog: %w", err)
 	}
 	if len(entries) == 0 {
@@ -45,20 +199,24 @@ func (c *SourceClient) Catalog() ([]CatalogEntry, error) {
 }
 
 // Fetch downloads one object, returning its body and version.
-func (c *SourceClient) Fetch(id int) (body []byte, version int, err error) {
-	resp, err := c.http.Get(fmt.Sprintf("%s/object/%d", c.base, id))
-	if err != nil {
-		return nil, 0, fmt.Errorf("httpmirror: fetch %d: %w", id, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("httpmirror: fetch %d: upstream returned %s", id, resp.Status)
-	}
-	version, err = strconv.Atoi(resp.Header.Get("X-Version"))
-	if err != nil {
-		return nil, 0, fmt.Errorf("httpmirror: fetch %d: bad X-Version %q", id, resp.Header.Get("X-Version"))
-	}
-	body, err = io.ReadAll(resp.Body)
+func (c *SourceClient) Fetch(ctx context.Context, id int) (body []byte, version int, err error) {
+	err = c.do(ctx, func(ctx context.Context) error {
+		resp, err := c.get(ctx, http.MethodGet, fmt.Sprintf("%s/object/%d", c.base, id))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		v, err := strconv.Atoi(resp.Header.Get("X-Version"))
+		if err != nil {
+			return &permanentError{fmt.Errorf("bad X-Version %q", resp.Header.Get("X-Version"))}
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err // truncated body: transient
+		}
+		body, version = b, v
+		return nil
+	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("httpmirror: fetch %d: %w", id, err)
 	}
@@ -67,18 +225,23 @@ func (c *SourceClient) Fetch(id int) (body []byte, version int, err error) {
 
 // Version checks an object's current version without transferring the
 // body (HEAD) — the cheap change poll.
-func (c *SourceClient) Version(id int) (int, error) {
-	resp, err := c.http.Head(fmt.Sprintf("%s/object/%d", c.base, id))
+func (c *SourceClient) Version(ctx context.Context, id int) (int, error) {
+	var version int
+	err := c.do(ctx, func(ctx context.Context) error {
+		resp, err := c.get(ctx, http.MethodHead, fmt.Sprintf("%s/object/%d", c.base, id))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		v, err := strconv.Atoi(resp.Header.Get("X-Version"))
+		if err != nil {
+			return &permanentError{fmt.Errorf("bad X-Version %q", resp.Header.Get("X-Version"))}
+		}
+		version = v
+		return nil
+	})
 	if err != nil {
 		return 0, fmt.Errorf("httpmirror: head %d: %w", id, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("httpmirror: head %d: upstream returned %s", id, resp.Status)
-	}
-	v, err := strconv.Atoi(resp.Header.Get("X-Version"))
-	if err != nil {
-		return 0, fmt.Errorf("httpmirror: head %d: bad X-Version %q", id, resp.Header.Get("X-Version"))
-	}
-	return v, nil
+	return version, nil
 }

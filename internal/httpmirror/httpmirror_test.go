@@ -21,7 +21,7 @@ func newTestPair(t *testing.T, lambdas []float64, bandwidth float64) (*Simulated
 	}
 	srv := httptest.NewServer(src.Handler())
 	t.Cleanup(srv.Close)
-	m, err := New(Config{
+	m, err := New(context.Background(), Config{
 		Upstream:    NewSourceClient(srv.URL, srv.Client()),
 		Plan:        core.Config{Bandwidth: bandwidth},
 		ReplanEvery: 10,
@@ -72,25 +72,26 @@ func TestSourceHandlerProtocol(t *testing.T) {
 	srv := httptest.NewServer(src.Handler())
 	defer srv.Close()
 	client := NewSourceClient(srv.URL, srv.Client())
+	ctx := context.Background()
 
-	catalog, err := client.Catalog()
+	catalog, err := client.Catalog(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(catalog) != 2 || catalog[1].Size != 3.5 {
 		t.Errorf("catalog = %+v", catalog)
 	}
-	body, ver, err := client.Fetch(0)
+	body, ver, err := client.Fetch(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ver != 0 || !strings.Contains(string(body), "object 0") {
 		t.Errorf("fetch: version %d body %q", ver, body)
 	}
-	if _, err := client.Version(1); err != nil {
+	if _, err := client.Version(ctx, 1); err != nil {
 		t.Errorf("head failed: %v", err)
 	}
-	if _, _, err := client.Fetch(99); err == nil {
+	if _, _, err := client.Fetch(ctx, 99); err == nil {
 		t.Error("fetching a missing object must fail")
 	}
 	resp, err := srv.Client().Get(srv.URL + "/object/xyz")
@@ -282,32 +283,44 @@ func TestMirrorHandler(t *testing.T) {
 }
 
 func TestSourceClientErrors(t *testing.T) {
-	// A dead endpoint fails every call.
+	ctx := context.Background()
+	// A dead endpoint fails every call (retries exhausted quickly).
 	dead := NewSourceClient("http://127.0.0.1:1", nil)
-	if _, err := dead.Catalog(); err == nil {
+	dead.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, Timeout: time.Second, BaseBackoff: time.Millisecond})
+	if _, err := dead.Catalog(ctx); err == nil {
 		t.Error("catalog against a dead endpoint must fail")
 	}
-	if _, _, err := dead.Fetch(0); err == nil {
+	if _, _, err := dead.Fetch(ctx, 0); err == nil {
 		t.Error("fetch against a dead endpoint must fail")
 	}
-	if _, err := dead.Version(0); err == nil {
+	if _, err := dead.Version(ctx, 0); err == nil {
 		t.Error("head against a dead endpoint must fail")
 	}
+	if dead.Retries() == 0 {
+		t.Error("transient failures must be retried")
+	}
+	if dead.Failures() != 3 {
+		t.Errorf("Failures = %d, want 3", dead.Failures())
+	}
 
-	// An endpoint returning garbage fails decoding.
+	// An endpoint returning garbage fails decoding, without retrying:
+	// a malformed payload is permanent.
 	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("not json, no version header"))
 	}))
 	defer bad.Close()
 	client := NewSourceClient(bad.URL, bad.Client())
-	if _, err := client.Catalog(); err == nil {
+	if _, err := client.Catalog(ctx); err == nil {
 		t.Error("garbage catalog must fail")
 	}
-	if _, _, err := client.Fetch(0); err == nil {
+	if _, _, err := client.Fetch(ctx, 0); err == nil {
 		t.Error("fetch without X-Version must fail")
 	}
-	if _, err := client.Version(0); err == nil {
+	if _, err := client.Version(ctx, 0); err == nil {
 		t.Error("head without X-Version must fail")
+	}
+	if client.Retries() != 0 {
+		t.Errorf("permanent errors retried %d times", client.Retries())
 	}
 
 	// An empty catalog is rejected explicitly.
@@ -315,7 +328,7 @@ func TestSourceClientErrors(t *testing.T) {
 		w.Write([]byte("[]"))
 	}))
 	defer empty.Close()
-	if _, err := NewSourceClient(empty.URL, empty.Client()).Catalog(); err == nil {
+	if _, err := NewSourceClient(empty.URL, empty.Client()).Catalog(ctx); err == nil {
 		t.Error("empty catalog must fail")
 	}
 }
@@ -382,7 +395,7 @@ func TestMirrorRunLoop(t *testing.T) {
 }
 
 func TestMirrorValidation(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
+	if _, err := New(context.Background(), Config{}); err == nil {
 		t.Error("missing upstream must fail")
 	}
 	if _, err := NewSimulatedSource(nil, nil, 1); err == nil {

@@ -3,6 +3,7 @@ package httpmirror
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -15,6 +16,9 @@ import (
 	"freshen/internal/freshness"
 	"freshen/internal/schedule"
 )
+
+// ErrNotFound reports an object id outside the mirror's catalog.
+var ErrNotFound = errors.New("httpmirror: no such object")
 
 // Config assembles a mirror service.
 type Config struct {
@@ -31,6 +35,9 @@ type Config struct {
 	// ProfileSmoothing is the Laplace pseudo-count applied when the
 	// profile is learned from the access log; 0 means 1.
 	ProfileSmoothing float64
+	// Fault tunes the circuit breaker and quarantine (zero value:
+	// sensible defaults; see FaultPolicy).
+	Fault FaultPolicy
 	// Seed drives refresh phases.
 	Seed int64
 }
@@ -45,6 +52,7 @@ func (c Config) withDefaults() Config {
 	if c.ProfileSmoothing == 0 {
 		c.ProfileSmoothing = 1
 	}
+	c.Fault = c.Fault.withDefaults()
 	return c
 }
 
@@ -59,13 +67,23 @@ type copyState struct {
 }
 
 // Mirror is the running service: local copies, the live plan, the
-// refresh iterator, and the learning state. Methods are safe for
+// refresh iterator, the learning state, and the fault-tracking state
+// (circuit breaker + per-element quarantine). Methods are safe for
 // concurrent use.
+//
+// Locking: mu guards all mutable state and is never held across
+// network I/O, so Access keeps serving while a refresh rides out
+// retries or timeouts. stepMu serializes the refresh pipeline (Step,
+// ForceReplan) against itself.
 type Mirror struct {
-	mu         sync.Mutex
+	stepMu sync.Mutex
+	mu     sync.Mutex
+
 	cfg        Config
 	elems      []freshness.Element
 	copies     []copyState
+	health     []elemHealth
+	brk        breaker
 	tracker    *estimate.Tracker
 	plan       core.Plan
 	iter       *schedule.Iterator
@@ -74,18 +92,25 @@ type Mirror struct {
 	now        float64
 	replans    int
 	accesses   int
+	fetches    int // running total across all copies (incl. seeding)
 	transfers  int
+
+	refreshFailures  int
+	skippedRefreshes int
+	quarantineEvents int
+	recoveries       int
 }
 
 // New creates a mirror: it pulls the upstream catalog, seeds every
 // local copy with an initial fetch, and computes the first plan under
-// a uniform profile and the prior change rate.
-func New(cfg Config) (*Mirror, error) {
+// a uniform profile and the prior change rate. ctx bounds the seeding
+// round-trips.
+func New(ctx context.Context, cfg Config) (*Mirror, error) {
 	if cfg.Upstream == nil {
 		return nil, fmt.Errorf("httpmirror: Upstream is required")
 	}
 	cfg = cfg.withDefaults()
-	catalog, err := cfg.Upstream.Catalog()
+	catalog, err := cfg.Upstream.Catalog(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +119,11 @@ func New(cfg Config) (*Mirror, error) {
 		cfg:    cfg,
 		elems:  make([]freshness.Element, n),
 		copies: make([]copyState, n),
+		health: make([]elemHealth, n),
+		brk: breaker{
+			threshold: cfg.Fault.BreakerThreshold,
+			cooldown:  cfg.Fault.BreakerCooldown,
+		},
 	}
 	m.tracker, err = estimate.NewTracker(n)
 	if err != nil {
@@ -109,11 +139,12 @@ func New(cfg Config) (*Mirror, error) {
 			AccessProb: 1 / float64(n),
 			Size:       entry.Size,
 		}
-		body, ver, err := cfg.Upstream.Fetch(entry.ID)
+		body, ver, err := cfg.Upstream.Fetch(ctx, entry.ID)
 		if err != nil {
 			return nil, fmt.Errorf("httpmirror: seeding copy %d: %w", entry.ID, err)
 		}
 		m.copies[i] = copyState{body: body, version: ver, fetches: 1}
+		m.fetches++
 	}
 	if err := m.replanLocked(); err != nil {
 		return nil, err
@@ -122,11 +153,43 @@ func New(cfg Config) (*Mirror, error) {
 }
 
 // replanLocked recomputes the plan from the current element knowledge
-// and rebuilds the refresh iterator. Callers hold m.mu (or are New).
+// and rebuilds the refresh iterator. Quarantined elements are excluded
+// from the optimization — their budget share water-fills back across
+// the healthy elements — and re-enter on the replan after recovery.
+// Callers hold m.mu (or are New).
 func (m *Mirror) replanLocked() error {
-	plan, err := core.MakePlan(m.elems, m.cfg.Plan)
-	if err != nil {
-		return err
+	active := make([]freshness.Element, 0, len(m.elems))
+	for i := range m.elems {
+		if !m.health[i].quarantined {
+			active = append(active, m.elems[i])
+		}
+	}
+	full := make([]float64, len(m.elems))
+	var plan core.Plan
+	if len(active) == 0 {
+		// Everything is quarantined: an empty plan; the mirror keeps
+		// serving stale copies and probing for recovery.
+		plan = core.Plan{Freqs: full, Strategy: m.cfg.Plan.Strategy}
+	} else {
+		cfg := m.cfg.Plan
+		if cfg.NumPartitions > len(active) {
+			cfg.NumPartitions = len(active)
+		}
+		p, err := core.MakePlan(active, cfg)
+		if err != nil {
+			return err
+		}
+		// Expand the active-subset frequencies back over the full
+		// index space (zero for quarantined elements).
+		j := 0
+		for i := range m.elems {
+			if !m.health[i].quarantined {
+				full[i] = p.Freqs[j]
+				j++
+			}
+		}
+		p.Freqs = full
+		plan = p
 	}
 	iter, err := schedule.NewIterator(plan.Freqs, true, m.cfg.Seed+int64(m.replans))
 	if err != nil {
@@ -141,28 +204,81 @@ func (m *Mirror) replanLocked() error {
 }
 
 // Step advances the mirror clock to now (in periods), performing every
-// refresh that came due and re-planning on cadence. It returns the
-// number of refreshes performed.
+// refresh that came due, probing quarantined elements, and re-planning
+// on cadence. It returns the number of refreshes performed.
+//
+// Step aggregates per-element outcomes: a failing refresh feeds the
+// breaker and the element's quarantine counter but never aborts the
+// batch. The only errors Step returns are a clock moving backwards and
+// internal planning failures.
 func (m *Mirror) Step(now float64) (int, error) {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if now < m.now {
+		m.mu.Unlock()
 		return 0, fmt.Errorf("httpmirror: clock moved backwards (%v < %v)", now, m.now)
 	}
-	refreshes := 0
+	// Drain every due event up front; network I/O happens unlocked.
+	type dueEvent struct {
+		element int
+		at      float64
+	}
+	var due []dueEvent
 	for {
 		ev, ok := m.iter.Peek()
 		if !ok || m.iterBase+ev.Time > now {
 			break
 		}
 		m.iter.Next()
-		due := m.iterBase + ev.Time
-		if err := m.refreshLocked(ev.Element, due); err != nil {
+		due = append(due, dueEvent{element: ev.Element, at: m.iterBase + ev.Time})
+	}
+	m.mu.Unlock()
+
+	refreshes := 0
+	healthChanged := false
+	for _, ev := range due {
+		m.mu.Lock()
+		if m.health[ev.element].quarantined {
+			// Replanning already zeroed its frequency; a leftover
+			// event from the pre-quarantine iterator is dropped.
+			m.mu.Unlock()
+			continue
+		}
+		if !m.brk.allow(ev.at) {
+			// Breaker open: skip the refresh, keep serving the stale
+			// copy. The skip is recorded — not fed to the estimator —
+			// so an outage is never mistaken for "no change observed".
+			m.skippedRefreshes++
+			m.mu.Unlock()
+			continue
+		}
+		m.mu.Unlock()
+
+		err := m.refresh(ev.element, ev.at)
+		if m.noteOutcome(ev.element, ev.at, err) {
+			healthChanged = true
+		}
+		if err == nil {
+			refreshes++
+		}
+	}
+
+	if m.probeQuarantined(now) {
+		healthChanged = true
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now > m.now {
+		m.now = now
+	}
+	if healthChanged {
+		if err := m.replanLocked(); err != nil {
 			return refreshes, err
 		}
-		refreshes++
 	}
-	m.now = now
 	if now-m.lastReplan >= m.cfg.ReplanEvery {
 		m.learnLocked()
 		if err := m.replanLocked(); err != nil {
@@ -172,17 +288,36 @@ func (m *Mirror) Step(now float64) (int, error) {
 	return refreshes, nil
 }
 
-// refreshLocked refreshes one object conditionally: a HEAD reveals the
+// refresh refreshes one object conditionally: a HEAD reveals the
 // upstream version, and the body is transferred only when it differs
 // from the stored copy — the refresh always counts as a change poll,
-// but an unchanged object costs no body transfer.
-func (m *Mirror) refreshLocked(id int, at float64) error {
-	c := &m.copies[id]
-	ver, err := m.cfg.Upstream.Version(id)
+// but an unchanged object costs no body transfer. The network calls
+// run without holding m.mu; the outcome is committed under it. A
+// failed refresh commits nothing: the estimator only ever sees
+// successful polls, with elapsed measured from the last successful
+// one.
+func (m *Mirror) refresh(id int, at float64) error {
+	m.mu.Lock()
+	stored := m.copies[id].version
+	m.mu.Unlock()
+
+	ctx := context.Background()
+	ver, err := m.cfg.Upstream.Version(ctx, id)
 	if err != nil {
 		return fmt.Errorf("httpmirror: polling %d: %w", id, err)
 	}
-	changed := ver != c.version
+	changed := ver != stored
+	var body []byte
+	if changed {
+		body, ver, err = m.cfg.Upstream.Fetch(ctx, id)
+		if err != nil {
+			return fmt.Errorf("httpmirror: refreshing %d: %w", id, err)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.copies[id]
 	if elapsed := at - c.lastPoll; elapsed > 0 {
 		if err := m.tracker.Record(id, elapsed, changed); err != nil {
 			return err
@@ -190,18 +325,77 @@ func (m *Mirror) refreshLocked(id int, at float64) error {
 	}
 	c.lastPoll = at
 	c.fetches++
-	if !changed {
-		return nil
+	m.fetches++
+	if changed {
+		c.body = body
+		c.version = ver
+		c.fetchedAt = at
+		m.transfers++
 	}
-	body, ver, err := m.cfg.Upstream.Fetch(id)
-	if err != nil {
-		return fmt.Errorf("httpmirror: refreshing %d: %w", id, err)
-	}
-	c.body = body
-	c.version = ver
-	c.fetchedAt = at
-	m.transfers++
 	return nil
+}
+
+// noteOutcome feeds one refresh outcome into the breaker and the
+// element's quarantine counter. It reports whether the quarantine set
+// changed (the caller then replans so the freed budget water-fills
+// across the healthy elements).
+func (m *Mirror) noteOutcome(id int, at float64, err error) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.brk.record(err == nil, at)
+	h := &m.health[id]
+	if err == nil {
+		h.consecFails = 0
+		if h.quarantined {
+			h.quarantined = false
+			m.recoveries++
+			return true
+		}
+		return false
+	}
+	m.refreshFailures++
+	h.consecFails++
+	if q := m.cfg.Fault.QuarantineAfter; q > 0 && !h.quarantined && h.consecFails >= q {
+		h.quarantined = true
+		h.quarantinedAt = at
+		h.lastProbe = at
+		m.quarantineEvents++
+		return true
+	}
+	return false
+}
+
+// probeQuarantined attempts a recovery refresh for each quarantined
+// element whose probe cadence has elapsed (and only while the breaker
+// admits traffic). It reports whether any element recovered.
+func (m *Mirror) probeQuarantined(now float64) bool {
+	m.mu.Lock()
+	var probe []int
+	for i := range m.health {
+		h := &m.health[i]
+		if h.quarantined && now-h.lastProbe >= m.cfg.Fault.ProbeEvery {
+			probe = append(probe, i)
+		}
+	}
+	m.mu.Unlock()
+
+	changed := false
+	for _, id := range probe {
+		m.mu.Lock()
+		allowed := m.brk.allow(now)
+		if allowed {
+			m.health[id].lastProbe = now
+		}
+		m.mu.Unlock()
+		if !allowed {
+			break
+		}
+		err := m.refresh(id, now)
+		if m.noteOutcome(id, now, err) {
+			changed = true
+		}
+	}
+	return changed
 }
 
 // learnLocked folds the access log and poll history into the element
@@ -215,7 +409,9 @@ func (m *Mirror) learnLocked() {
 	for i := range m.elems {
 		m.elems[i].AccessProb = (float64(m.copies[i].accesses) + m.cfg.ProfileSmoothing) / total
 	}
-	// Change rates: MLE per element, prior where unpolled.
+	// Change rates: MLE per element, prior where unpolled. Skipped and
+	// failed polls never reached the tracker, so an outage leaves the
+	// estimates untouched instead of dragging them toward zero.
 	if ests, err := m.tracker.Estimates(m.cfg.PriorLambda); err == nil {
 		for i, l := range ests {
 			m.elems[i].Lambda = l
@@ -225,9 +421,10 @@ func (m *Mirror) learnLocked() {
 
 // Run drives the refresh loop against the wall clock, mapping one
 // scheduling period to periodLength, until ctx is cancelled (which is
-// a normal shutdown, reported as nil). Refresh errors are returned
-// immediately; an operator that prefers to ride out upstream blips
-// should wrap Run in its own retry loop.
+// a normal shutdown, reported as nil). Upstream failures never
+// terminate the loop — retries, the circuit breaker, and quarantine
+// absorb them; only internal errors (a clock inversion, a planner
+// failure) are returned.
 func (m *Mirror) Run(ctx context.Context, periodLength time.Duration) error {
 	if periodLength <= 0 {
 		return fmt.Errorf("httpmirror: period length must be positive, got %v", periodLength)
@@ -236,8 +433,8 @@ func (m *Mirror) Run(ctx context.Context, periodLength time.Duration) error {
 	if tick <= 0 {
 		tick = time.Millisecond
 	}
-	// Resume from the mirror's current clock so a restarted Run (after
-	// an upstream error) never drives time backwards.
+	// Resume from the mirror's current clock so a restarted Run never
+	// drives time backwards.
 	base := m.Status().Now
 	start := time.Now()
 	ticker := time.NewTicker(tick)
@@ -256,12 +453,13 @@ func (m *Mirror) Run(ctx context.Context, periodLength time.Duration) error {
 }
 
 // Access serves one local copy, recording the access for profile
-// learning. It returns the stored body and version.
+// learning. It returns the stored body and version. Unknown ids fail
+// with ErrNotFound.
 func (m *Mirror) Access(id int) (body []byte, version int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if id < 0 || id >= len(m.copies) {
-		return nil, 0, fmt.Errorf("httpmirror: object %d outside [0, %d)", id, len(m.copies))
+		return nil, 0, fmt.Errorf("%w: object %d outside [0, %d)", ErrNotFound, id, len(m.copies))
 	}
 	c := &m.copies[id]
 	c.accesses++
@@ -281,28 +479,82 @@ type Status struct {
 	PlannedAvg    float64 `json:"planned_average_freshness"`
 	BandwidthUsed float64 `json:"bandwidth_used"`
 	Strategy      string  `json:"strategy"`
+
+	// Fault-tolerance counters.
+	Retries          int64  `json:"retries"`
+	RefreshFailures  int    `json:"refresh_failures"`
+	SkippedRefreshes int    `json:"skipped_refreshes"`
+	BreakerState     string `json:"breaker_state"`
+	BreakerTrips     int    `json:"breaker_trips"`
+	Quarantined      int    `json:"quarantined"`
+	QuarantineEvents int    `json:"quarantine_events"`
+	Recoveries       int    `json:"recoveries"`
 }
 
 // Status reports the mirror's current state.
 func (m *Mirror) Status() Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	fetches := 0
-	for i := range m.copies {
-		fetches += m.copies[i].fetches
+	quarantined := 0
+	for i := range m.health {
+		if m.health[i].quarantined {
+			quarantined++
+		}
 	}
 	return Status{
-		Objects:       len(m.copies),
-		Now:           m.now,
-		Accesses:      m.accesses,
-		Fetches:       fetches,
-		Transfers:     m.transfers,
-		Replans:       m.replans,
-		PlannedPF:     m.plan.Perceived,
-		PlannedAvg:    m.plan.AvgFreshness,
-		BandwidthUsed: m.plan.BandwidthUsed,
-		Strategy:      m.plan.Strategy.String(),
+		Objects:          len(m.copies),
+		Now:              m.now,
+		Accesses:         m.accesses,
+		Fetches:          m.fetches,
+		Transfers:        m.transfers,
+		Replans:          m.replans,
+		PlannedPF:        m.plan.Perceived,
+		PlannedAvg:       m.plan.AvgFreshness,
+		BandwidthUsed:    m.plan.BandwidthUsed,
+		Strategy:         m.plan.Strategy.String(),
+		Retries:          m.cfg.Upstream.Retries(),
+		RefreshFailures:  m.refreshFailures,
+		SkippedRefreshes: m.skippedRefreshes,
+		BreakerState:     m.brk.state.String(),
+		BreakerTrips:     m.brk.trips,
+		Quarantined:      quarantined,
+		QuarantineEvents: m.quarantineEvents,
+		Recoveries:       m.recoveries,
 	}
+}
+
+// Health is the mirror's fault-tolerance snapshot, served by /healthz.
+type Health struct {
+	// Serving is always true while the process lives: the mirror
+	// serves its local copies even through a full upstream outage.
+	Serving          bool   `json:"serving"`
+	BreakerState     string `json:"breaker_state"`
+	BreakerTrips     int    `json:"breaker_trips"`
+	Quarantined      []int  `json:"quarantined_objects"`
+	SkippedRefreshes int    `json:"skipped_refreshes"`
+	RefreshFailures  int    `json:"refresh_failures"`
+	Retries          int64  `json:"retries"`
+}
+
+// Health reports the fault-tolerance state.
+func (m *Mirror) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{
+		Serving:          true,
+		BreakerState:     m.brk.state.String(),
+		BreakerTrips:     m.brk.trips,
+		Quarantined:      []int{},
+		SkippedRefreshes: m.skippedRefreshes,
+		RefreshFailures:  m.refreshFailures,
+		Retries:          m.cfg.Upstream.Retries(),
+	}
+	for i := range m.health {
+		if m.health[i].quarantined {
+			h.Quarantined = append(h.Quarantined, i)
+		}
+	}
+	return h
 }
 
 // Plan returns the current plan.
@@ -314,6 +566,8 @@ func (m *Mirror) Plan() core.Plan {
 
 // ForceReplan learns from the current logs and re-plans immediately.
 func (m *Mirror) ForceReplan() error {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.learnLocked()
@@ -321,7 +575,7 @@ func (m *Mirror) ForceReplan() error {
 }
 
 // Handler serves the mirror API: GET /object/{id}, GET /status,
-// POST /replan.
+// GET /healthz, POST /replan.
 func (m *Mirror) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
@@ -335,8 +589,12 @@ func (m *Mirror) Handler() http.Handler {
 			return
 		}
 		body, ver, err := m.Access(id)
-		if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
 			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("X-Version", strconv.Itoa(ver))
@@ -349,6 +607,16 @@ func (m *Mirror) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(m.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(m.Health()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
