@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench-solver bench clean
+.PHONY: all build vet test test-short race cover fuzz-smoke ci bench-solver bench clean
 
 all: ci
 
@@ -12,6 +12,25 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Fast feedback loop: slow experiment/simulation sweeps skip themselves
+# under -short; CI runs the full suite.
+test-short:
+	$(GO) test -short ./...
+
+# Total statement coverage with the same floor CI enforces.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# 30s per fuzz target: replays the checked-in corpus (regressions fail
+# immediately) plus a short exploration burst. One -fuzz pattern per
+# go test invocation, hence four runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzWaterFill$$' -fuzztime 30s ./internal/solver/
+	$(GO) test -run '^$$' -fuzz '^FuzzBandwidthForTarget$$' -fuzztime 30s ./internal/solver/
+	$(GO) test -run '^$$' -fuzz '^FuzzEstimator$$' -fuzztime 30s ./internal/estimate/
+	$(GO) test -run '^$$' -fuzz '^FuzzHTTPHandler$$' -fuzztime 30s ./internal/httpmirror/
 
 # The solver's worker pool and the clustering code are the two places
 # goroutines share buffers; run them under the race detector.

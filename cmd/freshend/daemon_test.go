@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"freshen/internal/httpmirror"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-upstream", "http://src:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.upstream != "http://src:8080" {
+		t.Errorf("upstream = %q", cfg.upstream)
+	}
+	if cfg.addr != ":8081" || cfg.bandwidth != 100 || cfg.period != 10*time.Second {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.strategy != "exact" || cfg.partitions != 100 || cfg.replanEvery != 5 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.upRetries != 3 || cfg.breakerAfter != 5 || cfg.quarantineAfter != 3 {
+		t.Errorf("fault-policy defaults not applied: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0",
+		"-upstream", "http://src",
+		"-bandwidth", "42.5",
+		"-period", "250ms",
+		"-strategy", "clustered",
+		"-partitions", "7",
+		"-iterations", "2",
+		"-replan-every", "3",
+		"-seed", "99",
+		"-upstream-timeout", "1s",
+		"-upstream-retries", "1",
+		"-breaker-after", "-1",
+		"-breaker-cooldown", "4",
+		"-quarantine-after", "-1",
+		"-probe-every", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := config{
+		addr: "127.0.0.1:0", upstream: "http://src",
+		bandwidth: 42.5, period: 250 * time.Millisecond,
+		strategy: "clustered", partitions: 7, iterations: 2,
+		replanEvery: 3, seed: 99,
+		upTimeout: time.Second, upRetries: 1,
+		breakerAfter: -1, breakerCooldown: 4,
+		quarantineAfter: -1, probeEvery: 2,
+	}
+	if cfg != want {
+		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bandwidth", "not-a-number"},
+		{"-period", "sideways"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// startDaemon runs the daemon against a simulated upstream and returns
+// its base URL plus a shutdown function that cancels the run context
+// and reports run's error.
+func startDaemon(t *testing.T, strategy string) (string, func() error) {
+	t.Helper()
+	src, err := httpmirror.NewSimulatedSource([]float64{2, 1, 0.5, 0}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := httptest.NewServer(src.Handler())
+	t.Cleanup(upstream.Close)
+
+	cfg := testConfig(upstream.URL, strategy, 4, 5, 50*time.Millisecond)
+	cfg.addr = "127.0.0.1:0"
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, cfg, ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		cancel()
+		t.Fatalf("daemon died before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return "http://" + addr.String(), func() error {
+		cancel()
+		select {
+		case err := <-runErr:
+			return err
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("daemon did not shut down")
+		}
+	}
+}
+
+// TestDaemonServesAndShutsDown drives the whole daemon over a real
+// listener: every endpoint, the error contract for malformed and
+// unknown object ids, and the graceful shutdown path.
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	base, shutdown := startDaemon(t, "exact")
+
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/healthz", http.StatusOK},
+		{http.MethodGet, "/status", http.StatusOK},
+		{http.MethodGet, "/object/0", http.StatusOK},
+		{http.MethodGet, "/object/3", http.StatusOK},
+		{http.MethodGet, "/object/banana", http.StatusBadRequest},
+		{http.MethodGet, "/object/999", http.StatusNotFound},
+		{http.MethodPost, "/replan", http.StatusNoContent},
+		{http.MethodPost, "/object/0", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/replan", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, base+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d (%s)", tc.method, tc.path, resp.StatusCode, tc.want, body)
+		}
+		if tc.path == "/object/0" && tc.want == http.StatusOK && resp.Header.Get("X-Version") == "" {
+			t.Error("GET /object/0 missing X-Version header")
+		}
+	}
+
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decoding /status: %v", err)
+	}
+	resp.Body.Close()
+	if got, ok := status["objects"]; !ok || got.(float64) != 4 {
+		t.Errorf("/status objects = %v, want 4", status["objects"])
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestDaemonClusteredStrategy exercises the heuristic planning path
+// end to end (plan → serve → shutdown) rather than just validation.
+func TestDaemonClusteredStrategy(t *testing.T) {
+	base, shutdown := startDaemon(t, "clustered")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: status %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestRunListenError pins the failure mode for an unusable listen
+// address: run must fail fast, not hang with a half-built daemon.
+func TestRunListenError(t *testing.T) {
+	src, err := httpmirror.NewSimulatedSource([]float64{1}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := httptest.NewServer(src.Handler())
+	defer upstream.Close()
+	cfg := testConfig(upstream.URL, "exact", 4, 5, 50*time.Millisecond)
+	cfg.addr = "256.256.256.256:1"
+	if err := run(context.Background(), cfg, nil); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

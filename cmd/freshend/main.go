@@ -27,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -38,24 +40,41 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8081", "listen address")
-	upstream := flag.String("upstream", "", "base URL of the source to mirror; required")
-	bandwidth := flag.Float64("bandwidth", 100, "refresh budget per period")
-	period := flag.Duration("period", 10*time.Second, "wall-clock length of one period")
-	strategy := flag.String("strategy", "exact", "exact | partitioned | clustered")
-	partitions := flag.Int("partitions", 100, "partition count for heuristic strategies")
-	iterations := flag.Int("iterations", 10, "k-means iterations for the clustered strategy")
-	replanEvery := flag.Float64("replan-every", 5, "replanning cadence in periods")
-	seed := flag.Int64("seed", 1, "phase seed")
-	upTimeout := flag.Duration("upstream-timeout", 5*time.Second, "per-request upstream timeout")
-	upRetries := flag.Int("upstream-retries", 3, "attempts per upstream call (1 disables retries)")
-	breakerAfter := flag.Int("breaker-after", 5, "consecutive failures that open the circuit breaker (negative disables)")
-	breakerCooldown := flag.Float64("breaker-cooldown", 2, "breaker cooldown in periods")
-	quarantineAfter := flag.Int("quarantine-after", 3, "per-object consecutive failures before quarantine (negative disables)")
-	probeEvery := flag.Float64("probe-every", 1, "quarantine recovery-probe cadence in periods")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the diagnostic and usage
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	cfg := config{
+// parseFlags builds the daemon configuration from a command line. It
+// is split from main so tests can exercise flag handling without
+// forking a process.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("freshend", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	upstream := fs.String("upstream", "", "base URL of the source to mirror; required")
+	bandwidth := fs.Float64("bandwidth", 100, "refresh budget per period")
+	period := fs.Duration("period", 10*time.Second, "wall-clock length of one period")
+	strategy := fs.String("strategy", "exact", "exact | partitioned | clustered")
+	partitions := fs.Int("partitions", 100, "partition count for heuristic strategies")
+	iterations := fs.Int("iterations", 10, "k-means iterations for the clustered strategy")
+	replanEvery := fs.Float64("replan-every", 5, "replanning cadence in periods")
+	seed := fs.Int64("seed", 1, "phase seed")
+	upTimeout := fs.Duration("upstream-timeout", 5*time.Second, "per-request upstream timeout")
+	upRetries := fs.Int("upstream-retries", 3, "attempts per upstream call (1 disables retries)")
+	breakerAfter := fs.Int("breaker-after", 5, "consecutive failures that open the circuit breaker (negative disables)")
+	breakerCooldown := fs.Float64("breaker-cooldown", 2, "breaker cooldown in periods")
+	quarantineAfter := fs.Int("quarantine-after", 3, "per-object consecutive failures before quarantine (negative disables)")
+	probeEvery := fs.Float64("probe-every", 1, "quarantine recovery-probe cadence in periods")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return config{
 		addr:            *addr,
 		upstream:        *upstream,
 		bandwidth:       *bandwidth,
@@ -71,12 +90,7 @@ func main() {
 		breakerCooldown: *breakerCooldown,
 		quarantineAfter: *quarantineAfter,
 		probeEvery:      *probeEvery,
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, cfg); err != nil {
-		log.Fatal(err)
-	}
+	}, nil
 }
 
 type config struct {
@@ -97,8 +111,10 @@ type config struct {
 
 // run builds the mirror and serves it until ctx is cancelled (SIGINT/
 // SIGTERM), then shuts down gracefully: the refresh loop stops before
-// the listener closes.
-func run(ctx context.Context, cfg config) error {
+// the listener closes. If ready is non-nil the bound listener address
+// is sent on it once the server is accepting connections, which lets
+// tests bind port 0 and still find the daemon.
+func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	if cfg.upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
@@ -166,14 +182,20 @@ func run(ctx context.Context, cfg config) error {
 		}
 	}()
 
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:         cfg.addr,
 		Handler:      m.Handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe() }()
+	go func() { serveErr <- srv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
 	select {
 	case err := <-serveErr:

@@ -38,7 +38,7 @@ func TestRunValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := testConfig(tc.upstream, tc.strategy, tc.bandwidth, tc.replanEvery, tc.period)
-			if err := run(context.Background(), cfg); err == nil {
+			if err := run(context.Background(), cfg, nil); err == nil {
 				t.Fatal("invalid configuration accepted")
 			}
 		})
@@ -49,7 +49,7 @@ func TestRunUnreachableUpstream(t *testing.T) {
 	// A valid configuration against a dead upstream must fail at the
 	// catalog fetch, not hang.
 	cfg := testConfig("http://127.0.0.1:1", "exact", 10, 5, time.Second)
-	if err := run(context.Background(), cfg); err == nil {
+	if err := run(context.Background(), cfg, nil); err == nil {
 		t.Fatal("unreachable upstream accepted")
 	}
 }

@@ -1,0 +1,74 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzHistory decodes raw bytes into a poll history: three bytes per
+// poll, two spreading the elapsed time log-uniformly over twelve
+// orders of magnitude and the third's low bit marking a detection.
+// The mapping is total, so every fuzz input is a valid history.
+func fuzzHistory(data []byte) []Poll {
+	n := len(data) / 3
+	if n > 256 {
+		n = 256
+	}
+	polls := make([]Poll, n)
+	for i := range polls {
+		b := data[i*3 : i*3+3]
+		t := float64(uint16(b[0])<<8|uint16(b[1])) / 65535
+		polls[i] = Poll{
+			Elapsed: math.Exp(math.Log(1e-6) + t*(math.Log(1e6)-math.Log(1e-6))),
+			Changed: b[2]&1 == 1,
+		}
+	}
+	return polls
+}
+
+// FuzzEstimator drives all three change-rate estimators with raw,
+// unsanitized arguments. The regular-polling estimators must reject
+// bad arguments with an error (never a panic) and return finite,
+// non-negative rates otherwise; the irregular-polling MLE must do the
+// same on any decoded history, deterministically, and must agree with
+// its own score function at the returned maximizer.
+func FuzzEstimator(f *testing.F) {
+	f.Add(3, 10, 0.5, []byte{})
+	f.Add(0, 1, 1e-9, []byte{0, 0, 1})
+	f.Add(10, 10, 2.0, []byte{255, 255, 1, 0, 0, 0})
+	f.Add(-1, -1, math.NaN(), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(1<<40, 7, math.Inf(1), []byte{128, 128, 1, 128, 128, 0})
+	f.Fuzz(func(t *testing.T, detections, polls int, interval float64, data []byte) {
+		naive, errN := Naive(detections, polls, interval)
+		chogm, errC := ChoGM(detections, polls, interval)
+		if (errN == nil) != (errC == nil) {
+			t.Fatalf("estimators disagree on argument validity: Naive err=%v, ChoGM err=%v", errN, errC)
+		}
+		if errN == nil {
+			for name, est := range map[string]float64{"Naive": naive, "ChoGM": chogm} {
+				if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+					t.Fatalf("%s(%d, %d, %v) = %v", name, detections, polls, interval, est)
+				}
+			}
+			// A second call with identical arguments must agree exactly.
+			if again, _ := ChoGM(detections, polls, interval); again != chogm {
+				t.Fatalf("ChoGM not deterministic: %v then %v", chogm, again)
+			}
+		}
+
+		history := fuzzHistory(data)
+		if len(history) == 0 {
+			return
+		}
+		lambda, err := MLE(history)
+		if err != nil {
+			t.Fatalf("MLE rejected a valid history of %d polls: %v", len(history), err)
+		}
+		if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda < 0 {
+			t.Fatalf("MLE = %v on %d polls", lambda, len(history))
+		}
+		if again, _ := MLE(history); again != lambda {
+			t.Fatalf("MLE not deterministic: %v then %v", lambda, again)
+		}
+	})
+}

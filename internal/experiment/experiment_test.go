@@ -227,6 +227,9 @@ func TestRunFigure6Shapes(t *testing.T) {
 }
 
 func TestRunFigure7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 7 sweep is slow; skipped in -short mode")
+	}
 	res, err := RunFigure7(Options{BigN: 50000})
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +264,9 @@ func TestRunFigure7Shapes(t *testing.T) {
 }
 
 func TestRunFigure8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 8 sweep is slow; skipped in -short mode")
+	}
 	res, err := RunFigure8(Options{ClusterN: 20000})
 	if err != nil {
 		t.Fatal(err)
@@ -284,6 +290,9 @@ func TestRunFigure8Shapes(t *testing.T) {
 }
 
 func TestRunFigure9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 9 sweep is slow; skipped in -short mode")
+	}
 	res, err := RunFigure9(Options{ClusterN: 20000})
 	if err != nil {
 		t.Fatal(err)
@@ -369,6 +378,9 @@ func TestRunFigure11Shapes(t *testing.T) {
 }
 
 func TestRegistryRunsAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry sweep is slow; skipped in -short mode")
+	}
 	infos := All()
 	if len(infos) < 13 {
 		t.Fatalf("only %d experiments registered", len(infos))
@@ -493,6 +505,9 @@ func TestRunSelectionShapes(t *testing.T) {
 }
 
 func TestSimValidateAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation validation is slow; skipped in -short mode")
+	}
 	results, err := RunSimValidate(Options{})
 	if err != nil {
 		t.Fatal(err)

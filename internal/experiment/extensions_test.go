@@ -39,6 +39,9 @@ func TestRunSensitivityShapes(t *testing.T) {
 }
 
 func TestRunPushShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("push simulation sweep is slow; skipped in -short mode")
+	}
 	res, err := RunPush(Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package freshness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFixedOrderAgeMarginal checks −∂Ā/∂f against a central finite
+// difference of Ā and its qualitative contract: positive, decreasing
+// in f (Ā is convex), divergent as f → 0, zero for unchanging
+// elements.
+func TestFixedOrderAgeMarginal(t *testing.T) {
+	if m := FixedOrderAgeMarginal(3, 0); m != 0 {
+		t.Errorf("unchanging element marginal %v, want 0", m)
+	}
+	if m := FixedOrderAgeMarginal(0, 2); !math.IsInf(m, 1) {
+		t.Errorf("f=0 marginal %v, want +Inf", m)
+	}
+	for _, lambda := range []float64{1e-4, 0.3, 1, 7, 1e3} {
+		prev := math.Inf(1)
+		for _, f := range []float64{lambda / 32, lambda / 4, lambda, 4 * lambda, 32 * lambda, 3e4 * lambda} {
+			m := FixedOrderAgeMarginal(f, lambda)
+			if m <= 0 || m >= prev {
+				t.Errorf("λ=%v f=%v: marginal %v not positive decreasing (prev %v)", lambda, f, m, prev)
+			}
+			h := f * 1e-5
+			fd := (FixedOrderAge(f-h, lambda) - FixedOrderAge(f+h, lambda)) / (2 * h)
+			if math.Abs(fd-m) > 1e-3*m {
+				t.Errorf("λ=%v f=%v: marginal %v but −dĀ/df ≈ %v", lambda, f, m, fd)
+			}
+			prev = m
+		}
+	}
+}
+
+// TestFixedOrderKShape pins the dimensionless factor k(r): zero at
+// r ≤ 0, increasing, approaching 1/2, and continuous across the
+// series switchover at r = 1e-4.
+func TestFixedOrderKShape(t *testing.T) {
+	if k := fixedOrderK(0); k != 0 {
+		t.Errorf("k(0) = %v, want 0", k)
+	}
+	if k := fixedOrderK(-3); k != 0 {
+		t.Errorf("k(-3) = %v, want 0", k)
+	}
+	prev := 0.0
+	for _, r := range []float64{1e-8, 1e-5, 9.9e-5, 1.01e-4, 1e-3, 0.1, 1, 5, 40} {
+		k := fixedOrderK(r)
+		if k <= prev || k >= 0.5 {
+			t.Errorf("k(%v) = %v not increasing within (0, 1/2) (prev %v)", r, k, prev)
+		}
+		prev = k
+	}
+	// k → 1/2 like 1/r², so pick r large enough that the gap vanishes.
+	if k := fixedOrderK(1e8); math.Abs(k-0.5) > 1e-10 {
+		t.Errorf("k(1e8) = %v, want → 1/2", k)
+	}
+	// At the switchover the direct form has already lost ~4 digits to
+	// the (1−e^(−r))/r² cancellation — which is why the series branch
+	// exists — so continuity is asserted only to the digits it retains.
+	below, above := fixedOrderK(1e-4*(1-1e-9)), fixedOrderK(1e-4*(1+1e-9))
+	if math.Abs(below-above) > 5e-4*above {
+		t.Errorf("series switchover discontinuity: %v vs %v", below, above)
+	}
+}
+
+// TestInvertFixedOrderAgeMarginal round-trips the inversion cold and
+// warm — including hints on the wrong side of the root — and pins the
+// degenerate targets to 0.
+func TestInvertFixedOrderAgeMarginal(t *testing.T) {
+	for _, lambda := range []float64{1e-3, 0.5, 2, 500} {
+		for _, f := range []float64{lambda / 16, lambda / 2, lambda, 8 * lambda, 100 * lambda} {
+			target := FixedOrderAgeMarginal(f, lambda)
+			for _, hint := range []float64{0, f, f / 3, 5 * f, 1e12, math.Inf(1)} {
+				got := InvertFixedOrderAgeMarginalWarm(target, lambda, hint)
+				if math.Abs(got-f) > 1e-6*f {
+					t.Errorf("λ=%v f=%v hint=%v: inversion returned %v", lambda, f, hint, got)
+				}
+			}
+			if got := InvertFixedOrderAgeMarginal(target, lambda); math.Abs(got-f) > 1e-6*f {
+				t.Errorf("λ=%v f=%v: cold inversion returned %v", lambda, f, got)
+			}
+		}
+	}
+	for _, tc := range []struct{ target, lambda float64 }{
+		{0, 1}, {-2, 1}, {math.Inf(1), 1}, {0.5, 0}, {0.5, -1},
+	} {
+		if got := InvertFixedOrderAgeMarginal(tc.target, tc.lambda); got != 0 {
+			t.Errorf("degenerate (target=%v, λ=%v) inverted to %v, want 0", tc.target, tc.lambda, got)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package freshness
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func TestPolicyNames(t *testing.T) {
+	if got := (FixedOrder{}).Name(); got != "fixed-order" {
+		t.Errorf("FixedOrder.Name() = %q", got)
+	}
+	if got := (PoissonOrder{}).Name(); got != "poisson-order" {
+		t.Errorf("PoissonOrder.Name() = %q", got)
+	}
+}
+
+// TestWarmInversionNearCutoff exercises the catastrophic-cancellation
+// branch of the Fixed-Order warm inversion: targets within 1e-9 of the
+// peak marginal 1/λ, where g(r) rounds to 1.0 and the fixed-point
+// iteration on δ = 1 − target·λ takes over. The round-trip must hold
+// down to δ near the smallest subnormal, from cold and hostile hints
+// alike.
+func TestWarmInversionNearCutoff(t *testing.T) {
+	pol := FixedOrder{}
+	for _, lambda := range []float64{1e-3, 1, 42} {
+		for _, r := range []float64{25, 40, 80, 300, 700} {
+			f := lambda / r
+			target := pol.Marginal(f, lambda)
+			peak := pol.Marginal(0, lambda)
+			if target >= peak {
+				// δ underflowed to zero for this (λ, r); the documented
+				// contract (invert to 0) is covered elsewhere.
+				continue
+			}
+			for _, hint := range []float64{0, r, r / 4, 6 * r, 1e-9, 1e9} {
+				got, rOut := pol.InvertMarginalWarm(target, lambda, hint)
+				// This close to the cutoff the inversion is
+				// ill-conditioned in f — rounding target to float64
+				// already moves the root by ~δ's quantization error —
+				// so exactness is asserted in value space (the solver's
+				// contract: the returned frequency attains the target)
+				// with only a loose sanity bound on f itself.
+				if m := pol.Marginal(got, lambda); math.Abs(m-target) > 4e-16*target {
+					t.Errorf("λ=%v r=%v hint=%v: M(inverted) = %v, want %v", lambda, r, hint, m, target)
+				}
+				if math.Abs(got-f) > 0.02*f {
+					t.Errorf("λ=%v r=%v hint=%v: inverted to %v, want ≈%v", lambda, r, hint, got, f)
+				}
+				if rOut > 0 && math.Abs(rOut-lambda/got) > 1e-9*rOut {
+					t.Errorf("λ=%v r=%v hint=%v: returned hint %v inconsistent with f=%v", lambda, r, hint, rOut, got)
+				}
+			}
+		}
+	}
+	// At or above the peak no positive frequency attains the target.
+	if got, _ := pol.InvertMarginalWarm(1.0, 1, 0); got != 0 {
+		t.Errorf("target at the peak inverted to %v, want 0", got)
+	}
+}
+
+// TestMetricsParallelReduction pushes the metric reductions past the
+// parallel threshold and checks the sharded sums against a plain
+// serial loop: parallelism must change nothing but speed.
+func TestMetricsParallelReduction(t *testing.T) {
+	// reduceShards stays serial below two workers; force the sharded
+	// path even on single-core CI machines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	n := parallelThreshold + 1234
+	rng := rand.New(rand.NewSource(7))
+	elems := make([]Element, n)
+	freqs := make([]float64, n)
+	for i := range elems {
+		elems[i] = Element{
+			ID:         i,
+			Lambda:     math.Exp(rng.Float64()*8 - 4),
+			AccessProb: rng.Float64() / float64(n),
+			Size:       math.Exp(rng.Float64() * 3),
+		}
+		freqs[i] = math.Exp(rng.Float64()*6 - 3)
+	}
+	pol := FixedOrder{}
+
+	var wantPF, wantAvg, wantBW float64
+	for i, e := range elems {
+		wantPF += e.AccessProb * pol.Freshness(freqs[i], e.Lambda)
+		wantAvg += pol.Freshness(freqs[i], e.Lambda)
+		wantBW += e.Size * freqs[i]
+	}
+	wantAvg /= float64(n)
+
+	pf, err := Perceived(pol, elems, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pf-wantPF) > 1e-9*(1+wantPF) {
+		t.Errorf("parallel Perceived = %v, serial %v", pf, wantPF)
+	}
+	avg, err := Average(pol, elems, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-wantAvg) > 1e-9*(1+wantAvg) {
+		t.Errorf("parallel Average = %v, serial %v", avg, wantAvg)
+	}
+	bw, err := BandwidthUsed(elems, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bw-wantBW) > 1e-9*(1+wantBW) {
+		t.Errorf("parallel BandwidthUsed = %v, serial %v", bw, wantBW)
+	}
+
+	// Determinism: the fixed chunking must make repeat runs bit-equal.
+	again, err := Perceived(pol, elems, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pf {
+		t.Errorf("parallel Perceived not deterministic: %v then %v", pf, again)
+	}
+}

@@ -1,0 +1,61 @@
+// External test package: testkit imports freshness, so wiring the
+// shared invariant suite into this package's tests must happen from
+// outside to avoid an import cycle.
+package freshness_test
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/testkit"
+)
+
+// TestPolicyInvariantsSuite runs the testkit's full analytic contract
+// — boundaries, monotone concave freshness, marginal consistency with
+// the derivative, inversion round-trips warm and cold — over change
+// rates spanning eighteen orders of magnitude.
+func TestPolicyInvariantsSuite(t *testing.T) {
+	lambdas := []float64{1e-9, 1e-4, 0.5, 1, 8, 1e3, 1e9}
+	testkit.AssertPolicyInvariants(t, freshness.FixedOrder{}, lambdas)
+	testkit.AssertPolicyInvariants(t, freshness.PoissonOrder{}, lambdas)
+}
+
+// TestInverterHostileSeedRegression pins the two fuzzer-found defects
+// in the Fixed-Order marginal inversion (corpus entries
+// testdata/fuzz/FuzzWaterFill/{5e110c4e965dcd92,0a643117b21e9cd6} in
+// internal/solver):
+//
+//  1. a warm hint tens of orders of magnitude from the root demoted
+//     Newton to arithmetic bisection across the whole span, exhausting
+//     the iteration budget and returning a root off by percents;
+//  2. with the seed within one ulp of the root, the sub-ulp Newton
+//     step rounded to no movement, was misread as leaving the bracket,
+//     and the safeguard flung the iterate to r=2 — ~80 halvings from a
+//     root near 1e-24.
+//
+// Both surfaced as the water-filling solver overspending its budget by
+// ~1% on single-element mirrors with extreme λ/size ratios.
+func TestInverterHostileSeedRegression(t *testing.T) {
+	pol := freshness.FixedOrder{}
+	cases := []struct {
+		lambda, freq float64
+	}{
+		{1.8332349474248444e-07, 7.746899528472528e+15},
+		{1.03082227567708e-09, 1.1101075304834724e+15},
+		{1, 1e12},
+		{2.5, 3},
+	}
+	for _, tc := range cases {
+		target := pol.Marginal(tc.freq, tc.lambda)
+		root := tc.lambda / tc.freq
+		hints := []float64{0, root, 1.86 * root, root / 16, 40.055, 2, 1e-300, 1e300, math.Inf(1)}
+		for _, hint := range hints {
+			got, _ := pol.InvertMarginalWarm(target, tc.lambda, hint)
+			if math.Abs(got-tc.freq) > 1e-9*tc.freq {
+				t.Errorf("λ=%g f=%g hint=%g: inversion returned %g (rel err %g)",
+					tc.lambda, tc.freq, hint, got, got/tc.freq-1)
+			}
+		}
+	}
+}

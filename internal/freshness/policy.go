@@ -163,18 +163,27 @@ func (FixedOrder) InvertMarginalWarm(target, lambda, hint float64) (float64, flo
 // warm seed near the root converges in 1–2 steps — this inversion is
 // the inner loop of the whole solver.
 func fixedOrderInvertG(want, seed float64) float64 {
-	r := seed
-	if !(r > 0) {
-		if want < 0.5 {
-			// g(r) ≈ r²/2 for small r.
-			r = math.Sqrt(2 * want)
-		} else {
-			// 1 − g(r) = e^(−r)(1+r) ≈ e^(−r)·r for larger r.
-			r = -math.Log1p(-want)
-			if r < 1 {
-				r = 1
-			}
+	// Cold-start estimate, within a factor of two of the root on both
+	// branches: g(r) ≈ r²/2 for small r, and 1 − g(r) = e^(−r)(1+r) ≈
+	// e^(−r)·r for larger r.
+	r0 := math.Sqrt(2 * want)
+	if want >= 0.5 {
+		r0 = -math.Log1p(-want)
+		if r0 < 1 {
+			r0 = 1
 		}
+	}
+	r := seed
+	if !(r > 0.25*r0 && r < 4*r0) {
+		// No seed, or a stale one far from the root. A hint left by an
+		// inversion in a different regime (the solver probes funding
+		// cutoffs, then multipliers dozens of orders of magnitude
+		// smaller) would push Newton out of the bracket and demote the
+		// search to arithmetic bisection across that whole span, which
+		// exhausts the iteration budget and returns an off-by-percents
+		// root. The cold estimate is always close; starting there keeps
+		// the warm-start contract: a bad hint costs steps, not accuracy.
+		r = r0
 	}
 	lo, hi := 0.0, math.Inf(1)
 	for i := 0; i < 80; i++ {
@@ -195,6 +204,17 @@ func fixedOrderInvertG(want, seed float64) float64 {
 		stepped := false
 		if d := r * e; d > 0 {
 			next = r - (g-want)/d
+			if next == r {
+				// The Newton step is below one ulp of r: the iterate
+				// is as converged as float64 can express. Without this
+				// return the bracket test below would see no movement
+				// (lo or hi was just set to r), misread the situation
+				// as Newton escaping the bracket, and the hi=+Inf
+				// safeguard would fling the iterate to 2 — which then
+				// costs ~80 halvings to undo and can exhaust the
+				// iteration budget, returning a root off by a factor.
+				return r
+			}
 			stepped = next > lo && next < hi
 		}
 		if !stepped {

@@ -1,0 +1,117 @@
+package httpmirror
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"freshen/internal/core"
+)
+
+// fuzzMirror lazily builds one shared mirror (4 objects, ids 0–3) for
+// the whole fuzzing process; the handler is stateless enough that
+// sharing it across fuzz iterations only adds concurrency coverage.
+var fuzzMirror struct {
+	once    sync.Once
+	handler http.Handler
+	close   func()
+	err     error
+}
+
+func fuzzHandler() (http.Handler, error) {
+	fuzzMirror.once.Do(func() {
+		src, err := NewSimulatedSource([]float64{2, 1, 0.5, 0}, nil, 1)
+		if err != nil {
+			fuzzMirror.err = err
+			return
+		}
+		srv := httptest.NewServer(src.Handler())
+		m, err := New(context.Background(), Config{
+			Upstream: NewSourceClient(srv.URL, srv.Client()),
+			Plan:     core.Config{Bandwidth: 4},
+			Seed:     1,
+		})
+		if err != nil {
+			srv.Close()
+			fuzzMirror.err = err
+			return
+		}
+		fuzzMirror.handler = m.Handler()
+		fuzzMirror.close = srv.Close
+	})
+	return fuzzMirror.handler, fuzzMirror.err
+}
+
+// FuzzHTTPHandler throws arbitrary methods, paths and bodies at the
+// mirror's public handler and asserts it never panics, always answers
+// with a sane status, and honors the documented /object contract:
+// malformed ids are 400, unknown ids 404, catalog ids 200 with an
+// X-Version header.
+func FuzzHTTPHandler(f *testing.F) {
+	f.Add("GET", "/object/0", []byte{})
+	f.Add("GET", "/object/banana", []byte{})
+	f.Add("GET", "/object/99", []byte{})
+	f.Add("GET", "/object/-1", []byte{})
+	f.Add("POST", "/replan", []byte{})
+	f.Add("GET", "/healthz", []byte{})
+	f.Add("GET", "/status", []byte{})
+	f.Add("PUT", "/object/1", []byte("x"))
+	f.Add("DELETE", "/../../etc/passwd", []byte{})
+	f.Add("GET", "/object/0/../1", []byte{})
+	f.Fuzz(func(t *testing.T, method, rawPath string, body []byte) {
+		h, err := fuzzHandler()
+		if err != nil {
+			t.Fatalf("building fuzz mirror: %v", err)
+		}
+		if !strings.HasPrefix(rawPath, "/") {
+			rawPath = "/" + rawPath
+		}
+		req, err := http.NewRequest(method, "http://mirror.test"+rawPath, strings.NewReader(string(body)))
+		if err != nil {
+			return // not expressible as an HTTP request; nothing to test
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		code := rec.Code
+		if code < 100 || code > 599 {
+			t.Fatalf("%s %q: status %d outside the HTTP range", method, rawPath, code)
+		}
+		if code == http.StatusInternalServerError {
+			t.Fatalf("%s %q: internal error: %s", method, rawPath, rec.Body.String())
+		}
+		// The /object contract. ServeMux answers unclean paths (dot
+		// segments, doubled slashes) with a 301 to the cleaned form, so
+		// the contract is only asserted on paths the mux routes as-is.
+		clean := req.URL.Path
+		canonical := path.Clean(clean)
+		if canonical != "/" && strings.HasSuffix(clean, "/") {
+			canonical += "/"
+		}
+		if method == http.MethodGet && clean == canonical && strings.HasPrefix(clean, "/object/") {
+			rest := strings.TrimPrefix(clean, "/object/")
+			id, convErr := strconv.Atoi(rest)
+			switch {
+			case convErr != nil:
+				if code != http.StatusBadRequest {
+					t.Fatalf("GET %q: status %d, want 400 for malformed id", rawPath, code)
+				}
+			case id < 0 || id >= 4:
+				if code != http.StatusNotFound {
+					t.Fatalf("GET %q: status %d, want 404 for unknown id %d", rawPath, code, id)
+				}
+			default:
+				if code != http.StatusOK {
+					t.Fatalf("GET %q: status %d, want 200 for catalog id %d", rawPath, code, id)
+				}
+				if rec.Header().Get("X-Version") == "" {
+					t.Fatalf("GET %q: 200 without X-Version header", rawPath)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"freshen/internal/testkit"
+)
+
+// TestPartitionedSolutionsCertified checks every allocation the
+// heuristic pipeline produces. The expanded per-element schedule is
+// deliberately sub-optimal (that is the heuristic's trade), but two
+// things must hold exactly: the transformed representative instance is
+// solved to optimality — certified independently — and the expansion
+// never spends more than the budget.
+func TestPartitionedSolutionsCertified(t *testing.T) {
+	elems := testElementsSized(t, 200, 7)
+	const bandwidth = 60.0
+	for _, k := range []int{1, 8, 32} {
+		for _, key := range []Key{KeyPF, KeyPFOverSize} {
+			for _, alloc := range []Allocation{FFA, FBA} {
+				name := fmt.Sprintf("k%d-%s-%s", k, key, alloc)
+				t.Run(name, func(t *testing.T) {
+					res, err := Solve(elems, bandwidth, Options{
+						Key: key, NumPartitions: k, Allocation: alloc,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					tp := TransformedProblem(res.Representatives, bandwidth, nil)
+					testkit.MustCertify(t, nil, tp.Elements, res.RepFreqs, bandwidth, 1e-5)
+					if used := res.Solution.BandwidthUsed; used > bandwidth*(1+1e-9) {
+						t.Errorf("expansion overspends: %v of %v", used, bandwidth)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSingletonPartitioningCertified pins the heuristic's exactness
+// limit: with one group per element the transformed problem is the
+// full problem, so the expanded schedule itself must carry a KKT
+// certificate.
+func TestSingletonPartitioningCertified(t *testing.T) {
+	elems := testElementsSized(t, 80, 11)
+	const bandwidth = 25.0
+	res, err := Solve(elems, bandwidth, Options{Key: KeyPF, NumPartitions: len(elems), Allocation: FBA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := testkit.MustCertify(t, nil, elems, res.Solution.Freqs, bandwidth, 1e-5)
+	if cert.Funded == 0 {
+		t.Error("nothing funded")
+	}
+}

@@ -1,0 +1,74 @@
+// Cross-validation wiring lives in an external test package: testkit
+// imports sim to drive the simulations, so these tests must sit
+// outside package sim to avoid an import cycle.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/sim"
+	"freshen/internal/solver"
+	"freshen/internal/testkit"
+)
+
+func optimalSchedule(t *testing.T, elems []freshness.Element, bandwidth float64, pol freshness.Policy) []float64 {
+	t.Helper()
+	sol, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Freqs
+}
+
+// TestCrossValidationCoreProblem validates the paper's core closed
+// form against event-driven simulation: optimal unit-size schedules at
+// three mirror scales, element by element. Every run is seeded, so a
+// pass is deterministic.
+func TestCrossValidationCoreProblem(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			if n == 1000 && testing.Short() {
+				t.Skip("large cross-validation skipped in -short mode")
+			}
+			elems := testkit.RandomElements(int64(100+n), n, false)
+			freqs := optimalSchedule(t, elems, float64(n)/2, nil)
+			testkit.CrossValidate(t, elems, freqs, testkit.CrossValOptions{Seed: int64(n)})
+		})
+	}
+}
+
+// TestCrossValidationVariableSizes repeats the validation for the §5
+// refinement: transfer sizes spread over three decades change which
+// elements get funded, not the freshness a funded frequency delivers —
+// and the simulation must agree.
+func TestCrossValidationVariableSizes(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			if n == 1000 && testing.Short() {
+				t.Skip("large cross-validation skipped in -short mode")
+			}
+			elems := testkit.RandomElements(int64(200+n), n, true)
+			var budget float64
+			for _, e := range elems {
+				budget += e.Lambda * e.Size
+			}
+			freqs := optimalSchedule(t, elems, budget/4, nil)
+			testkit.CrossValidate(t, elems, freqs, testkit.CrossValOptions{Seed: int64(2 * n)})
+		})
+	}
+}
+
+// TestCrossValidationPoissonDiscipline validates the ablation policy's
+// closed form f/(f+λ) under the matching Poisson refresh discipline.
+func TestCrossValidationPoissonDiscipline(t *testing.T) {
+	elems := testkit.RandomElements(42, 100, false)
+	freqs := optimalSchedule(t, elems, 50, freshness.PoissonOrder{})
+	testkit.CrossValidate(t, elems, freqs, testkit.CrossValOptions{
+		Seed:       3,
+		Discipline: sim.PoissonSync,
+	})
+}

@@ -67,6 +67,9 @@ func TestRunMatchesAnalyticPoisson(t *testing.T) {
 }
 
 func TestRunFixedOrderBeatsPoissonEmpirically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short mode")
+	}
 	cfg, _ := tableTwoRun(t, 1.0, 11)
 	fo, err := Run(cfg)
 	if err != nil {
@@ -110,6 +113,9 @@ func TestRunEventCounts(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation; skipped in -short mode")
+	}
 	cfg, _ := tableTwoRun(t, 1.2, 5)
 	a, err := Run(cfg)
 	if err != nil {

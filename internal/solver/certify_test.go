@@ -1,0 +1,99 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/testkit"
+)
+
+// TestSolverSuiteCertified runs the production entry points over the
+// suite's standard workloads and demands an independent KKT
+// certificate — not the solver's own VerifyKKT, which trusts the
+// reported multiplier — for every allocation produced.
+func TestSolverSuiteCertified(t *testing.T) {
+	t.Run("table1", func(t *testing.T) {
+		for _, b := range []float64{1, 3, 5, 7, 9} {
+			p := table1Problem([]float64{1.0 / 15, 2.0 / 15, 3.0 / 15, 4.0 / 15, 5.0 / 15})
+			p.Bandwidth = b
+			sol, err := WaterFill(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testkit.MustCertify(t, p.Policy, p.Elements, sol.Freqs, b, 1e-6)
+		}
+	})
+	t.Run("random-problems", func(t *testing.T) {
+		for seed := int64(1); seed <= 25; seed++ {
+			sized := seed%2 == 0
+			p := randomProblem(seed, int(seed%17)+2, sized)
+			sol, err := WaterFill(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testkit.MustCertify(t, p.Policy, p.Elements, sol.Freqs, p.Bandwidth, 1e-5)
+			// SolveGF optimizes average freshness — uniform weights —
+			// so its schedule certifies against the uniform problem,
+			// not the access profile it is later re-scored under.
+			gf, err := SolveGF(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uniform := append([]freshness.Element(nil), p.Elements...)
+			for i := range uniform {
+				uniform[i].AccessProb = 1 / float64(len(uniform))
+			}
+			testkit.MustCertify(t, p.Policy, uniform, gf.Freqs, p.Bandwidth, 1e-5)
+		}
+	})
+	t.Run("parity-workloads", func(t *testing.T) {
+		for _, pareto := range []bool{false, true} {
+			elems := parityWorkload(17, 400, pareto)
+			for _, b := range []float64{5, 60, 600} {
+				sol, err := WaterFill(Problem{Elements: elems, Bandwidth: b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				testkit.MustCertify(t, nil, elems, sol.Freqs, b, 1e-5)
+			}
+		}
+	})
+	for _, n := range []int{10, 100, 1000} {
+		t.Run(fmt.Sprintf("paper-workload-n%d", n), func(t *testing.T) {
+			elems := testkit.RandomElements(int64(n), n, true)
+			b := float64(n) / 3
+			for _, pol := range []freshness.Policy{nil, freshness.PoissonOrder{}} {
+				sol, err := WaterFill(Problem{Elements: elems, Bandwidth: b, Policy: pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cert := testkit.MustCertify(t, pol, elems, sol.Freqs, b, 1e-5)
+				if cert.Funded == 0 {
+					t.Errorf("n=%d: nothing funded at bandwidth %v", n, b)
+				}
+			}
+		})
+	}
+}
+
+// TestBandwidthForTargetCertified pins the capacity planner's output:
+// the planned budget must attain the target and the attaining schedule
+// must itself be optimal.
+func TestBandwidthForTargetCertified(t *testing.T) {
+	elems := testkit.RandomElements(23, 60, true)
+	for _, target := range []float64{0.2, 0.5, 0.8} {
+		b, err := BandwidthForTarget(elems, target, nil)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		sol, err := WaterFill(Problem{Elements: elems, Bandwidth: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Perceived < target-1e-9 {
+			t.Errorf("target %v: planned bandwidth %v attains only %v", target, b, sol.Perceived)
+		}
+		testkit.MustCertify(t, nil, elems, sol.Freqs, b, 1e-5)
+	}
+}

@@ -1,0 +1,179 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+	"freshen/internal/sim"
+)
+
+// CrossValOptions tunes a sim-vs-analytic validation run. The zero
+// value is a sensible CI configuration.
+type CrossValOptions struct {
+	// Periods per replication (0 means 40); the first tenth (at least
+	// two periods) is warmup.
+	Periods int
+	// Replications is the number of independently seeded simulations
+	// the empirical means and standard errors are estimated from
+	// (0 means 5).
+	Replications int
+	// Seed derives every replication's RNG stream; fixed seeds make the
+	// whole validation deterministic.
+	Seed int64
+	// Discipline selects the refresh spacing and, with it, the closed
+	// form being validated (F fixed-order or f/(f+λ) Poisson).
+	Discipline sim.SyncDiscipline
+	// Z is the per-check confidence multiplier applied to the estimated
+	// standard error (0 means 6 — wide, because with thousands of
+	// per-element checks across suites the per-check false-positive
+	// rate must be negligible; the run is seeded, so a pass is
+	// permanent either way).
+	Z float64
+	// AbsFloor is the absolute tolerance floor added to every interval
+	// (0 means 5e-3). It covers the quantization noise of elements with
+	// expected event counts near zero over the measured window, where
+	// the replication-estimated standard error itself is unreliable.
+	AbsFloor float64
+
+	// analyticPolicy overrides the closed form being compared against
+	// (normally derived from Discipline). Test hook: injecting a
+	// mismatched policy proves the validator actually discriminates.
+	analyticPolicy freshness.Policy
+}
+
+func (o CrossValOptions) withDefaults() CrossValOptions {
+	if o.Periods == 0 {
+		o.Periods = 40
+	}
+	if o.Replications == 0 {
+		o.Replications = 5
+	}
+	if o.Z == 0 {
+		o.Z = 6
+	}
+	if o.AbsFloor == 0 {
+		o.AbsFloor = 5e-3
+	}
+	return o
+}
+
+// CrossValidate drives seeded event-driven Poisson simulations of the
+// given schedule and asserts the measured freshness agrees with the
+// closed form, element by element and in the aggregate.
+//
+// The tolerance for each check is z·s/√R + floor, where s is the
+// sample standard deviation of the measured value across R independent
+// replications: the empirical sampling noise of the very estimator
+// being checked, so the interval adapts to each element's event rate
+// instead of hard-coding one magic constant for all regimes. Because
+// every replication is seeded, the assertion is deterministic — the
+// statistics only justify the tolerance, they do not re-randomize it.
+func CrossValidate(tb testingTB, elems []freshness.Element, freqs []float64, opt CrossValOptions) {
+	tb.Helper()
+	opt = opt.withDefaults()
+	n := len(elems)
+	warmup := opt.Periods / 10
+	if warmup < 2 {
+		warmup = 2
+	}
+	if opt.Periods <= warmup {
+		tb.Fatalf("cross-validation needs more than %d periods, got %d", warmup, opt.Periods)
+	}
+
+	// Per-element running moments across replications.
+	sum := make([]float64, n)
+	sumSq := make([]float64, n)
+	var pfSum, pfSumSq float64
+	for rep := 0; rep < opt.Replications; rep++ {
+		res, err := sim.Run(sim.Config{
+			Elements:      elems,
+			Freqs:         freqs,
+			Periods:       opt.Periods,
+			WarmupPeriods: warmup,
+			// The validator reads time-averaged freshness, which needs
+			// no access sampling; a vanishing access rate keeps the
+			// request generator armed (0 would mean "default 10000")
+			// without ever firing inside the horizon.
+			AccessesPerPeriod: 1e-9,
+			Discipline:        opt.Discipline,
+			CollectPerElement: true,
+			Seed:              opt.Seed + int64(rep)*7919,
+		})
+		if err != nil {
+			tb.Fatalf("replication %d: %v", rep, err)
+		}
+		for i, st := range res.PerElement {
+			sum[i] += st.Freshness
+			sumSq[i] += st.Freshness * st.Freshness
+		}
+		pfSum += res.TimeAveragedPF
+		pfSumSq += res.TimeAveragedPF * res.TimeAveragedPF
+	}
+
+	pol := opt.analyticPolicy
+	if pol == nil {
+		pol = policyFor(opt.Discipline)
+	}
+	analytic, err := freshness.Perceived(pol, elems, freqs)
+	if err != nil {
+		tb.Fatalf("closed form: %v", err)
+	}
+	// With the standard error estimated from only R replications the
+	// per-element statistic is Student-t with R−1 degrees of freedom,
+	// whose tails are far heavier than the normal the Z multiplier
+	// assumes: at R=5, Z=6 about 0.4% of perfectly healthy elements
+	// land outside their interval. A per-mille outlier quota absorbs
+	// that without costing detection power — a wrong closed form shifts
+	// every funded element at once (and trips the strict aggregate
+	// check below), not a handful.
+	r := float64(opt.Replications)
+	allowed := n / 100
+	bad := 0
+	var outliers []string
+	for i, e := range elems {
+		want := pol.Freshness(freqs[i], e.Lambda)
+		mean := sum[i] / r
+		tol := opt.Z*stderr(sum[i], sumSq[i], r) + opt.AbsFloor
+		if math.Abs(mean-want) > tol {
+			bad++
+			if len(outliers) < 10 {
+				outliers = append(outliers, fmt.Sprintf("element %d (λ=%v, f=%v): measured freshness %v vs closed form %v (tol %v)",
+					i, e.Lambda, freqs[i], mean, want, tol))
+			}
+		}
+	}
+	if bad > allowed {
+		for _, o := range outliers {
+			tb.Errorf("%s", o)
+		}
+		if bad > len(outliers) {
+			tb.Errorf("... and %d more per-element mismatches", bad-len(outliers))
+		}
+	}
+	pfMean := pfSum / r
+	pfTol := opt.Z*stderr(pfSum, pfSumSq, r) + opt.AbsFloor
+	if math.Abs(pfMean-analytic) > pfTol {
+		tb.Errorf("aggregate PF: measured %v vs analytic %v (tol %v)", pfMean, analytic, pfTol)
+	}
+}
+
+// stderr returns the standard error of the mean from running moments.
+func stderr(sum, sumSq, n float64) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	variance := (sumSq - sum*sum/n) / (n - 1)
+	if variance < 0 { // rounding
+		variance = 0
+	}
+	return math.Sqrt(variance / n)
+}
+
+// policyFor maps a sim discipline to the closed form it realizes.
+func policyFor(d sim.SyncDiscipline) freshness.Policy {
+	if d == sim.PoissonSync {
+		return freshness.PoissonOrder{}
+	}
+	return freshness.FixedOrder{}
+}

@@ -1,0 +1,30 @@
+// Package testkit is the repository's correctness harness: reusable
+// verification machinery that certifies solver outputs independently of
+// the solvers that produced them.
+//
+// It provides three layers:
+//
+//   - Certify, a KKT certificate checker. Given any allocation
+//     (elements, frequencies, budget, policy) it re-derives the
+//     optimality conditions of the concave freshening program from
+//     scratch — budget conservation, equalized marginal value across
+//     funded elements, and the cutoff condition for starved ones — so
+//     a schedule can be proven optimal without trusting the solver's
+//     own bookkeeping (in particular, without trusting its reported
+//     Lagrange multiplier).
+//   - Property assertions: perceived freshness monotone and concave in
+//     the budget, scale invariance of the optimum under profile and
+//     size/budget rescaling, and per-policy analytic invariants
+//     (closed-form boundary values, marginal = dF/df, inversion
+//     round-trips).
+//   - CrossValidate, a sim-vs-analytic validator: it drives seeded
+//     event-driven Poisson simulations through internal/sim and asserts
+//     the measured per-element freshness matches the closed form within
+//     confidence intervals estimated from independent replications, so
+//     the check is deterministic (seeded) yet statistically grounded.
+//
+// The package deliberately does not import internal/solver or
+// internal/partition: it operates on plain element/frequency vectors,
+// so those packages' own test suites can import testkit without an
+// import cycle. Solving happens on the caller's side via a SolveFunc.
+package testkit

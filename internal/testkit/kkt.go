@@ -1,0 +1,182 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// Certificate is the evidence Certify assembles while proving an
+// allocation optimal. All error bounds are relative to the recovered
+// multiplier (or the budget, for the bandwidth fields).
+type Certificate struct {
+	// Mu is the Lagrange multiplier recovered from the allocation
+	// itself: the bandwidth-weighted mean marginal value of the funded
+	// elements. It is 0 when nothing is funded.
+	Mu float64
+	// Funded and Starved count the valuable elements (p > 0, λ > 0)
+	// with positive and zero frequency respectively.
+	Funded, Starved int
+	// BandwidthUsed is Σ sᵢ·fᵢ; Slack is Bandwidth − BandwidthUsed.
+	BandwidthUsed, Slack float64
+	// StationarityErr is the largest relative deviation of a funded
+	// element's marginal value from Mu.
+	StationarityErr float64
+	// CutoffErr is the largest relative excess of a starved element's
+	// peak marginal value over Mu (0 when every starved peak sits below
+	// the multiplier, as optimality requires).
+	CutoffErr float64
+}
+
+// Certify checks the KKT conditions of the perceived-freshness program
+//
+//	max Σ pᵢ·F(fᵢ, λᵢ)  s.t.  Σ sᵢ·fᵢ ≤ B,  fᵢ ≥ 0
+//
+// for an arbitrary allocation, independently of whatever solver
+// produced it:
+//
+//   - feasibility: every fᵢ finite and non-negative, Σ sᵢ·fᵢ ≤ B(1+tol);
+//   - budget conservation: the budget is exhausted whenever any element
+//     has positive marginal value (the objective is strictly increasing
+//     in every funded frequency, so slack is never optimal);
+//   - stationarity: the marginal value of bandwidth pᵢ·(∂F/∂f)(fᵢ,λᵢ)/sᵢ
+//     agrees across all funded elements (their common value is the
+//     multiplier μ, recovered here rather than taken on trust);
+//   - complementary slackness: every starved element's peak marginal
+//     value pᵢ·(∂F/∂f)(0,λᵢ)/sᵢ is at most μ;
+//   - no waste: valueless elements (p = 0 or λ = 0) hold frequency 0.
+//
+// nil means the allocation is certified optimal within tol. The policy
+// may be nil for the paper's Fixed-Order default.
+func Certify(pol freshness.Policy, elems []freshness.Element, freqs []float64, bandwidth, tol float64) (Certificate, error) {
+	var cert Certificate
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	if err := freshness.ValidateElements(elems); err != nil {
+		return cert, err
+	}
+	if len(freqs) != len(elems) {
+		return cert, fmt.Errorf("testkit: %d frequencies for %d elements", len(freqs), len(elems))
+	}
+	if !(bandwidth >= 0) || math.IsInf(bandwidth, 0) {
+		return cert, fmt.Errorf("testkit: invalid bandwidth %v", bandwidth)
+	}
+	if !(tol > 0) {
+		return cert, fmt.Errorf("testkit: tolerance must be positive, got %v", tol)
+	}
+
+	// Feasibility and the funded/starved split.
+	var used float64
+	active := 0 // valuable elements, funded or not
+	for i, e := range elems {
+		f := freqs[i]
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return cert, fmt.Errorf("testkit: element %d has invalid frequency %v", i, f)
+		}
+		used += e.Size * f
+		if e.AccessProb > 0 && e.Lambda > 0 {
+			active++
+			if f > 0 {
+				cert.Funded++
+			} else {
+				cert.Starved++
+			}
+		} else if f > 0 {
+			return cert, fmt.Errorf("testkit: valueless element %d (p=%v, λ=%v) funded with frequency %v",
+				i, e.AccessProb, e.Lambda, f)
+		}
+	}
+	cert.BandwidthUsed = used
+	cert.Slack = bandwidth - used
+	if used > bandwidth*(1+tol)+tol {
+		return cert, fmt.Errorf("testkit: bandwidth used %v exceeds budget %v", used, bandwidth)
+	}
+
+	if active == 0 || bandwidth == 0 {
+		// Nothing can or may be funded; feasibility is the whole story.
+		return cert, nil
+	}
+	if cert.Funded == 0 {
+		// Some element has positive marginal value at f = 0 (every
+		// valuable element does), so leaving the entire budget unspent
+		// cannot be optimal.
+		return cert, fmt.Errorf("testkit: budget %v unspent with %d valuable elements", bandwidth, active)
+	}
+
+	// Budget conservation: funded marginals are strictly positive, so
+	// the optimum exhausts the budget.
+	if cert.Slack > bandwidth*tol+tol {
+		return cert, fmt.Errorf("testkit: budget slack %v of %v with positive marginal values", cert.Slack, bandwidth)
+	}
+
+	// Recover the multiplier: funded marginal values must agree, and
+	// their common value is μ. The bandwidth-weighted mean makes the
+	// recovered μ the shadow price of the budget constraint.
+	var wSum, vSum float64
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for i, e := range elems {
+		if freqs[i] <= 0 || e.AccessProb <= 0 || e.Lambda <= 0 {
+			continue
+		}
+		v := e.AccessProb * pol.Marginal(freqs[i], e.Lambda) / e.Size
+		w := e.Size * freqs[i]
+		wSum += w
+		vSum += w * v
+		if v < vMin {
+			vMin = v
+		}
+		if v > vMax {
+			vMax = v
+		}
+	}
+	if !(vMin > 0) {
+		return cert, fmt.Errorf("testkit: funded element with non-positive marginal value %v", vMin)
+	}
+	cert.Mu = vSum / wSum
+	cert.StationarityErr = (vMax - vMin) / vMax
+	if cert.StationarityErr > tol {
+		return cert, fmt.Errorf("testkit: funded marginal values not equalized: [%v, %v] (rel spread %v > tol %v)",
+			vMin, vMax, cert.StationarityErr, tol)
+	}
+
+	// Complementary slackness: a starved element's first sliver of
+	// bandwidth must be worth no more than the recovered multiplier.
+	for i, e := range elems {
+		if freqs[i] != 0 || e.AccessProb <= 0 || e.Lambda <= 0 {
+			continue
+		}
+		peak := e.AccessProb * pol.Marginal(0, e.Lambda) / e.Size
+		if excess := peak/vMax - 1; excess > cert.CutoffErr {
+			cert.CutoffErr = excess
+		}
+		if peak > vMax*(1+tol) {
+			return cert, fmt.Errorf("testkit: element %d starved but its peak marginal value %v exceeds μ %v",
+				i, peak, cert.Mu)
+		}
+	}
+	return cert, nil
+}
+
+// MustCertify runs Certify and fails the test on any violation. It
+// returns the certificate for callers that want to assert on the
+// recovered multiplier or the funded/starved split.
+func MustCertify(tb testingTB, pol freshness.Policy, elems []freshness.Element, freqs []float64, bandwidth, tol float64) Certificate {
+	tb.Helper()
+	cert, err := Certify(pol, elems, freqs, bandwidth, tol)
+	if err != nil {
+		tb.Fatalf("KKT certificate rejected: %v", err)
+	}
+	return cert
+}
+
+// testingTB is the subset of testing.TB the harness needs. Declaring it
+// locally keeps testkit importable from fuzz targets and property
+// drivers alike without forcing a testing.TB through every signature.
+type testingTB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+	Logf(format string, args ...any)
+}

@@ -1,0 +1,119 @@
+package testkit
+
+import (
+	"math"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+// RandomElements draws a reproducible mirror of n elements in the
+// paper's workload style: power-law access mass with a seed-dependent
+// exponent, change rates spread over [1e-3, ~8), and — when sized —
+// truncated-Pareto transfer sizes like web objects. Access
+// probabilities are normalized to sum to 1.
+func RandomElements(seed int64, n int, sized bool) []freshness.Element {
+	r := stats.NewRNG(seed)
+	elems := make([]freshness.Element, n)
+	exp := 0.5 + r.Float64()
+	var mass float64
+	for i := range elems {
+		p := math.Pow(float64(i+1), -exp)
+		elems[i] = freshness.Element{
+			ID:         i,
+			Lambda:     r.Float64()*8 + 1e-3,
+			AccessProb: p,
+			Size:       1,
+		}
+		if sized {
+			elems[i].Size = math.Min(1/math.Pow(1-r.Float64(), 1/1.5), 1e3)
+		}
+		mass += p
+	}
+	for i := range elems {
+		elems[i].AccessProb /= mass
+	}
+	return elems
+}
+
+// Fuzz-domain bounds: wide enough to exercise extreme conditioning
+// (ten-plus orders of magnitude between elements) while staying inside
+// the documented input domain of the solvers.
+const (
+	fuzzLambdaMin = 1e-9
+	fuzzLambdaMax = 1e9
+	fuzzProbMin   = 1e-9
+	fuzzProbMax   = 1.0
+	fuzzSizeMin   = 1e-6
+	fuzzSizeMax   = 1e6
+)
+
+// FoldFloat maps an arbitrary float64 (fuzzer-supplied, possibly NaN,
+// ±Inf or subnormal) into [lo, hi], preserving as much of the input's
+// entropy as possible: finite values fold by magnitude on a log scale,
+// so fuzzers can steer toward either boundary.
+func FoldFloat(x, lo, hi float64) float64 {
+	if math.IsNaN(x) {
+		return lo
+	}
+	if math.IsInf(x, 0) {
+		return hi
+	}
+	x = math.Abs(x)
+	if x >= lo && x <= hi {
+		return x
+	}
+	// Fold the exponent into the target range on a log scale.
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	span := logHi - logLo
+	lx := math.Log(x)
+	if math.IsInf(lx, -1) { // x == 0
+		return lo
+	}
+	frac := math.Mod(lx-logLo, span)
+	if frac < 0 {
+		frac += span
+	}
+	return math.Exp(logLo + frac)
+}
+
+// FuzzElement builds one valid-but-possibly-extreme element from three
+// raw fuzzer floats.
+func FuzzElement(id int, rawLambda, rawProb, rawSize float64) freshness.Element {
+	return freshness.Element{
+		ID:         id,
+		Lambda:     FoldFloat(rawLambda, fuzzLambdaMin, fuzzLambdaMax),
+		AccessProb: FoldFloat(rawProb, fuzzProbMin, fuzzProbMax),
+		Size:       FoldFloat(rawSize, fuzzSizeMin, fuzzSizeMax),
+	}
+}
+
+// FuzzElements decodes a raw byte string into a slice of 1–64
+// valid-but-extreme elements: every 6 bytes become one element (two
+// bytes each for λ, p and s, spread log-uniformly over the fuzz
+// domain). The mapping is total — any input yields a valid mirror — so
+// the fuzzer's whole input space maps onto the solver's input domain.
+func FuzzElements(data []byte) []freshness.Element {
+	n := len(data) / 6
+	if n == 0 {
+		return []freshness.Element{{ID: 0, Lambda: 1, AccessProb: 1, Size: 1}}
+	}
+	if n > 64 {
+		n = 64
+	}
+	elems := make([]freshness.Element, n)
+	u16 := func(b []byte) float64 { return float64(uint16(b[0])<<8|uint16(b[1])) / 65535 }
+	logSpread := func(t, lo, hi float64) float64 {
+		return math.Exp(math.Log(lo) + t*(math.Log(hi)-math.Log(lo)))
+	}
+	for i := range elems {
+		b := data[i*6 : i*6+6]
+		elems[i] = freshness.Element{
+			ID:         i,
+			Lambda:     logSpread(u16(b[0:2]), fuzzLambdaMin, fuzzLambdaMax),
+			AccessProb: logSpread(u16(b[2:4]), fuzzProbMin, fuzzProbMax),
+			Size:       logSpread(u16(b[4:6]), fuzzSizeMin, fuzzSizeMax),
+		}
+	}
+	return elems
+}

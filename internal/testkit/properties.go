@@ -1,0 +1,219 @@
+package testkit
+
+import (
+	"math"
+
+	"freshen/internal/freshness"
+)
+
+// SolveFunc produces an (allegedly optimal) frequency vector for a
+// mirror under a refresh budget. The solver packages adapt their entry
+// points to this shape so testkit can drive them without importing
+// them (which would cycle: their test suites import testkit).
+type SolveFunc func(elems []freshness.Element, bandwidth float64, pol freshness.Policy) ([]float64, error)
+
+// perceived scores a schedule under the policy (nil = Fixed-Order).
+func perceived(tb testingTB, pol freshness.Policy, elems []freshness.Element, freqs []float64) float64 {
+	tb.Helper()
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	pf, err := freshness.Perceived(pol, elems, freqs)
+	if err != nil {
+		tb.Fatalf("scoring schedule: %v", err)
+	}
+	return pf
+}
+
+// AssertMonotoneInBandwidth asserts the optimal perceived freshness is
+// non-decreasing in the budget: extra bandwidth never hurts. budgets
+// must be given in increasing order.
+func AssertMonotoneInBandwidth(tb testingTB, solve SolveFunc, pol freshness.Policy, elems []freshness.Element, budgets []float64) {
+	tb.Helper()
+	prev := math.Inf(-1)
+	prevB := math.Inf(-1)
+	for _, b := range budgets {
+		if b < prevB {
+			tb.Fatalf("budgets not increasing: %v after %v", b, prevB)
+		}
+		freqs, err := solve(elems, b, pol)
+		if err != nil {
+			tb.Fatalf("solve at B=%v: %v", b, err)
+		}
+		pf := perceived(tb, pol, elems, freqs)
+		if pf < prev-1e-9*(1+prev) {
+			tb.Errorf("optimal PF not monotone in bandwidth: PF(%v)=%v < PF(%v)=%v", b, pf, prevB, prev)
+		}
+		prev, prevB = pf, b
+	}
+}
+
+// AssertConcaveInBandwidth asserts diminishing returns of extra
+// bandwidth: on an equally spaced budget grid from lo to hi, the PF
+// gain per step never increases. The optimal-PF curve is concave
+// because the program's objective is concave and the feasible region
+// scales linearly with B, so a violation indicates a sub-optimal solve
+// somewhere along the grid.
+func AssertConcaveInBandwidth(tb testingTB, solve SolveFunc, pol freshness.Policy, elems []freshness.Element, lo, hi float64, steps int) {
+	tb.Helper()
+	if steps < 2 || !(hi > lo) || !(lo >= 0) {
+		tb.Fatalf("bad concavity grid: [%v, %v] in %d steps", lo, hi, steps)
+	}
+	pfs := make([]float64, steps+1)
+	for i := 0; i <= steps; i++ {
+		b := lo + (hi-lo)*float64(i)/float64(steps)
+		freqs, err := solve(elems, b, pol)
+		if err != nil {
+			tb.Fatalf("solve at B=%v: %v", b, err)
+		}
+		pfs[i] = perceived(tb, pol, elems, freqs)
+	}
+	for i := 2; i <= steps; i++ {
+		gainPrev := pfs[i-1] - pfs[i-2]
+		gain := pfs[i] - pfs[i-1]
+		if gain > gainPrev+1e-8*(1+math.Abs(gainPrev)) {
+			tb.Errorf("optimal PF not concave in bandwidth: step gains %v then %v around B=%v",
+				gainPrev, gain, lo+(hi-lo)*float64(i-1)/float64(steps))
+		}
+	}
+}
+
+// AssertScaleInvariance asserts the two rescalings that must leave the
+// optimum untouched:
+//
+//   - profile scale: multiplying every access probability by c > 0
+//     changes only the objective's unit, not the argmax;
+//   - unit scale: multiplying every size and the budget by c > 0
+//     changes only the bandwidth unit, not the argmax.
+//
+// Frequencies are compared loosely (elements at the funding cutoff are
+// ill-conditioned in f but flat in value) and the objective tightly.
+func AssertScaleInvariance(tb testingTB, solve SolveFunc, pol freshness.Policy, elems []freshness.Element, bandwidth, c float64) {
+	tb.Helper()
+	if !(c > 0) || c == 1 {
+		tb.Fatalf("scale factor must be positive and ≠ 1, got %v", c)
+	}
+	base, err := solve(elems, bandwidth, pol)
+	if err != nil {
+		tb.Fatalf("base solve: %v", err)
+	}
+	basePF := perceived(tb, pol, elems, base)
+
+	scaledProfile := append([]freshness.Element(nil), elems...)
+	for i := range scaledProfile {
+		scaledProfile[i].AccessProb *= c
+	}
+	got, err := solve(scaledProfile, bandwidth, pol)
+	if err != nil {
+		tb.Fatalf("profile-scaled solve: %v", err)
+	}
+	assertFreqsClose(tb, "profile scale", elems, bandwidth, base, got)
+	if pf := perceived(tb, pol, elems, got); math.Abs(pf-basePF) > 1e-7*(1+basePF) {
+		tb.Errorf("profile scale changed the optimum: PF %v vs %v", pf, basePF)
+	}
+
+	scaledUnits := append([]freshness.Element(nil), elems...)
+	for i := range scaledUnits {
+		scaledUnits[i].Size *= c
+	}
+	got, err = solve(scaledUnits, bandwidth*c, pol)
+	if err != nil {
+		tb.Fatalf("unit-scaled solve: %v", err)
+	}
+	assertFreqsClose(tb, "unit scale", elems, bandwidth, base, got)
+	if pf := perceived(tb, pol, elems, got); math.Abs(pf-basePF) > 1e-7*(1+basePF) {
+		tb.Errorf("unit scale changed the optimum: PF %v vs %v", pf, basePF)
+	}
+}
+
+// assertFreqsClose compares two allegedly identical schedules with a
+// per-element tolerance scaled by the frequency the whole budget would
+// buy (the conditioning of cutoff-adjacent elements).
+func assertFreqsClose(tb testingTB, what string, elems []freshness.Element, bandwidth float64, want, got []float64) {
+	tb.Helper()
+	if len(want) != len(got) {
+		tb.Fatalf("%s: schedule length %d vs %d", what, len(got), len(want))
+	}
+	for i := range want {
+		tol := 1e-4 * (1 + want[i] + bandwidth/elems[i].Size)
+		if math.Abs(want[i]-got[i]) > tol {
+			tb.Errorf("%s: element %d frequency %v vs %v (tol %v)", what, i, got[i], want[i], tol)
+		}
+	}
+}
+
+// AssertPolicyInvariants asserts the analytic contract every
+// synchronization policy must satisfy at the given change rates:
+// boundary values, monotone concave freshness approaching 1, marginal
+// equal to the freshness derivative, marginal non-increasing, and
+// marginal inversion round-trips (cold and warm, including hostile
+// hints, which may cost iterations but never accuracy).
+func AssertPolicyInvariants(tb testingTB, pol freshness.Policy, lambdas []float64) {
+	tb.Helper()
+	if pol.Freshness(0, 0) != 1 || pol.Freshness(5, 0) != 1 {
+		tb.Errorf("%s: F(·, 0) must be 1", pol.Name())
+	}
+	if pol.Marginal(3, 0) != 0 {
+		tb.Errorf("%s: Marginal(·, 0) must be 0", pol.Name())
+	}
+	warm, _ := pol.(freshness.WarmStartInverter)
+	for _, lambda := range lambdas {
+		if !(lambda > 0) {
+			tb.Fatalf("invariant lambdas must be positive, got %v", lambda)
+		}
+		if f0 := pol.Freshness(0, lambda); f0 != 0 {
+			tb.Errorf("%s λ=%v: F(0, λ) = %v, want 0", pol.Name(), lambda, f0)
+		}
+		// Freshness increasing, concave, marginal decreasing, F → 1.
+		freqs := []float64{lambda / 64, lambda / 8, lambda / 2, lambda, 2 * lambda, 8 * lambda, 64 * lambda}
+		prevF, prevM := 0.0, math.Inf(1)
+		for _, f := range freqs {
+			F := pol.Freshness(f, lambda)
+			M := pol.Marginal(f, lambda)
+			if F <= prevF || F >= 1 {
+				tb.Errorf("%s λ=%v f=%v: F=%v not strictly increasing toward 1 (prev %v)", pol.Name(), lambda, f, F, prevF)
+			}
+			if M <= 0 || M > prevM {
+				tb.Errorf("%s λ=%v f=%v: marginal %v not positive decreasing (prev %v)", pol.Name(), lambda, f, M, prevM)
+			}
+			// Marginal matches a central finite difference of F.
+			h := f * 1e-6
+			fd := (pol.Freshness(f+h, lambda) - pol.Freshness(f-h, lambda)) / (2 * h)
+			if math.Abs(fd-M) > 1e-4*M {
+				tb.Errorf("%s λ=%v f=%v: marginal %v but dF/df ≈ %v", pol.Name(), lambda, f, M, fd)
+			}
+			prevF, prevM = F, M
+		}
+		if F := pol.Freshness(1e12*lambda, lambda); F < 1-1e-9 {
+			tb.Errorf("%s λ=%v: F(f→∞) = %v, want → 1", pol.Name(), lambda, F)
+		}
+		// Inversion round-trips: f = Invert(M(f, λ), λ) for interior
+		// targets, and a target at or above the peak yields 0. For
+		// r = λ/f ≳ 37 the fixed-order marginal rounds to exactly the
+		// peak in float64 — M is no longer injective there, the
+		// round-trip is unsatisfiable, and inverting the peak to 0 is
+		// the documented contract — so saturated targets are skipped.
+		peak := pol.Marginal(0, lambda)
+		for _, f := range freqs {
+			target := pol.Marginal(f, lambda)
+			if target >= peak {
+				continue
+			}
+			if got := pol.InvertMarginal(target, lambda); math.Abs(got-f) > 1e-6*f {
+				tb.Errorf("%s λ=%v: InvertMarginal(M(%v)) = %v", pol.Name(), lambda, f, got)
+			}
+			if warm == nil {
+				continue
+			}
+			for _, hint := range []float64{0, lambda / f, 1e-12, 1e12} {
+				got, _ := warm.InvertMarginalWarm(target, lambda, hint)
+				if math.Abs(got-f) > 1e-6*f {
+					tb.Errorf("%s λ=%v hint=%v: warm inversion of M(%v) = %v", pol.Name(), lambda, hint, f, got)
+				}
+			}
+		}
+		if got := pol.InvertMarginal(pol.Marginal(0, lambda)*1.01, lambda); got != 0 {
+			tb.Errorf("%s λ=%v: target above the peak must invert to 0, got %v", pol.Name(), lambda, got)
+		}
+	}
+}

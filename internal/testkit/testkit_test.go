@@ -1,0 +1,323 @@
+package testkit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+)
+
+// solveWaterFill adapts the production solver to the harness's
+// SolveFunc shape.
+func solveWaterFill(elems []freshness.Element, bandwidth float64, pol freshness.Policy) ([]float64, error) {
+	sol, err := solver.WaterFill(solver.Problem{Elements: elems, Bandwidth: bandwidth, Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	return sol.Freqs, nil
+}
+
+func table1Elements() []freshness.Element {
+	elems := make([]freshness.Element, 5)
+	for i := range elems {
+		elems[i] = freshness.Element{ID: i, Lambda: float64(i + 1), AccessProb: 0.2, Size: 1}
+	}
+	return elems
+}
+
+func TestCertifyAcceptsOptimum(t *testing.T) {
+	elems := table1Elements()
+	freqs, err := solveWaterFill(elems, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify(nil, elems, freqs, 5, 1e-6)
+	if err != nil {
+		t.Fatalf("true optimum rejected: %v", err)
+	}
+	if cert.Funded != 4 || cert.Starved != 1 {
+		t.Errorf("funded/starved = %d/%d, want 4/1 (Table 1 row b)", cert.Funded, cert.Starved)
+	}
+	if cert.Mu <= 0 {
+		t.Errorf("recovered multiplier %v not positive", cert.Mu)
+	}
+	if math.Abs(cert.BandwidthUsed-5) > 1e-6 {
+		t.Errorf("bandwidth used %v, want 5", cert.BandwidthUsed)
+	}
+}
+
+func TestCertifyRejectsPerturbations(t *testing.T) {
+	elems := table1Elements()
+	freqs, err := solveWaterFill(elems, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := func(mutate func([]float64)) []float64 {
+		out := append([]float64(nil), freqs...)
+		mutate(out)
+		return out
+	}
+	cases := []struct {
+		name string
+		f    []float64
+		want string
+	}{
+		{
+			name: "bandwidth shifted between funded elements",
+			f:    perturb(func(f []float64) { f[0] += 0.3; f[1] -= 0.3 }),
+			want: "not equalized",
+		},
+		{
+			name: "budget exceeded",
+			f:    perturb(func(f []float64) { f[0] += 1 }),
+			want: "exceeds budget",
+		},
+		{
+			name: "budget left slack",
+			f:    perturb(func(f []float64) { f[0] -= 1 }),
+			want: "slack",
+		},
+		{
+			name: "starved element funded instead",
+			f:    perturb(func(f []float64) { f[4], f[3] = f[3], 0 }),
+			want: "not equalized",
+		},
+		{
+			name: "negative frequency",
+			f:    perturb(func(f []float64) { f[0] = -1 }),
+			want: "invalid frequency",
+		},
+		{
+			name: "nothing funded",
+			f:    make([]float64, 5),
+			want: "unspent",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Certify(nil, elems, tc.f, 5, 1e-6)
+			if err == nil {
+				t.Fatalf("perturbed allocation certified: %v", tc.f)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCertifyRejectsStarvedHighValueElement(t *testing.T) {
+	// An allocation that is exactly optimal for a sub-mirror — funded
+	// marginals perfectly equalized, budget exhausted — but starves an
+	// element whose first sliver of bandwidth is worth more than the
+	// multiplier. Only the cutoff condition can catch this one.
+	sub := []freshness.Element{
+		{ID: 0, Lambda: 2, AccessProb: 0.45, Size: 1},
+		{ID: 1, Lambda: 2, AccessProb: 0.45, Size: 1},
+	}
+	freqs, err := solveWaterFill(sub, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(sub, freshness.Element{ID: 2, Lambda: 1, AccessProb: 0.1, Size: 1})
+	_, err = Certify(nil, full, append(freqs, 0), 10, 1e-6)
+	if err == nil {
+		t.Fatal("allocation starving a high-value element certified")
+	}
+	if !strings.Contains(err.Error(), "peak marginal value") {
+		t.Errorf("error %q does not mention the cutoff condition", err)
+	}
+}
+
+func TestCertifyValuelessElementFunded(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 0, AccessProb: 0.5, Size: 1},
+		{ID: 1, Lambda: 2, AccessProb: 0.5, Size: 1},
+	}
+	if _, err := Certify(nil, elems, []float64{1, 1}, 2, 1e-6); err == nil {
+		t.Error("funding a never-changing element must fail certification")
+	}
+}
+
+func TestCertifyZeroBudgetAndValuelessMirror(t *testing.T) {
+	elems := []freshness.Element{
+		{ID: 0, Lambda: 0, AccessProb: 0.5, Size: 1},
+		{ID: 1, Lambda: 2, AccessProb: 0, Size: 1},
+	}
+	cert, err := Certify(nil, elems, []float64{0, 0}, 10, 1e-6)
+	if err != nil {
+		t.Fatalf("all-valueless mirror rejected: %v", err)
+	}
+	if cert.Funded != 0 || cert.Mu != 0 {
+		t.Errorf("unexpected certificate for valueless mirror: %+v", cert)
+	}
+	active := table1Elements()
+	if _, err := Certify(nil, active, make([]float64, 5), 0, 1e-6); err != nil {
+		t.Fatalf("zero-budget schedule rejected: %v", err)
+	}
+}
+
+func TestCertifyArgumentValidation(t *testing.T) {
+	elems := table1Elements()
+	if _, err := Certify(nil, elems, []float64{1}, 5, 1e-6); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Certify(nil, elems, make([]float64, 5), math.Inf(1), 1e-6); err == nil {
+		t.Error("infinite bandwidth accepted")
+	}
+	if _, err := Certify(nil, elems, make([]float64, 5), 5, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := Certify(nil, nil, nil, 5, 1e-6); err == nil {
+		t.Error("empty mirror accepted")
+	}
+}
+
+func TestCertifyVariableSizesAndPoisson(t *testing.T) {
+	elems := RandomElements(11, 40, true)
+	for _, pol := range []freshness.Policy{nil, freshness.PoissonOrder{}} {
+		freqs, err := solveWaterFill(elems, 30, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Certify(pol, elems, freqs, 30, 1e-5); err != nil {
+			t.Errorf("policy %v: optimum rejected: %v", pol, err)
+		}
+	}
+}
+
+func TestPropertySuiteAgainstSolver(t *testing.T) {
+	elems := RandomElements(3, 60, true)
+	AssertMonotoneInBandwidth(t, solveWaterFill, nil, elems, []float64{1, 5, 20, 60, 200})
+	AssertConcaveInBandwidth(t, solveWaterFill, nil, elems, 5, 105, 10)
+	AssertScaleInvariance(t, solveWaterFill, nil, elems, 40, 7.5)
+	AssertScaleInvariance(t, solveWaterFill, freshness.PoissonOrder{}, elems, 40, 0.25)
+}
+
+func TestFoldFloatDomain(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, 1e-300, 1e300, math.Inf(1), math.Inf(-1), math.NaN(), 5e-324, -3.7e19}
+	for _, x := range cases {
+		got := FoldFloat(x, 1e-9, 1e9)
+		if !(got >= 1e-9 && got <= 1e9) {
+			t.Errorf("FoldFloat(%v) = %v outside [1e-9, 1e9]", x, got)
+		}
+	}
+	// In-range values pass through untouched.
+	if got := FoldFloat(-42.5, 1e-9, 1e9); got != 42.5 {
+		t.Errorf("FoldFloat(-42.5) = %v, want 42.5 (magnitude preserved)", got)
+	}
+}
+
+func TestFuzzElementsAlwaysValid(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{0},
+		{0, 0, 0, 0, 0, 0},
+		{255, 255, 255, 255, 255, 255},
+		[]byte(strings.Repeat("\x00\xff", 300)),
+	}
+	for _, in := range inputs {
+		elems := FuzzElements(in)
+		if err := freshness.ValidateElements(elems); err != nil {
+			t.Errorf("FuzzElements(%v) invalid: %v", in, err)
+		}
+		if len(elems) > 64 {
+			t.Errorf("FuzzElements returned %d elements", len(elems))
+		}
+	}
+}
+
+func TestRandomElementsReproducible(t *testing.T) {
+	a := RandomElements(7, 50, true)
+	b := RandomElements(7, 50, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d differs across identical seeds", i)
+		}
+	}
+	if err := freshness.ValidateElements(a); err != nil {
+		t.Fatal(err)
+	}
+	var mass float64
+	for _, e := range a {
+		mass += e.AccessProb
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Errorf("access mass %v, want 1", mass)
+	}
+}
+
+func TestCrossValidateSmoke(t *testing.T) {
+	elems := RandomElements(5, 12, false)
+	freqs, err := solveWaterFill(elems, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CrossValidate(t, elems, freqs, CrossValOptions{Seed: 1})
+}
+
+// failRecorder captures harness failures so the negative paths of the
+// assertion helpers can themselves be tested.
+type failRecorder struct {
+	fatals, errors int
+	last           string
+}
+
+func (r *failRecorder) Helper() {}
+func (r *failRecorder) Fatalf(format string, args ...any) {
+	r.fatals++
+	r.last = format
+	panic(crossValAbort{})
+}
+func (r *failRecorder) Errorf(format string, args ...any) { r.errors++; r.last = format }
+func (r *failRecorder) Logf(string, ...any)               {}
+
+type crossValAbort struct{}
+
+// run invokes fn, swallowing the panic Fatalf uses to stop execution.
+func (r *failRecorder) run(fn func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(crossValAbort); !ok {
+				panic(v)
+			}
+		}
+	}()
+	fn()
+}
+
+func TestCrossValidateDetectsWrongClosedForm(t *testing.T) {
+	// The validator must discriminate: a fixed-order simulation checked
+	// against the Poisson-order closed form (materially different at
+	// moderate f/λ) has to fail. This is exactly the mismatch the
+	// validator exists to catch — an analytic model that does not
+	// describe the simulated dynamics.
+	elems := RandomElements(9, 10, false)
+	freqs, err := solveWaterFill(elems, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &failRecorder{}
+	rec.run(func() {
+		CrossValidate(rec, elems, freqs, CrossValOptions{
+			Seed:           2,
+			analyticPolicy: freshness.PoissonOrder{},
+		})
+	})
+	if rec.errors == 0 && rec.fatals == 0 {
+		t.Error("validator accepted a closed form that does not describe the simulated discipline")
+	}
+}
+
+func TestMustCertifyFailsOnViolation(t *testing.T) {
+	elems := table1Elements()
+	rec := &failRecorder{}
+	rec.run(func() {
+		MustCertify(rec, nil, elems, []float64{5, 0, 0, 0, 0}, 5, 1e-6)
+	})
+	if rec.fatals == 0 {
+		t.Error("MustCertify did not fail on a non-optimal allocation")
+	}
+}
