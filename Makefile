@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover fuzz-smoke ci bench-solver bench clean
+.PHONY: all build vet test test-short race cover fuzz-smoke restart-chaos ci bench-solver bench clean
 
 all: ci
 
@@ -25,12 +25,21 @@ cover:
 
 # 30s per fuzz target: replays the checked-in corpus (regressions fail
 # immediately) plus a short exploration burst. One -fuzz pattern per
-# go test invocation, hence four runs.
+# go test invocation, hence one run per target.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzWaterFill$$' -fuzztime 30s ./internal/solver/
 	$(GO) test -run '^$$' -fuzz '^FuzzBandwidthForTarget$$' -fuzztime 30s ./internal/solver/
 	$(GO) test -run '^$$' -fuzz '^FuzzEstimator$$' -fuzztime 30s ./internal/estimate/
 	$(GO) test -run '^$$' -fuzz '^FuzzHTTPHandler$$' -fuzztime 30s ./internal/httpmirror/
+	$(GO) test -run '^$$' -fuzz '^FuzzRecoverSnapshot$$' -fuzztime 30s ./internal/persist/
+	$(GO) test -run '^$$' -fuzz '^FuzzReplayJournal$$' -fuzztime 30s ./internal/persist/
+
+# The crash-recovery suite under the race detector: kill-and-restart
+# chaos, shutdown persistence ordering, and the persistence layer.
+restart-chaos:
+	$(GO) test -race -count=1 -run 'TestKillRestartRecovery|TestMirrorSnapshotAndRecover|TestRecovery' ./internal/httpmirror/
+	$(GO) test -race -count=1 -run 'TestDaemonShutdownPersistsState' ./cmd/freshend/
+	$(GO) test -race -count=1 ./internal/persist/
 
 # The solver's worker pool and the clustering code are the two places
 # goroutines share buffers; run them under the race detector.

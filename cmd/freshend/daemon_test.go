@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"freshen/internal/httpmirror"
+	"freshen/internal/persist"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -30,6 +31,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	}
 	if cfg.upRetries != 3 || cfg.breakerAfter != 5 || cfg.quarantineAfter != 3 {
 		t.Errorf("fault-policy defaults not applied: %+v", cfg)
+	}
+	if cfg.stateDir != "" || cfg.snapshotEvery != 5 {
+		t.Errorf("persistence defaults not applied: %+v", cfg)
 	}
 }
 
@@ -50,6 +54,8 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-breaker-cooldown", "4",
 		"-quarantine-after", "-1",
 		"-probe-every", "2",
+		"-state-dir", "/tmp/state",
+		"-snapshot-every", "7",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +68,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		upTimeout: time.Second, upRetries: 1,
 		breakerAfter: -1, breakerCooldown: 4,
 		quarantineAfter: -1, probeEvery: 2,
+		stateDir: "/tmp/state", snapshotEvery: 7,
 	}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)
@@ -130,6 +137,7 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 		want         int
 	}{
 		{http.MethodGet, "/healthz", http.StatusOK},
+		{http.MethodGet, "/readyz", http.StatusOK},
 		{http.MethodGet, "/status", http.StatusOK},
 		{http.MethodGet, "/object/0", http.StatusOK},
 		{http.MethodGet, "/object/3", http.StatusOK},
@@ -190,6 +198,134 @@ func TestDaemonClusteredStrategy(t *testing.T) {
 	}
 	if err := shutdown(); err != nil {
 		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestDaemonShutdownPersistsState drives a persistent daemon over a
+// live listener and pins the graceful-shutdown ordering: the refresh
+// loop drains, then the final snapshot is flushed (so it covers at
+// least everything /status reported while serving), then the listener
+// closes. The snapshot cadence is set far out so the only snapshot is
+// the shutdown flush itself.
+func TestDaemonShutdownPersistsState(t *testing.T) {
+	src, err := httpmirror.NewSimulatedSource([]float64{2, 1, 0.5, 0}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := httptest.NewServer(src.Handler())
+	t.Cleanup(upstream.Close)
+
+	cfg := testConfig(upstream.URL, "exact", 4, 5, 50*time.Millisecond)
+	cfg.addr = "127.0.0.1:0"
+	cfg.stateDir = t.TempDir()
+	cfg.snapshotEvery = 1e6
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, cfg, ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon died before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr.String()
+
+	// A cold persistent daemon is not ready until durable state
+	// exists; with the cadence pushed out, that is only at shutdown.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("cold /readyz = %d, want 503", resp.StatusCode)
+	}
+
+	// Generate state to persist: accesses, and enough wall-clock for
+	// the refresh loop to run some periods.
+	status := func() (now float64, fetches, accesses int) {
+		t.Helper()
+		resp, err := http.Get(base + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var s struct {
+			Now      float64 `json:"now_periods"`
+			Fetches  int     `json:"fetches"`
+			Accesses int     `json:"accesses"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Now, s.Fetches, s.Accesses
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(base + "/object/0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Wait until the refresh loop has driven at least one full period
+	// (fetches at boot come from seeding, not the loop).
+	deadline := time.Now().Add(10 * time.Second)
+	var preNow float64
+	var preFetches, preAccesses int
+	for {
+		preNow, preFetches, preAccesses = status()
+		if preNow >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresh loop never advanced a period")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// The listener is really closed, not just draining.
+	if conn, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		conn.Close()
+		t.Error("listener still accepting connections after shutdown")
+	}
+
+	// The final snapshot landed, is loadable, and covers everything
+	// /status reported while the daemon was serving.
+	store, err := persist.Open(cfg.stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rec := store.Recovery()
+	if rec.Snapshot == nil {
+		t.Fatalf("no snapshot after graceful shutdown (snapshot err: %v)", rec.SnapshotErr)
+	}
+	if rec.Snapshot.Now <= 0 {
+		t.Errorf("snapshot clock = %v, want > 0", rec.Snapshot.Now)
+	}
+	if got := rec.Snapshot.Counters.Fetches; got < preFetches {
+		t.Errorf("snapshot fetches = %d < observed %d: flush did not wait for the refresh loop", got, preFetches)
+	}
+	if got := rec.Snapshot.Counters.Accesses; got < preAccesses {
+		t.Errorf("snapshot accesses = %d < observed %d", got, preAccesses)
+	}
+	if len(rec.Records) != 0 {
+		t.Errorf("%d journal records survived the final snapshot; shutdown flush should have reset the journal", len(rec.Records))
 	}
 }
 

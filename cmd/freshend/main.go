@@ -11,14 +11,24 @@
 // serving its local copies), and objects whose refreshes keep failing
 // are quarantined out of the plan until a recovery probe succeeds.
 //
+// With -state-dir set the daemon is also crash safe: it snapshots its
+// learned state (estimator histories, access profile, schedule,
+// breaker/quarantine state) atomically every -snapshot-every periods,
+// journals each refresh outcome in between, flushes a final snapshot
+// on graceful shutdown, and on boot recovers from the state directory
+// — replaying the journal and warm-starting the schedule from the
+// persisted plan.
+//
 // Usage:
 //
 //	freshend -addr :8081 -upstream http://localhost:8080 \
-//	         -bandwidth 250 -period 10s -strategy clustered -partitions 50
+//	         -bandwidth 250 -period 10s -strategy clustered -partitions 50 \
+//	         -state-dir /var/lib/freshend
 //
 // Endpoints: GET /object/{id} (serve a copy), GET /status (JSON
-// metrics), GET /healthz (breaker + quarantine state), POST /replan
-// (learn + re-plan now).
+// metrics), GET /healthz (liveness), GET /readyz (readiness: 503
+// until learned state is recovered or durable), POST /replan (learn +
+// re-plan now).
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"freshen/internal/core"
 	"freshen/internal/httpmirror"
 	"freshen/internal/partition"
+	"freshen/internal/persist"
 )
 
 func main() {
@@ -71,6 +82,8 @@ func parseFlags(args []string) (config, error) {
 	breakerCooldown := fs.Float64("breaker-cooldown", 2, "breaker cooldown in periods")
 	quarantineAfter := fs.Int("quarantine-after", 3, "per-object consecutive failures before quarantine (negative disables)")
 	probeEvery := fs.Float64("probe-every", 1, "quarantine recovery-probe cadence in periods")
+	stateDir := fs.String("state-dir", "", "directory for crash-safe state (snapshots + journal); empty disables persistence")
+	snapshotEvery := fs.Float64("snapshot-every", 5, "snapshot cadence in periods")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -90,6 +103,8 @@ func parseFlags(args []string) (config, error) {
 		breakerCooldown: *breakerCooldown,
 		quarantineAfter: *quarantineAfter,
 		probeEvery:      *probeEvery,
+		stateDir:        *stateDir,
+		snapshotEvery:   *snapshotEvery,
 	}, nil
 }
 
@@ -107,6 +122,8 @@ type config struct {
 	breakerCooldown        float64
 	quarantineAfter        int
 	probeEvery             float64
+	stateDir               string
+	snapshotEvery          float64
 }
 
 // run builds the mirror and serves it until ctx is cancelled (SIGINT/
@@ -120,6 +137,9 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	}
 	if cfg.bandwidth <= 0 || cfg.period <= 0 || cfg.replanEvery <= 0 {
 		return fmt.Errorf("bandwidth, period and replan-every must be positive")
+	}
+	if cfg.stateDir != "" && cfg.snapshotEvery <= 0 {
+		return fmt.Errorf("snapshot-every must be positive, got %v", cfg.snapshotEvery)
 	}
 	planCfg := core.Config{
 		Bandwidth:        cfg.bandwidth,
@@ -139,6 +159,23 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		return fmt.Errorf("unknown strategy %q", cfg.strategy)
 	}
 
+	var store *persist.Store
+	if cfg.stateDir != "" {
+		var err error
+		store, err = persist.Open(cfg.stateDir)
+		if err != nil {
+			return fmt.Errorf("opening state dir: %w", err)
+		}
+		defer store.Close()
+		rec := store.Recovery()
+		if rec.JournalTruncated {
+			log.Print("freshend: journal had a torn or corrupt tail; truncated to the last good record")
+		}
+		if rec.SnapshotErr != nil {
+			log.Printf("freshend: snapshot discarded: %v", rec.SnapshotErr)
+		}
+	}
+
 	client := httpmirror.NewSourceClient(cfg.upstream, nil)
 	client.SetRetryPolicy(httpmirror.RetryPolicy{
 		MaxAttempts: cfg.upRetries,
@@ -154,13 +191,20 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 			QuarantineAfter:  cfg.quarantineAfter,
 			ProbeEvery:       cfg.probeEvery,
 		},
-		Seed: cfg.seed,
+		Seed:          cfg.seed,
+		Persist:       store,
+		SnapshotEvery: cfg.snapshotEvery,
 	})
 	if err != nil {
 		return err
 	}
 	log.Printf("freshend: mirroring %s (%d objects), bandwidth %.0f/period, period %v, strategy %s",
 		cfg.upstream, m.Status().Objects, cfg.bandwidth, cfg.period, cfg.strategy)
+	if store != nil {
+		rd := m.Readiness()
+		log.Printf("freshend: state dir %s: %s (%d journal records replayed)",
+			cfg.stateDir, rd.RecoveryStatus, rd.JournalReplayed)
+	}
 
 	// The refresh loop: upstream trouble is absorbed by retries, the
 	// breaker, and quarantine; only internal errors surface, and even
@@ -202,9 +246,14 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		return err
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: the refresh loop first, then the listener.
+	// Graceful shutdown: the refresh loop stops first (any in-flight
+	// refresh batch completes), then the final snapshot is flushed,
+	// then the listener closes.
 	log.Print("freshend: shutting down")
 	<-loopDone
+	if err := m.FlushSnapshot(); err != nil {
+		log.Printf("freshend: final snapshot failed: %v", err)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

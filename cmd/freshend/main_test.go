@@ -43,6 +43,14 @@ func TestRunValidation(t *testing.T) {
 			}
 		})
 	}
+	t.Run("zero snapshot-every with state dir", func(t *testing.T) {
+		cfg := testConfig("http://localhost:1", "exact", 10, 5, time.Second)
+		cfg.stateDir = t.TempDir()
+		cfg.snapshotEvery = 0
+		if err := run(context.Background(), cfg, nil); err == nil {
+			t.Fatal("invalid configuration accepted")
+		}
+	})
 }
 
 func TestRunUnreachableUpstream(t *testing.T) {

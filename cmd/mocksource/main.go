@@ -22,8 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"freshen/internal/httpmirror"
@@ -40,50 +42,113 @@ type faultFlags struct {
 	outageFor   time.Duration
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	n := flag.Int("n", 500, "number of objects")
-	mean := flag.Float64("mean", 2, "mean object change rate per period")
-	stddev := flag.Float64("stddev", 1, "stddev of the gamma change-rate distribution")
-	pareto := flag.Bool("pareto-sizes", false, "draw object sizes from Pareto(1.1, mean 1)")
-	period := flag.Duration("period", 10*time.Second, "wall-clock length of one period")
-	seed := flag.Int64("seed", 1, "generation seed")
-	faultRate := flag.Float64("fault-rate", 0, "probability a request fails with 500")
-	faultLatency := flag.Duration("fault-latency", 0, "latency added to every response")
-	stallProb := flag.Float64("stall-prob", 0, "probability a request stalls")
-	stallFor := flag.Duration("stall-for", 30*time.Second, "how long a stalled request hangs")
-	outageAfter := flag.Duration("outage-after", 0, "delay before a full-outage window opens")
-	outageFor := flag.Duration("outage-for", 0, "length of the outage window (0 disables)")
-	flag.Parse()
+type config struct {
+	addr         string
+	n            int
+	mean, stddev float64
+	pareto       bool
+	period       time.Duration
+	seed         int64
+	faults       faultFlags
+}
 
-	faults := faultFlags{
-		rate:        *faultRate,
-		latency:     *faultLatency,
-		stallProb:   *stallProb,
-		stallFor:    *stallFor,
-		outageAfter: *outageAfter,
-		outageFor:   *outageFor,
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2) // parseFlags already printed the diagnostic and usage
 	}
-	if err := run(*addr, *n, *mean, *stddev, *pareto, *period, *seed, faults); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, n int, mean, stddev float64, pareto bool, period time.Duration, seed int64, faults faultFlags) error {
-	if n <= 0 || mean <= 0 || stddev <= 0 || period <= 0 {
+// parseFlags builds the source configuration from a command line and
+// validates it up front: a misconfigured fault schedule is a usage
+// error at startup, not a surprise mid-experiment.
+func parseFlags(args []string, out io.Writer) (config, error) {
+	fs := flag.NewFlagSet("mocksource", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	n := fs.Int("n", 500, "number of objects")
+	mean := fs.Float64("mean", 2, "mean object change rate per period")
+	stddev := fs.Float64("stddev", 1, "stddev of the gamma change-rate distribution")
+	pareto := fs.Bool("pareto-sizes", false, "draw object sizes from Pareto(1.1, mean 1)")
+	period := fs.Duration("period", 10*time.Second, "wall-clock length of one period")
+	seed := fs.Int64("seed", 1, "generation seed")
+	faultRate := fs.Float64("fault-rate", 0, "probability a request fails with 500")
+	faultLatency := fs.Duration("fault-latency", 0, "latency added to every response")
+	stallProb := fs.Float64("stall-prob", 0, "probability a request stalls")
+	stallFor := fs.Duration("stall-for", 30*time.Second, "how long a stalled request hangs")
+	outageAfter := fs.Duration("outage-after", 0, "delay before a full-outage window opens; requires -outage-for")
+	outageFor := fs.Duration("outage-for", 0, "length of the outage window; requires -outage-after")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		addr: *addr, n: *n, mean: *mean, stddev: *stddev,
+		pareto: *pareto, period: *period, seed: *seed,
+		faults: faultFlags{
+			rate:        *faultRate,
+			latency:     *faultLatency,
+			stallProb:   *stallProb,
+			stallFor:    *stallFor,
+			outageAfter: *outageAfter,
+			outageFor:   *outageFor,
+		},
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(fs.Output(), "mocksource: %v\n", err)
+		fs.Usage()
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects unusable generation parameters and fault schedules.
+func (cfg config) validate() error {
+	if cfg.n <= 0 || cfg.mean <= 0 || cfg.stddev <= 0 || cfg.period <= 0 {
 		return fmt.Errorf("n, mean, stddev and period must be positive")
 	}
-	if faults.rate < 0 || faults.rate > 1 || faults.stallProb < 0 || faults.stallProb > 1 {
-		return fmt.Errorf("fault-rate and stall-prob must be in [0, 1]")
+	f := cfg.faults
+	if f.rate < 0 || f.rate > 1 {
+		return fmt.Errorf("fault-rate must be in [0, 1], got %v", f.rate)
 	}
-	handler, err := buildHandler(n, mean, stddev, pareto, period, seed, faults)
+	if f.stallProb < 0 || f.stallProb > 1 {
+		return fmt.Errorf("stall-prob must be in [0, 1], got %v", f.stallProb)
+	}
+	if f.latency < 0 {
+		return fmt.Errorf("fault-latency must not be negative, got %v", f.latency)
+	}
+	if f.stallFor < 0 {
+		return fmt.Errorf("stall-for must not be negative, got %v", f.stallFor)
+	}
+	if f.outageAfter < 0 || f.outageFor < 0 {
+		return fmt.Errorf("outage-after and outage-for must not be negative, got %v and %v", f.outageAfter, f.outageFor)
+	}
+	// The outage window is one knob in two halves: a window with no
+	// start (or a start with no window) is a misremembered command
+	// line, so fail loudly instead of silently never injecting.
+	if f.outageFor > 0 && f.outageAfter == 0 {
+		return fmt.Errorf("-outage-for requires -outage-after")
+	}
+	if f.outageAfter > 0 && f.outageFor == 0 {
+		return fmt.Errorf("-outage-after requires -outage-for")
+	}
+	return nil
+}
+
+func run(cfg config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	handler, err := buildHandler(cfg.n, cfg.mean, cfg.stddev, cfg.pareto, cfg.period, cfg.seed, cfg.faults)
 	if err != nil {
 		return err
 	}
 	log.Printf("mocksource: %d objects, mean rate %.2f/period, period %v, listening on %s",
-		n, mean, period, addr)
+		cfg.n, cfg.mean, cfg.period, cfg.addr)
 	srv := &http.Server{
-		Addr:        addr,
+		Addr:        cfg.addr,
 		Handler:     handler,
 		ReadTimeout: 10 * time.Second,
 		// No WriteTimeout: stall injection must be able to outlive it.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -24,10 +25,47 @@ func TestRunValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := run(":0", tc.n, tc.mean, tc.stddev, false, tc.period, 1, tc.faults); err == nil {
+			cfg := config{addr: ":0", n: tc.n, mean: tc.mean, stddev: tc.stddev, period: tc.period, seed: 1, faults: tc.faults}
+			if err := run(cfg); err == nil {
 				t.Fatal("invalid configuration accepted")
 			}
 		})
+	}
+}
+
+// TestParseFlagsValidatesFaults pins the startup contract for the
+// fault knobs: an unusable injection schedule is a usage error before
+// the server binds, never a silently-ignored flag.
+func TestParseFlagsValidatesFaults(t *testing.T) {
+	bad := [][]string{
+		{"-fault-rate", "-0.1"},
+		{"-fault-rate", "1.5"},
+		{"-stall-prob", "-0.5"},
+		{"-stall-prob", "2"},
+		{"-fault-latency", "-1s"},
+		{"-stall-for", "-5s"},
+		{"-outage-after", "-1m"},
+		{"-outage-for", "-30s"},
+		{"-outage-for", "30s"},  // window with no start
+		{"-outage-after", "1m"}, // start with no window
+		{"-n", "0"},
+		{"-no-such-flag"},
+	}
+	for _, args := range bad {
+		cfg, err := parseFlags(args, io.Discard)
+		if err == nil {
+			t.Errorf("parseFlags(%v) accepted: %+v", args, cfg)
+		}
+	}
+	good := [][]string{
+		{},
+		{"-fault-rate", "0.2", "-stall-prob", "0.1"},
+		{"-outage-after", "1m", "-outage-for", "30s"},
+	}
+	for _, args := range good {
+		if _, err := parseFlags(args, io.Discard); err != nil {
+			t.Errorf("parseFlags(%v) rejected: %v", args, err)
+		}
 	}
 }
 

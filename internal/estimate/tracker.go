@@ -35,6 +35,36 @@ func (t *Tracker) Record(element int, elapsed float64, changed bool) error {
 	return nil
 }
 
+// Export returns a deep copy of every element's poll history — the
+// durable form of the tracker's accumulated knowledge, suitable for
+// snapshotting and for rebuilding via NewTrackerFromHistories.
+func (t *Tracker) Export() [][]Poll {
+	out := make([][]Poll, len(t.histories))
+	for i, h := range t.histories {
+		if len(h) > 0 {
+			out[i] = append([]Poll(nil), h...)
+		}
+	}
+	return out
+}
+
+// NewTrackerFromHistories rebuilds a tracker from exported histories,
+// validating every poll; it is the recovery counterpart of Export.
+func NewTrackerFromHistories(histories [][]Poll) (*Tracker, error) {
+	t, err := NewTracker(len(histories))
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range histories {
+		for _, p := range h {
+			if err := t.Record(i, p.Elapsed, p.Changed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
 // Polls returns how many polls an element has accumulated.
 func (t *Tracker) Polls(element int) int {
 	if element < 0 || element >= len(t.histories) {

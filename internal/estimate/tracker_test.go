@@ -1,0 +1,102 @@
+package estimate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"freshen/internal/stats"
+)
+
+// TestTrackerExportImportRoundTrip checks that a tracker rebuilt from
+// an export produces byte-identical estimates: recovery must restore
+// the estimator exactly, not approximately.
+func TestTrackerExportImportRoundTrip(t *testing.T) {
+	r := stats.NewRNG(3)
+	tr, err := NewTracker(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for elem, lambda := range []float64{2, 0.5, 0.1, 1} {
+		for _, p := range SimulatePolling(r, lambda, 0.5, 40) {
+			if err := tr.Record(elem, p.Elapsed, p.Changed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Element 3 gets an extra irregular poll so histories differ.
+	if err := tr.Record(3, 2.5, true); err != nil {
+		t.Fatal(err)
+	}
+
+	exported := tr.Export()
+	rebuilt, err := NewTrackerFromHistories(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Estimates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rebuilt.Estimates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rebuilt estimates %v != original %v", got, want)
+	}
+	for i := range exported {
+		if rebuilt.Polls(i) != tr.Polls(i) {
+			t.Errorf("element %d: rebuilt %d polls, original %d", i, rebuilt.Polls(i), tr.Polls(i))
+		}
+	}
+}
+
+// TestTrackerExportIsDeepCopy mutates the export and checks the
+// tracker is unaffected (and vice versa).
+func TestTrackerExportIsDeepCopy(t *testing.T) {
+	tr, err := NewTracker(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Record(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	exp := tr.Export()
+	exp[0][0].Elapsed = 99
+	again := tr.Export()
+	if again[0][0].Elapsed != 1 {
+		t.Error("export aliases tracker history")
+	}
+}
+
+func TestNewTrackerFromHistoriesValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		h    [][]Poll
+	}{
+		{"empty", nil},
+		{"zero elapsed", [][]Poll{{{Elapsed: 0, Changed: true}}}},
+		{"negative elapsed", [][]Poll{{{Elapsed: -1}}}},
+		{"NaN elapsed", [][]Poll{{{Elapsed: math.NaN()}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewTrackerFromHistories(tc.h); err == nil {
+				t.Error("invalid histories accepted")
+			}
+		})
+	}
+	// Elements with no history are fine — they fall back to the prior.
+	tr, err := NewTrackerFromHistories([][]Poll{nil, {{Elapsed: 1, Changed: false}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := tr.Estimates(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[0] != 7 {
+		t.Errorf("history-less element estimate = %v, want the prior 7", ests[0])
+	}
+}

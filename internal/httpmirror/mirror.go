@@ -14,6 +14,7 @@ import (
 	"freshen/internal/core"
 	"freshen/internal/estimate"
 	"freshen/internal/freshness"
+	"freshen/internal/persist"
 	"freshen/internal/schedule"
 )
 
@@ -38,6 +39,14 @@ type Config struct {
 	// Fault tunes the circuit breaker and quarantine (zero value:
 	// sensible defaults; see FaultPolicy).
 	Fault FaultPolicy
+	// Persist enables crash-safe state persistence when non-nil: the
+	// mirror recovers its learned state from the store on boot,
+	// journals every refresh outcome, and snapshots on the period
+	// clock. The mirror owns neither opening nor closing the store.
+	Persist *persist.Store
+	// SnapshotEvery is the snapshot cadence in periods; 0 means 5.
+	// Only meaningful with Persist.
+	SnapshotEvery float64
 	// Seed drives refresh phases.
 	Seed int64
 }
@@ -51,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProfileSmoothing == 0 {
 		c.ProfileSmoothing = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 5
 	}
 	c.Fault = c.Fault.withDefaults()
 	return c
@@ -99,17 +111,40 @@ type Mirror struct {
 	skippedRefreshes int
 	quarantineEvents int
 	recoveries       int
+
+	// Crash-safe persistence (nil store disables it; see Config.Persist).
+	store          *persist.Store
+	lastSnapshot   float64 // period clock at the last snapshot attempt
+	lastSnapshotAt float64 // period clock of the last durable snapshot; -1 none
+	snapshots      int     // snapshots written this process
+	persistErrors  int     // journal/snapshot write failures (state kept in memory)
+	replayed       int     // journal records replayed at boot
+	recovered      bool    // some durable state survived into this process
+	recoveryStatus string  // human-readable recovery outcome for /readyz
+	ready          bool    // serves 200 on /readyz
 }
 
 // New creates a mirror: it pulls the upstream catalog, seeds every
 // local copy with an initial fetch, and computes the first plan under
 // a uniform profile and the prior change rate. ctx bounds the seeding
 // round-trips.
+//
+// With Config.Persist set, New first recovers: the snapshot restores
+// the estimator histories, learned rates and profile, quarantine and
+// breaker state, and the period clock; journal records written after
+// that snapshot replay through the live commit path; and the schedule
+// warm-starts from the restored frequency vector instead of a cold
+// solve. Object bodies are never persisted — seeding re-fetches them —
+// and the downtime gap is excluded from estimation (the boot fetch is
+// not a poll: the mirror's clock did not run while it was down).
 func New(ctx context.Context, cfg Config) (*Mirror, error) {
 	if cfg.Upstream == nil {
 		return nil, fmt.Errorf("httpmirror: Upstream is required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("httpmirror: SnapshotEvery must be positive, got %v", cfg.SnapshotEvery)
+	}
 	catalog, err := cfg.Upstream.Catalog(ctx)
 	if err != nil {
 		return nil, err
@@ -124,6 +159,9 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 			threshold: cfg.Fault.BreakerThreshold,
 			cooldown:  cfg.Fault.BreakerCooldown,
 		},
+		store:          cfg.Persist,
+		lastSnapshotAt: -1,
+		recoveryStatus: "disabled",
 	}
 	m.tracker, err = estimate.NewTracker(n)
 	if err != nil {
@@ -139,16 +177,41 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 			AccessProb: 1 / float64(n),
 			Size:       entry.Size,
 		}
-		body, ver, err := cfg.Upstream.Fetch(ctx, entry.ID)
+	}
+	var restoredPlan *persist.PlanState
+	if m.store != nil {
+		restoredPlan = m.applyRecovery(m.store.Recovery())
+	}
+	for i := range m.elems {
+		body, ver, err := cfg.Upstream.Fetch(ctx, i)
 		if err != nil {
-			return nil, fmt.Errorf("httpmirror: seeding copy %d: %w", entry.ID, err)
+			return nil, fmt.Errorf("httpmirror: seeding copy %d: %w", i, err)
 		}
-		m.copies[i] = copyState{body: body, version: ver, fetches: 1}
+		c := &m.copies[i]
+		c.body = body
+		c.version = ver
+		c.fetches++
 		m.fetches++
+		if m.recovered {
+			// The next poll's elapsed time starts at the restored
+			// clock: the downtime gap never reaches the estimator.
+			c.lastPoll = m.now
+		}
 	}
-	if err := m.replanLocked(); err != nil {
-		return nil, err
+	if m.recovered {
+		// Fold the replayed observations into the element knowledge so
+		// the first cadence replan starts from everything on disk.
+		m.learnLocked()
 	}
+	if restoredPlan == nil || m.restorePlanLocked(*restoredPlan) != nil {
+		if err := m.replanLocked(); err != nil {
+			return nil, err
+		}
+	}
+	m.lastSnapshot = m.now
+	// Readiness: immediately without persistence or after a recovery;
+	// a cold persistent mirror answers 503 until its first snapshot.
+	m.ready = m.store == nil || m.recovered
 	return m, nil
 }
 
@@ -262,6 +325,8 @@ func (m *Mirror) Step(now float64) (int, error) {
 		}
 		if err == nil {
 			refreshes++
+		} else {
+			m.journalFailure(ev.element, ev.at)
 		}
 	}
 
@@ -270,20 +335,34 @@ func (m *Mirror) Step(now float64) (int, error) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if now > m.now {
 		m.now = now
 	}
 	if healthChanged {
 		if err := m.replanLocked(); err != nil {
+			m.mu.Unlock()
 			return refreshes, err
 		}
 	}
 	if now-m.lastReplan >= m.cfg.ReplanEvery {
 		m.learnLocked()
 		if err := m.replanLocked(); err != nil {
+			m.mu.Unlock()
 			return refreshes, err
 		}
+	}
+	// Snapshot on the period clock. The state is captured under the
+	// lock but committed outside it: the fsyncs must not block Access.
+	var snap *persist.Snapshot
+	if m.store != nil && now-m.lastSnapshot >= m.cfg.SnapshotEvery {
+		snap = m.exportStateLocked()
+		m.lastSnapshot = now
+	}
+	m.mu.Unlock()
+	if snap != nil {
+		// A failing state disk is counted (surfaced via /readyz), not
+		// allowed to stop the refresh pipeline.
+		m.commitSnapshot(snap)
 	}
 	return refreshes, nil
 }
@@ -316,12 +395,15 @@ func (m *Mirror) refresh(id int, at float64) error {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	c := &m.copies[id]
-	if elapsed := at - c.lastPoll; elapsed > 0 {
+	elapsed := at - c.lastPoll
+	if elapsed > 0 {
 		if err := m.tracker.Record(id, elapsed, changed); err != nil {
+			m.mu.Unlock()
 			return err
 		}
+	} else {
+		elapsed = 0 // no observation: first poll of this copy
 	}
 	c.lastPoll = at
 	c.fetches++
@@ -331,6 +413,18 @@ func (m *Mirror) refresh(id int, at float64) error {
 		c.version = ver
 		c.fetchedAt = at
 		m.transfers++
+	}
+	journaled := m.store != nil
+	m.mu.Unlock()
+	if journaled {
+		m.appendJournal(persist.Record{
+			Kind:    persist.KindRefresh,
+			Element: id,
+			At:      at,
+			Elapsed: elapsed,
+			Changed: changed,
+			Version: ver,
+		})
 	}
 	return nil
 }
@@ -342,6 +436,12 @@ func (m *Mirror) refresh(id int, at float64) error {
 func (m *Mirror) noteOutcome(id int, at float64, err error) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.noteOutcomeLocked(id, at, err)
+}
+
+// noteOutcomeLocked is noteOutcome under an already-held m.mu; journal
+// replay uses it directly so recovery reproduces the live transitions.
+func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
 	m.brk.record(err == nil, at)
 	h := &m.health[id]
 	if err == nil {
@@ -393,6 +493,9 @@ func (m *Mirror) probeQuarantined(now float64) bool {
 		err := m.refresh(id, now)
 		if m.noteOutcome(id, now, err) {
 			changed = true
+		}
+		if err != nil {
+			m.journalFailure(id, now)
 		}
 	}
 	return changed
@@ -489,6 +592,10 @@ type Status struct {
 	Quarantined      int    `json:"quarantined"`
 	QuarantineEvents int    `json:"quarantine_events"`
 	Recoveries       int    `json:"recoveries"`
+
+	// Persistence counters (zero when persistence is disabled).
+	Snapshots     int `json:"snapshots"`
+	PersistErrors int `json:"persist_errors"`
 }
 
 // Status reports the mirror's current state.
@@ -520,10 +627,16 @@ func (m *Mirror) Status() Status {
 		Quarantined:      quarantined,
 		QuarantineEvents: m.quarantineEvents,
 		Recoveries:       m.recoveries,
+		Snapshots:        m.snapshots,
+		PersistErrors:    m.persistErrors,
 	}
 }
 
-// Health is the mirror's fault-tolerance snapshot, served by /healthz.
+// Health is the mirror's liveness report, served by /healthz. It is
+// deliberately always an HTTP 200 while the process lives — the mirror
+// serves stale copies through any upstream trouble — so orchestrators
+// never restart a mirror for an origin outage. Traffic-gating belongs
+// to /readyz (see Readiness).
 type Health struct {
 	// Serving is always true while the process lives: the mirror
 	// serves its local copies even through a full upstream outage.
@@ -575,7 +688,8 @@ func (m *Mirror) ForceReplan() error {
 }
 
 // Handler serves the mirror API: GET /object/{id}, GET /status,
-// GET /healthz, POST /replan.
+// GET /healthz (liveness), GET /readyz (readiness; 503 until the
+// first recovery or snapshot completes), POST /replan.
 func (m *Mirror) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
@@ -617,6 +731,20 @@ func (m *Mirror) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(m.Health()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rd := m.Readiness()
+		w.Header().Set("Content-Type", "application/json")
+		if !rd.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if err := json.NewEncoder(w).Encode(rd); err != nil && rd.Ready {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

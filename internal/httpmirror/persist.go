@@ -1,0 +1,308 @@
+package httpmirror
+
+import (
+	"fmt"
+
+	"freshen/internal/core"
+	"freshen/internal/persist"
+	"freshen/internal/schedule"
+)
+
+// applyRecovery folds the store's salvaged state into a freshly built
+// mirror: the snapshot restores the estimator histories, learned
+// rates and profile, breaker/quarantine state, clock, and counters;
+// the journal records observed after that snapshot replay through the
+// same commit path live refreshes use. It returns the restored plan
+// (to warm-start the schedule) or nil when none was usable. Called
+// from New, before seeding, with no concurrency yet.
+func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
+	n := len(m.elems)
+	m.recoveryStatus = "cold-start"
+	if rec.SnapshotErr != nil {
+		m.recoveryStatus = fmt.Sprintf("cold-start (snapshot discarded: %v)", rec.SnapshotErr)
+	}
+	var plan *persist.PlanState
+	if s := rec.Snapshot; s != nil {
+		if len(s.Elements) != n {
+			// The catalog changed shape under the state dir. Per-element
+			// state can't be mapped safely, so none of it is loaded —
+			// but loudly, via the readiness report, never silently.
+			m.recoveryStatus = fmt.Sprintf("cold-start (state discarded: snapshot has %d elements, catalog has %d)", len(s.Elements), n)
+			return nil
+		}
+		m.now = s.Now
+		m.lastSnapshotAt = s.Now
+		for i := range s.Elements {
+			e := &s.Elements[i]
+			m.elems[i].Lambda = e.Lambda
+			m.elems[i].AccessProb = e.AccessProb
+			c := &m.copies[i]
+			c.version = e.StoredVersion
+			c.fetchedAt = e.FetchedAt
+			c.lastPoll = e.LastPoll
+			c.fetches = e.Fetches
+			c.accesses = e.Accesses
+			h := &m.health[i]
+			h.consecFails = e.ConsecFails
+			h.quarantined = e.Quarantined
+			h.quarantinedAt = e.QuarantinedAt
+			h.lastProbe = e.LastProbe
+			for _, p := range e.History {
+				// Validated on load; Record only rejects what Validate
+				// already excluded.
+				m.tracker.Record(i, p.Elapsed, p.Changed)
+			}
+		}
+		m.brk.state = BreakerState(s.Breaker.State)
+		m.brk.fails = s.Breaker.Fails
+		m.brk.openedAt = s.Breaker.OpenedAt
+		m.brk.trips = s.Breaker.Trips
+		m.accesses = s.Counters.Accesses
+		m.fetches = s.Counters.Fetches
+		m.transfers = s.Counters.Transfers
+		m.replans = s.Counters.Replans
+		m.refreshFailures = s.Counters.RefreshFailures
+		m.skippedRefreshes = s.Counters.SkippedRefreshes
+		m.quarantineEvents = s.Counters.QuarantineEvents
+		m.recoveries = s.Counters.Recoveries
+		m.recoveryStatus = "recovered"
+		plan = &s.Plan
+	}
+	for _, r := range rec.Records {
+		if r.Element >= n {
+			// A record beyond the catalog means the journal belongs to
+			// a different world; stop replaying rather than guess.
+			m.recoveryStatus = fmt.Sprintf("%s (journal replay stopped: record targets element %d of %d)", m.recoveryStatus, r.Element, n)
+			break
+		}
+		m.replayJournalRecord(r)
+		m.replayed++
+	}
+	if rec.Snapshot == nil && m.replayed > 0 {
+		m.recoveryStatus = "recovered (journal only)"
+	}
+	m.recovered = rec.Snapshot != nil || m.replayed > 0
+	return plan
+}
+
+// replayJournalRecord re-applies one journaled refresh outcome exactly
+// as the live pipeline would have: successful polls feed the
+// estimator and version bookkeeping, failures feed the breaker and
+// quarantine counters.
+func (m *Mirror) replayJournalRecord(r persist.Record) {
+	if r.At > m.now {
+		m.now = r.At
+	}
+	if r.Kind == persist.KindFailure {
+		m.noteOutcomeLocked(r.Element, r.At, fmt.Errorf("replayed failure"))
+		return
+	}
+	c := &m.copies[r.Element]
+	if r.Elapsed > 0 {
+		m.tracker.Record(r.Element, r.Elapsed, r.Changed)
+	}
+	c.lastPoll = r.At
+	c.fetches++
+	m.fetches++
+	if r.Changed {
+		c.version = r.Version
+		c.fetchedAt = r.At
+		m.transfers++
+	}
+	m.noteOutcomeLocked(r.Element, r.At, nil)
+}
+
+// restorePlanLocked warm-starts the schedule from a persisted plan:
+// the iterator resumes the pre-crash frequency vector immediately, so
+// a recovered mirror refreshes on its learned cadence from the first
+// period instead of re-solving from scratch. The next cadence replan
+// refines it against the replayed observations.
+func (m *Mirror) restorePlanLocked(ps persist.PlanState) error {
+	if len(ps.Freqs) != len(m.elems) {
+		return fmt.Errorf("httpmirror: restored plan has %d frequencies for %d elements", len(ps.Freqs), len(m.elems))
+	}
+	iter, err := schedule.NewIterator(ps.Freqs, true, m.cfg.Seed+int64(m.replans))
+	if err != nil {
+		return err
+	}
+	m.plan = core.Plan{
+		Freqs:         append([]float64(nil), ps.Freqs...),
+		Perceived:     ps.Perceived,
+		AvgFreshness:  ps.AvgFreshness,
+		BandwidthUsed: ps.BandwidthUsed,
+		Strategy:      m.cfg.Plan.Strategy,
+		NumPartitions: m.cfg.Plan.NumPartitions,
+	}
+	m.iter = iter
+	m.iterBase = m.now
+	m.lastReplan = m.now
+	m.replans++
+	return nil
+}
+
+// exportStateLocked builds the durable image of the mirror's current
+// state. Callers hold m.mu.
+func (m *Mirror) exportStateLocked() *persist.Snapshot {
+	s := &persist.Snapshot{
+		Version: persist.FormatVersion,
+		Now:     m.now,
+		Plan: persist.PlanState{
+			Freqs:         append([]float64(nil), m.plan.Freqs...),
+			Perceived:     m.plan.Perceived,
+			AvgFreshness:  m.plan.AvgFreshness,
+			BandwidthUsed: m.plan.BandwidthUsed,
+		},
+		Breaker: persist.BreakerSnap{
+			State:    int(m.brk.state),
+			Fails:    m.brk.fails,
+			OpenedAt: m.brk.openedAt,
+			Trips:    m.brk.trips,
+		},
+		Elements: make([]persist.ElementState, len(m.elems)),
+		Counters: persist.Counters{
+			Accesses:         m.accesses,
+			Fetches:          m.fetches,
+			Transfers:        m.transfers,
+			Replans:          m.replans,
+			RefreshFailures:  m.refreshFailures,
+			SkippedRefreshes: m.skippedRefreshes,
+			QuarantineEvents: m.quarantineEvents,
+			Recoveries:       m.recoveries,
+		},
+	}
+	histories := m.tracker.Export()
+	for i := range m.elems {
+		e, c, h := &m.elems[i], &m.copies[i], &m.health[i]
+		es := persist.ElementState{
+			ID:            e.ID,
+			Lambda:        e.Lambda,
+			AccessProb:    e.AccessProb,
+			Size:          e.Size,
+			StoredVersion: c.version,
+			FetchedAt:     c.fetchedAt,
+			LastPoll:      c.lastPoll,
+			Fetches:       c.fetches,
+			Accesses:      c.accesses,
+			Quarantined:   h.quarantined,
+			QuarantinedAt: h.quarantinedAt,
+			LastProbe:     h.lastProbe,
+			ConsecFails:   h.consecFails,
+		}
+		if hist := histories[i]; len(hist) > 0 {
+			es.History = make([]persist.PollObs, len(hist))
+			for j, p := range hist {
+				es.History[j] = persist.PollObs{Elapsed: p.Elapsed, Changed: p.Changed}
+			}
+		}
+		s.Elements[i] = es
+	}
+	return s
+}
+
+// commitSnapshot durably installs a snapshot built by
+// exportStateLocked. Callers hold stepMu but not m.mu: the fsyncs in
+// Commit must never block Access.
+func (m *Mirror) commitSnapshot(snap *persist.Snapshot) error {
+	err := m.store.Commit(snap)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.persistErrors++
+		return err
+	}
+	m.snapshots++
+	m.lastSnapshotAt = snap.Now
+	m.ready = true
+	return nil
+}
+
+// FlushSnapshot writes a snapshot of the current state immediately —
+// the graceful-shutdown hook. It serializes against the refresh
+// pipeline, so an in-flight Step completes before the state is
+// captured. A mirror without persistence flushes trivially.
+func (m *Mirror) FlushSnapshot() error {
+	if m.store == nil {
+		return nil
+	}
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	m.mu.Lock()
+	snap := m.exportStateLocked()
+	m.lastSnapshot = m.now
+	m.mu.Unlock()
+	return m.commitSnapshot(snap)
+}
+
+// appendJournal journals one record, counting (never propagating) the
+// failure: a sick state disk costs durability of recent observations,
+// not availability of the mirror.
+func (m *Mirror) appendJournal(r persist.Record) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.Append(r); err != nil {
+		m.mu.Lock()
+		m.persistErrors++
+		m.mu.Unlock()
+	}
+}
+
+// journalFailure records one failed refresh attempt.
+func (m *Mirror) journalFailure(id int, at float64) {
+	m.appendJournal(persist.Record{Kind: persist.KindFailure, Element: id, At: at})
+}
+
+// Readiness is the mirror's readiness report, served by /readyz. A
+// mirror is ready once its learned state is durable or was recovered:
+// with persistence enabled, that means after boot recovery or after
+// the first snapshot lands; without it, immediately.
+type Readiness struct {
+	Ready              bool    `json:"ready"`
+	PersistenceEnabled bool    `json:"persistence_enabled"`
+	Recovered          bool    `json:"recovered"`
+	RecoveryStatus     string  `json:"recovery_status"`
+	JournalReplayed    int     `json:"journal_records_replayed"`
+	Snapshots          int     `json:"snapshots"`
+	LastSnapshotAge    float64 `json:"last_snapshot_age_periods"`
+	PersistErrors      int     `json:"persist_errors"`
+	BreakerState       string  `json:"breaker_state"`
+	Quarantined        int     `json:"quarantined"`
+}
+
+// Readiness reports whether the mirror should receive traffic and the
+// durability state behind that answer.
+func (m *Mirror) Readiness() Readiness {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	quarantined := 0
+	for i := range m.health {
+		if m.health[i].quarantined {
+			quarantined++
+		}
+	}
+	age := -1.0
+	if m.lastSnapshotAt >= 0 {
+		age = m.now - m.lastSnapshotAt
+	}
+	return Readiness{
+		Ready:              m.ready,
+		PersistenceEnabled: m.store != nil,
+		Recovered:          m.recovered,
+		RecoveryStatus:     m.recoveryStatus,
+		JournalReplayed:    m.replayed,
+		Snapshots:          m.snapshots,
+		LastSnapshotAge:    age,
+		PersistErrors:      m.persistErrors,
+		BreakerState:       m.brk.state.String(),
+		Quarantined:        quarantined,
+	}
+}
+
+// estimatesSnapshot returns the tracker's current per-element
+// estimates — test and diagnostic access to the estimator state that
+// persistence must preserve.
+func (m *Mirror) estimatesSnapshot() ([]float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tracker.Estimates(m.cfg.PriorLambda)
+}

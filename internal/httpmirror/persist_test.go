@@ -1,0 +1,423 @@
+package httpmirror
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"freshen/internal/core"
+	"freshen/internal/freshness"
+	"freshen/internal/persist"
+)
+
+// newPersistMirror builds a mirror over src with persistence in dir.
+// mod, when non-nil, adjusts the config before New.
+func newPersistMirror(t *testing.T, url string, httpClient *http.Client, dir string, attempts int, snapshotEvery float64, mod func(*Config)) (*Mirror, *persist.Store) {
+	t.Helper()
+	store, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	client := NewSourceClient(url, httpClient)
+	client.SetRetryPolicy(fastRetry(attempts))
+	cfg := Config{
+		Upstream:      client,
+		Plan:          core.Config{Bandwidth: 16},
+		ReplanEvery:   2,
+		Persist:       store,
+		SnapshotEvery: snapshotEvery,
+		Seed:          5,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	m, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, store
+}
+
+// TestMirrorSnapshotAndRecover round-trips a mirror through a flush
+// and a restart: estimates, plan, counters, and health state must all
+// survive byte-exactly.
+func TestMirrorSnapshotAndRecover(t *testing.T) {
+	f := newFaultySource(t, []float64{3, 1, 0.5, 2})
+	dir := t.TempDir()
+	m1, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, nil)
+
+	// Accumulate observations, an access profile, and a quarantined
+	// element (object 0 — funded by the plan, so it is actually
+	// refreshed — breaks for long enough to trip quarantine).
+	for step := 1; step <= 40; step++ {
+		tm := 0.25 * float64(step)
+		f.src.Advance(tm)
+		if step == 20 {
+			f.brokenID.Store(0)
+		}
+		if _, err := m1.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+		m1.Access(step % 3) // skewed profile: objects 0-2 only
+	}
+	if m1.Status().Quarantined != 1 {
+		t.Fatalf("setup: quarantined = %d, want 1", m1.Status().Quarantined)
+	}
+	if err := m1.FlushSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	preEst, err := m1.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := m1.Status()
+
+	// Heal the upstream before restart: New re-seeds bodies, and the
+	// recovered quarantine state must come from the snapshot, not from
+	// fresh failures.
+	f.brokenID.Store(-1)
+	m2, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, nil)
+	rd := m2.Readiness()
+	if !rd.Ready || !rd.Recovered || rd.RecoveryStatus != "recovered" {
+		t.Fatalf("readiness after recovery = %+v", rd)
+	}
+	postEst, err := m2.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preEst {
+		if preEst[i] != postEst[i] {
+			t.Errorf("element %d: recovered estimate %v != pre-crash %v", i, postEst[i], preEst[i])
+		}
+	}
+	post := m2.Status()
+	if post.Quarantined != pre.Quarantined || post.QuarantineEvents != pre.QuarantineEvents {
+		t.Errorf("quarantine state lost: pre %d/%d, post %d/%d",
+			pre.Quarantined, pre.QuarantineEvents, post.Quarantined, post.QuarantineEvents)
+	}
+	if post.Transfers != pre.Transfers || post.RefreshFailures != pre.RefreshFailures {
+		t.Errorf("counters lost: pre transfers=%d failures=%d, post transfers=%d failures=%d",
+			pre.Transfers, pre.RefreshFailures, post.Transfers, post.RefreshFailures)
+	}
+	if post.Accesses != pre.Accesses {
+		t.Errorf("access log lost: pre %d, post %d", pre.Accesses, post.Accesses)
+	}
+	// The schedule warm-starts from the persisted frequency vector.
+	preFreqs, postFreqs := m1.Plan().Freqs, m2.Plan().Freqs
+	for i := range preFreqs {
+		if preFreqs[i] != postFreqs[i] {
+			t.Errorf("freq %d: recovered %v != pre-crash %v", i, postFreqs[i], preFreqs[i])
+		}
+	}
+	// A recovered mirror keeps stepping from its restored clock.
+	f.src.Advance(11)
+	if _, err := m2.Step(11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillRestartRecovery is the kill-and-restart chaos test: a
+// mirror runs under injected upstream faults, is hard-stopped
+// mid-period (no flush, no close — the crash), and a second mirror
+// recovers from the state directory. Recovered λ estimates must match
+// the pre-crash estimator exactly (every observation was journaled
+// before the refresh returned), and the recovered plan must be closer
+// to the true-rate optimum than a cold start's — the "re-converges
+// faster" guarantee, measured at the restart boundary.
+func TestKillRestartRecovery(t *testing.T) {
+	// Equal change rates: what the crashed mirror has learned — and
+	// the cold start lacks — is the skewed access profile, which the
+	// plan is built around. (Per-element λ learning has its own
+	// plan-driven-sampling biases that would muddy the comparison.)
+	trueLambdas := []float64{1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5}
+	src, err := NewSimulatedSource(trueLambdas, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic chaos: every 5th request fails while enabled.
+	// Single-attempt clients see ~20% refresh failures; three-attempt
+	// clients always recover (two consecutive counts can't both be
+	// multiples of five).
+	var calls atomic.Int64
+	var faultsOn atomic.Bool
+	inner := src.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if faultsOn.Load() && calls.Add(1)%5 == 0 {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	// Tight bandwidth so the allocation genuinely matters, and health
+	// machinery disabled so the warm-vs-cold plan comparison measures
+	// estimation quality, not which elements happened to quarantine.
+	chaosCfg := func(cfg *Config) {
+		cfg.Plan = core.Config{Bandwidth: 6}
+		cfg.Fault = FaultPolicy{QuarantineAfter: -1, BreakerThreshold: -1}
+	}
+	dir := t.TempDir()
+	m1, _ := newPersistMirror(t, srv.URL, srv.Client(), dir, 1, 3, chaosCfg)
+	faultsOn.Store(true)
+	// Drive 20 periods under faults with a geometrically skewed access
+	// pattern; snapshots land on the 3-period cadence, journal records
+	// in between. accCount is the ground-truth profile the warm boot
+	// should know and the cold boot cannot.
+	var accCount [8]int
+	access := func(m *Mirror, step int) {
+		for id, every := range []int{1, 2, 4, 8, 16, 32} {
+			if step%every == 0 {
+				m.Access(id)
+				accCount[id]++
+			}
+		}
+	}
+	for step := 1; step <= 80; step++ {
+		tm := 0.25 * float64(step)
+		src.Advance(tm)
+		if _, err := m1.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+		access(m1, step)
+	}
+	// Hard stop mid-period at t=20.4: no FlushSnapshot, no Close.
+	src.Advance(20.4)
+	if _, err := m1.Step(20.4); err != nil {
+		t.Fatal(err)
+	}
+	preEst, err := m1.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := m1.Status()
+	if pre.RefreshFailures == 0 {
+		t.Fatal("chaos injected no refresh failures; the test is not exercising the fault path")
+	}
+	if m1.Readiness().Snapshots == 0 {
+		t.Fatal("no snapshot landed before the crash")
+	}
+
+	// Restart from disk — still under injected faults; the recovery
+	// client retries so seeding survives them.
+	m2, store2 := newPersistMirror(t, srv.URL, srv.Client(), dir, 3, 3, chaosCfg)
+	rec := store2.Recovery()
+	if rec.Snapshot == nil {
+		t.Fatal("no snapshot recovered")
+	}
+	rd := m2.Readiness()
+	if !rd.Ready || !rd.Recovered {
+		t.Fatalf("recovered mirror not ready: %+v", rd)
+	}
+	if rd.JournalReplayed != len(rec.Records) {
+		t.Errorf("replayed %d of %d journal records", rd.JournalReplayed, len(rec.Records))
+	}
+
+	// Every pre-crash observation was fsynced before the refresh
+	// committed, so the recovered estimator is exact, not approximate.
+	postEst, err := m2.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-12
+	for i := range preEst {
+		if diff := math.Abs(postEst[i] - preEst[i]); diff > tol*math.Max(1, preEst[i]) {
+			t.Errorf("element %d: recovered λ̂ %v differs from pre-crash %v by %v", i, postEst[i], preEst[i], diff)
+		}
+	}
+	if got := m2.Status(); got.Fetches < pre.Fetches {
+		t.Errorf("fetch counter went backwards: %d < %d", got.Fetches, pre.Fetches)
+	}
+
+	// Cold start for comparison: same source, no state dir.
+	coldClient := NewSourceClient(srv.URL, srv.Client())
+	coldClient.SetRetryPolicy(fastRetry(3))
+	m3, err := New(context.Background(), Config{
+		Upstream:    coldClient,
+		Plan:        core.Config{Bandwidth: 6},
+		ReplanEvery: 2,
+		Seed:        5,
+		Fault:       FaultPolicy{QuarantineAfter: -1, BreakerThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-convergence: evaluate each boot plan under the TRUE workload
+	// (real change rates, real access skew) and compare to the
+	// true-workload optimum. The warm plan must be strictly closer —
+	// it resumes the profile the crashed mirror spent 20 periods
+	// learning, while the cold plan assumes a uniform one.
+	n := len(trueLambdas)
+	totalAcc := 0
+	for _, c := range accCount {
+		totalAcc += c
+	}
+	trueElems := make([]freshness.Element, n)
+	for i, l := range trueLambdas {
+		trueElems[i] = freshness.Element{ID: i, Lambda: l, AccessProb: float64(accCount[i]) / float64(totalAcc), Size: 1}
+	}
+	optPlan, err := core.MakePlan(trueElems, core.Config{Bandwidth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := freshness.FixedOrder{}
+	realized := func(m *Mirror) float64 {
+		pf, err := freshness.Perceived(pol, trueElems, m.Plan().Freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pf
+	}
+	warmGap := optPlan.Perceived - realized(m2)
+	coldGap := optPlan.Perceived - realized(m3)
+	if !(warmGap < coldGap) {
+		t.Errorf("warm start no closer to optimum: warm gap %v, cold gap %v", warmGap, coldGap)
+	}
+	t.Logf("PF gap to true-rate optimum: warm %.5f vs cold %.5f (optimum %.5f)", warmGap, coldGap, optPlan.Perceived)
+}
+
+// TestReadyzLifecycle pins the readiness contract: a cold persistent
+// mirror answers 503 until its first snapshot lands, then 200; a
+// mirror without persistence is ready immediately.
+func TestReadyzLifecycle(t *testing.T) {
+	f := newFaultySource(t, []float64{1, 1})
+	dir := t.TempDir()
+	m, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 2, nil)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+
+	get := func() (int, Readiness) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rd Readiness
+		if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rd
+	}
+
+	code, rd := get()
+	if code != http.StatusServiceUnavailable || rd.Ready {
+		t.Fatalf("cold persistent mirror: /readyz = %d ready=%v, want 503 before the first snapshot", code, rd.Ready)
+	}
+	if !rd.PersistenceEnabled || rd.RecoveryStatus != "cold-start" {
+		t.Errorf("readiness body = %+v", rd)
+	}
+	if rd.LastSnapshotAge != -1 {
+		t.Errorf("last snapshot age %v before any snapshot, want -1", rd.LastSnapshotAge)
+	}
+
+	// Cross the snapshot cadence: ready flips to 200.
+	f.src.Advance(2.5)
+	if _, err := m.Step(2.5); err != nil {
+		t.Fatal(err)
+	}
+	code, rd = get()
+	if code != http.StatusOK || !rd.Ready || rd.Snapshots == 0 {
+		t.Fatalf("after first snapshot: /readyz = %d %+v", code, rd)
+	}
+	if rd.LastSnapshotAge < 0 {
+		t.Errorf("last snapshot age %v after a snapshot", rd.LastSnapshotAge)
+	}
+	if rd.BreakerState != "closed" || rd.Quarantined != 0 {
+		t.Errorf("fault state in readiness = %+v", rd)
+	}
+
+	// Method contract matches the other endpoints.
+	resp, err := http.Post(srv.URL+"/readyz", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /readyz = %d, want 405", resp.StatusCode)
+	}
+
+	// A mirror without persistence is born ready.
+	client := NewSourceClient(f.srv.URL, f.srv.Client())
+	client.SetRetryPolicy(fastRetry(1))
+	plain, err := New(context.Background(), Config{Upstream: client, Plan: core.Config{Bandwidth: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd := plain.Readiness(); !rd.Ready || rd.PersistenceEnabled || rd.RecoveryStatus != "disabled" {
+		t.Errorf("persistence-free readiness = %+v", rd)
+	}
+}
+
+// TestRecoveryDiscardsMismatchedCatalog points a state dir from a
+// 4-object catalog at a 2-object source: the state must be discarded
+// loudly (cold start, reason in the readiness report), never mapped
+// onto the wrong objects.
+func TestRecoveryDiscardsMismatchedCatalog(t *testing.T) {
+	dir := t.TempDir()
+	f4 := newFaultySource(t, []float64{1, 1, 1, 1})
+	m1, _ := newPersistMirror(t, f4.srv.URL, f4.srv.Client(), dir, 1, 1000, nil)
+	f4.src.Advance(3)
+	if _, err := m1.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.FlushSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := newFaultySource(t, []float64{1, 1})
+	m2, _ := newPersistMirror(t, f2.srv.URL, f2.srv.Client(), dir, 1, 1000, nil)
+	rd := m2.Readiness()
+	if rd.Recovered {
+		t.Fatal("mismatched snapshot recovered")
+	}
+	if rd.Ready {
+		t.Error("mirror ready without durable state")
+	}
+	if rd.RecoveryStatus == "cold-start" || rd.RecoveryStatus == "recovered" {
+		t.Errorf("discard not reported: %q", rd.RecoveryStatus)
+	}
+	if got, err := m2.estimatesSnapshot(); err != nil || len(got) != 2 {
+		t.Fatalf("estimates after discard: %v, %v", got, err)
+	}
+}
+
+// TestRecoveryJournalOnly crashes before any snapshot: the journal
+// alone must restore the estimator.
+func TestRecoveryJournalOnly(t *testing.T) {
+	f := newFaultySource(t, []float64{2, 0.5})
+	dir := t.TempDir()
+	m1, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, nil)
+	for step := 1; step <= 12; step++ {
+		tm := 0.5 * float64(step)
+		f.src.Advance(tm)
+		if _, err := m1.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preEst, err := m1.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no flush.
+	m2, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, nil)
+	rd := m2.Readiness()
+	if !rd.Recovered || rd.RecoveryStatus != "recovered (journal only)" || rd.JournalReplayed == 0 {
+		t.Fatalf("journal-only readiness = %+v", rd)
+	}
+	postEst, err := m2.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preEst {
+		if preEst[i] != postEst[i] {
+			t.Errorf("element %d: %v != %v", i, postEst[i], preEst[i])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// journalMagic identifies a journal file and pins its framing version.
+var journalMagic = []byte("FRJRNL01")
+
+// RecordKind tags a journal record.
+type RecordKind string
+
+const (
+	// KindRefresh is a successful refresh: a poll observation plus the
+	// version the element advanced to (if it changed).
+	KindRefresh RecordKind = "refresh"
+	// KindFailure is a failed refresh attempt; it carries no
+	// observation (the estimator never sees failures) but replays into
+	// the breaker and quarantine counters.
+	KindFailure RecordKind = "failure"
+)
+
+// Record is one journaled per-refresh outcome.
+type Record struct {
+	// Seq is the record's monotone sequence number, assigned by the
+	// store on append. Recovery replays only Seq > Snapshot.LastSeq.
+	Seq uint64 `json:"seq"`
+	// Kind is refresh or failure.
+	Kind RecordKind `json:"kind"`
+	// Element is the element the refresh targeted.
+	Element int `json:"element"`
+	// At is the period-clock time of the refresh.
+	At float64 `json:"at"`
+	// Elapsed is the time since the element's previous successful
+	// poll; 0 means "no observation" (the element's first poll).
+	Elapsed float64 `json:"elapsed,omitempty"`
+	// Changed reports whether the poll detected a change.
+	Changed bool `json:"changed,omitempty"`
+	// Version is the upstream version the element advanced to when
+	// Changed (refresh records only).
+	Version int `json:"version,omitempty"`
+}
+
+// Validate rejects records that decode but describe impossible
+// observations; replay treats an invalid record as corruption.
+func (r *Record) Validate() error {
+	if r.Kind != KindRefresh && r.Kind != KindFailure {
+		return fmt.Errorf("persist: unknown record kind %q", r.Kind)
+	}
+	if r.Element < 0 {
+		return fmt.Errorf("persist: negative element %d", r.Element)
+	}
+	if !finite(r.At) || r.At < 0 {
+		return fmt.Errorf("persist: invalid record time %v", r.At)
+	}
+	if !finite(r.Elapsed) || r.Elapsed < 0 || math.IsInf(r.Elapsed, 0) {
+		return fmt.Errorf("persist: invalid elapsed %v", r.Elapsed)
+	}
+	return nil
+}
+
+// encodeRecord frames one record: payload length, CRC-32C, payload.
+func encodeRecord(r *Record) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding record: %w", err)
+	}
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
+	copy(out[8:], payload)
+	return out, nil
+}
+
+// maxRecordSize bounds one record's payload; a length prefix beyond it
+// is treated as corruption rather than an allocation request.
+const maxRecordSize = 16 << 20
+
+// DecodeJournal walks a journal image record by record. It returns the
+// records that decoded and verified cleanly, the byte length of that
+// good prefix, and whether the image was clean (no trailing garbage).
+// Decoding never fails: a torn or corrupted record ends the walk at
+// the last good byte — crash recovery keeps the prefix and truncates
+// the rest.
+func DecodeJournal(data []byte) (recs []Record, goodLen int, clean bool) {
+	if len(data) == 0 {
+		// An empty file: journal creation crashed before the header
+		// landed. Nothing was written, so nothing was lost.
+		return nil, 0, true
+	}
+	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic) {
+		// No usable header: nothing salvageable.
+		return nil, 0, false
+	}
+	off := len(journalMagic)
+	for {
+		if off == len(data) {
+			return recs, off, true
+		}
+		if len(data)-off < 8 {
+			return recs, off, false // torn header
+		}
+		size := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if size > maxRecordSize || len(data)-off-8 < int(size) {
+			return recs, off, false // torn or absurd payload
+		}
+		payload := data[off+8 : off+8+int(size)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off, false // bit rot or torn write
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return recs, off, false
+		}
+		if err := r.Validate(); err != nil {
+			return recs, off, false
+		}
+		// Sequence numbers must be strictly increasing; a regression
+		// means the framing resynchronized on garbage.
+		if n := len(recs); n > 0 && r.Seq <= recs[n-1].Seq {
+			return recs, off, false
+		}
+		recs = append(recs, r)
+		off += 8 + int(size)
+	}
+}

@@ -1,0 +1,252 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the current snapshot payload version. Decoders
+// accept only payloads whose embedded version they understand.
+const FormatVersion = 1
+
+// snapshotMagic identifies a snapshot file and pins its framing
+// version; bumping the framing bumps the trailing digits.
+var snapshotMagic = []byte("FRSNAP01")
+
+// castagnoli is the CRC-32C table; Castagnoli detects the short burst
+// errors torn writes produce better than the IEEE polynomial.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is the durable image of a mirror's learned state — the
+// knowledge that is expensive to lose, not the object bodies (those
+// are re-fetched from the origin on boot).
+type Snapshot struct {
+	// Version is the payload format version (FormatVersion).
+	Version int `json:"format_version"`
+	// LastSeq is the journal sequence number of the newest record this
+	// snapshot folds in; recovery replays only records beyond it.
+	LastSeq uint64 `json:"last_seq"`
+	// Now is the mirror's period clock at snapshot time.
+	Now float64 `json:"now_periods"`
+	// Plan is the live schedule, used to warm-start the refresh loop
+	// on recovery without re-solving.
+	Plan PlanState `json:"plan"`
+	// Breaker is the upstream circuit breaker's state.
+	Breaker BreakerSnap `json:"breaker"`
+	// Elements holds per-element learned state and metadata.
+	Elements []ElementState `json:"elements"`
+	// Counters are the mirror's lifetime counters.
+	Counters Counters `json:"counters"`
+}
+
+// PlanState is the persisted schedule: the frequency vector plus the
+// plan's reported metrics.
+type PlanState struct {
+	Freqs         []float64 `json:"freqs"`
+	Perceived     float64   `json:"perceived"`
+	AvgFreshness  float64   `json:"avg_freshness"`
+	BandwidthUsed float64   `json:"bandwidth_used"`
+}
+
+// BreakerSnap is the circuit breaker's persisted state. State uses the
+// breaker's integer encoding (closed / open / half-open).
+type BreakerSnap struct {
+	State    int     `json:"state"`
+	Fails    int     `json:"fails"`
+	OpenedAt float64 `json:"opened_at"`
+	Trips    int     `json:"trips"`
+}
+
+// ElementState is one element's durable state: identity and metadata,
+// the learned change rate and access probability, refresh bookkeeping,
+// quarantine state, and the full poll history the estimator runs on.
+type ElementState struct {
+	ID         int     `json:"id"`
+	Lambda     float64 `json:"lambda"`
+	AccessProb float64 `json:"access_prob"`
+	Size       float64 `json:"size"`
+
+	StoredVersion int     `json:"stored_version"`
+	FetchedAt     float64 `json:"fetched_at"`
+	LastPoll      float64 `json:"last_poll"`
+	Fetches       int     `json:"fetches"`
+	Accesses      int     `json:"accesses"`
+
+	Quarantined   bool    `json:"quarantined,omitempty"`
+	QuarantinedAt float64 `json:"quarantined_at,omitempty"`
+	LastProbe     float64 `json:"last_probe,omitempty"`
+	ConsecFails   int     `json:"consec_fails,omitempty"`
+
+	History []PollObs `json:"history"`
+}
+
+// PollObs is one persisted poll observation.
+type PollObs struct {
+	Elapsed float64 `json:"elapsed"`
+	Changed bool    `json:"changed"`
+}
+
+// Counters are the mirror's lifetime counters, persisted so restarts
+// don't zero the operational record.
+type Counters struct {
+	Accesses         int `json:"accesses"`
+	Fetches          int `json:"fetches"`
+	Transfers        int `json:"transfers"`
+	Replans          int `json:"replans"`
+	RefreshFailures  int `json:"refresh_failures"`
+	SkippedRefreshes int `json:"skipped_refreshes"`
+	QuarantineEvents int `json:"quarantine_events"`
+	Recoveries       int `json:"recoveries"`
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate rejects snapshots that decode but describe impossible
+// state; a snapshot that fails validation is never loaded.
+func (s *Snapshot) Validate() error {
+	if s.Version != FormatVersion {
+		return fmt.Errorf("persist: unsupported snapshot version %d (want %d)", s.Version, FormatVersion)
+	}
+	if !finite(s.Now) || s.Now < 0 {
+		return fmt.Errorf("persist: invalid clock %v", s.Now)
+	}
+	if len(s.Plan.Freqs) != len(s.Elements) {
+		return fmt.Errorf("persist: plan has %d frequencies for %d elements", len(s.Plan.Freqs), len(s.Elements))
+	}
+	for i, f := range s.Plan.Freqs {
+		if !finite(f) || f < 0 {
+			return fmt.Errorf("persist: element %d has invalid frequency %v", i, f)
+		}
+	}
+	if st := s.Breaker.State; st < 0 || st > 2 {
+		return fmt.Errorf("persist: invalid breaker state %d", st)
+	}
+	for i := range s.Elements {
+		e := &s.Elements[i]
+		if e.ID != i {
+			return fmt.Errorf("persist: element ids must be dense, got %d at position %d", e.ID, i)
+		}
+		if !finite(e.Lambda) || e.Lambda < 0 {
+			return fmt.Errorf("persist: element %d has invalid change rate %v", i, e.Lambda)
+		}
+		if !finite(e.AccessProb) || e.AccessProb < 0 || e.AccessProb > 1 {
+			return fmt.Errorf("persist: element %d has invalid access probability %v", i, e.AccessProb)
+		}
+		if !finite(e.Size) || e.Size < 0 {
+			return fmt.Errorf("persist: element %d has invalid size %v", i, e.Size)
+		}
+		if !finite(e.LastPoll) || !finite(e.FetchedAt) {
+			return fmt.Errorf("persist: element %d has non-finite poll times", i)
+		}
+		for j, p := range e.History {
+			if !(p.Elapsed > 0) || math.IsInf(p.Elapsed, 0) {
+				return fmt.Errorf("persist: element %d poll %d has invalid elapsed %v", i, j, p.Elapsed)
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeSnapshot frames a snapshot for disk: magic, payload length,
+// CRC-32C of the payload, then the JSON payload.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(snapshotMagic) + 8 + len(payload))
+	buf.Write(snapshotMagic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses and verifies a framed snapshot. Any framing,
+// checksum, encoding, or semantic failure is an error: a snapshot
+// either loads whole and valid or not at all.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapshotMagic)+8 {
+		return nil, fmt.Errorf("persist: snapshot too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:len(snapshotMagic)], snapshotMagic) {
+		return nil, fmt.Errorf("persist: bad snapshot magic %q", data[:len(snapshotMagic)])
+	}
+	rest := data[len(snapshotMagic):]
+	size := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	payload := rest[8:]
+	if uint32(len(payload)) != size {
+		return nil, fmt.Errorf("persist: snapshot payload is %d bytes, header says %d", len(payload), size)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, fmt.Errorf("persist: snapshot checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("persist: decoding snapshot payload: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// writeSnapshotFile writes the framed snapshot atomically: temp file
+// in the same directory, fsync, rename over the final name, fsync the
+// directory so the rename itself is durable.
+func writeSnapshotFile(dir, name string, s *Snapshot) error {
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: installing snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power
+// loss. Filesystems that refuse to sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening state dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("persist: syncing state dir: %w", err)
+	}
+	return nil
+}
