@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover fuzz-smoke restart-chaos ci bench-solver bench clean
+.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos metrics-contract ci bench-solver bench-obs bench-all bench clean
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# Fails if any file is not gofmt-clean, listing the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -38,19 +42,34 @@ fuzz-smoke:
 # chaos, shutdown persistence ordering, and the persistence layer.
 restart-chaos:
 	$(GO) test -race -count=1 -run 'TestKillRestartRecovery|TestMirrorSnapshotAndRecover|TestRecovery' ./internal/httpmirror/
-	$(GO) test -race -count=1 -run 'TestDaemonShutdownPersistsState' ./cmd/freshend/
+	$(GO) test -race -count=1 -run 'TestDaemonShutdownPersistsState|TestMetricsAcrossRestart' ./cmd/freshend/
 	$(GO) test -race -count=1 ./internal/persist/
+
+# The exposition schema golden test and the live-scrape integration
+# tests, under the race detector (GaugeFunc closures scrape under the
+# mirror lock while the refresh loop runs).
+metrics-contract:
+	$(GO) test -race -count=1 -run 'TestMetricsContract|TestMetricsEndToEnd|TestDebugListener' ./cmd/freshend/
+	$(GO) test -race -count=1 ./internal/obs/
 
 # The solver's worker pool and the clustering code are the two places
 # goroutines share buffers; run them under the race detector.
 race:
 	$(GO) test -race ./internal/solver/... ./internal/cluster/...
 
-ci: build vet test race
+ci: build fmt vet test race
 
 # Engine-vs-reference timings; writes BENCH_solver.json.
 bench-solver:
 	$(GO) run ./cmd/freshenctl bench-solver
+
+# Live-loop observability benchmark; stands up mocksource + freshend,
+# drives loadgen traffic, scrapes /metrics, writes BENCH_obs.json.
+bench-obs:
+	./scripts/bench_obs.sh
+
+# The full reproducible perf trajectory in one command.
+bench-all: bench-solver bench-obs
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/solver/

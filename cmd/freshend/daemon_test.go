@@ -35,6 +35,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.stateDir != "" || cfg.snapshotEvery != 5 {
 		t.Errorf("persistence defaults not applied: %+v", cfg)
 	}
+	if cfg.debugAddr != "" || cfg.logLevel != "info" {
+		t.Errorf("observability defaults not applied: %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
@@ -56,6 +59,8 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-probe-every", "2",
 		"-state-dir", "/tmp/state",
 		"-snapshot-every", "7",
+		"-debug-addr", "127.0.0.1:6060",
+		"-log-level", "debug",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +74,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		breakerAfter: -1, breakerCooldown: 4,
 		quarantineAfter: -1, probeEvery: 2,
 		stateDir: "/tmp/state", snapshotEvery: 7,
+		debugAddr: "127.0.0.1:6060", logLevel: "debug",
 	}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)

@@ -26,9 +26,12 @@
 //	         -state-dir /var/lib/freshend
 //
 // Endpoints: GET /object/{id} (serve a copy), GET /status (JSON
-// metrics), GET /healthz (liveness), GET /readyz (readiness: 503
-// until learned state is recovered or durable), POST /replan (learn +
-// re-plan now).
+// metrics), GET /metrics (Prometheus text exposition), GET /healthz
+// (liveness), GET /readyz (readiness: 503 until learned state is
+// recovered or durable), POST /replan (learn + re-plan now). With
+// -debug-addr set, a second listener serves GET /metrics plus
+// net/http/pprof under /debug/pprof/ — kept off the serving address so
+// profiling exposure is an explicit operator choice.
 package main
 
 import (
@@ -36,9 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,8 +49,10 @@ import (
 
 	"freshen/internal/core"
 	"freshen/internal/httpmirror"
+	"freshen/internal/obs"
 	"freshen/internal/partition"
 	"freshen/internal/persist"
+	"freshen/internal/solver"
 )
 
 func main() {
@@ -58,7 +63,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, cfg, nil); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "freshend:", err)
+		os.Exit(1)
 	}
 }
 
@@ -84,6 +90,8 @@ func parseFlags(args []string) (config, error) {
 	probeEvery := fs.Float64("probe-every", 1, "quarantine recovery-probe cadence in periods")
 	stateDir := fs.String("state-dir", "", "directory for crash-safe state (snapshots + journal); empty disables persistence")
 	snapshotEvery := fs.Float64("snapshot-every", 5, "snapshot cadence in periods")
+	debugAddr := fs.String("debug-addr", "", "optional second listen address serving /metrics and /debug/pprof/; empty disables it")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -105,6 +113,8 @@ func parseFlags(args []string) (config, error) {
 		probeEvery:      *probeEvery,
 		stateDir:        *stateDir,
 		snapshotEvery:   *snapshotEvery,
+		debugAddr:       *debugAddr,
+		logLevel:        *logLevel,
 	}, nil
 }
 
@@ -124,6 +134,12 @@ type config struct {
 	probeEvery             float64
 	stateDir               string
 	snapshotEvery          float64
+	debugAddr              string
+	logLevel               string
+
+	// debugReady, when set (tests), receives the debug listener's bound
+	// address once it is accepting connections.
+	debugReady chan<- net.Addr
 }
 
 // run builds the mirror and serves it until ctx is cancelled (SIGINT/
@@ -141,6 +157,15 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	if cfg.stateDir != "" && cfg.snapshotEvery <= 0 {
 		return fmt.Errorf("snapshot-every must be positive, got %v", cfg.snapshotEvery)
 	}
+	if cfg.logLevel == "" {
+		cfg.logLevel = "info"
+	}
+	level, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	lg := obs.Component(logger, "freshend")
 	planCfg := core.Config{
 		Bandwidth:        cfg.bandwidth,
 		Key:              partition.KeyPF,
@@ -159,6 +184,12 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		return fmt.Errorf("unknown strategy %q", cfg.strategy)
 	}
 
+	// One registry carries every layer's series: the mirror's, the
+	// solver's, the estimator's, and — with persistence on — the
+	// store's.
+	reg := obs.NewRegistry()
+	solver.Instrument(reg)
+
 	var store *persist.Store
 	if cfg.stateDir != "" {
 		var err error
@@ -167,12 +198,13 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 			return fmt.Errorf("opening state dir: %w", err)
 		}
 		defer store.Close()
+		store.Instrument(reg)
 		rec := store.Recovery()
 		if rec.JournalTruncated {
-			log.Print("freshend: journal had a torn or corrupt tail; truncated to the last good record")
+			lg.Warn("journal had a torn or corrupt tail; truncated to the last good record")
 		}
 		if rec.SnapshotErr != nil {
-			log.Printf("freshend: snapshot discarded: %v", rec.SnapshotErr)
+			lg.Warn("snapshot discarded", "error", rec.SnapshotErr)
 		}
 	}
 
@@ -194,16 +226,24 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		Seed:          cfg.seed,
 		Persist:       store,
 		SnapshotEvery: cfg.snapshotEvery,
+		Metrics:       reg,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("freshend: mirroring %s (%d objects), bandwidth %.0f/period, period %v, strategy %s",
-		cfg.upstream, m.Status().Objects, cfg.bandwidth, cfg.period, cfg.strategy)
+	lg.Info("mirroring upstream",
+		"upstream", cfg.upstream,
+		"objects", m.Status().Objects,
+		"bandwidth", cfg.bandwidth,
+		"period", cfg.period.String(),
+		"strategy", cfg.strategy)
 	if store != nil {
 		rd := m.Readiness()
-		log.Printf("freshend: state dir %s: %s (%d journal records replayed)",
-			cfg.stateDir, rd.RecoveryStatus, rd.JournalReplayed)
+		lg.Info("state recovered",
+			"state_dir", cfg.stateDir,
+			"status", rd.RecoveryStatus,
+			"journal_replayed", rd.JournalReplayed)
 	}
 
 	// The refresh loop: upstream trouble is absorbed by retries, the
@@ -217,7 +257,7 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 			if err == nil {
 				return // ctx cancelled: clean shutdown
 			}
-			log.Printf("freshend: refresh loop: %v (restarting in %v)", err, cfg.period)
+			lg.Error("refresh loop failed; restarting", "error", err, "restart_in", cfg.period.String())
 			select {
 			case <-ctx.Done():
 				return
@@ -237,25 +277,60 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// The optional debug listener: metrics plus pprof on an address the
+	// operator chose to expose, separate from the serving one.
+	var debugSrv *http.Server
+	debugErr := make(chan error, 1)
+	if cfg.debugAddr != "" {
+		debugLn, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			srv.Close()
+			<-serveErr
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugHandler(reg)}
+		go func() { debugErr <- debugSrv.Serve(debugLn) }()
+		lg.Info("debug listener up", "addr", debugLn.Addr().String())
+		if cfg.debugReady != nil {
+			cfg.debugReady <- debugLn.Addr()
+		}
+	}
 	if ready != nil {
 		ready <- ln.Addr()
 	}
 
 	select {
 	case err := <-serveErr:
+		if debugSrv != nil {
+			debugSrv.Close()
+			<-debugErr
+		}
 		return err
+	case err := <-debugErr:
+		srv.Close()
+		<-serveErr
+		return fmt.Errorf("debug listener: %w", err)
 	case <-ctx.Done():
 	}
 	// Graceful shutdown: the refresh loop stops first (any in-flight
 	// refresh batch completes), then the final snapshot is flushed,
-	// then the listener closes.
-	log.Print("freshend: shutting down")
+	// then the listeners close.
+	lg.Info("shutting down")
 	<-loopDone
 	if err := m.FlushSnapshot(); err != nil {
-		log.Printf("freshend: final snapshot failed: %v", err)
+		lg.Error("final snapshot failed", "error", err)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-debugErr; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
@@ -263,4 +338,17 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		return err
 	}
 	return nil
+}
+
+// debugHandler builds the -debug-addr mux: the metrics exposition and
+// the standard pprof handlers.
+func debugHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -7,53 +7,108 @@
 //
 //	loadgen -mirror http://localhost:8081 -n 500 -theta 1.0 -rate 100
 //
-// It reports request throughput and exits after -duration; freshness
-// metrics live on the mirror side (GET /status), since only the mirror
-// can compare its copies against the source.
+// With -metrics-url set, loadgen also scrapes the mirror's Prometheus
+// exposition every -scrape-every while the traffic runs and writes an
+// observability benchmark (PF trajectory, refresh latency quantiles,
+// solver solve-time mean) to -obs-out:
+//
+//	loadgen -mirror http://localhost:8081 -n 500 \
+//	        -metrics-url http://localhost:8081/metrics -obs-out BENCH_obs.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"sync"
 	"time"
 
+	"freshen/internal/obs"
 	"freshen/internal/stats"
 )
 
 func main() {
-	mirror := flag.String("mirror", "", "base URL of the freshend mirror; required")
-	n := flag.Int("n", 500, "number of objects (must match the mirror)")
-	theta := flag.Float64("theta", 1.0, "zipf skew of the simulated community")
-	rate := flag.Float64("rate", 50, "requests per second")
-	duration := flag.Duration("duration", 30*time.Second, "how long to run")
-	seed := flag.Int64("seed", 1, "traffic seed")
-	flag.Parse()
-
-	if err := run(*mirror, *n, *theta, *rate, *duration, *seed); err != nil {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the diagnostic and usage
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(mirror string, n int, theta, rate float64, duration time.Duration, seed int64) error {
-	if mirror == "" {
+type config struct {
+	mirror      string
+	n           int
+	theta, rate float64
+	duration    time.Duration
+	seed        int64
+	metricsURL  string
+	scrapeEvery time.Duration
+	obsOut      string
+}
+
+// parseFlags builds the generator configuration from a command line;
+// split from main so tests can exercise flag handling directly.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	mirror := fs.String("mirror", "", "base URL of the freshend mirror; required")
+	n := fs.Int("n", 500, "number of objects (must match the mirror)")
+	theta := fs.Float64("theta", 1.0, "zipf skew of the simulated community")
+	rate := fs.Float64("rate", 50, "requests per second")
+	duration := fs.Duration("duration", 30*time.Second, "how long to run")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	metricsURL := fs.String("metrics-url", "", "mirror /metrics URL to scrape while driving traffic; empty disables scraping")
+	scrapeEvery := fs.Duration("scrape-every", time.Second, "scrape cadence for -metrics-url")
+	obsOut := fs.String("obs-out", "BENCH_obs.json", "where the observability benchmark is written (with -metrics-url)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return config{
+		mirror:      *mirror,
+		n:           *n,
+		theta:       *theta,
+		rate:        *rate,
+		duration:    *duration,
+		seed:        *seed,
+		metricsURL:  *metricsURL,
+		scrapeEvery: *scrapeEvery,
+		obsOut:      *obsOut,
+	}, nil
+}
+
+func run(cfg config) error {
+	if cfg.mirror == "" {
 		return fmt.Errorf("-mirror is required")
 	}
-	if n <= 0 || rate <= 0 || duration <= 0 {
+	if cfg.n <= 0 || cfg.rate <= 0 || cfg.duration <= 0 {
 		return fmt.Errorf("n, rate and duration must be positive")
 	}
-	zipf, err := stats.NewZipf(n, theta)
+	if cfg.metricsURL != "" && cfg.scrapeEvery <= 0 {
+		return fmt.Errorf("scrape-every must be positive, got %v", cfg.scrapeEvery)
+	}
+	zipf, err := stats.NewZipf(cfg.n, cfg.theta)
 	if err != nil {
 		return err
 	}
-	rng := stats.NewRNG(seed)
-	interval := time.Duration(float64(time.Second) / rate)
-	deadline := time.Now().Add(duration)
+
+	var scraper *metricsScraper
+	if cfg.metricsURL != "" {
+		scraper = newMetricsScraper(cfg.metricsURL)
+		stop := scraper.start(cfg.scrapeEvery)
+		defer stop()
+	}
+
+	rng := stats.NewRNG(cfg.seed)
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	deadline := time.Now().Add(cfg.duration)
 	requests, errors := 0, 0
 	for time.Now().Before(deadline) {
 		id := zipf.Sample(rng) - 1
-		resp, err := http.Get(fmt.Sprintf("%s/object/%d", mirror, id))
+		resp, err := http.Get(fmt.Sprintf("%s/object/%d", cfg.mirror, id))
 		if err != nil {
 			errors++
 		} else {
@@ -65,6 +120,148 @@ func run(mirror string, n int, theta, rate float64, duration time.Duration, seed
 		}
 		time.Sleep(interval)
 	}
-	log.Printf("loadgen: %d requests (%d errors) over %v at zipf θ=%.2f", requests, errors, duration, theta)
+	log.Printf("loadgen: %d requests (%d errors) over %v at zipf θ=%.2f", requests, errors, cfg.duration, cfg.theta)
+
+	if scraper != nil {
+		report := scraper.report(cfg.metricsURL)
+		report.Requests = requests
+		report.RequestErrors = errors
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.obsOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", cfg.obsOut, err)
+		}
+		log.Printf("loadgen: wrote %s (%d scrapes, %d scrape errors)", cfg.obsOut, report.Scrapes, report.ScrapeErrors)
+	}
 	return nil
+}
+
+// obsReport is the observability benchmark loadgen writes: what a live
+// mirror's exposition said while this traffic ran.
+type obsReport struct {
+	MetricsURL   string    `json:"metrics_url"`
+	Scrapes      int       `json:"scrapes"`
+	ScrapeErrors int       `json:"scrape_errors"`
+	BadLines     int       `json:"bad_exposition_lines"`
+	PFTrajectory []float64 `json:"pf_trajectory"`
+
+	// Latency digests from the final scrape (success refreshes).
+	RefreshP50Seconds float64 `json:"refresh_p50_seconds"`
+	RefreshP99Seconds float64 `json:"refresh_p99_seconds"`
+	SolverMeanSeconds float64 `json:"solver_mean_seconds"`
+	RefreshCount      float64 `json:"refresh_count"`
+
+	Requests      int `json:"requests"`
+	RequestErrors int `json:"request_errors"`
+}
+
+// metricsScraper polls a /metrics endpoint on a cadence, keeping the
+// PF trajectory and the final exposition. Scrape failures and
+// unparseable lines are counted, never fatal: a mirror mid-restart
+// just leaves a gap in the trajectory.
+type metricsScraper struct {
+	url    string
+	client *http.Client
+
+	mu       sync.Mutex
+	scrapes  int
+	errors   int
+	badLines int
+	pf       []float64
+	last     *obs.Exposition
+}
+
+func newMetricsScraper(url string) *metricsScraper {
+	return &metricsScraper{url: url, client: &http.Client{Timeout: 5 * time.Second}}
+}
+
+// scrapeOnce fetches and folds in one exposition.
+func (s *metricsScraper) scrapeOnce() {
+	resp, err := s.client.Get(s.url)
+	if err != nil {
+		s.mu.Lock()
+		s.errors++
+		s.mu.Unlock()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.mu.Lock()
+		s.errors++
+		s.mu.Unlock()
+		return
+	}
+	e, err := obs.ParseExposition(resp.Body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.errors++
+		return
+	}
+	s.scrapes++
+	s.badLines += e.BadLines
+	if pf, ok := e.Value("freshen_pf"); ok {
+		s.pf = append(s.pf, pf)
+	}
+	s.last = e
+}
+
+// start launches the scrape loop and returns its stop function. One
+// scrape runs immediately so even sub-cadence runs report something.
+func (s *metricsScraper) start(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		s.scrapeOnce()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.scrapeOnce()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// report folds the collected scrapes into the benchmark document,
+// taking one final scrape so the digests cover the whole run.
+func (s *metricsScraper) report(url string) obsReport {
+	s.scrapeOnce()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := obsReport{
+		MetricsURL:   url,
+		Scrapes:      s.scrapes,
+		ScrapeErrors: s.errors,
+		BadLines:     s.badLines,
+		PFTrajectory: s.pf,
+	}
+	if e := s.last; e != nil {
+		if p50, ok := e.HistogramQuantile("freshen_refresh_duration_seconds", 0.5, "outcome", "success"); ok {
+			r.RefreshP50Seconds = p50
+		}
+		if p99, ok := e.HistogramQuantile("freshen_refresh_duration_seconds", 0.99, "outcome", "success"); ok {
+			r.RefreshP99Seconds = p99
+		}
+		r.RefreshCount, _ = e.Value("freshen_refresh_duration_seconds_count", "outcome", "success")
+		sum, ok1 := e.Value("freshen_solver_solve_seconds_sum")
+		count, ok2 := e.Value("freshen_solver_solve_seconds_count")
+		if ok1 && ok2 && count > 0 {
+			r.SolverMeanSeconds = sum / count
+		}
+	}
+	return r
 }

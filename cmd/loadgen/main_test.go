@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -10,21 +13,86 @@ import (
 	"time"
 )
 
+func testCfg(mirror string) config {
+	return config{
+		mirror:      mirror,
+		n:           10,
+		theta:       1,
+		rate:        10,
+		duration:    time.Second,
+		seed:        1,
+		scrapeEvery: time.Second,
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-mirror", "http://m:8081"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.mirror != "http://m:8081" || cfg.n != 500 || cfg.theta != 1.0 || cfg.rate != 50 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.duration != 30*time.Second || cfg.seed != 1 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.metricsURL != "" || cfg.scrapeEvery != time.Second || cfg.obsOut != "BENCH_obs.json" {
+		t.Errorf("scrape defaults not applied: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverridesAndErrors(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-mirror", "http://m", "-n", "7", "-theta", "0.5", "-rate", "5",
+		"-duration", "2s", "-seed", "3",
+		"-metrics-url", "http://m/metrics", "-scrape-every", "250ms", "-obs-out", "/tmp/o.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := config{
+		mirror: "http://m", n: 7, theta: 0.5, rate: 5,
+		duration: 2 * time.Second, seed: 3,
+		metricsURL: "http://m/metrics", scrapeEvery: 250 * time.Millisecond, obsOut: "/tmp/o.json",
+	}
+	if cfg != want {
+		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+	for _, args := range [][]string{
+		{"-rate", "not-a-number"},
+		{"-duration", "sideways"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("", 10, 1, 10, time.Second, 1); err == nil {
-		t.Error("missing mirror must fail")
+	alter := func(f func(*config)) config {
+		cfg := testCfg("http://x")
+		f(&cfg)
+		return cfg
 	}
-	if err := run("http://x", 0, 1, 10, time.Second, 1); err == nil {
-		t.Error("zero objects must fail")
+	cases := []struct {
+		name string
+		cfg  config
+	}{
+		{"missing mirror", alter(func(c *config) { c.mirror = "" })},
+		{"zero objects", alter(func(c *config) { c.n = 0 })},
+		{"zero rate", alter(func(c *config) { c.rate = 0 })},
+		{"zero duration", alter(func(c *config) { c.duration = 0 })},
+		{"negative theta", alter(func(c *config) { c.theta = -1 })},
+		{"zero scrape cadence", alter(func(c *config) {
+			c.metricsURL = "http://x/metrics"
+			c.scrapeEvery = 0
+		})},
 	}
-	if err := run("http://x", 10, 1, 0, time.Second, 1); err == nil {
-		t.Error("zero rate must fail")
-	}
-	if err := run("http://x", 10, 1, 10, 0, 1); err == nil {
-		t.Error("zero duration must fail")
-	}
-	if err := run("http://x", 10, -1, 10, time.Second, 1); err == nil {
-		t.Error("negative theta must fail")
+	for _, tc := range cases {
+		if err := run(tc.cfg); err == nil {
+			t.Errorf("%s: invalid configuration accepted", tc.name)
+		}
 	}
 }
 
@@ -43,10 +111,178 @@ func TestRunDrivesTraffic(t *testing.T) {
 		w.Write([]byte("ok"))
 	}))
 	defer srv.Close()
-	if err := run(srv.URL, 20, 1.0, 200, 300*time.Millisecond, 1); err != nil {
+	cfg := testCfg(srv.URL)
+	cfg.n = 20
+	cfg.rate = 200
+	cfg.duration = 300 * time.Millisecond
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	if got := atomic.LoadInt64(&hits); got < 20 {
 		t.Errorf("mirror saw only %d requests", got)
+	}
+}
+
+// stubExposition is a plausible freshend exposition for scrape tests.
+const stubExposition = `# HELP freshen_pf Live perceived freshness.
+# TYPE freshen_pf gauge
+freshen_pf 0.87
+# TYPE freshen_refresh_duration_seconds histogram
+freshen_refresh_duration_seconds_bucket{outcome="success",le="0.001"} 5
+freshen_refresh_duration_seconds_bucket{outcome="success",le="0.01"} 9
+freshen_refresh_duration_seconds_bucket{outcome="success",le="+Inf"} 10
+freshen_refresh_duration_seconds_sum{outcome="success"} 0.05
+freshen_refresh_duration_seconds_count{outcome="success"} 10
+# TYPE freshen_solver_solve_seconds histogram
+freshen_solver_solve_seconds_bucket{le="+Inf"} 4
+freshen_solver_solve_seconds_sum 0.02
+freshen_solver_solve_seconds_count 4
+`
+
+// TestScrapeLoopWritesBenchmark drives traffic against a stub mirror
+// whose /metrics serves a fixed exposition, and checks the written
+// BENCH_obs.json: scrape counts, the PF trajectory, and the latency
+// digests derived from the histogram.
+func TestScrapeLoopWritesBenchmark(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write([]byte(stubExposition))
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	cfg := testCfg(srv.URL)
+	cfg.rate = 100
+	cfg.duration = 350 * time.Millisecond
+	cfg.metricsURL = srv.URL + "/metrics"
+	cfg.scrapeEvery = 50 * time.Millisecond
+	cfg.obsOut = out
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report obsReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_obs.json is not valid JSON: %v", err)
+	}
+	if report.Scrapes < 3 {
+		t.Errorf("scrapes = %d, want >= 3 (initial + cadence + final)", report.Scrapes)
+	}
+	if report.ScrapeErrors != 0 || report.BadLines != 0 {
+		t.Errorf("clean exposition produced errors: %+v", report)
+	}
+	if len(report.PFTrajectory) != report.Scrapes {
+		t.Errorf("pf trajectory has %d points for %d scrapes", len(report.PFTrajectory), report.Scrapes)
+	}
+	for _, pf := range report.PFTrajectory {
+		if pf != 0.87 {
+			t.Errorf("pf point = %v, want 0.87", pf)
+		}
+	}
+	if report.RefreshP50Seconds <= 0 || report.RefreshP50Seconds > 0.001 {
+		t.Errorf("p50 = %v, want in (0, 0.001] (5 of 10 in the first bucket)", report.RefreshP50Seconds)
+	}
+	if report.RefreshP99Seconds < report.RefreshP50Seconds {
+		t.Errorf("p99 %v < p50 %v", report.RefreshP99Seconds, report.RefreshP50Seconds)
+	}
+	if report.SolverMeanSeconds != 0.005 {
+		t.Errorf("solver mean = %v, want 0.005 (0.02/4)", report.SolverMeanSeconds)
+	}
+	if report.RefreshCount != 10 {
+		t.Errorf("refresh count = %v, want 10", report.RefreshCount)
+	}
+	if report.Requests == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+// TestScrapeMalformedExposition: garbage lines are counted, a fully
+// unparseable endpoint counts as a scrape error, and neither kills the
+// run or the report.
+func TestScrapeMalformedExposition(t *testing.T) {
+	cases := []struct {
+		name       string
+		body       string
+		wantErrors bool
+		wantBad    bool
+	}{
+		{"partial garbage", "# TYPE freshen_pf gauge\nfreshen_pf 0.5\nthis is not a metric line at all {{{\n", false, true},
+		{"complete garbage", "<html>not metrics</html>\n", true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/metrics" {
+					w.Write([]byte(tc.body))
+					return
+				}
+				w.Write([]byte("ok"))
+			}))
+			defer srv.Close()
+			out := filepath.Join(t.TempDir(), "obs.json")
+			cfg := testCfg(srv.URL)
+			cfg.rate = 100
+			cfg.duration = 200 * time.Millisecond
+			cfg.metricsURL = srv.URL + "/metrics"
+			cfg.scrapeEvery = 50 * time.Millisecond
+			cfg.obsOut = out
+			if err := run(cfg); err != nil {
+				t.Fatalf("malformed exposition killed the run: %v", err)
+			}
+			var report obsReport
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(data, &report); err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantErrors && report.ScrapeErrors == 0 {
+				t.Errorf("scrape errors not counted: %+v", report)
+			}
+			if tc.wantBad && report.BadLines == 0 {
+				t.Errorf("bad lines not counted: %+v", report)
+			}
+		})
+	}
+}
+
+// TestScrapeUnreachableMirror: a dead metrics endpoint is a counted
+// error per attempt, not a crash.
+func TestScrapeUnreachableMirror(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	out := filepath.Join(t.TempDir(), "obs.json")
+	cfg := testCfg(srv.URL)
+	cfg.duration = 150 * time.Millisecond
+	cfg.metricsURL = "http://127.0.0.1:1/metrics"
+	cfg.scrapeEvery = 50 * time.Millisecond
+	cfg.obsOut = out
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var report obsReport
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.ScrapeErrors == 0 {
+		t.Errorf("unreachable endpoint produced no scrape errors: %+v", report)
+	}
+	if report.Scrapes != 0 {
+		t.Errorf("scrapes = %d from an unreachable endpoint", report.Scrapes)
 	}
 }

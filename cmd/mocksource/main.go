@@ -23,12 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
 	"freshen/internal/httpmirror"
+	"freshen/internal/obs"
 	"freshen/internal/stats"
 )
 
@@ -49,6 +50,7 @@ type config struct {
 	pareto       bool
 	period       time.Duration
 	seed         int64
+	logLevel     string
 	faults       faultFlags
 }
 
@@ -58,7 +60,8 @@ func main() {
 		os.Exit(2) // parseFlags already printed the diagnostic and usage
 	}
 	if err := run(cfg); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "mocksource:", err)
+		os.Exit(1)
 	}
 }
 
@@ -81,12 +84,13 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	stallFor := fs.Duration("stall-for", 30*time.Second, "how long a stalled request hangs")
 	outageAfter := fs.Duration("outage-after", 0, "delay before a full-outage window opens; requires -outage-for")
 	outageFor := fs.Duration("outage-for", 0, "length of the outage window; requires -outage-after")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	cfg := config{
 		addr: *addr, n: *n, mean: *mean, stddev: *stddev,
-		pareto: *pareto, period: *period, seed: *seed,
+		pareto: *pareto, period: *period, seed: *seed, logLevel: *logLevel,
 		faults: faultFlags{
 			rate:        *faultRate,
 			latency:     *faultLatency,
@@ -141,12 +145,23 @@ func run(cfg config) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
-	handler, err := buildHandler(cfg.n, cfg.mean, cfg.stddev, cfg.pareto, cfg.period, cfg.seed, cfg.faults)
+	if cfg.logLevel == "" {
+		cfg.logLevel = "info"
+	}
+	level, err := obs.ParseLevel(cfg.logLevel)
 	if err != nil {
 		return err
 	}
-	log.Printf("mocksource: %d objects, mean rate %.2f/period, period %v, listening on %s",
-		cfg.n, cfg.mean, cfg.period, cfg.addr)
+	lg := obs.Component(obs.NewLogger(os.Stderr, level), "mocksource")
+	handler, err := buildHandler(cfg.n, cfg.mean, cfg.stddev, cfg.pareto, cfg.period, cfg.seed, cfg.faults, lg)
+	if err != nil {
+		return err
+	}
+	lg.Info("source up",
+		slog.Int("objects", cfg.n),
+		slog.Float64("mean_rate", cfg.mean),
+		slog.Duration("period", cfg.period),
+		slog.String("addr", cfg.addr))
 	srv := &http.Server{
 		Addr:        cfg.addr,
 		Handler:     handler,
@@ -158,7 +173,10 @@ func run(cfg config) error {
 
 // buildHandler assembles the simulated source (with its clock driver)
 // and wraps it in the fault injector when any injection is requested.
-func buildHandler(n int, mean, stddev float64, pareto bool, period time.Duration, seed int64, faults faultFlags) (http.Handler, error) {
+func buildHandler(n int, mean, stddev float64, pareto bool, period time.Duration, seed int64, faults faultFlags, lg *slog.Logger) (http.Handler, error) {
+	if lg == nil {
+		lg = obs.Nop()
+	}
 	gamma, err := stats.NewGammaMeanStdDev(mean, stddev)
 	if err != nil {
 		return nil, err
@@ -201,8 +219,12 @@ func buildHandler(n int, mean, stddev float64, pareto bool, period time.Duration
 			return nil, err
 		}
 		httpmirror.ScheduleOutage(inj, faults.outageAfter, faults.outageFor)
-		log.Printf("mocksource: fault injection on (rate %.2f, latency %v, stall %.2f, outage %v after %v)",
-			faults.rate, faults.latency, faults.stallProb, faults.outageFor, faults.outageAfter)
+		lg.Info("fault injection on",
+			slog.Float64("error_rate", faults.rate),
+			slog.Duration("latency", faults.latency),
+			slog.Float64("stall_prob", faults.stallProb),
+			slog.Duration("outage_for", faults.outageFor),
+			slog.Duration("outage_after", faults.outageAfter))
 		handler = inj
 	}
 	return handler, nil

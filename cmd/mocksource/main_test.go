@@ -71,7 +71,7 @@ func TestParseFlagsValidatesFaults(t *testing.T) {
 
 func TestBuildHandlerInjectsFaults(t *testing.T) {
 	// With a certain fault rate every request fails with 500.
-	h, err := buildHandler(3, 2, 1, false, time.Second, 1, faultFlags{rate: 1})
+	h, err := buildHandler(3, 2, 1, false, time.Second, 1, faultFlags{rate: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestBuildHandlerInjectsFaults(t *testing.T) {
 	}
 
 	// Without injection the catalog serves normally.
-	h, err = buildHandler(3, 2, 1, false, time.Second, 1, faultFlags{})
+	h, err = buildHandler(3, 2, 1, false, time.Second, 1, faultFlags{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package estimate
+
+import (
+	"strings"
+	"testing"
+
+	"freshen/internal/obs"
+)
+
+// TestTrackerInstrument pins the estimator's metric surface: every
+// recorded poll counts, changed polls count separately, and replay via
+// NewTrackerFromHistories is NOT counted unless the rebuilt tracker is
+// itself instrumented.
+func TestTrackerInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr, err := NewTracker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Instrument(reg)
+
+	polls := []struct {
+		elem    int
+		changed bool
+	}{{0, true}, {0, false}, {1, true}, {1, true}, {1, false}}
+	for _, p := range polls {
+		if err := tr.Record(p.elem, 1.0, p.changed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rejected polls must not count.
+	if err := tr.Record(0, -1, true); err == nil {
+		t.Fatal("negative elapsed accepted")
+	}
+
+	// Rebuilding from the exported history replays every poll through
+	// Record; instrumenting the rebuilt tracker on the same registry
+	// doubles the counters (get-or-create returns the same series).
+	tr2, err := NewTracker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Instrument(reg)
+	for i, h := range tr.Export() {
+		for _, p := range h {
+			if err := tr2.Record(i, p.Elapsed, p.Changed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := obs.ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Value("freshen_estimator_polls_total"); !ok || v != 10 {
+		t.Errorf("freshen_estimator_polls_total = %v, %v; want 10", v, ok)
+	}
+	if v, ok := e.Value("freshen_estimator_changes_total"); !ok || v != 6 {
+		t.Errorf("freshen_estimator_changes_total = %v, %v; want 6", v, ok)
+	}
+}

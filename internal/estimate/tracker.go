@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"freshen/internal/obs"
 	"freshen/internal/stats"
 )
 
@@ -13,6 +14,23 @@ import (
 // poll (the fetched copy either differs from the stored one or not).
 type Tracker struct {
 	histories [][]Poll
+
+	// Optional instrumentation (nil until Instrument): the paper's
+	// schedule is only as good as these inputs, so the poll stream the
+	// estimator actually sees is exported, not inferred.
+	polls   *obs.Counter
+	changes *obs.Counter
+}
+
+// Instrument registers the tracker's metrics on reg and starts
+// counting recorded polls and observed changes — including polls
+// replayed from a snapshot or journal at boot, so the counters always
+// reflect the knowledge the estimates are built on.
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	t.polls = reg.Counter("freshen_estimator_polls_total",
+		"Change polls recorded by the estimator (replayed history included).")
+	t.changes = reg.Counter("freshen_estimator_changes_total",
+		"Polls that observed a changed object.")
 }
 
 // NewTracker creates a tracker for n elements.
@@ -32,6 +50,12 @@ func (t *Tracker) Record(element int, elapsed float64, changed bool) error {
 		return fmt.Errorf("estimate: elapsed time must be positive, got %v", elapsed)
 	}
 	t.histories[element] = append(t.histories[element], Poll{Elapsed: elapsed, Changed: changed})
+	if t.polls != nil {
+		t.polls.Inc()
+		if changed {
+			t.changes.Inc()
+		}
+	}
 	return nil
 }
 

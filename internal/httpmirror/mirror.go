@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"freshen/internal/core"
 	"freshen/internal/estimate"
 	"freshen/internal/freshness"
+	"freshen/internal/obs"
 	"freshen/internal/persist"
 	"freshen/internal/schedule"
 )
@@ -47,6 +49,14 @@ type Config struct {
 	// SnapshotEvery is the snapshot cadence in periods; 0 means 5.
 	// Only meaningful with Persist.
 	SnapshotEvery float64
+	// Metrics, when non-nil, registers the mirror's instrumentation on
+	// the registry and mounts GET /metrics on the Handler. The same
+	// registry can also carry solver and store series (see
+	// solver.Instrument and persist.Store.Instrument).
+	Metrics *obs.Registry
+	// Logger receives the mirror's structured events (quarantine,
+	// breaker, snapshot outcomes, replans); nil discards them.
+	Logger *slog.Logger
 	// Seed drives refresh phases.
 	Seed int64
 }
@@ -122,6 +132,12 @@ type Mirror struct {
 	recovered      bool    // some durable state survived into this process
 	recoveryStatus string  // human-readable recovery outcome for /readyz
 	ready          bool    // serves 200 on /readyz
+
+	// Observability (see obs.go): nil metrics disable instrumentation;
+	// log is never nil (a no-op logger stands in).
+	metrics      *mirrorMetrics
+	log          *slog.Logger
+	lastPFUpdate float64 // period clock at the last PF gauge recompute
 }
 
 // New creates a mirror: it pulls the upstream catalog, seeds every
@@ -162,10 +178,17 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 		store:          cfg.Persist,
 		lastSnapshotAt: -1,
 		recoveryStatus: "disabled",
+		log:            obs.Component(cfg.Logger, "mirror"),
 	}
 	m.tracker, err = estimate.NewTracker(n)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		// Registered before recovery so replayed journal polls land in
+		// the estimator counters like live ones.
+		m.metrics = instrumentMirror(m, cfg.Metrics)
+		m.tracker.Instrument(cfg.Metrics)
 	}
 	for i, entry := range catalog {
 		if entry.ID != i {
@@ -212,6 +235,17 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 	// Readiness: immediately without persistence or after a recovery;
 	// a cold persistent mirror answers 503 until its first snapshot.
 	m.ready = m.store == nil || m.recovered
+	// No concurrency yet, so the Locked gauge helpers run bare; this
+	// also covers the warm-start path, which bypasses replanLocked.
+	m.updatePlanGaugesLocked()
+	m.updatePFGaugesLocked()
+	m.log.Info("mirror up",
+		"objects", n,
+		"strategy", m.plan.Strategy.String(),
+		"planned_pf", m.plan.Perceived,
+		"recovery", m.recoveryStatus,
+		"journal_replayed", m.replayed,
+		"ready", m.ready)
 	return m, nil
 }
 
@@ -263,6 +297,14 @@ func (m *Mirror) replanLocked() error {
 	m.iterBase = m.now
 	m.lastReplan = m.now
 	m.replans++
+	m.metrics.countReplan()
+	m.updatePlanGaugesLocked()
+	m.updatePFGaugesLocked()
+	m.log.Debug("replanned",
+		"planned_pf", plan.Perceived,
+		"bandwidth_used", plan.BandwidthUsed,
+		"active", len(active),
+		"now", m.now)
 	return nil
 }
 
@@ -314,12 +356,13 @@ func (m *Mirror) Step(now float64) (int, error) {
 			// copy. The skip is recorded — not fed to the estimator —
 			// so an outage is never mistaken for "no change observed".
 			m.skippedRefreshes++
+			m.metrics.countSkipped()
 			m.mu.Unlock()
 			continue
 		}
 		m.mu.Unlock()
 
-		err := m.refresh(ev.element, ev.at)
+		err := m.timedRefresh(ev.element, ev.at)
 		if m.noteOutcome(ev.element, ev.at, err) {
 			healthChanged = true
 		}
@@ -337,6 +380,11 @@ func (m *Mirror) Step(now float64) (int, error) {
 	m.mu.Lock()
 	if now > m.now {
 		m.now = now
+	}
+	if m.metrics != nil && m.now-m.lastPFUpdate >= 1 {
+		// The live PF gauges cost one exp per element, so they follow
+		// the period clock, not the tick or scrape rate.
+		m.updatePFGaugesLocked()
 	}
 	if healthChanged {
 		if err := m.replanLocked(); err != nil {
@@ -365,6 +413,16 @@ func (m *Mirror) Step(now float64) (int, error) {
 		m.commitSnapshot(snap)
 	}
 	return refreshes, nil
+}
+
+// timedRefresh runs refresh under the duration histogram: every
+// attempt lands in freshen_refresh_duration_seconds{outcome} and
+// freshen_refreshes_total{outcome}.
+func (m *Mirror) timedRefresh(id int, at float64) error {
+	start := time.Now()
+	err := m.refresh(id, at)
+	m.metrics.observeRefresh(time.Since(start), err)
+	return err
 }
 
 // refresh refreshes one object conditionally: a HEAD reveals the
@@ -413,6 +471,7 @@ func (m *Mirror) refresh(id int, at float64) error {
 		c.version = ver
 		c.fetchedAt = at
 		m.transfers++
+		m.metrics.countTransfer()
 	}
 	journaled := m.store != nil
 	m.mu.Unlock()
@@ -442,13 +501,21 @@ func (m *Mirror) noteOutcome(id int, at float64, err error) bool {
 // noteOutcomeLocked is noteOutcome under an already-held m.mu; journal
 // replay uses it directly so recovery reproduces the live transitions.
 func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
+	tripsBefore := m.brk.trips
 	m.brk.record(err == nil, at)
+	if m.brk.trips > tripsBefore {
+		m.metrics.countBreakerTrip()
+		m.log.Warn("breaker opened", "at", at, "trips", m.brk.trips)
+	}
 	h := &m.health[id]
 	if err == nil {
 		h.consecFails = 0
 		if h.quarantined {
 			h.quarantined = false
 			m.recoveries++
+			m.metrics.countRecovery()
+			m.log.Info("element recovered", "element", id, "at", at,
+				"quarantined_for", at-h.quarantinedAt)
 			return true
 		}
 		return false
@@ -460,6 +527,9 @@ func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
 		h.quarantinedAt = at
 		h.lastProbe = at
 		m.quarantineEvents++
+		m.metrics.countQuarantine()
+		m.log.Info("element quarantined", "element", id, "at", at,
+			"consecutive_failures", h.consecFails, "error", err)
 		return true
 	}
 	return false
@@ -490,7 +560,7 @@ func (m *Mirror) probeQuarantined(now float64) bool {
 		if !allowed {
 			break
 		}
-		err := m.refresh(id, now)
+		err := m.timedRefresh(id, now)
 		if m.noteOutcome(id, now, err) {
 			changed = true
 		}
@@ -567,6 +637,7 @@ func (m *Mirror) Access(id int) (body []byte, version int, err error) {
 	c := &m.copies[id]
 	c.accesses++
 	m.accesses++
+	m.metrics.countAccess()
 	return c.body, c.version, nil
 }
 
@@ -687,12 +758,28 @@ func (m *Mirror) ForceReplan() error {
 	return m.replanLocked()
 }
 
+// wantsPlainText reports whether a probe asked for the plain-text
+// form of a health endpoint: kubelet-style probes send
+// "Accept: text/plain" and want a bare ok/unavailable body, while
+// monitoring clients (no Accept, or anything else) get JSON.
+func wantsPlainText(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
 // Handler serves the mirror API: GET /object/{id}, GET /status,
 // GET /healthz (liveness), GET /readyz (readiness; 503 until the
-// first recovery or snapshot completes), POST /replan.
+// first recovery or snapshot completes), POST /replan, and — when the
+// mirror was built with a metrics registry — GET /metrics.
+//
+// /healthz and /readyz answer JSON by default and plain text ("ok" /
+// "unavailable") when the request's Accept header asks for text/plain.
+// Every route lands in freshen_serve_requests_total{route,code}.
 func (m *Mirror) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, m.metrics.countRequests(strings.TrimSuffix(route, "/"), h))
+	}
+	handle("/object/", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -714,7 +801,7 @@ func (m *Mirror) Handler() http.Handler {
 		w.Header().Set("X-Version", strconv.Itoa(ver))
 		w.Write(body)
 	})
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+	handle("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -724,9 +811,15 @@ func (m *Mirror) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if wantsPlainText(r) {
+			// Liveness is unconditionally ok while the process serves.
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -734,12 +827,22 @@ func (m *Mirror) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		rd := m.Readiness()
+		if wantsPlainText(r) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !rd.Ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "unavailable")
+				return
+			}
+			fmt.Fprintln(w, "ok")
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if !rd.Ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -748,7 +851,7 @@ func (m *Mirror) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/replan", func(w http.ResponseWriter, r *http.Request) {
+	handle("/replan", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -759,5 +862,9 @@ func (m *Mirror) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	if reg := m.cfg.Metrics; reg != nil {
+		// The registry's handler already enforces GET-or-405.
+		mux.Handle("/metrics", m.metrics.countRequests("/metrics", reg.Handler()))
+	}
 	return mux
 }

@@ -1,0 +1,269 @@
+package httpmirror
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"freshen/internal/freshness"
+	"freshen/internal/obs"
+)
+
+// mirrorMetrics is the mirror's registry-backed instrumentation. All
+// methods are nil-receiver safe so the hot paths stay branchless when
+// observability is off (Config.Metrics == nil).
+//
+// Two kinds of series coexist. Event counters (refreshes, transfers,
+// breaker trips, …) count what THIS process did and reset on restart —
+// standard Prometheus counter semantics; the restored lifetime totals
+// stay on /status and in the snapshot. State gauges are either
+// recomputed on the period clock (PF, staleness — each costs an exp
+// per element, so once per period, not per scrape) or read live at
+// scrape time through GaugeFunc closures (clock, breaker state,
+// quarantine size — one mutex acquisition per scrape).
+type mirrorMetrics struct {
+	refreshSeconds *obs.HistogramVec // outcome: success|failure
+	refreshes      *obs.CounterVec   // outcome: success|failure|skipped
+	transfers      *obs.Counter
+	accesses       *obs.Counter
+	serveRequests  *obs.CounterVec // route, code
+	breakerTrips   *obs.Counter
+	quarEvents     *obs.Counter
+	recoveries     *obs.Counter
+	replans        *obs.Counter
+	persistErrors  *obs.Counter
+
+	pf            *obs.Gauge
+	avgFreshness  *obs.Gauge
+	bandwidthUsed *obs.Gauge
+	lambdaMean    *obs.Gauge
+}
+
+// instrumentMirror registers the mirror's series on reg and wires the
+// scrape-time gauges to m. Called from New before any concurrency, and
+// before recovery replay so replayed polls reach the estimator
+// counters.
+func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
+	mm := &mirrorMetrics{
+		refreshSeconds: reg.HistogramVec("freshen_refresh_duration_seconds",
+			"Wall-clock time of one refresh attempt (HEAD, conditional GET, retries).",
+			obs.LatencyBuckets(), "outcome"),
+		refreshes: reg.CounterVec("freshen_refreshes_total",
+			"Refresh attempts by outcome; skipped means the breaker was open.", "outcome"),
+		transfers: reg.Counter("freshen_transfers_total",
+			"Refreshes that found a changed object and transferred its body."),
+		accesses: reg.Counter("freshen_accesses_total",
+			"Client object accesses served from the local copies."),
+		serveRequests: reg.CounterVec("freshen_serve_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		breakerTrips: reg.Counter("freshen_breaker_trips_total",
+			"Circuit breaker closed-to-open transitions."),
+		quarEvents: reg.Counter("freshen_quarantine_events_total",
+			"Elements placed in quarantine."),
+		recoveries: reg.Counter("freshen_recoveries_total",
+			"Elements released from quarantine after a successful probe."),
+		replans: reg.Counter("freshen_replans_total",
+			"Schedule recomputations (cadence, fault-driven, and forced)."),
+		persistErrors: reg.Counter("freshen_persist_write_failures_total",
+			"Journal appends or snapshot commits the mirror absorbed as failed."),
+
+		pf: reg.Gauge("freshen_pf",
+			"Live perceived freshness Σ pᵢ·F(fᵢ,λᵢ) under the current plan; recomputed once per period."),
+		avgFreshness: reg.Gauge("freshen_avg_freshness",
+			"Live unweighted mean freshness under the current plan; recomputed once per period."),
+		bandwidthUsed: reg.Gauge("freshen_planned_bandwidth_used",
+			"Bandwidth Σ sᵢ·fᵢ the current plan consumes."),
+		lambdaMean: reg.Gauge("freshen_lambda_mean",
+			"Mean estimated change rate across the catalog."),
+	}
+	// Scrape-time state gauges: each closure takes m.mu briefly. The
+	// registry never calls them while the mirror holds its own locks,
+	// so the lock order is always scrape → m.mu.
+	reg.GaugeFunc("freshen_objects",
+		"Objects in the mirrored catalog.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.copies))
+		})
+	reg.GaugeFunc("freshen_clock_periods",
+		"The mirror's period clock.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.now
+		})
+	reg.GaugeFunc("freshen_schedule_staleness_periods",
+		"Periods elapsed since the schedule was last recomputed.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.now - m.lastReplan
+		})
+	reg.GaugeFunc("freshen_breaker_state",
+		"Circuit breaker state: 0 closed, 1 open, 2 half-open.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.brk.state)
+		})
+	reg.GaugeFunc("freshen_quarantine_size",
+		"Elements currently quarantined.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			n := 0
+			for i := range m.health {
+				if m.health[i].quarantined {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("freshen_last_snapshot_age_periods",
+		"Periods since the last durable snapshot; -1 when none exists.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.lastSnapshotAt < 0 {
+				return -1
+			}
+			return m.now - m.lastSnapshotAt
+		})
+	reg.GaugeFunc("freshen_upstream_retries",
+		"Upstream requests retried after a transient failure.", func() float64 {
+			return float64(m.cfg.Upstream.Retries())
+		})
+	reg.GaugeFunc("freshen_upstream_failures",
+		"Upstream requests that failed after exhausting retries.", func() float64 {
+			return float64(m.cfg.Upstream.Failures())
+		})
+	return mm
+}
+
+func (mm *mirrorMetrics) observeRefresh(elapsed time.Duration, err error) {
+	if mm == nil {
+		return
+	}
+	outcome := "success"
+	if err != nil {
+		outcome = "failure"
+	}
+	mm.refreshSeconds.With(outcome).Observe(elapsed.Seconds())
+	mm.refreshes.With(outcome).Inc()
+}
+
+func (mm *mirrorMetrics) countSkipped() {
+	if mm != nil {
+		mm.refreshes.With("skipped").Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countTransfer() {
+	if mm != nil {
+		mm.transfers.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countAccess() {
+	if mm != nil {
+		mm.accesses.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countBreakerTrip() {
+	if mm != nil {
+		mm.breakerTrips.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countQuarantine() {
+	if mm != nil {
+		mm.quarEvents.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countRecovery() {
+	if mm != nil {
+		mm.recoveries.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countReplan() {
+	if mm != nil {
+		mm.replans.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countPersistError() {
+	if mm != nil {
+		mm.persistErrors.Inc()
+	}
+}
+
+// updatePlanGaugesLocked refreshes the gauges that follow the plan:
+// planned bandwidth and the mean change-rate estimate. Called on every
+// replan, when the values actually move. Callers hold m.mu.
+func (m *Mirror) updatePlanGaugesLocked() {
+	mm := m.metrics
+	if mm == nil {
+		return
+	}
+	mm.bandwidthUsed.Set(m.plan.BandwidthUsed)
+	var sum float64
+	for i := range m.elems {
+		sum += m.elems[i].Lambda
+	}
+	mm.lambdaMean.Set(sum / float64(len(m.elems)))
+}
+
+// updatePFGaugesLocked recomputes the live freshness gauges. Each
+// evaluation costs one exp per element, so callers rate-limit to once
+// per period (see Step); replans recompute immediately because the
+// frequency vector just changed. Callers hold m.mu.
+func (m *Mirror) updatePFGaugesLocked() {
+	mm := m.metrics
+	if mm == nil {
+		return
+	}
+	pol := m.cfg.Plan.Policy
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	if pf, err := freshness.Perceived(pol, m.elems, m.plan.Freqs); err == nil {
+		mm.pf.Set(pf)
+	}
+	if avg, err := freshness.Average(pol, m.elems, m.plan.Freqs); err == nil {
+		mm.avgFreshness.Set(avg)
+	}
+	m.lastPFUpdate = m.now
+}
+
+// statusWriter captures the response code for the serve-path counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// countRequests wraps the mirror API with the per-route request
+// counter. route is the normalized pattern, not the raw path, so the
+// label set stays bounded.
+func (mm *mirrorMetrics) countRequests(route string, h http.Handler) http.Handler {
+	if mm == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		mm.serveRequests.With(route, strconv.Itoa(sw.code)).Inc()
+	})
+}

@@ -205,14 +205,18 @@ func (m *Mirror) exportStateLocked() *persist.Snapshot {
 func (m *Mirror) commitSnapshot(snap *persist.Snapshot) error {
 	err := m.store.Commit(snap)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err != nil {
 		m.persistErrors++
+		m.metrics.countPersistError()
+		m.mu.Unlock()
+		m.log.Warn("snapshot failed", "now", snap.Now, "error", err)
 		return err
 	}
 	m.snapshots++
 	m.lastSnapshotAt = snap.Now
 	m.ready = true
+	m.mu.Unlock()
+	m.log.Debug("snapshot committed", "now", snap.Now, "elements", len(snap.Elements))
 	return nil
 }
 
@@ -243,7 +247,9 @@ func (m *Mirror) appendJournal(r persist.Record) {
 	if err := m.store.Append(r); err != nil {
 		m.mu.Lock()
 		m.persistErrors++
+		m.metrics.countPersistError()
 		m.mu.Unlock()
+		m.log.Warn("journal append failed", "element", r.Element, "error", err)
 	}
 }
 

@@ -1,0 +1,20 @@
+// Package obs is the repository's dependency-free observability
+// layer: atomic metric primitives (Counter, Gauge, Histogram with
+// fixed log-spaced buckets), a label-aware Registry with Prometheus
+// text-format exposition, a tolerant exposition parser for scrapers
+// and tests, and a small structured-event logging facade over
+// log/slog.
+//
+// Everything here is stdlib-only by design — the mirror's north star
+// is a production service, and a service that cannot be observed
+// cannot be operated, but pulling a metrics dependency into go.mod
+// would be a heavier contract than the ~300 lines it saves. The
+// exposition format follows the Prometheus text format version 0.0.4
+// closely enough for any Prometheus-compatible scraper.
+//
+// Concurrency: all metric mutators (Inc, Add, Set, Observe) are
+// lock-free atomics and safe for concurrent use; Registry and Vec
+// lookups take short internal locks. Exposition reads metric values
+// without stopping writers, so a scrape observes each series at a
+// slightly different instant — the usual monitoring contract.
+package obs

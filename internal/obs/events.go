@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// The repository's structured event log is log/slog with a thin
+// convention layer: one process-wide levelled text logger, and one
+// derived logger per component carrying a "component" attribute so
+// events from the mirror, the persistence layer and the daemon
+// harness can be filtered apart.
+
+// NewLogger returns a levelled text logger writing to w. Timestamps
+// are included; use NewTestLogger in tests for deterministic output.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewTestLogger returns a logger writing to w without timestamps, so
+// tests can assert on complete lines.
+func NewTestLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
+// Nop returns a logger that discards everything — the default for
+// library code whose caller didn't wire an event log.
+func Nop() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(127), // above every defined level
+	}))
+}
+
+// Component derives a child logger tagged with the component name.
+// A nil parent derives from the nop logger, so library code can call
+// obs.Component(cfg.Logger, "...") without a nil check.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		l = Nop()
+	}
+	return l.With("component", name)
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelsAndComponents(t *testing.T) {
+	var b strings.Builder
+	l := NewTestLogger(&b, slog.LevelInfo)
+	m := Component(l, "mirror")
+	m.Debug("hidden")
+	m.Info("refresh done", "element", 3)
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line leaked at info level: %q", out)
+	}
+	for _, want := range []string{"component=mirror", "msg=\"refresh done\"", "element=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestComponentNilParent(t *testing.T) {
+	l := Component(nil, "solo")
+	l.Error("must not panic or write anywhere visible")
+}
+
+func TestNopDiscardsEverything(t *testing.T) {
+	l := Nop()
+	if l.Enabled(nil, slog.LevelError) {
+		t.Error("nop logger claims error level is enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}

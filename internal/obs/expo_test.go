@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExpositionTolerant(t *testing.T) {
+	in := `
+# HELP good_total fine
+# TYPE good_total counter
+good_total 12
+this line is garbage
+also{unterminated 3
+good_labeled{a="x",b="y"} 4.5
+{empty_name} 1
+no_value_here
+`
+	e, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.BadLines != 4 {
+		t.Errorf("BadLines = %d, want 4", e.BadLines)
+	}
+	if v, ok := e.Value("good_total"); !ok || v != 12 {
+		t.Errorf("good_total = %v, %v", v, ok)
+	}
+	if v, ok := e.Value("good_labeled", "a", "x", "b", "y"); !ok || v != 4.5 {
+		t.Errorf("good_labeled = %v, %v", v, ok)
+	}
+	if _, ok := e.Value("good_labeled", "a", "nope"); ok {
+		t.Error("constraint mismatch still matched")
+	}
+}
+
+func TestParseExpositionAllGarbage(t *testing.T) {
+	if _, err := ParseExposition(strings.NewReader("complete nonsense\nmore nonsense\n")); err == nil {
+		t.Error("fully malformed exposition accepted")
+	}
+}
+
+func TestParseExpositionEmpty(t *testing.T) {
+	e, err := ParseExposition(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty exposition must parse: %v", err)
+	}
+	if len(e.Samples) != 0 {
+		t.Errorf("samples from empty input: %v", e.Samples)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	in := `
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 10
+lat_seconds_bucket{le="1"} 90
+lat_seconds_bucket{le="10"} 100
+lat_seconds_bucket{le="+Inf"} 100
+lat_seconds_sum 55
+lat_seconds_count 100
+`
+	e, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median: rank 50 falls in the (0.1, 1] bucket, halfway through it.
+	p50, ok := e.HistogramQuantile("lat_seconds", 0.5)
+	if !ok {
+		t.Fatal("quantile on populated histogram reported absent")
+	}
+	if p50 < 0.1 || p50 > 1 {
+		t.Errorf("p50 = %v, want inside (0.1, 1]", p50)
+	}
+	p99, ok := e.HistogramQuantile("lat_seconds", 0.99)
+	if !ok || p99 < 1 || p99 > 10 {
+		t.Errorf("p99 = %v, %v; want inside (1, 10]", p99, ok)
+	}
+	if _, ok := e.HistogramQuantile("missing_seconds", 0.5); ok {
+		t.Error("quantile on a missing histogram reported present")
+	}
+}
+
+func TestHistogramQuantileWithConstraints(t *testing.T) {
+	in := `
+lat_seconds_bucket{outcome="success",le="1"} 4
+lat_seconds_bucket{outcome="success",le="+Inf"} 4
+lat_seconds_bucket{outcome="failure",le="1"} 0
+lat_seconds_bucket{outcome="failure",le="+Inf"} 0
+`
+	e, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.HistogramQuantile("lat_seconds", 0.5, "outcome", "success"); !ok || v <= 0 || v > 1 {
+		t.Errorf("success p50 = %v, %v", v, ok)
+	}
+	if _, ok := e.HistogramQuantile("lat_seconds", 0.5, "outcome", "failure"); ok {
+		t.Error("empty histogram produced a quantile")
+	}
+}
+
+func TestFamiliesFoldsHistogramSeries(t *testing.T) {
+	in := `
+# TYPE a_seconds histogram
+a_seconds_bucket{le="+Inf"} 1
+a_seconds_sum 0.5
+a_seconds_count 1
+b_total 2
+`
+	e, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := e.Families()
+	if len(fams) != 2 || fams[0] != "a_seconds" || fams[1] != "b_total" {
+		t.Errorf("Families = %v, want [a_seconds b_total]", fams)
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d to the counter. Negative or NaN deltas are ignored —
+// a counter only ever moves forward.
+func (c *Counter) Add(d float64) {
+	if !(d > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can move in both directions. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (which may be negative) to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets and tracks their
+// sum. Buckets are chosen at construction (see ExpBuckets for the
+// log-spaced layouts this repository uses) and never change, so
+// Observe is a binary search plus two atomic adds. Safe for
+// concurrent use.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    Counter
+	count  atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given upper bounds, which
+// must be sorted ascending; a trailing +Inf bound is dropped (the
+// overflow bucket is implicit).
+func newHistogram(buckets []float64) *Histogram {
+	upper := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsInf(b, 1) {
+			upper = append(upper, b)
+		}
+	}
+	if !sort.Float64sAreSorted(upper) {
+		panic("obs: histogram buckets must be sorted ascending")
+	}
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Observe records one value. NaN observations are ignored.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// snapshot returns the cumulative bucket counts (aligned with upper,
+// plus the +Inf bucket last) and the total count. Buckets are read
+// without stopping writers; the +Inf entry is the count read at the
+// same moment, so cumulative counts never exceed it by construction
+// of the read order (per-bucket counts are read before count).
+func (h *Histogram) snapshot() (cum []uint64, total uint64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, cum[len(cum)-1]
+}
+
+// ExpBuckets returns count log-spaced bucket upper bounds starting at
+// start and growing by factor: start, start·factor, start·factor², …
+// This is the fixed-bucket layout the repository's latency histograms
+// use — log spacing keeps relative error constant across four orders
+// of magnitude at a flat memory cost.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if !(start > 0) || !(factor > 1) || count < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default layout for operation-latency
+// histograms: 100µs to ~13s in 18 doubling steps. Refresh round
+// trips, solver runs and fsyncs all land comfortably inside it.
+func LatencyBuckets() []float64 { return ExpBuckets(100e-6, 2, 18) }
+
+// CountBuckets is the default layout for small-integer histograms
+// (iteration counts and the like): 1 to 4096 in doubling steps.
+func CountBuckets() []float64 { return ExpBuckets(1, 2, 13) }

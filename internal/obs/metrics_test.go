@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %v", c.Value())
+	}
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	c.Add(-1)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter moved on invalid delta: %v", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Errorf("gauge = %v, want -7", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5 (NaN must be ignored)", got)
+	}
+	if got := h.Sum(); got != 556.5 {
+		t.Errorf("sum = %v, want 556.5", got)
+	}
+	cum, total := h.snapshot()
+	// Cumulative: le=1 -> 2 (0.5 and the boundary value 1), le=10 -> 3,
+	// le=100 -> 4, +Inf -> 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	for _, fn := range []func() []float64{LatencyBuckets, CountBuckets} {
+		bs := fn()
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("default buckets not ascending: %v", bs)
+			}
+		}
+	}
+}
+
+func TestExpBucketsPanics(t *testing.T) {
+	for _, tc := range []struct{ start, factor float64 }{{0, 2}, {1, 1}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%v, %v, 4) did not panic", tc.start, tc.factor)
+				}
+			}()
+			ExpBuckets(tc.start, tc.factor, 4)
+		}()
+	}
+}

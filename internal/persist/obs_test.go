@@ -1,0 +1,85 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"freshen/internal/obs"
+)
+
+// TestStoreInstrument pins the persistence metric surface: appends
+// and commits must produce latency observations and byte counts under
+// the exact series names the daemon exports.
+func TestStoreInstrument(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+
+	for i := 0; i < 3; i++ {
+		if err := s.Append(Record{Kind: KindRefresh, Element: i, At: float64(i + 1), Elapsed: 1, Changed: true, Version: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(testSnapshot(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := obs.ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		series string
+		min    float64
+	}{
+		{"freshen_persist_journal_records_total", 3},
+		{"freshen_persist_journal_bytes_total", 1},
+		{"freshen_persist_journal_append_seconds_count", 3},
+		{"freshen_persist_snapshots_total", 1},
+		{"freshen_persist_snapshot_bytes_total", 1},
+		{"freshen_persist_snapshot_seconds_count", 1},
+	}
+	for _, c := range checks {
+		if v, ok := e.Value(c.series); !ok || v < c.min {
+			t.Errorf("%s = %v, %v; want >= %v", c.series, v, ok, c.min)
+		}
+	}
+	if v, ok := e.Value("freshen_persist_errors_total"); !ok || v != 0 {
+		t.Errorf("freshen_persist_errors_total = %v, %v; want 0", v, ok)
+	}
+
+	// Force a real write failure by breaking the journal handle: the
+	// failed append must land in the error counter. (Instrumenting a
+	// second store against the same registry reuses the same series —
+	// the registry is get-or-create.)
+	s2, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Instrument(reg)
+	s2.journal.Close() // the next fsynced append must fail
+	if err := s2.Append(Record{Kind: KindRefresh, Element: 0, At: 1, Elapsed: 1}); err == nil {
+		t.Fatal("append on a broken journal succeeded")
+	}
+	b.Reset()
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := obs.ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e2.Value("freshen_persist_errors_total"); !ok || v < 1 {
+		t.Errorf("freshen_persist_errors_total = %v, %v; want >= 1 after a failed append", v, ok)
+	}
+}

@@ -181,7 +181,7 @@ func TestStoreSkipsRecordsSnapshotCovers(t *testing.T) {
 	// journal reset by writing it directly.
 	snap := testSnapshot(3)
 	snap.LastSeq = s.Seq()
-	if err := writeSnapshotFile(dir, SnapshotFile, snap); err != nil {
+	if _, err := writeSnapshotFile(dir, SnapshotFile, snap); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()

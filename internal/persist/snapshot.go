@@ -206,35 +206,36 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 
 // writeSnapshotFile writes the framed snapshot atomically: temp file
 // in the same directory, fsync, rename over the final name, fsync the
-// directory so the rename itself is durable.
-func writeSnapshotFile(dir, name string, s *Snapshot) error {
+// directory so the rename itself is durable. It returns the framed
+// size in bytes, for the store's instrumentation.
+func writeSnapshotFile(dir, name string, s *Snapshot) (int, error) {
 	data, err := EncodeSnapshot(s)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
+		return 0, fmt.Errorf("persist: creating snapshot temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: writing snapshot: %w", err)
+		return 0, fmt.Errorf("persist: writing snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: syncing snapshot: %w", err)
+		return 0, fmt.Errorf("persist: syncing snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("persist: closing snapshot: %w", err)
+		return 0, fmt.Errorf("persist: closing snapshot: %w", err)
 	}
 	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("persist: installing snapshot: %w", err)
+		return 0, fmt.Errorf("persist: installing snapshot: %w", err)
 	}
-	return syncDir(dir)
+	return len(data), syncDir(dir)
 }
 
 // syncDir fsyncs a directory so a completed rename survives power

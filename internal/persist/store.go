@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"freshen/internal/obs"
 )
 
 const (
@@ -46,6 +49,44 @@ type Store struct {
 	seq      uint64 // last sequence number assigned or seen
 	recovery RecoveryResult
 	closed   bool
+	metrics  *storeMetrics // nil until Instrument
+}
+
+// storeMetrics is the store's optional instrumentation: write
+// latencies (the fsyncs dominate) and byte volumes for both the
+// journal and the snapshot path, plus an error counter.
+type storeMetrics struct {
+	appendSeconds   *obs.Histogram
+	snapshotSeconds *obs.Histogram
+	journalBytes    *obs.Counter
+	snapshotBytes   *obs.Counter
+	appends         *obs.Counter
+	snapshots       *obs.Counter
+	errors          *obs.Counter
+}
+
+// Instrument registers the store's metrics on reg and starts
+// recording journal-append and snapshot-commit latencies, byte
+// volumes, and write errors. Call once, before the store is shared.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = &storeMetrics{
+		appendSeconds: reg.Histogram("freshen_persist_journal_append_seconds",
+			"Latency of one fsynced journal append.", obs.LatencyBuckets()),
+		snapshotSeconds: reg.Histogram("freshen_persist_snapshot_seconds",
+			"Latency of one atomic snapshot commit (write, fsync, rename, journal reset).", obs.LatencyBuckets()),
+		journalBytes: reg.Counter("freshen_persist_journal_bytes_total",
+			"Bytes appended to the journal."),
+		snapshotBytes: reg.Counter("freshen_persist_snapshot_bytes_total",
+			"Bytes written by snapshot commits."),
+		appends: reg.Counter("freshen_persist_journal_records_total",
+			"Journal records durably appended."),
+		snapshots: reg.Counter("freshen_persist_snapshots_total",
+			"Snapshots durably committed."),
+		errors: reg.Counter("freshen_persist_errors_total",
+			"Journal or snapshot writes that failed (state kept in memory)."),
+	}
 }
 
 // Open opens (creating if needed) a state directory and performs
@@ -182,16 +223,32 @@ func (s *Store) Append(r Record) error {
 	r.Seq = s.seq + 1
 	frame, err := encodeRecord(&r)
 	if err != nil {
+		s.countErrorLocked()
 		return err
 	}
+	start := time.Now()
 	if _, err := s.journal.Write(frame); err != nil {
+		s.countErrorLocked()
 		return fmt.Errorf("persist: appending record: %w", err)
 	}
 	if err := s.journal.Sync(); err != nil {
+		s.countErrorLocked()
 		return fmt.Errorf("persist: syncing journal: %w", err)
+	}
+	if m := s.metrics; m != nil {
+		m.appendSeconds.Observe(time.Since(start).Seconds())
+		m.journalBytes.Add(float64(len(frame)))
+		m.appends.Inc()
 	}
 	s.seq = r.Seq
 	return nil
+}
+
+// countErrorLocked bumps the error counter when instrumented.
+func (s *Store) countErrorLocked() {
+	if m := s.metrics; m != nil {
+		m.errors.Inc()
+	}
 }
 
 // Seq returns the last assigned sequence number.
@@ -213,10 +270,22 @@ func (s *Store) Commit(snap *Snapshot) error {
 		return fmt.Errorf("persist: store is closed")
 	}
 	snap.LastSeq = s.seq
-	if err := writeSnapshotFile(s.dir, SnapshotFile, snap); err != nil {
+	start := time.Now()
+	size, err := writeSnapshotFile(s.dir, SnapshotFile, snap)
+	if err != nil {
+		s.countErrorLocked()
 		return err
 	}
-	return s.resetJournalLocked()
+	if err := s.resetJournalLocked(); err != nil {
+		s.countErrorLocked()
+		return err
+	}
+	if m := s.metrics; m != nil {
+		m.snapshotSeconds.Observe(time.Since(start).Seconds())
+		m.snapshotBytes.Add(float64(size))
+		m.snapshots.Inc()
+	}
+	return nil
 }
 
 // Close releases the journal handle. It does not flush state: Append

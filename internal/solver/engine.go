@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"freshen/internal/freshness"
 )
@@ -196,6 +197,11 @@ func (e *Engine) WaterFill(p Problem) (Solution, error) {
 // schedule, and (for curves with finite cutoffs) drain any residual
 // budget sliver.
 func (e *Engine) solveCurve(p Problem, curve marginalCurve, topUp bool) (Solution, error) {
+	obsm := metrics.Load()
+	var obsStart time.Time
+	if obsm != nil {
+		obsStart = time.Now()
+	}
 	n := len(p.Elements)
 	sol := Solution{Freqs: make([]float64, n)}
 
@@ -228,6 +234,9 @@ func (e *Engine) solveCurve(p Problem, curve marginalCurve, topUp bool) (Solutio
 	}
 	if len(e.act) == 0 || p.Bandwidth == 0 || (muHi == 0 && !unbounded) {
 		err := sol.evaluate(p)
+		if obsm != nil {
+			obsm.record(time.Since(obsStart), 0, 0)
+		}
 		return sol, err
 	}
 
@@ -377,6 +386,9 @@ func (e *Engine) solveCurve(p Problem, curve marginalCurve, topUp bool) (Solutio
 	sol.Multiplier = mu
 	sol.Iterations = iters
 	err := sol.evaluate(p)
+	if obsm != nil {
+		obsm.record(time.Since(obsStart), iters, k)
+	}
 	return sol, err
 }
 

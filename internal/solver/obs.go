@@ -1,0 +1,53 @@
+package solver
+
+import (
+	"sync/atomic"
+	"time"
+
+	"freshen/internal/obs"
+)
+
+// solveMetrics is the package's optional instrumentation. The solver
+// is a hot path shared by every planning strategy, so metrics are a
+// single atomic-pointer load when disabled and are recorded once per
+// solve (never per usage sweep) when enabled.
+type solveMetrics struct {
+	solveSeconds *obs.Histogram
+	iterations   *obs.Histogram
+	funded       *obs.Gauge
+	solves       *obs.Counter
+}
+
+var metrics atomic.Pointer[solveMetrics]
+
+// Instrument registers the solver's metrics on reg and starts
+// recording: per-solve wall time, multiplier-search iteration counts,
+// the funded-element count of the most recent solve, and a running
+// solve counter. Instrument affects every engine in the process
+// (package entry points draw engines from a shared pool); calling it
+// again with the same registry is a no-op re-registration.
+func Instrument(reg *obs.Registry) {
+	metrics.Store(&solveMetrics{
+		solveSeconds: reg.Histogram("freshen_solver_solve_seconds",
+			"Wall-clock time of one water-filling solve.", obs.LatencyBuckets()),
+		iterations: reg.Histogram("freshen_solver_bisection_iterations",
+			"Multiplier-search iterations per solve.", obs.CountBuckets()),
+		funded: reg.Gauge("freshen_solver_funded_elements",
+			"Elements funded by the most recent solve."),
+		solves: reg.Counter("freshen_solver_solves_total",
+			"Water-filling solves performed."),
+	})
+}
+
+// record publishes one finished solve. m is the pointer loaded before
+// the solve started, so a concurrent Instrument never splits a solve
+// across two metric sets.
+func (m *solveMetrics) record(elapsed time.Duration, iters, funded int) {
+	if m == nil {
+		return
+	}
+	m.solveSeconds.Observe(elapsed.Seconds())
+	m.iterations.Observe(float64(iters))
+	m.funded.Set(float64(funded))
+	m.solves.Inc()
+}
