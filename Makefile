@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos metrics-contract ci bench-solver bench-obs bench-all bench clean
+.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos metrics-contract ci bench-solver bench-obs bench-serve bench-all bench clean
 
 all: ci
 
@@ -52,10 +52,11 @@ metrics-contract:
 	$(GO) test -race -count=1 -run 'TestMetricsContract|TestMetricsEndToEnd|TestDebugListener' ./cmd/freshend/
 	$(GO) test -race -count=1 ./internal/obs/
 
-# The solver's worker pool and the clustering code are the two places
-# goroutines share buffers; run them under the race detector.
+# Shared-state hot spots under the race detector: the solver's worker
+# pool, the clustering buffers, and the mirror's lock-free serving
+# path (the snapshot-swap stress test lives in internal/httpmirror).
 race:
-	$(GO) test -race ./internal/solver/... ./internal/cluster/...
+	$(GO) test -race ./internal/solver/... ./internal/cluster/... ./internal/httpmirror/...
 
 ci: build fmt vet test race
 
@@ -68,11 +69,18 @@ bench-solver:
 bench-obs:
 	./scripts/bench_obs.sh
 
+# Closed-loop serving benchmark; measures serving-path allocs/op, then
+# ramps paced Zipf GET traffic against a live mirror while refreshes,
+# breaker trips, and snapshots run concurrently. Writes BENCH_serve.json.
+bench-serve:
+	./scripts/bench_serve.sh
+
 # The full reproducible perf trajectory in one command.
-bench-all: bench-solver bench-obs
+bench-all: bench-solver bench-obs bench-serve
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/solver/
+	$(GO) test -run xxx -bench . -benchmem ./internal/httpmirror/
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,13 @@
 //
 //	loadgen -mirror http://localhost:8081 -n 500 \
 //	        -metrics-url http://localhost:8081/metrics -obs-out BENCH_obs.json
+//
+// With -serve-out set, loadgen instead runs a closed-loop serving
+// benchmark: a paced worker pool ramps Zipf GET traffic through the
+// -stages RPS targets and writes per-stage latency quantiles, stall
+// counts, and the maximum sustained rate (see serve.go):
+//
+//	loadgen -mirror http://localhost:8081 -n 500 -serve-out BENCH_serve.json
 package main
 
 import (
@@ -49,6 +56,18 @@ type config struct {
 	metricsURL  string
 	scrapeEvery time.Duration
 	obsOut      string
+
+	// Serve-benchmark mode (see serve.go); empty serveOut disables it.
+	serveOut       string
+	workers        int
+	stages         string
+	stageDuration  time.Duration
+	warmup         time.Duration
+	stallThreshold time.Duration
+	sustainFrac    float64
+	maxErrRate     float64
+	accessAllocs   float64
+	handlerAllocs  float64
 }
 
 // parseFlags builds the generator configuration from a command line;
@@ -64,6 +83,16 @@ func parseFlags(args []string) (config, error) {
 	metricsURL := fs.String("metrics-url", "", "mirror /metrics URL to scrape while driving traffic; empty disables scraping")
 	scrapeEvery := fs.Duration("scrape-every", time.Second, "scrape cadence for -metrics-url")
 	obsOut := fs.String("obs-out", "BENCH_obs.json", "where the observability benchmark is written (with -metrics-url)")
+	serveOut := fs.String("serve-out", "", "write a closed-loop serving benchmark here instead of running demo traffic; empty disables serve mode")
+	workers := fs.Int("workers", 4, "concurrent closed-loop clients (serve mode)")
+	stages := fs.String("stages", "500,1000,2000,4000", "comma-separated target-RPS ramp (serve mode)")
+	stageDuration := fs.Duration("stage-duration", 5*time.Second, "how long each ramp stage runs (serve mode)")
+	warmup := fs.Duration("warmup", time.Second, "untimed warmup before the ramp (serve mode)")
+	stall := fs.Duration("stall", 100*time.Millisecond, "latency above which a request counts as a stall (serve mode)")
+	sustainFrac := fs.Float64("sustain-frac", 0.95, "fraction of the target a stage must achieve to count as sustained (serve mode)")
+	maxErrRate := fs.Float64("max-err-rate", 0.01, "error rate above which a stage is not sustained (serve mode)")
+	accessAllocs := fs.Float64("access-allocs", -1, "measured allocs/op of Mirror.Access, folded into the report; -1 means not measured")
+	handlerAllocs := fs.Float64("handler-allocs", -1, "measured allocs/op of the /object handler, folded into the report; -1 means not measured")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -77,6 +106,17 @@ func parseFlags(args []string) (config, error) {
 		metricsURL:  *metricsURL,
 		scrapeEvery: *scrapeEvery,
 		obsOut:      *obsOut,
+
+		serveOut:       *serveOut,
+		workers:        *workers,
+		stages:         *stages,
+		stageDuration:  *stageDuration,
+		warmup:         *warmup,
+		stallThreshold: *stall,
+		sustainFrac:    *sustainFrac,
+		maxErrRate:     *maxErrRate,
+		accessAllocs:   *accessAllocs,
+		handlerAllocs:  *handlerAllocs,
 	}, nil
 }
 
@@ -84,8 +124,14 @@ func run(cfg config) error {
 	if cfg.mirror == "" {
 		return fmt.Errorf("-mirror is required")
 	}
-	if cfg.n <= 0 || cfg.rate <= 0 || cfg.duration <= 0 {
-		return fmt.Errorf("n, rate and duration must be positive")
+	if cfg.n <= 0 {
+		return fmt.Errorf("n must be positive, got %d", cfg.n)
+	}
+	if cfg.serveOut != "" {
+		return runServe(cfg)
+	}
+	if cfg.rate <= 0 || cfg.duration <= 0 {
+		return fmt.Errorf("rate and duration must be positive")
 	}
 	if cfg.metricsURL != "" && cfg.scrapeEvery <= 0 {
 		return fmt.Errorf("scrape-every must be positive, got %v", cfg.scrapeEvery)

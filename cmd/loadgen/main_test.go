@@ -39,6 +39,15 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.metricsURL != "" || cfg.scrapeEvery != time.Second || cfg.obsOut != "BENCH_obs.json" {
 		t.Errorf("scrape defaults not applied: %+v", cfg)
 	}
+	if cfg.serveOut != "" || cfg.workers != 4 || cfg.stages != "500,1000,2000,4000" {
+		t.Errorf("serve defaults not applied: %+v", cfg)
+	}
+	if cfg.stageDuration != 5*time.Second || cfg.warmup != time.Second || cfg.stallThreshold != 100*time.Millisecond {
+		t.Errorf("serve defaults not applied: %+v", cfg)
+	}
+	if cfg.sustainFrac != 0.95 || cfg.maxErrRate != 0.01 || cfg.accessAllocs != -1 || cfg.handlerAllocs != -1 {
+		t.Errorf("serve defaults not applied: %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverridesAndErrors(t *testing.T) {
@@ -46,6 +55,10 @@ func TestParseFlagsOverridesAndErrors(t *testing.T) {
 		"-mirror", "http://m", "-n", "7", "-theta", "0.5", "-rate", "5",
 		"-duration", "2s", "-seed", "3",
 		"-metrics-url", "http://m/metrics", "-scrape-every", "250ms", "-obs-out", "/tmp/o.json",
+		"-serve-out", "/tmp/s.json", "-workers", "8", "-stages", "100,200",
+		"-stage-duration", "3s", "-warmup", "500ms", "-stall", "20ms",
+		"-sustain-frac", "0.9", "-max-err-rate", "0.05",
+		"-access-allocs", "0", "-handler-allocs", "2",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +67,9 @@ func TestParseFlagsOverridesAndErrors(t *testing.T) {
 		mirror: "http://m", n: 7, theta: 0.5, rate: 5,
 		duration: 2 * time.Second, seed: 3,
 		metricsURL: "http://m/metrics", scrapeEvery: 250 * time.Millisecond, obsOut: "/tmp/o.json",
+		serveOut: "/tmp/s.json", workers: 8, stages: "100,200",
+		stageDuration: 3 * time.Second, warmup: 500 * time.Millisecond, stallThreshold: 20 * time.Millisecond,
+		sustainFrac: 0.9, maxErrRate: 0.05, accessAllocs: 0, handlerAllocs: 2,
 	}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)

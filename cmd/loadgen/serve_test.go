@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func serveTestCfg(mirror, out string) config {
+	return config{
+		mirror:         mirror,
+		n:              32,
+		theta:          1,
+		seed:           1,
+		serveOut:       out,
+		workers:        2,
+		stages:         "200",
+		stageDuration:  300 * time.Millisecond,
+		warmup:         50 * time.Millisecond,
+		stallThreshold: 100 * time.Millisecond,
+		sustainFrac:    0.5,
+		maxErrRate:     0.01,
+		accessAllocs:   -1,
+		handlerAllocs:  -1,
+	}
+}
+
+// objectStub serves GET /object/{id} like a mirror would.
+func objectStub(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest, ok := strings.CutPrefix(r.URL.Path, "/object/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if _, err := strconv.Atoi(rest); err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		handler(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func readServeReport(t *testing.T, path string) serveReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report serveReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	return report
+}
+
+func TestParseStages(t *testing.T) {
+	got, err := parseStages(" 500, 1000,2000 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{500, 1000, 2000}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "100,", "100,-5", "0"} {
+		if _, err := parseStages(bad); err == nil {
+			t.Errorf("parseStages(%q) accepted", bad)
+		}
+	}
+}
+
+func TestServeModeValidation(t *testing.T) {
+	alter := func(f func(*config)) config {
+		cfg := serveTestCfg("http://x", "/tmp/unused.json")
+		f(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  config
+	}{
+		{"zero workers", alter(func(c *config) { c.workers = 0 })},
+		{"zero stage duration", alter(func(c *config) { c.stageDuration = 0 })},
+		{"zero stall threshold", alter(func(c *config) { c.stallThreshold = 0 })},
+		{"sustain frac above one", alter(func(c *config) { c.sustainFrac = 1.5 })},
+		{"negative err rate", alter(func(c *config) { c.maxErrRate = -0.1 })},
+		{"bad stages", alter(func(c *config) { c.stages = "fast,faster" })},
+		{"negative theta", alter(func(c *config) { c.theta = -1 })},
+	}
+	for _, tc := range cases {
+		if err := run(tc.cfg); err == nil {
+			t.Errorf("%s: invalid configuration accepted", tc.name)
+		}
+	}
+}
+
+// TestServeModeWritesReport runs the ramp against a healthy stub and
+// checks the written BENCH_serve.json end to end: stage shape, latency
+// digests, the sustained verdict, and the alloc pass-throughs.
+func TestServeModeWritesReport(t *testing.T) {
+	srv := objectStub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("object body"))
+	})
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cfg := serveTestCfg(srv.URL, out)
+	cfg.accessAllocs = 0
+	cfg.handlerAllocs = 0
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	report := readServeReport(t, out)
+	if report.Mirror != srv.URL || report.Objects != 32 || report.Workers != 2 {
+		t.Errorf("report header wrong: %+v", report)
+	}
+	if len(report.Stages) != 1 {
+		t.Fatalf("got %d stages, want 1", len(report.Stages))
+	}
+	s := report.Stages[0]
+	if s.TargetRPS != 200 || s.Requests == 0 || s.Errors != 0 {
+		t.Errorf("stage result wrong: %+v", s)
+	}
+	if s.AchievedRPS <= 0 {
+		t.Errorf("achieved rps = %v", s.AchievedRPS)
+	}
+	if !(s.P50Ms > 0 && s.P50Ms <= s.P99Ms && s.P99Ms <= s.P999Ms && s.P999Ms <= s.MaxMs) {
+		t.Errorf("quantiles not ordered: %+v", s)
+	}
+	if report.MaxSustainedRPS <= 0 {
+		t.Errorf("max sustained rps = %v, want > 0", report.MaxSustainedRPS)
+	}
+	if report.AccessAllocsPerOp != 0 || report.HandlerAllocsPerOp != 0 {
+		t.Errorf("alloc pass-throughs lost: %+v", report)
+	}
+}
+
+// TestServeModeCountsErrorsAndStopsRamp: a stub that always fails
+// pushes the error rate past the cap, so the first stage is not
+// sustained and the ramp stops there — but the report is still
+// written, with the errors counted.
+func TestServeModeCountsErrorsAndStopsRamp(t *testing.T) {
+	srv := objectStub(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cfg := serveTestCfg(srv.URL, out)
+	cfg.stages = "200,400,800"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	report := readServeReport(t, out)
+	if len(report.Stages) != 1 {
+		t.Errorf("ramp did not stop at the failing stage: %d stages", len(report.Stages))
+	}
+	s := report.Stages[0]
+	if s.Sustained {
+		t.Error("an all-errors stage counted as sustained")
+	}
+	if s.Errors == 0 || s.Errors != s.Requests {
+		t.Errorf("errors = %d of %d requests, want all", s.Errors, s.Requests)
+	}
+}
+
+// TestServeModeCountsStalls: responses slower than the stall threshold
+// are counted as stalls.
+func TestServeModeCountsStalls(t *testing.T) {
+	srv := objectStub(t, func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(10 * time.Millisecond)
+		w.Write([]byte("slow body"))
+	})
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cfg := serveTestCfg(srv.URL, out)
+	cfg.stages = "50"
+	cfg.stallThreshold = 2 * time.Millisecond
+	cfg.warmup = 0
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	report := readServeReport(t, out)
+	s := report.Stages[0]
+	if s.Stalls != s.Requests || s.Stalls == 0 {
+		t.Errorf("stalls = %d of %d requests, want all", s.Stalls, s.Requests)
+	}
+}

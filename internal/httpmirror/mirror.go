@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freshen/internal/core"
@@ -96,10 +97,19 @@ type copyState struct {
 // Locking: mu guards all mutable state and is never held across
 // network I/O, so Access keeps serving while a refresh rides out
 // retries or timeouts. stepMu serializes the refresh pipeline (Step,
-// ForceReplan) against itself.
+// ForceReplan) against itself. The read path takes neither lock: it
+// serves from the immutable snapshot behind serve and records into
+// the striped counters in acc (see serve.go and DESIGN.md §11).
 type Mirror struct {
 	stepMu sync.Mutex
 	mu     sync.Mutex
+
+	// Lock-free serving state: the published snapshot readers load,
+	// and the access accounting they write. serve is swapped under
+	// m.mu whenever a body or version changes; acc is drained under
+	// m.mu at period boundaries.
+	serve atomic.Pointer[serveSnapshot]
+	acc   *accessCounters
 
 	cfg        Config
 	elems      []freshness.Element
@@ -113,7 +123,7 @@ type Mirror struct {
 	lastReplan float64
 	now        float64
 	replans    int
-	accesses   int
+	accessBase int // accesses restored from a snapshot at boot; live total adds acc.total()
 	fetches    int // running total across all copies (incl. seeding)
 	transfers  int
 
@@ -121,6 +131,7 @@ type Mirror struct {
 	skippedRefreshes int
 	quarantineEvents int
 	recoveries       int
+	quarantined      int // elements currently quarantined; maintained at transitions
 
 	// Crash-safe persistence (nil store disables it; see Config.Persist).
 	store          *persist.Store
@@ -171,6 +182,7 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 		elems:  make([]freshness.Element, n),
 		copies: make([]copyState, n),
 		health: make([]elemHealth, n),
+		acc:    newAccessCounters(n),
 		brk: breaker{
 			threshold: cfg.Fault.BreakerThreshold,
 			cooldown:  cfg.Fault.BreakerCooldown,
@@ -201,6 +213,10 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 			Size:       entry.Size,
 		}
 	}
+	// The serving pointer is never nil: readers that somehow race New
+	// see an empty-bodied catalog, not a crash. The real snapshot is
+	// published after seeding below.
+	m.publishServingLocked()
 	var restoredPlan *persist.PlanState
 	if m.store != nil {
 		restoredPlan = m.applyRecovery(m.store.Recovery())
@@ -221,6 +237,9 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 			c.lastPoll = m.now
 		}
 	}
+	// Every body and version is now in place: publish the snapshot the
+	// first real reader will serve from.
+	m.publishServingLocked()
 	if m.recovered {
 		// Fold the replayed observations into the element knowledge so
 		// the first cadence replan starts from everything on disk.
@@ -472,6 +491,10 @@ func (m *Mirror) refresh(id int, at float64) error {
 		c.fetchedAt = at
 		m.transfers++
 		m.metrics.countTransfer()
+		// Commit the new body/version pair to readers: one snapshot
+		// swap per transferring refresh. Readers holding the previous
+		// snapshot finish on the old (internally consistent) view.
+		m.publishServingLocked()
 	}
 	journaled := m.store != nil
 	m.mu.Unlock()
@@ -512,6 +535,7 @@ func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
 		h.consecFails = 0
 		if h.quarantined {
 			h.quarantined = false
+			m.quarantined--
 			m.recoveries++
 			m.metrics.countRecovery()
 			m.log.Info("element recovered", "element", id, "at", at,
@@ -526,6 +550,7 @@ func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
 		h.quarantined = true
 		h.quarantinedAt = at
 		h.lastProbe = at
+		m.quarantined++
 		m.quarantineEvents++
 		m.metrics.countQuarantine()
 		m.log.Info("element quarantined", "element", id, "at", at,
@@ -574,6 +599,10 @@ func (m *Mirror) probeQuarantined(now float64) bool {
 // learnLocked folds the access log and poll history into the element
 // knowledge the next plan uses.
 func (m *Mirror) learnLocked() {
+	// Drain the striped per-object access counters into the copies at
+	// this period boundary; the learner then sees exactly the counts
+	// the read path recorded since the last drain.
+	m.acc.drainInto(m.copies)
 	// Profile: Laplace-smoothed access counts.
 	total := m.cfg.ProfileSmoothing * float64(len(m.elems))
 	for i := range m.copies {
@@ -628,17 +657,28 @@ func (m *Mirror) Run(ctx context.Context, periodLength time.Duration) error {
 // Access serves one local copy, recording the access for profile
 // learning. It returns the stored body and version. Unknown ids fail
 // with ErrNotFound.
+//
+// This is the hot path: one atomic snapshot load, a bounds check, and
+// two atomic counter increments — no locks, no allocations. It serves
+// concurrently with refresh commits, replans, and snapshot fsyncs;
+// the body/version pair always comes from one published snapshot, so
+// it is never torn.
 func (m *Mirror) Access(id int) (body []byte, version int, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id < 0 || id >= len(m.copies) {
-		return nil, 0, fmt.Errorf("%w: object %d outside [0, %d)", ErrNotFound, id, len(m.copies))
+	snap := m.serve.Load()
+	if id < 0 || id >= len(snap.views) {
+		return nil, 0, errAccessOutOfRange
 	}
-	c := &m.copies[id]
-	c.accesses++
-	m.accesses++
-	m.metrics.countAccess()
-	return c.body, c.version, nil
+	m.acc.record(id)
+	v := &snap.views[id]
+	return v.body, v.version, nil
+}
+
+// totalAccessesLocked is the lifetime access count: whatever a
+// restored snapshot carried in plus everything this process recorded.
+// Callers hold m.mu (the base is mutated only at boot, but callers
+// are already serializing status/export reads).
+func (m *Mirror) totalAccessesLocked() int {
+	return m.accessBase + int(m.acc.total())
 }
 
 // Status is the mirror's observable state.
@@ -669,20 +709,17 @@ type Status struct {
 	PersistErrors int `json:"persist_errors"`
 }
 
-// Status reports the mirror's current state.
+// Status reports the mirror's current state. The quarantined count is
+// a field maintained at quarantine/recovery transitions, not an O(n)
+// scan — /healthz, /readyz, and status scrapes stay O(1) in the
+// catalog size.
 func (m *Mirror) Status() Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	quarantined := 0
-	for i := range m.health {
-		if m.health[i].quarantined {
-			quarantined++
-		}
-	}
 	return Status{
 		Objects:          len(m.copies),
 		Now:              m.now,
-		Accesses:         m.accesses,
+		Accesses:         m.totalAccessesLocked(),
 		Fetches:          m.fetches,
 		Transfers:        m.transfers,
 		Replans:          m.replans,
@@ -695,7 +732,7 @@ func (m *Mirror) Status() Status {
 		SkippedRefreshes: m.skippedRefreshes,
 		BreakerState:     m.brk.state.String(),
 		BreakerTrips:     m.brk.trips,
-		Quarantined:      quarantined,
+		Quarantined:      m.quarantined,
 		QuarantineEvents: m.quarantineEvents,
 		Recoveries:       m.recoveries,
 		Snapshots:        m.snapshots,
@@ -733,9 +770,14 @@ func (m *Mirror) Health() Health {
 		RefreshFailures:  m.refreshFailures,
 		Retries:          m.cfg.Upstream.Retries(),
 	}
-	for i := range m.health {
-		if m.health[i].quarantined {
-			h.Quarantined = append(h.Quarantined, i)
+	// Only the id list costs a scan, and only while something is
+	// actually quarantined — the healthy steady state stays O(1).
+	if m.quarantined > 0 {
+		h.Quarantined = make([]int, 0, m.quarantined)
+		for i := range m.health {
+			if m.health[i].quarantined {
+				h.Quarantined = append(h.Quarantined, i)
+			}
 		}
 	}
 	return h
@@ -779,7 +821,7 @@ func (m *Mirror) Handler() http.Handler {
 	handle := func(route string, h http.HandlerFunc) {
 		mux.Handle(route, m.metrics.countRequests(strings.TrimSuffix(route, "/"), h))
 	}
-	handle("/object/", func(w http.ResponseWriter, r *http.Request) {
+	object := m.metrics.countRequests("/object", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -798,9 +840,17 @@ func (m *Mirror) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("X-Version", strconv.Itoa(ver))
+		// Small versions reuse a pre-built header slice; "X-Version" is
+		// already in canonical MIME form, so direct map assignment
+		// matches what Header().Set would store.
+		if ver >= 0 && ver < len(versionHeaders) {
+			w.Header()["X-Version"] = versionHeaders[ver]
+		} else {
+			w.Header().Set("X-Version", strconv.Itoa(ver))
+		}
 		w.Write(body)
-	})
+	}))
+	mux.Handle("/object/", object)
 	handle("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -866,5 +916,20 @@ func (m *Mirror) Handler() http.Handler {
 		// The registry's handler already enforces GET-or-405.
 		mux.Handle("/metrics", m.metrics.countRequests("/metrics", reg.Handler()))
 	}
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Hot-path dispatch: a GET of a well-formed /object/{id} goes
+		// straight to the object handler, skipping the mux's
+		// path-cleaning machinery (≈3 allocs per request). Anything
+		// else — other routes, other methods, ids that need cleaning
+		// or rejecting — takes the mux and behaves exactly as before.
+		if r.Method == http.MethodGet {
+			if rest, ok := strings.CutPrefix(r.URL.Path, "/object/"); ok {
+				if _, err := strconv.Atoi(rest); err == nil {
+					object.ServeHTTP(w, r)
+					return
+				}
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
 }

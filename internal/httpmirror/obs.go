@@ -3,6 +3,7 @@ package httpmirror
 import (
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"freshen/internal/freshness"
@@ -25,7 +26,6 @@ type mirrorMetrics struct {
 	refreshSeconds *obs.HistogramVec // outcome: success|failure
 	refreshes      *obs.CounterVec   // outcome: success|failure|skipped
 	transfers      *obs.Counter
-	accesses       *obs.Counter
 	serveRequests  *obs.CounterVec // route, code
 	breakerTrips   *obs.Counter
 	quarEvents     *obs.Counter
@@ -52,8 +52,6 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 			"Refresh attempts by outcome; skipped means the breaker was open.", "outcome"),
 		transfers: reg.Counter("freshen_transfers_total",
 			"Refreshes that found a changed object and transferred its body."),
-		accesses: reg.Counter("freshen_accesses_total",
-			"Client object accesses served from the local copies."),
 		serveRequests: reg.CounterVec("freshen_serve_requests_total",
 			"HTTP requests served, by route and status code.", "route", "code"),
 		breakerTrips: reg.Counter("freshen_breaker_trips_total",
@@ -76,6 +74,16 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 		lambdaMean: reg.Gauge("freshen_lambda_mean",
 			"Mean estimated change rate across the catalog."),
 	}
+	// The access total lives in the read path's striped counters; the
+	// scrape sums the stripes instead of forcing every Access through
+	// one shared counter cache line. Same family name and TYPE as the
+	// plain counter it replaces, and like every event counter it
+	// counts what this process did (restored lifetime totals stay on
+	// /status).
+	reg.CounterFunc("freshen_accesses_total",
+		"Client object accesses served from the local copies.", func() float64 {
+			return float64(m.acc.total())
+		})
 	// Scrape-time state gauges: each closure takes m.mu briefly. The
 	// registry never calls them while the mirror holds its own locks,
 	// so the lock order is always scrape → m.mu.
@@ -107,13 +115,7 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 		"Elements currently quarantined.", func() float64 {
 			m.mu.Lock()
 			defer m.mu.Unlock()
-			n := 0
-			for i := range m.health {
-				if m.health[i].quarantined {
-					n++
-				}
-			}
-			return float64(n)
+			return float64(m.quarantined)
 		})
 	reg.GaugeFunc("freshen_last_snapshot_age_periods",
 		"Periods since the last durable snapshot; -1 when none exists.", func() float64 {
@@ -156,12 +158,6 @@ func (mm *mirrorMetrics) countSkipped() {
 func (mm *mirrorMetrics) countTransfer() {
 	if mm != nil {
 		mm.transfers.Inc()
-	}
-}
-
-func (mm *mirrorMetrics) countAccess() {
-	if mm != nil {
-		mm.accesses.Inc()
 	}
 }
 
@@ -251,19 +247,31 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// swPool recycles statusWriter wrappers so the serve counters cost the
+// hot path no allocation.
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // countRequests wraps the mirror API with the per-route request
 // counter. route is the normalized pattern, not the raw path, so the
-// label set stays bounded.
+// label set stays bounded. The 200 child is resolved once here —
+// label lookup allocates, and the happy path must not — while error
+// codes, which are off the hot path, look their child up per request.
 func (mm *mirrorMetrics) countRequests(route string, h http.Handler) http.Handler {
 	if mm == nil {
 		return h
 	}
+	ok200 := mm.serveRequests.With(route, "200")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.code = w, 0
 		h.ServeHTTP(sw, r)
-		if sw.code == 0 {
-			sw.code = http.StatusOK
+		code := sw.code
+		sw.ResponseWriter = nil
+		swPool.Put(sw)
+		if code == 0 || code == http.StatusOK {
+			ok200.Inc()
+			return
 		}
-		mm.serveRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		mm.serveRequests.With(route, strconv.Itoa(code)).Inc()
 	})
 }

@@ -47,6 +47,9 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 			h.quarantined = e.Quarantined
 			h.quarantinedAt = e.QuarantinedAt
 			h.lastProbe = e.LastProbe
+			if e.Quarantined {
+				m.quarantined++
+			}
 			for _, p := range e.History {
 				// Validated on load; Record only rejects what Validate
 				// already excluded.
@@ -57,7 +60,7 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 		m.brk.fails = s.Breaker.Fails
 		m.brk.openedAt = s.Breaker.OpenedAt
 		m.brk.trips = s.Breaker.Trips
-		m.accesses = s.Counters.Accesses
+		m.accessBase = s.Counters.Accesses
 		m.fetches = s.Counters.Fetches
 		m.transfers = s.Counters.Transfers
 		m.replans = s.Counters.Replans
@@ -143,6 +146,9 @@ func (m *Mirror) restorePlanLocked(ps persist.PlanState) error {
 // exportStateLocked builds the durable image of the mirror's current
 // state. Callers hold m.mu.
 func (m *Mirror) exportStateLocked() *persist.Snapshot {
+	// Fold live access counts in first so the persisted per-element
+	// profile matches what the read path has recorded so far.
+	m.acc.drainInto(m.copies)
 	s := &persist.Snapshot{
 		Version: persist.FormatVersion,
 		Now:     m.now,
@@ -160,7 +166,7 @@ func (m *Mirror) exportStateLocked() *persist.Snapshot {
 		},
 		Elements: make([]persist.ElementState, len(m.elems)),
 		Counters: persist.Counters{
-			Accesses:         m.accesses,
+			Accesses:         m.totalAccessesLocked(),
 			Fetches:          m.fetches,
 			Transfers:        m.transfers,
 			Replans:          m.replans,
@@ -280,12 +286,6 @@ type Readiness struct {
 func (m *Mirror) Readiness() Readiness {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	quarantined := 0
-	for i := range m.health {
-		if m.health[i].quarantined {
-			quarantined++
-		}
-	}
 	age := -1.0
 	if m.lastSnapshotAt >= 0 {
 		age = m.now - m.lastSnapshotAt
@@ -300,7 +300,7 @@ func (m *Mirror) Readiness() Readiness {
 		LastSnapshotAge:    age,
 		PersistErrors:      m.persistErrors,
 		BreakerState:       m.brk.state.String(),
-		Quarantined:        quarantined,
+		Quarantined:        m.quarantined,
 	}
 }
 

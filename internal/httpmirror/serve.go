@@ -1,0 +1,140 @@
+package httpmirror
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// This file is the lock-free serving path. The mirror's mutable state
+// (m.copies, the plan, health, counters) stays under m.mu, but readers
+// never touch it: Access and the /object handler serve from an
+// immutable snapshot published behind an atomic pointer, and record
+// accesses into striped atomic counters. See DESIGN.md §11 for the
+// publication protocol.
+
+// errAccessOutOfRange is the preallocated not-found error Access
+// returns for any id outside the catalog. A single shared value means
+// hostile or miss-heavy traffic cannot allocate-storm the server; the
+// offending id is not interpolated, but the HTTP layer already maps
+// the error to a plain 404 and callers test it with
+// errors.Is(err, ErrNotFound).
+var errAccessOutOfRange = fmt.Errorf("%w: id outside the catalog", ErrNotFound)
+
+// copyView is one object as the read path sees it: the body and the
+// version it was fetched at, captured together so a reader can never
+// observe a torn body/version pair.
+type copyView struct {
+	body    []byte
+	version int
+}
+
+// serveSnapshot is the immutable serving state: one view per object.
+// A snapshot is never mutated after publication — refresh commits
+// build a new slice and swap the pointer (RCU; the garbage collector
+// is the grace period, reclaiming an old snapshot once the last
+// reader drops it).
+type serveSnapshot struct {
+	views []copyView
+}
+
+// publishServingLocked builds a fresh immutable snapshot from m.copies
+// and atomically swaps it in. Callers hold m.mu (or are New, before
+// any concurrency), which serializes writers; the atomic store is the
+// release barrier that makes the fully built views visible to the
+// next Access. Cost is one O(n) slice of view headers per call —
+// bodies are shared, not copied — so it runs only when a body or
+// version actually changed: after seeding, after a refresh commit
+// that transferred a new body, and after restart recovery. Replans
+// and metric updates never touch the serving state and do not swap.
+func (m *Mirror) publishServingLocked() {
+	views := make([]copyView, len(m.copies))
+	for i := range m.copies {
+		views[i] = copyView{body: m.copies[i].body, version: m.copies[i].version}
+	}
+	m.serve.Store(&serveSnapshot{views: views})
+}
+
+// accessStripes is the number of padded cells the global access total
+// is striped over. Power of two; 64 cells × 64 B keeps the whole
+// array inside one page while giving concurrent readers on different
+// objects distinct cache lines to increment.
+const accessStripes = 64
+
+// paddedCount is one stripe, padded out to a cache line so adjacent
+// stripes never share one (false sharing would serialize the very
+// increments the striping exists to spread).
+type paddedCount struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// accessCounters is the lock-free access accounting the read path
+// writes and the learning/status paths drain:
+//
+//   - elems is one plain atomic per object — the per-object counts the
+//     profile learner needs. Step drains them (Swap(0)) into
+//     copyState.accesses under m.mu at period boundaries, so
+//     learnLocked and the persisted snapshot see exactly the counts
+//     the old mutex path produced.
+//   - stripes is the global total, striped so the hottest objects of a
+//     Zipf community don't all contend one cache line. Stripes are
+//     cumulative for the process lifetime (never drained): the live
+//     global count is an O(64) sum, which Status and the
+//     freshen_accesses_total scrape read directly without touching
+//     the per-object counters.
+type accessCounters struct {
+	elems   []atomic.Uint64
+	stripes [accessStripes]paddedCount
+}
+
+func newAccessCounters(n int) *accessCounters {
+	return &accessCounters{elems: make([]atomic.Uint64, n)}
+}
+
+// record counts one access: the object's own counter plus one global
+// stripe. The stripe index is a multiplicative hash of the id so
+// neighboring (and Zipf-popular) objects land on different cache
+// lines. Two relaxed atomic adds, no locks, no allocation.
+func (a *accessCounters) record(id int) {
+	a.elems[id].Add(1)
+	a.stripes[(uint32(id)*2654435761)>>26].n.Add(1)
+}
+
+// total sums the global stripes: the number of accesses recorded by
+// this process so far. Each stripe is monotone, so concurrent calls
+// are monotone too (a sum may lag in-flight increments but never
+// counts one twice).
+func (a *accessCounters) total() uint64 {
+	var t uint64
+	for i := range a.stripes {
+		t += a.stripes[i].n.Load()
+	}
+	return t
+}
+
+// drainInto folds the per-object counters accumulated since the last
+// drain into dst (dst[i].accesses += count). Callers hold m.mu: the
+// swap is atomic per object, so a drain concurrent with live Access
+// traffic loses nothing — increments that arrive after an object's
+// swap simply wait for the next drain.
+func (a *accessCounters) drainInto(dst []copyState) {
+	for i := range a.elems {
+		if v := a.elems[i].Swap(0); v != 0 {
+			dst[i].accesses += int(v)
+		}
+	}
+}
+
+// versionHeaders caches the pre-built one-element header slice for
+// small version numbers, letting the /object handler attach
+// X-Version without the per-request []string{...} allocation.
+// Versions beyond the cache (long-lived, fast-changing objects) fall
+// back to one small allocation.
+var versionHeaders = func() [][]string {
+	vs := make([][]string, 256)
+	for i := range vs {
+		vs[i] = []string{strconv.Itoa(i)}
+	}
+	return vs
+}()

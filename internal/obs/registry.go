@@ -17,12 +17,13 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeFunc
+	kindCounterFunc
 	kindHistogram
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
@@ -73,7 +74,7 @@ func (f *family) child(values []string) any {
 	case kindHistogram:
 		c = newHistogram(f.buckets)
 	default:
-		panic("obs: gauge funcs have no children")
+		panic("obs: func-valued metrics have no children")
 	}
 	f.children[key] = c
 	return c
@@ -140,6 +141,16 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // need a copy kept in sync.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, kindGaugeFunc, nil, nil, fn)
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// scrape time. fn must be monotone non-decreasing over the process
+// lifetime — the exposition TYPE is counter, and consumers apply
+// rate() to it. It exists for totals that are kept in sharded or
+// striped form on a hot path and would otherwise need a second,
+// contended accumulator solely for the exposition.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc, nil, nil, fn)
 }
 
 // Histogram returns the registry's unlabeled histogram with this
@@ -276,7 +287,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			fmt.Fprintf(cw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.kind.String())
-		if f.kind == kindGaugeFunc {
+		if f.kind == kindGaugeFunc || f.kind == kindCounterFunc {
 			fmt.Fprintf(cw, "%s %s\n", f.name, formatValue(f.fn()))
 			continue
 		}
