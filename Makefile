@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos metrics-contract ci bench-solver bench-obs bench-serve bench-all bench clean
+.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos metrics-contract ci bench-solver bench-obs bench-serve bench-all bench clean
 
 all: ci
 
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzHTTPHandler$$' -fuzztime 30s ./internal/httpmirror/
 	$(GO) test -run '^$$' -fuzz '^FuzzRecoverSnapshot$$' -fuzztime 30s ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayJournal$$' -fuzztime 30s ./internal/persist/
+	$(GO) test -run '^$$' -fuzz '^FuzzModeMachine$$' -fuzztime 30s ./internal/resilience/
 
 # The crash-recovery suite under the race detector: kill-and-restart
 # chaos, shutdown persistence ordering, and the persistence layer.
@@ -44,6 +45,16 @@ restart-chaos:
 	$(GO) test -race -count=1 -run 'TestKillRestartRecovery|TestMirrorSnapshotAndRecover|TestRecovery' ./internal/httpmirror/
 	$(GO) test -race -count=1 -run 'TestDaemonShutdownPersistsState|TestMetricsAcrossRestart' ./cmd/freshend/
 	$(GO) test -race -count=1 ./internal/persist/
+
+# Overload + disk-fault chaos gate: race-built live loop driven far
+# past the admission cap while a scheduled disk-fault window forces
+# persist-degraded; asserts zero non-503 errors, bounded admitted p99,
+# and recovery to full mode (see scripts/overload_chaos.sh). The unit-
+# level halves of the same story run under the race detector first.
+overload-chaos:
+	$(GO) test -race -count=1 -run 'TestOverloadShedding|TestSourceDegradedHeaders|TestDiskDiesMidRun|TestKillRestartInPersistDegraded|TestReadyzRetryAfter' ./internal/httpmirror/
+	$(GO) test -race -count=1 ./internal/resilience/
+	./scripts/overload_chaos.sh
 
 # The exposition schema golden test and the live-scrape integration
 # tests, under the race detector (GaugeFunc closures scrape under the
@@ -53,10 +64,11 @@ metrics-contract:
 	$(GO) test -race -count=1 ./internal/obs/
 
 # Shared-state hot spots under the race detector: the solver's worker
-# pool, the clustering buffers, and the mirror's lock-free serving
-# path (the snapshot-swap stress test lives in internal/httpmirror).
+# pool, the clustering buffers, the mirror's lock-free serving path
+# (the snapshot-swap stress test lives in internal/httpmirror), and
+# the admission limiter / mode machine atomics.
 race:
-	$(GO) test -race ./internal/solver/... ./internal/cluster/... ./internal/httpmirror/...
+	$(GO) test -race ./internal/solver/... ./internal/cluster/... ./internal/httpmirror/... ./internal/resilience/...
 
 ci: build fmt vet test race
 
@@ -75,8 +87,10 @@ bench-obs:
 bench-serve:
 	./scripts/bench_serve.sh
 
-# The full reproducible perf trajectory in one command.
-bench-all: bench-solver bench-obs bench-serve
+# The full reproducible perf trajectory in one command, followed by
+# the overload/disk-fault chaos gate that proves the envelope the
+# serve benchmark records is actually enforced.
+bench-all: bench-solver bench-obs bench-serve overload-chaos
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/solver/

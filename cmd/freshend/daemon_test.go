@@ -61,6 +61,15 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-snapshot-every", "7",
 		"-debug-addr", "127.0.0.1:6060",
 		"-log-level", "debug",
+		"-max-inflight", "32",
+		"-min-inflight", "4",
+		"-shed-target-latency", "20ms",
+		"-persist-degrade-after", "2",
+		"-persist-fault-after", "10",
+		"-persist-fault-ops", "5",
+		"-persist-fault-kind", "enospc",
+		"-persist-fault-torn",
+		"-serve-fault-latency", "3ms",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +84,11 @@ func TestParseFlagsOverrides(t *testing.T) {
 		quarantineAfter: -1, probeEvery: 2,
 		stateDir: "/tmp/state", snapshotEvery: 7,
 		debugAddr: "127.0.0.1:6060", logLevel: "debug",
+		maxInflight: 32, minInflight: 4,
+		shedTargetLatency: 20 * time.Millisecond, persistDegradeAfter: 2,
+		persistFaultAfter: 10, persistFaultOps: 5,
+		persistFaultKind: "enospc", persistFaultTorn: true,
+		serveFaultLatency: 3 * time.Millisecond,
 	}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)

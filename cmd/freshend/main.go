@@ -52,6 +52,7 @@ import (
 	"freshen/internal/obs"
 	"freshen/internal/partition"
 	"freshen/internal/persist"
+	"freshen/internal/resilience"
 	"freshen/internal/solver"
 )
 
@@ -90,6 +91,15 @@ func parseFlags(args []string) (config, error) {
 	probeEvery := fs.Float64("probe-every", 1, "quarantine recovery-probe cadence in periods")
 	stateDir := fs.String("state-dir", "", "directory for crash-safe state (snapshots + journal); empty disables persistence")
 	snapshotEvery := fs.Float64("snapshot-every", 5, "snapshot cadence in periods")
+	maxInflight := fs.Int("max-inflight", 0, "hard cap on concurrently admitted object reads (0 means 512, negative disables shedding)")
+	minInflight := fs.Int("min-inflight", 0, "floor the adaptive concurrency limit never drops below (0 means 2)")
+	shedTargetLatency := fs.Duration("shed-target-latency", 0, "object-read latency above which the adaptive limiter backs off (0 means 50ms)")
+	persistDegradeAfter := fs.Int("persist-degrade-after", 0, "consecutive persist failures before persist-degraded read-only mode (0 means 3, negative disables)")
+	persistFaultAfter := fs.Int("persist-fault-after", 0, "chaos testing: inject disk faults starting at this persist op (0 disables injection)")
+	persistFaultOps := fs.Int("persist-fault-ops", 0, "chaos testing: how many consecutive persist ops fail (0 means the fault never heals)")
+	persistFaultKind := fs.String("persist-fault-kind", "eio", "chaos testing: injected fault kind, eio | enospc")
+	persistFaultTorn := fs.Bool("persist-fault-torn", false, "chaos testing: also tear the journal tail on the first injected append fault")
+	serveFaultLatency := fs.Duration("serve-fault-latency", 0, "chaos testing: artificial latency added to every admitted object read (0 disables)")
 	debugAddr := fs.String("debug-addr", "", "optional second listen address serving /metrics and /debug/pprof/; empty disables it")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	if err := fs.Parse(args); err != nil {
@@ -115,6 +125,16 @@ func parseFlags(args []string) (config, error) {
 		snapshotEvery:   *snapshotEvery,
 		debugAddr:       *debugAddr,
 		logLevel:        *logLevel,
+
+		maxInflight:         *maxInflight,
+		minInflight:         *minInflight,
+		shedTargetLatency:   *shedTargetLatency,
+		persistDegradeAfter: *persistDegradeAfter,
+		persistFaultAfter:   *persistFaultAfter,
+		persistFaultOps:     *persistFaultOps,
+		persistFaultKind:    *persistFaultKind,
+		persistFaultTorn:    *persistFaultTorn,
+		serveFaultLatency:   *serveFaultLatency,
 	}, nil
 }
 
@@ -136,6 +156,19 @@ type config struct {
 	snapshotEvery          float64
 	debugAddr              string
 	logLevel               string
+
+	// Overload shedding and degraded-mode tuning.
+	maxInflight         int
+	minInflight         int
+	shedTargetLatency   time.Duration
+	persistDegradeAfter int
+
+	// Deterministic fault injection (chaos testing).
+	persistFaultAfter int
+	persistFaultOps   int
+	persistFaultKind  string
+	persistFaultTorn  bool
+	serveFaultLatency time.Duration
 
 	// debugReady, when set (tests), receives the debug listener's bound
 	// address once it is accepting connections.
@@ -190,7 +223,10 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	reg := obs.NewRegistry()
 	solver.Instrument(reg)
 
+	// storer stays a nil interface when persistence is off: assigning a
+	// nil *persist.Store directly would make Config.Persist non-nil.
 	var store *persist.Store
+	var storer persist.Storer
 	if cfg.stateDir != "" {
 		var err error
 		store, err = persist.Open(cfg.stateDir)
@@ -206,6 +242,31 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		if rec.SnapshotErr != nil {
 			lg.Warn("snapshot discarded", "error", rec.SnapshotErr)
 		}
+		storer = store
+		if cfg.persistFaultAfter > 0 {
+			faultErr := persist.ErrDiskIO
+			switch cfg.persistFaultKind {
+			case "", "eio":
+			case "enospc":
+				faultErr = persist.ErrDiskFull
+			default:
+				return fmt.Errorf("unknown persist-fault-kind %q (want eio or enospc)", cfg.persistFaultKind)
+			}
+			storer = persist.NewFaultStore(store, persist.FaultPlan{
+				FailFrom:   cfg.persistFaultAfter,
+				FailOps:    cfg.persistFaultOps,
+				Err:        faultErr,
+				TornAppend: cfg.persistFaultTorn,
+			})
+			lg.Warn("disk-fault injection armed",
+				"from_op", cfg.persistFaultAfter,
+				"ops", cfg.persistFaultOps,
+				"kind", cfg.persistFaultKind,
+				"torn", cfg.persistFaultTorn)
+		}
+	}
+	if cfg.serveFaultLatency > 0 {
+		lg.Warn("serve-fault latency armed", "latency", cfg.serveFaultLatency)
 	}
 
 	client := httpmirror.NewSourceClient(cfg.upstream, nil)
@@ -223,11 +284,20 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 			QuarantineAfter:  cfg.quarantineAfter,
 			ProbeEvery:       cfg.probeEvery,
 		},
-		Seed:          cfg.seed,
-		Persist:       store,
-		SnapshotEvery: cfg.snapshotEvery,
-		Metrics:       reg,
-		Logger:        logger,
+		Overload: resilience.LimiterConfig{
+			MaxInflight:   cfg.maxInflight,
+			MinInflight:   cfg.minInflight,
+			TargetLatency: cfg.shedTargetLatency,
+		},
+		Degrade: resilience.ModeConfig{
+			PersistFailureThreshold: cfg.persistDegradeAfter,
+		},
+		ServeFaultLatency: cfg.serveFaultLatency,
+		Seed:              cfg.seed,
+		Persist:           storer,
+		SnapshotEvery:     cfg.snapshotEvery,
+		Metrics:           reg,
+		Logger:            logger,
 	})
 	if err != nil {
 		return err

@@ -68,6 +68,8 @@ type config struct {
 	maxErrRate     float64
 	accessAllocs   float64
 	handlerAllocs  float64
+	pastKnee       bool
+	statusURL      string
 }
 
 // parseFlags builds the generator configuration from a command line;
@@ -93,6 +95,8 @@ func parseFlags(args []string) (config, error) {
 	maxErrRate := fs.Float64("max-err-rate", 0.01, "error rate above which a stage is not sustained (serve mode)")
 	accessAllocs := fs.Float64("access-allocs", -1, "measured allocs/op of Mirror.Access, folded into the report; -1 means not measured")
 	handlerAllocs := fs.Float64("handler-allocs", -1, "measured allocs/op of the /object handler, folded into the report; -1 means not measured")
+	pastKnee := fs.Bool("past-knee", false, "keep ramping past the first unsustained stage to record shedding behavior (serve mode)")
+	statusURL := fs.String("status-url", "", "mirror /status URL sampled after the ramp for mode and shed counters; empty disables (serve mode)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -117,6 +121,8 @@ func parseFlags(args []string) (config, error) {
 		maxErrRate:     *maxErrRate,
 		accessAllocs:   *accessAllocs,
 		handlerAllocs:  *handlerAllocs,
+		pastKnee:       *pastKnee,
+		statusURL:      *statusURL,
 	}, nil
 }
 

@@ -48,6 +48,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.sustainFrac != 0.95 || cfg.maxErrRate != 0.01 || cfg.accessAllocs != -1 || cfg.handlerAllocs != -1 {
 		t.Errorf("serve defaults not applied: %+v", cfg)
 	}
+	if cfg.pastKnee || cfg.statusURL != "" {
+		t.Errorf("overload defaults not applied: %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverridesAndErrors(t *testing.T) {
@@ -59,6 +62,7 @@ func TestParseFlagsOverridesAndErrors(t *testing.T) {
 		"-stage-duration", "3s", "-warmup", "500ms", "-stall", "20ms",
 		"-sustain-frac", "0.9", "-max-err-rate", "0.05",
 		"-access-allocs", "0", "-handler-allocs", "2",
+		"-past-knee", "-status-url", "http://m/status",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +74,7 @@ func TestParseFlagsOverridesAndErrors(t *testing.T) {
 		serveOut: "/tmp/s.json", workers: 8, stages: "100,200",
 		stageDuration: 3 * time.Second, warmup: 500 * time.Millisecond, stallThreshold: 20 * time.Millisecond,
 		sustainFrac: 0.9, maxErrRate: 0.05, accessAllocs: 0, handlerAllocs: 2,
+		pastKnee: true, statusURL: "http://m/status",
 	}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)

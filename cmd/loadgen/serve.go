@@ -37,7 +37,23 @@ type serveReport struct {
 	SustainFrac      float64 `json:"sustain_frac"`
 	MaxErrRate       float64 `json:"max_err_rate"`
 
+	// PastKnee records whether the ramp was allowed to continue past
+	// the first unsustained stage (-past-knee), which is how the shed
+	// columns below get non-trivial values: beyond the knee the mirror
+	// is expected to 503 the excess, not to queue it.
+	PastKnee bool `json:"past_knee"`
+
 	Stages []stageResult `json:"stages"`
+
+	// Mirror-side counters sampled from /status after the ramp
+	// (-status-url); MirrorMode is empty when sampling was disabled or
+	// failed. ModeTransitions counts degradation-mode changes over the
+	// mirror's lifetime, so a clean overload run should leave it at
+	// whatever the chaos script expects, not silently grow it.
+	MirrorMode             string `json:"mirror_mode,omitempty"`
+	MirrorModeTransitions  uint64 `json:"mirror_mode_transitions"`
+	MirrorShedRequests     uint64 `json:"mirror_shed_requests"`
+	MirrorAdmittedRequests uint64 `json:"mirror_admitted_requests"`
 
 	// MaxSustainedRPS is the highest achieved rate among stages that
 	// met the sustain criteria. When no stage qualified (the ramp
@@ -61,6 +77,12 @@ type stageResult struct {
 	AchievedRPS float64 `json:"achieved_rps"`
 	Requests    int     `json:"requests"`
 	Errors      int     `json:"errors"`
+	// Shed counts 503 responses — load the mirror's admission control
+	// turned away on purpose. Shed requests are not errors: past the
+	// knee a healthy mirror sheds, and the benchmark's job is to show
+	// the shed fraction rising while the admitted tail stays bounded.
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
 	// Stalls counts requests slower than the stall threshold — the
 	// tail the RCU read path exists to keep empty (a mutex read path
 	// stalls whenever a reader parks behind a commit).
@@ -69,8 +91,16 @@ type stageResult struct {
 	P99Ms  float64 `json:"p99_ms"`
 	P999Ms float64 `json:"p999_ms"`
 	MaxMs  float64 `json:"max_ms"`
-	// Sustained: achieved >= sustain_frac * target with an error rate
-	// at or under max_err_rate.
+	// Admitted quantiles cover only non-shed responses: the latency
+	// the mirror delivered to traffic it accepted. Past the knee the
+	// overall quantiles are dominated by fast 503s, so these are the
+	// columns the degradation-envelope check reads.
+	AdmittedRPS   float64 `json:"admitted_rps"`
+	AdmittedP50Ms float64 `json:"admitted_p50_ms"`
+	AdmittedP99Ms float64 `json:"admitted_p99_ms"`
+	// Sustained: admitted rate >= sustain_frac * target with an error
+	// rate (over admitted traffic, 503s excluded) at or under
+	// max_err_rate.
 	Sustained bool `json:"sustained"`
 }
 
@@ -98,7 +128,9 @@ func parseStages(s string) ([]float64, error) {
 // target instead).
 type serveWorker struct {
 	latenciesMs []float64
+	admittedMs  []float64
 	errors      int
+	shed        int
 	stalls      int
 }
 
@@ -115,18 +147,31 @@ func (w *serveWorker) run(cfg config, client *http.Client, seed int64, interval,
 	for time.Now().Before(deadline) {
 		id := zipf.Sample(rng) - 1
 		start := time.Now()
+		admitted := false
 		resp, err := client.Get(fmt.Sprintf("%s/object/%d", cfg.mirror, id))
 		if err != nil {
 			w.errors++
 		} else {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
+			switch {
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				// Admission control turned the request away; count it
+				// as shed, not as an error, and keep its (fast) latency
+				// out of the admitted digest.
+				w.shed++
+			case resp.StatusCode != http.StatusOK:
 				w.errors++
+				admitted = true
+			default:
+				admitted = true
 			}
 		}
 		ms := time.Since(start).Seconds() * 1000
 		w.latenciesMs = append(w.latenciesMs, ms)
+		if admitted {
+			w.admittedMs = append(w.admittedMs, ms)
+		}
 		if ms > stall {
 			w.stalls++
 		}
@@ -157,15 +202,21 @@ func runServeStage(cfg config, client *http.Client, target float64) stageResult 
 	elapsed := time.Since(start).Seconds()
 
 	res := stageResult{TargetRPS: target}
-	var ms []float64
+	var ms, admittedMs []float64
 	for i := range workers {
 		ms = append(ms, workers[i].latenciesMs...)
+		admittedMs = append(admittedMs, workers[i].admittedMs...)
 		res.Errors += workers[i].errors
+		res.Shed += workers[i].shed
 		res.Stalls += workers[i].stalls
 	}
 	res.Requests = len(ms)
 	if elapsed > 0 {
 		res.AchievedRPS = float64(res.Requests) / elapsed
+		res.AdmittedRPS = float64(res.Requests-res.Shed) / elapsed
+	}
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
 	}
 	if len(ms) > 0 {
 		sort.Float64s(ms)
@@ -174,14 +225,52 @@ func runServeStage(cfg config, client *http.Client, target float64) stageResult 
 		res.P999Ms = stats.Quantile(ms, 0.999)
 		res.MaxMs = ms[len(ms)-1]
 	}
+	if len(admittedMs) > 0 {
+		sort.Float64s(admittedMs)
+		res.AdmittedP50Ms = stats.Quantile(admittedMs, 0.50)
+		res.AdmittedP99Ms = stats.Quantile(admittedMs, 0.99)
+	}
+	// Sustained is judged on admitted traffic: shed 503s are the
+	// mirror declining load, not failing it, so they count against
+	// the achieved rate but not the error rate.
 	errRate := 0.0
-	if res.Requests > 0 {
-		errRate = float64(res.Errors) / float64(res.Requests)
+	if admitted := res.Requests - res.Shed; admitted > 0 {
+		errRate = float64(res.Errors) / float64(admitted)
 	}
 	res.Sustained = res.Requests > 0 &&
-		res.AchievedRPS >= cfg.sustainFrac*target &&
+		res.AdmittedRPS >= cfg.sustainFrac*target &&
 		errRate <= cfg.maxErrRate
 	return res
+}
+
+// mirrorStatus is the slice of the mirror's /status document the serve
+// benchmark records: the degradation mode and admission counters.
+type mirrorStatus struct {
+	Mode            string `json:"mode"`
+	ModeTransitions uint64 `json:"mode_transitions"`
+	Admitted        uint64 `json:"admitted_requests"`
+	Shed            uint64 `json:"shed_requests"`
+}
+
+// sampleStatus fetches -status-url once; errors are logged, not fatal,
+// so a mirror without the endpoint still produces a report.
+func sampleStatus(client *http.Client, url string) (mirrorStatus, bool) {
+	var st mirrorStatus
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Printf("loadgen: sampling %s: %v", url, err)
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("loadgen: sampling %s: HTTP %d", url, resp.StatusCode)
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Printf("loadgen: decoding %s: %v", url, err)
+		return st, false
+	}
+	return st, true
 }
 
 // runServe is the -serve-out entry point: warmup, then the stage ramp,
@@ -234,6 +323,7 @@ func runServe(cfg config) error {
 		StallThresholdMs:   cfg.stallThreshold.Seconds() * 1000,
 		SustainFrac:        cfg.sustainFrac,
 		MaxErrRate:         cfg.maxErrRate,
+		PastKnee:           cfg.pastKnee,
 		AccessAllocsPerOp:  cfg.accessAllocs,
 		HandlerAllocsPerOp: cfg.handlerAllocs,
 	}
@@ -241,8 +331,8 @@ func runServe(cfg config) error {
 	for _, target := range targets {
 		res := runServeStage(cfg, client, target)
 		report.Stages = append(report.Stages, res)
-		log.Printf("loadgen: stage %.0f rps -> achieved %.0f, p50 %.3fms p99 %.3fms p99.9 %.3fms, %d errors, %d stalls, sustained=%v",
-			target, res.AchievedRPS, res.P50Ms, res.P99Ms, res.P999Ms, res.Errors, res.Stalls, res.Sustained)
+		log.Printf("loadgen: stage %.0f rps -> achieved %.0f (admitted %.0f), p50 %.3fms p99 %.3fms p99.9 %.3fms (admitted p99 %.3fms), %d errors, %d shed, %d stalls, sustained=%v",
+			target, res.AchievedRPS, res.AdmittedRPS, res.P50Ms, res.P99Ms, res.P999Ms, res.AdmittedP99Ms, res.Errors, res.Shed, res.Stalls, res.Sustained)
 		if res.AchievedRPS > best {
 			best = res.AchievedRPS
 		}
@@ -250,6 +340,8 @@ func runServe(cfg config) error {
 			if res.AchievedRPS > report.MaxSustainedRPS {
 				report.MaxSustainedRPS = res.AchievedRPS
 			}
+		} else if cfg.pastKnee {
+			log.Printf("loadgen: stage %.0f rps not sustained; continuing past the knee", target)
 		} else {
 			log.Printf("loadgen: stage %.0f rps not sustained; stopping the ramp", target)
 			break
@@ -257,6 +349,14 @@ func runServe(cfg config) error {
 	}
 	if report.MaxSustainedRPS == 0 {
 		report.MaxSustainedRPS = best
+	}
+	if cfg.statusURL != "" {
+		if st, ok := sampleStatus(client, cfg.statusURL); ok {
+			report.MirrorMode = st.Mode
+			report.MirrorModeTransitions = st.ModeTransitions
+			report.MirrorShedRequests = st.Shed
+			report.MirrorAdmittedRequests = st.Admitted
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

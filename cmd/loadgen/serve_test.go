@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -172,6 +173,87 @@ func TestServeModeCountsErrorsAndStopsRamp(t *testing.T) {
 	}
 	if s.Errors == 0 || s.Errors != s.Requests {
 		t.Errorf("errors = %d of %d requests, want all", s.Errors, s.Requests)
+	}
+}
+
+// TestServeModeShedsArePastKneeNotErrors: a stub that 503s every other
+// request models admission control past the knee. With -past-knee the
+// ramp runs every stage anyway, the 503s land in the shed column (not
+// errors), and the admitted quantiles cover only the served responses.
+func TestServeModeShedsArePastKneeNotErrors(t *testing.T) {
+	var nreq atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
+		if nreq.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("object body"))
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"mode":              "full",
+			"mode_transitions":  uint64(2),
+			"admitted_requests": uint64(1234),
+			"shed_requests":     uint64(56),
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cfg := serveTestCfg(srv.URL, out)
+	cfg.stages = "200,400"
+	cfg.pastKnee = true
+	cfg.statusURL = srv.URL + "/status"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	report := readServeReport(t, out)
+	if !report.PastKnee {
+		t.Error("past_knee not recorded in the report")
+	}
+	if len(report.Stages) != 2 {
+		t.Fatalf("past-knee ramp stopped early: %d stages, want 2", len(report.Stages))
+	}
+	for i, s := range report.Stages {
+		if s.Errors != 0 {
+			t.Errorf("stage %d: shed responses counted as errors: %+v", i, s)
+		}
+		if s.Shed == 0 || s.ShedRate <= 0 {
+			t.Errorf("stage %d: no shedding recorded: %+v", i, s)
+		}
+		if s.AdmittedRPS <= 0 || s.AdmittedRPS >= s.AchievedRPS {
+			t.Errorf("stage %d: admitted rps %.1f not below achieved %.1f", i, s.AdmittedRPS, s.AchievedRPS)
+		}
+		if s.AdmittedP50Ms <= 0 || s.AdmittedP50Ms > s.AdmittedP99Ms {
+			t.Errorf("stage %d: admitted quantiles wrong: %+v", i, s)
+		}
+	}
+	if report.MirrorMode != "full" || report.MirrorModeTransitions != 2 {
+		t.Errorf("status sample lost: mode=%q transitions=%d", report.MirrorMode, report.MirrorModeTransitions)
+	}
+	if report.MirrorShedRequests != 56 || report.MirrorAdmittedRequests != 1234 {
+		t.Errorf("status counters lost: %+v", report)
+	}
+}
+
+// TestServeModeStatusSamplingTolerant: a missing /status endpoint logs
+// and leaves the mirror fields zero; it never fails the run.
+func TestServeModeStatusSamplingTolerant(t *testing.T) {
+	srv := objectStub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("object body"))
+	})
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cfg := serveTestCfg(srv.URL, out)
+	cfg.statusURL = srv.URL + "/status" // objectStub 404s anything but /object/
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	report := readServeReport(t, out)
+	if report.MirrorMode != "" || report.MirrorModeTransitions != 0 {
+		t.Errorf("failed status sample recorded values: %+v", report)
 	}
 }
 

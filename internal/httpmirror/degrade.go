@@ -1,0 +1,65 @@
+package httpmirror
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"freshen/internal/resilience"
+)
+
+// This file is the mirror's degradation surface: the mode machine's
+// published word, the headers the degraded read path attaches, and the
+// Retry-After hint shared by every 503 the mirror emits.
+//
+// The machine itself (internal/resilience) is mutated only under m.mu;
+// readers never touch it. publishModeLocked re-derives the mode after
+// every signal change and swaps it into modeWord, so the object
+// handler's check is one atomic load — zero cost, zero allocation,
+// while the mirror is healthy.
+
+// journalWarnInterval is the floor between "journal append failed"
+// warn lines: a dying disk at refresh cadence otherwise floods the log
+// with one line per record. Suppressed occurrences are counted and
+// reported on the next emitted line.
+const journalWarnInterval = 10 * time.Second
+
+// retryAfterHeader is the pre-built Retry-After value attached to shed
+// and not-ready 503s ("Retry-After" is already in canonical MIME form,
+// so direct map assignment costs no canonicalization).
+var retryAfterHeader = []string{strconv.Itoa(resilience.RetryAfterSeconds)}
+
+// publishModeLocked derives the mode from the machine and publishes it
+// for lock-free readers, logging the transition when it changed.
+// Callers hold m.mu (or are New, before any concurrency).
+func (m *Mirror) publishModeLocked() {
+	mode := m.machine.Mode()
+	if old := resilience.Mode(m.modeWord.Swap(uint32(mode))); old != mode {
+		m.log.Warn("degradation mode changed",
+			"from", old.String(), "to", mode.String(), "now", m.now)
+	}
+}
+
+// Mode is the mirror's current degradation mode (one atomic load).
+func (m *Mirror) Mode() resilience.Mode {
+	return resilience.Mode(m.modeWord.Load())
+}
+
+// degradedHeaders attaches the degradation headers to an object
+// response. Source-degraded responses carry how stale the body might
+// be: the periods since this copy's version was last verified against
+// the upstream, computed from the lock-free verified/clock words — the
+// serving path takes no locks even while degraded. Only called when
+// mode != ModeFull, so the healthy path never pays the allocations.
+func (m *Mirror) degradedHeaders(h http.Header, mode resilience.Mode, id int) {
+	h.Set("X-Mirror-Mode", mode.String())
+	if mode&resilience.ModeSourceDegraded != 0 {
+		clock := math.Float64frombits(m.clockBits.Load())
+		staleness := clock - math.Float64frombits(m.verified[id].Load())
+		if staleness < 0 {
+			staleness = 0
+		}
+		h.Set("X-Staleness-Periods", strconv.FormatFloat(staleness, 'f', 2, 64))
+	}
+}

@@ -1,0 +1,421 @@
+package httpmirror
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"freshen/internal/core"
+	"freshen/internal/persist"
+	"freshen/internal/resilience"
+)
+
+// newChaosMirror builds a persistent mirror over src whose store is
+// wrapped in a FaultStore the test breaks and heals.
+func newChaosMirror(t *testing.T, f *faultySource, dir string, plan persist.FaultPlan, snapshotEvery float64) (*Mirror, *persist.FaultStore) {
+	t.Helper()
+	inner, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inner.Close() })
+	fs := persist.NewFaultStore(inner, plan)
+	client := NewSourceClient(f.srv.URL, f.srv.Client())
+	client.SetRetryPolicy(fastRetry(1))
+	m, err := New(context.Background(), Config{
+		Upstream:      client,
+		Plan:          core.Config{Bandwidth: 16},
+		ReplanEvery:   1000,
+		Persist:       fs,
+		SnapshotEvery: snapshotEvery,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fs
+}
+
+// TestOverloadShedding saturates the admission limiter and checks the
+// contract: object reads past the limit get an immediate 503 with
+// Retry-After, while health, readiness, and status are never shed;
+// freed capacity admits again.
+func TestOverloadShedding(t *testing.T) {
+	f := newFaultySource(t, []float64{1, 1})
+	client := NewSourceClient(f.srv.URL, f.srv.Client())
+	client.SetRetryPolicy(fastRetry(1))
+	m, err := New(context.Background(), Config{
+		Upstream: client,
+		Plan:     core.Config{Bandwidth: 4},
+		Overload: resilience.LimiterConfig{MaxInflight: 2},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// Occupy both slots as if two reads were stuck in flight.
+	for i := 0; i < 2; i++ {
+		if !m.limiter.Acquire() {
+			t.Fatalf("slot %d shed below the limit", i)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/object/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated object read: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(resilience.RetryAfterSeconds) {
+		t.Errorf("shed Retry-After = %q, want %q", got, strconv.Itoa(resilience.RetryAfterSeconds))
+	}
+	// Ops routes are priority traffic: never shed.
+	for _, path := range []string{"/healthz", "/readyz", "/status"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s under overload: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	st := m.Status()
+	if st.Shed == 0 {
+		t.Error("Status.Shed = 0 after a shed request")
+	}
+	if st.InflightLimit != 2 || st.Inflight != 2 {
+		t.Errorf("Status inflight %d/%d, want 2/2", st.Inflight, st.InflightLimit)
+	}
+
+	// Capacity freed: the next read is admitted.
+	m.limiter.Release(0)
+	m.limiter.Release(0)
+	resp, err = http.Get(srv.URL + "/object/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("object read after release: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReadyzRetryAfter asserts the Retry-After header on both the
+// plain-text and JSON not-ready 503s.
+func TestReadyzRetryAfter(t *testing.T) {
+	f := newFaultySource(t, []float64{1, 1})
+	// A cold persistent mirror is not ready until its first snapshot.
+	m, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), t.TempDir(), 1, 1000, nil)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	for _, accept := range []string{"text/plain", "application/json"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/readyz", nil)
+		req.Header.Set("Accept", accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("accept %q: status %d, want 503", accept, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(resilience.RetryAfterSeconds) {
+			t.Errorf("accept %q: Retry-After = %q, want %q", accept, got, strconv.Itoa(resilience.RetryAfterSeconds))
+		}
+	}
+}
+
+// TestSourceDegradedHeaders drives the upstream down until the breaker
+// opens, then checks the explicit degraded-serving contract: object
+// reads still succeed but carry the mode and a staleness bound; both
+// disappear once the breaker closes.
+func TestSourceDegradedHeaders(t *testing.T) {
+	f := newFaultySource(t, []float64{1, 1})
+	m := newFaultMirror(t, f, 4, FaultPolicy{
+		BreakerThreshold: 3,
+		BreakerCooldown:  1,
+		QuarantineAfter:  -1,
+	})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	f.down.Store(true)
+	for step := 1; m.Mode()&resilience.ModeSourceDegraded == 0; step++ {
+		if step > 40 {
+			t.Fatal("breaker never opened")
+		}
+		if _, err := m.Step(0.25 * float64(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/object/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded object read: status %d, want 200 (serve-through)", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Mirror-Mode"); got != "source-degraded" {
+		t.Errorf("X-Mirror-Mode = %q, want source-degraded", got)
+	}
+	stale, err := strconv.ParseFloat(resp.Header.Get("X-Staleness-Periods"), 64)
+	if err != nil || stale < 0 {
+		t.Errorf("X-Staleness-Periods = %q, want a non-negative float", resp.Header.Get("X-Staleness-Periods"))
+	}
+
+	// Heal: the cooldown elapses, the half-open probe succeeds, the
+	// breaker closes, and the degraded headers disappear.
+	f.down.Store(false)
+	for step := 0; m.Mode() != resilience.ModeFull; step++ {
+		if step > 40 {
+			t.Fatalf("mode never recovered, still %v", m.Mode())
+		}
+		if _, err := m.Step(12 + 0.25*float64(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = http.Get(srv.URL + "/object/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Mirror-Mode"); got != "" {
+		t.Errorf("recovered response still carries X-Mirror-Mode=%q", got)
+	}
+	if m.Status().ModeTransitions < 2 {
+		t.Errorf("mode transitions = %d, want >= 2 (enter + leave)", m.Status().ModeTransitions)
+	}
+}
+
+// TestDiskDiesMidRun is the disk-fault chaos test: the state disk
+// dies under a running mirror, which must enter persist-degraded
+// (read-only) mode, stop burning fsync timeouts on journaling, keep
+// serving objects, and recover full durability after the disk heals —
+// with the recovery gated on a real successful fsync.
+func TestDiskDiesMidRun(t *testing.T) {
+	f := newFaultySource(t, []float64{3, 1, 0.5, 2})
+	m, fs := newChaosMirror(t, f, t.TempDir(), persist.FaultPlan{}, 2)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// Healthy warm-up: accumulate journaled refreshes and a snapshot.
+	now := 0.0
+	for step := 1; step <= 12; step++ {
+		now = 0.25 * float64(step)
+		f.src.Advance(now)
+		if _, err := m.Step(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Status().Snapshots == 0 {
+		t.Fatal("setup: no snapshot during healthy run")
+	}
+	if m.Mode() != resilience.ModeFull {
+		t.Fatalf("setup: mode %v, want full", m.Mode())
+	}
+
+	// The disk dies.
+	fs.Break(persist.ErrDiskIO)
+	for step := 1; m.Mode()&resilience.ModePersistDegraded == 0; step++ {
+		if step > 60 {
+			t.Fatal("mirror never entered persist-degraded mode")
+		}
+		now += 0.25
+		f.src.Advance(now)
+		if _, err := m.Step(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Status()
+	if st.ConsecutivePersistFailures < 3 {
+		t.Errorf("consecutive persist failures = %d, want >= 3", st.ConsecutivePersistFailures)
+	}
+	if st.Mode != "persist-degraded" {
+		t.Errorf("Status.Mode = %q, want persist-degraded", st.Mode)
+	}
+
+	// Read-only mode: journaling stops (skips accumulate), serving
+	// does not.
+	preInjected := fs.Injected()
+	for step := 1; step <= 12; step++ {
+		now += 0.25
+		f.src.Advance(now)
+		if _, err := m.Step(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Status().JournalSkipped == 0 {
+		t.Error("no journal appends skipped while persist-degraded")
+	}
+	// The only ops still reaching the dead disk are the backed-off
+	// snapshot probes — far fewer than one per refresh.
+	if probes := fs.Injected() - preInjected; probes > 4 {
+		t.Errorf("%d ops hit the dead disk across 3 periods, want backed-off probes only", probes)
+	}
+	resp, err := http.Get(srv.URL + "/object/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("object read in persist-degraded mode: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Mirror-Mode"); got != "persist-degraded" {
+		t.Errorf("X-Mirror-Mode = %q, want persist-degraded", got)
+	}
+	if resp.Header.Get("X-Staleness-Periods") != "" {
+		t.Error("persist-degraded response carries a staleness header (source axis is healthy)")
+	}
+
+	// The disk heals: the next snapshot probe fsync succeeds, clearing
+	// the mode and restoring durability.
+	fs.Heal()
+	preSnapshots := m.Status().Snapshots
+	for step := 1; m.Mode() != resilience.ModeFull; step++ {
+		if step > 200 {
+			t.Fatalf("mode never recovered after heal, still %v", m.Mode())
+		}
+		now += 0.5
+		f.src.Advance(now)
+		if _, err := m.Step(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = m.Status()
+	if st.Snapshots <= preSnapshots {
+		t.Error("recovery to full without a new durable snapshot")
+	}
+	if st.ConsecutivePersistFailures != 0 {
+		t.Errorf("consecutive persist failures = %d after recovery, want 0", st.ConsecutivePersistFailures)
+	}
+}
+
+// TestKillRestartInPersistDegraded kills a mirror while its disk is
+// dead and restarts it against the same (still dead) disk: the boot
+// fsync probe must put it straight into persist-degraded mode, the
+// learned state must come back from the last good snapshot, serving
+// must work — and only after the disk heals and one fsync succeeds
+// does it re-enter full mode.
+func TestKillRestartInPersistDegraded(t *testing.T) {
+	f := newFaultySource(t, []float64{3, 1, 0.5, 2})
+	dir := t.TempDir()
+	m1, fs1 := newChaosMirror(t, f, dir, persist.FaultPlan{}, 1000)
+
+	// Build up learned state and flush it while the disk still works.
+	now := 0.0
+	for step := 1; step <= 20; step++ {
+		now = 0.25 * float64(step)
+		f.src.Advance(now)
+		if _, err := m1.Step(now); err != nil {
+			t.Fatal(err)
+		}
+		m1.Access(step % 3)
+	}
+	if err := m1.FlushSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	preEst, err := m1.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := m1.Status()
+
+	// The disk dies; the mirror degrades; then the process "dies" too.
+	fs1.Break(persist.ErrDiskFull)
+	for step := 1; m1.Mode()&resilience.ModePersistDegraded == 0; step++ {
+		if step > 60 {
+			t.Fatal("m1 never entered persist-degraded mode")
+		}
+		now += 0.25
+		f.src.Advance(now)
+		if _, err := m1.Step(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs1.Inner().Close()
+
+	// Restart against the same state dir, disk still dead: the broken
+	// FaultStore fails the boot probe.
+	inner2, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner2.Close()
+	fs2 := persist.NewFaultStore(inner2, persist.FaultPlan{})
+	fs2.Break(persist.ErrDiskFull)
+	client := NewSourceClient(f.srv.URL, f.srv.Client())
+	client.SetRetryPolicy(fastRetry(1))
+	m2, err := New(context.Background(), Config{
+		Upstream:      client,
+		Plan:          core.Config{Bandwidth: 16},
+		ReplanEvery:   1000,
+		Persist:       fs2,
+		SnapshotEvery: 1,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := m2.Readiness()
+	if !rd.Recovered {
+		t.Fatalf("restart did not recover: %+v", rd)
+	}
+	if rd.Mode != "persist-degraded" {
+		t.Errorf("boot mode = %q, want persist-degraded (probe failed)", rd.Mode)
+	}
+	// The learned state survived via the last good snapshot.
+	postEst, err := m2.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preEst {
+		if preEst[i] != postEst[i] {
+			t.Errorf("element %d: recovered estimate %v != pre-kill %v", i, postEst[i], preEst[i])
+		}
+	}
+	if got := m2.Status().Accesses; got != pre.Accesses {
+		t.Errorf("access log: recovered %d, want %d", got, pre.Accesses)
+	}
+	// Degraded but serving.
+	if _, _, err := m2.Access(0); err != nil {
+		t.Fatalf("degraded restarted mirror refused a read: %v", err)
+	}
+
+	// While the disk stays dead, stepping never restores full mode.
+	now2 := m2.Status().Now
+	for step := 1; step <= 8; step++ {
+		now2 += 0.5
+		f.src.Advance(now2)
+		if _, err := m2.Step(now2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m2.Mode()&resilience.ModePersistDegraded == 0 {
+		t.Fatal("mirror left persist-degraded mode without a successful fsync")
+	}
+
+	// Heal; the next snapshot probe's fsync is the recovery proof.
+	fs2.Heal()
+	for step := 1; m2.Mode() != resilience.ModeFull; step++ {
+		if step > 200 {
+			t.Fatalf("mode never recovered after heal, still %v", m2.Mode())
+		}
+		now2 += 0.5
+		f.src.Advance(now2)
+		if _, err := m2.Step(now2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m2.Status().Snapshots == 0 {
+		t.Error("recovered to full without a durable snapshot")
+	}
+}

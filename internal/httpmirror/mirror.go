@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"freshen/internal/freshness"
 	"freshen/internal/obs"
 	"freshen/internal/persist"
+	"freshen/internal/resilience"
 	"freshen/internal/schedule"
 )
 
@@ -42,11 +44,29 @@ type Config struct {
 	// Fault tunes the circuit breaker and quarantine (zero value:
 	// sensible defaults; see FaultPolicy).
 	Fault FaultPolicy
+	// Overload tunes the adaptive concurrency limiter guarding the
+	// object read path (zero value: enabled defaults; MaxInflight < 0
+	// disables shedding). Health, readiness, status, and metrics
+	// routes are never shed.
+	Overload resilience.LimiterConfig
+	// Degrade tunes the degraded-mode state machine (zero value:
+	// sensible defaults; see resilience.ModeConfig).
+	Degrade resilience.ModeConfig
+	// ServeFaultLatency is a chaos knob: artificial latency added to
+	// every admitted object read, inside the limiter's inflight
+	// window. The lock-free read path is sub-microsecond, so real
+	// overload (inflight exceeding the limit) needs either enormous
+	// fan-in or a slowed handler; chaos tests use this to make the
+	// shedding envelope reachable deterministically. 0 (production)
+	// adds nothing.
+	ServeFaultLatency time.Duration
 	// Persist enables crash-safe state persistence when non-nil: the
 	// mirror recovers its learned state from the store on boot,
 	// journals every refresh outcome, and snapshots on the period
 	// clock. The mirror owns neither opening nor closing the store.
-	Persist *persist.Store
+	// Wrap a *persist.Store in a persist.FaultStore to chaos-test the
+	// degradation envelope.
+	Persist persist.Storer
 	// SnapshotEvery is the snapshot cadence in periods; 0 means 5.
 	// Only meaningful with Persist.
 	SnapshotEvery float64
@@ -134,15 +154,29 @@ type Mirror struct {
 	quarantined      int // elements currently quarantined; maintained at transitions
 
 	// Crash-safe persistence (nil store disables it; see Config.Persist).
-	store          *persist.Store
+	store          persist.Storer
 	lastSnapshot   float64 // period clock at the last snapshot attempt
 	lastSnapshotAt float64 // period clock of the last durable snapshot; -1 none
 	snapshots      int     // snapshots written this process
 	persistErrors  int     // journal/snapshot write failures (state kept in memory)
+	journalSkipped int     // appends withheld while persist-degraded
 	replayed       int     // journal records replayed at boot
 	recovered      bool    // some durable state survived into this process
 	recoveryStatus string  // human-readable recovery outcome for /readyz
 	ready          bool    // serves 200 on /readyz
+
+	// Overload shedding and degraded-mode state (see degrade.go).
+	// machine is mutated under m.mu; modeWord publishes its derived
+	// mode for lock-free readers; limiter is pure-atomic; verified and
+	// clockBits carry Float64bits of per-copy last-verified times and
+	// the period clock so the degraded read path computes staleness
+	// without locks.
+	limiter     *resilience.Limiter
+	machine     *resilience.Machine
+	modeWord    atomic.Uint32
+	clockBits   atomic.Uint64
+	verified    []atomic.Uint64
+	journalWarn *obs.LogLimiter
 
 	// Observability (see obs.go): nil metrics disable instrumentation;
 	// log is never nil (a no-op logger stands in).
@@ -191,6 +225,10 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 		lastSnapshotAt: -1,
 		recoveryStatus: "disabled",
 		log:            obs.Component(cfg.Logger, "mirror"),
+		limiter:        resilience.NewLimiter(cfg.Overload),
+		machine:        resilience.NewMachine(cfg.Degrade),
+		verified:       make([]atomic.Uint64, n),
+		journalWarn:    obs.NewLogLimiter(journalWarnInterval),
 	}
 	m.tracker, err = estimate.NewTracker(n)
 	if err != nil {
@@ -220,6 +258,21 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 	var restoredPlan *persist.PlanState
 	if m.store != nil {
 		restoredPlan = m.applyRecovery(m.store.Recovery())
+		// The restored breaker and quarantine state feed the mode
+		// machine so a mirror that died degraded wakes up degraded.
+		m.machine.SetBreakerOpen(m.brk.state != BreakerClosed)
+		m.machine.SetQuarantineFrac(float64(m.quarantined) / float64(n))
+		// Boot-time disk probe: one bare fsync. If the state device is
+		// already dead the mirror starts persist-degraded instead of
+		// discovering it one timed-out append at a time — and "re-enter
+		// full only after a successful fsync" holds from the first boot.
+		if err := m.store.Sync(); err != nil {
+			m.persistErrors++
+			m.metrics.countPersistError()
+			m.machine.ForcePersistDegraded(m.now)
+			m.log.Warn("boot fsync probe failed; starting persist-degraded", "error", err)
+		}
+		m.publishModeLocked()
 	}
 	for i := range m.elems {
 		body, ver, err := cfg.Upstream.Fetch(ctx, i)
@@ -231,12 +284,14 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 		c.version = ver
 		c.fetches++
 		m.fetches++
+		m.verified[i].Store(math.Float64bits(m.now))
 		if m.recovered {
 			// The next poll's elapsed time starts at the restored
 			// clock: the downtime gap never reaches the estimator.
 			c.lastPoll = m.now
 		}
 	}
+	m.clockBits.Store(math.Float64bits(m.now))
 	// Every body and version is now in place: publish the snapshot the
 	// first real reader will serve from.
 	m.publishServingLocked()
@@ -399,6 +454,9 @@ func (m *Mirror) Step(now float64) (int, error) {
 	m.mu.Lock()
 	if now > m.now {
 		m.now = now
+		// Publish the clock for the lock-free staleness computation in
+		// the degraded read path.
+		m.clockBits.Store(math.Float64bits(m.now))
 	}
 	if m.metrics != nil && m.now-m.lastPFUpdate >= 1 {
 		// The live PF gauges cost one exp per element, so they follow
@@ -420,8 +478,11 @@ func (m *Mirror) Step(now float64) (int, error) {
 	}
 	// Snapshot on the period clock. The state is captured under the
 	// lock but committed outside it: the fsyncs must not block Access.
+	// While persist-degraded the machine's exponential backoff gates
+	// attempts — each one is the fsync probe that would clear the mode,
+	// but a dead disk must not eat a timeout every cadence tick.
 	var snap *persist.Snapshot
-	if m.store != nil && now-m.lastSnapshot >= m.cfg.SnapshotEvery {
+	if m.store != nil && now-m.lastSnapshot >= m.cfg.SnapshotEvery && m.machine.SnapshotDue(now) {
 		snap = m.exportStateLocked()
 		m.lastSnapshot = now
 	}
@@ -483,6 +544,7 @@ func (m *Mirror) refresh(id int, at float64) error {
 		elapsed = 0 // no observation: first poll of this copy
 	}
 	c.lastPoll = at
+	m.verified[id].Store(math.Float64bits(at))
 	c.fetches++
 	m.fetches++
 	if changed {
@@ -523,7 +585,17 @@ func (m *Mirror) noteOutcome(id int, at float64, err error) bool {
 
 // noteOutcomeLocked is noteOutcome under an already-held m.mu; journal
 // replay uses it directly so recovery reproduces the live transitions.
+// Every outcome also re-derives the degradation mode: the breaker and
+// quarantine signals the mode machine consumes only ever move here.
 func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
+	changed := m.recordOutcomeLocked(id, at, err)
+	m.machine.SetBreakerOpen(m.brk.state != BreakerClosed)
+	m.machine.SetQuarantineFrac(float64(m.quarantined) / float64(len(m.elems)))
+	m.publishModeLocked()
+	return changed
+}
+
+func (m *Mirror) recordOutcomeLocked(id int, at float64, err error) bool {
 	tripsBefore := m.brk.trips
 	m.brk.record(err == nil, at)
 	if m.brk.trips > tripsBefore {
@@ -704,9 +776,19 @@ type Status struct {
 	QuarantineEvents int    `json:"quarantine_events"`
 	Recoveries       int    `json:"recoveries"`
 
+	// Overload and degradation state (see DESIGN.md §12).
+	Mode            string `json:"mode"`
+	ModeTransitions int    `json:"mode_transitions"`
+	Inflight        int64  `json:"inflight"`
+	InflightLimit   int64  `json:"inflight_limit"`
+	Admitted        uint64 `json:"admitted_requests"`
+	Shed            uint64 `json:"shed_requests"`
+
 	// Persistence counters (zero when persistence is disabled).
-	Snapshots     int `json:"snapshots"`
-	PersistErrors int `json:"persist_errors"`
+	Snapshots                  int `json:"snapshots"`
+	PersistErrors              int `json:"persist_errors"`
+	ConsecutivePersistFailures int `json:"consecutive_persist_failures"`
+	JournalSkipped             int `json:"journal_records_skipped"`
 }
 
 // Status reports the mirror's current state. The quarantined count is
@@ -735,8 +817,18 @@ func (m *Mirror) Status() Status {
 		Quarantined:      m.quarantined,
 		QuarantineEvents: m.quarantineEvents,
 		Recoveries:       m.recoveries,
-		Snapshots:        m.snapshots,
-		PersistErrors:    m.persistErrors,
+
+		Mode:            m.machine.Mode().String(),
+		ModeTransitions: m.machine.Transitions(),
+		Inflight:        m.limiter.Inflight(),
+		InflightLimit:   m.limiter.Limit(),
+		Admitted:        m.limiter.Admitted(),
+		Shed:            m.limiter.Shed(),
+
+		Snapshots:                  m.snapshots,
+		PersistErrors:              m.persistErrors,
+		ConsecutivePersistFailures: m.machine.ConsecutivePersistFailures(),
+		JournalSkipped:             m.journalSkipped,
 	}
 }
 
@@ -800,6 +892,39 @@ func (m *Mirror) ForceReplan() error {
 	return m.replanLocked()
 }
 
+// serveObject is the admitted object read: resolve the id, serve the
+// body and version from the lock-free snapshot, and — only when the
+// mirror is degraded — attach the mode and staleness headers. The full
+// path stays allocation-free (see TestObjectHandlerAllocs).
+func (m *Mirror) serveObject(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/object/"))
+	if err != nil {
+		http.Error(w, "bad object id", http.StatusBadRequest)
+		return
+	}
+	body, ver, err := m.Access(id)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if mode := resilience.Mode(m.modeWord.Load()); mode != resilience.ModeFull {
+		m.degradedHeaders(w.Header(), mode, id)
+	}
+	// Small versions reuse a pre-built header slice; "X-Version" is
+	// already in canonical MIME form, so direct map assignment
+	// matches what Header().Set would store.
+	if ver >= 0 && ver < len(versionHeaders) {
+		w.Header()["X-Version"] = versionHeaders[ver]
+	} else {
+		w.Header().Set("X-Version", strconv.Itoa(ver))
+	}
+	w.Write(body)
+}
+
 // wantsPlainText reports whether a probe asked for the plain-text
 // form of a health endpoint: kubelet-style probes send
 // "Accept: text/plain" and want a bare ok/unavailable body, while
@@ -826,29 +951,21 @@ func (m *Mirror) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/object/"))
-		if err != nil {
-			http.Error(w, "bad object id", http.StatusBadRequest)
+		// Admission control: past the adaptive limit the request is
+		// shed immediately — a 503 with Retry-After — instead of
+		// queueing into latency collapse. Only object reads shed;
+		// health, readiness, status, and metrics stay un-gated.
+		if !m.limiter.Acquire() {
+			w.Header()["Retry-After"] = retryAfterHeader
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
 			return
 		}
-		body, ver, err := m.Access(id)
-		switch {
-		case errors.Is(err, ErrNotFound):
-			http.Error(w, "no such object", http.StatusNotFound)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+		start := time.Now()
+		if m.cfg.ServeFaultLatency > 0 {
+			time.Sleep(m.cfg.ServeFaultLatency)
 		}
-		// Small versions reuse a pre-built header slice; "X-Version" is
-		// already in canonical MIME form, so direct map assignment
-		// matches what Header().Set would store.
-		if ver >= 0 && ver < len(versionHeaders) {
-			w.Header()["X-Version"] = versionHeaders[ver]
-		} else {
-			w.Header().Set("X-Version", strconv.Itoa(ver))
-		}
-		w.Write(body)
+		m.serveObject(w, r)
+		m.limiter.Release(time.Since(start))
 	}))
 	mux.Handle("/object/", object)
 	handle("/status", func(w http.ResponseWriter, r *http.Request) {
@@ -886,6 +1003,10 @@ func (m *Mirror) Handler() http.Handler {
 		if wantsPlainText(r) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			if !rd.Ready {
+				// Retry-After tells rolling-deploy gates when to probe
+				// again; readiness usually flips within one snapshot
+				// cadence, so the shed hint is honest here too.
+				w.Header()["Retry-After"] = retryAfterHeader
 				w.WriteHeader(http.StatusServiceUnavailable)
 				fmt.Fprintln(w, "unavailable")
 				return
@@ -895,6 +1016,7 @@ func (m *Mirror) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if !rd.Ready {
+			w.Header()["Retry-After"] = retryAfterHeader
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		if err := json.NewEncoder(w).Encode(rd); err != nil && rd.Ready {

@@ -134,6 +134,47 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 		"Upstream requests that failed after exhausting retries.", func() float64 {
 			return float64(m.cfg.Upstream.Failures())
 		})
+	// Overload and degradation series. The limiter's counters are pure
+	// atomics; the mode word is published for lock-free reads; the
+	// machine's own counters take m.mu like the other state gauges.
+	reg.CounterFunc("freshen_shed_requests_total",
+		"Object reads shed by admission control (503 + Retry-After).", func() float64 {
+			return float64(m.limiter.Shed())
+		})
+	reg.CounterFunc("freshen_admitted_requests_total",
+		"Object reads admitted past the concurrency limiter.", func() float64 {
+			return float64(m.limiter.Admitted())
+		})
+	reg.GaugeFunc("freshen_inflight_requests",
+		"Object reads currently admitted and in flight.", func() float64 {
+			return float64(m.limiter.Inflight())
+		})
+	reg.GaugeFunc("freshen_inflight_limit",
+		"Current adaptive concurrency limit (-1 when shedding is disabled).", func() float64 {
+			return float64(m.limiter.Limit())
+		})
+	reg.GaugeFunc("freshen_mode",
+		"Degradation mode bitmask: 0 full, +1 source-degraded, +2 persist-degraded.", func() float64 {
+			return float64(m.modeWord.Load())
+		})
+	reg.CounterFunc("freshen_mode_transitions_total",
+		"Degradation mode changes since this process started.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.machine.Transitions())
+		})
+	reg.GaugeFunc("freshen_consecutive_persist_failures",
+		"Persist failures since the last successful fsync.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.machine.ConsecutivePersistFailures())
+		})
+	reg.CounterFunc("freshen_journal_skipped_total",
+		"Journal appends withheld while persist-degraded.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.journalSkipped)
+		})
 	return mm
 }
 

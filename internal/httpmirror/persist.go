@@ -2,6 +2,8 @@ package httpmirror
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"freshen/internal/core"
 	"freshen/internal/persist"
@@ -105,6 +107,7 @@ func (m *Mirror) replayJournalRecord(r persist.Record) {
 		m.tracker.Record(r.Element, r.Elapsed, r.Changed)
 	}
 	c.lastPoll = r.At
+	m.verified[r.Element].Store(math.Float64bits(r.At))
 	c.fetches++
 	m.fetches++
 	if r.Changed {
@@ -207,13 +210,17 @@ func (m *Mirror) exportStateLocked() *persist.Snapshot {
 
 // commitSnapshot durably installs a snapshot built by
 // exportStateLocked. Callers hold stepMu but not m.mu: the fsyncs in
-// Commit must never block Access.
+// Commit must never block Access. Outcomes feed the mode machine — a
+// failure grows the persist-degraded backoff, a success is the fsync
+// proof that clears the mode.
 func (m *Mirror) commitSnapshot(snap *persist.Snapshot) error {
 	err := m.store.Commit(snap)
 	m.mu.Lock()
 	if err != nil {
 		m.persistErrors++
 		m.metrics.countPersistError()
+		m.machine.PersistFailed(snap.Now)
+		m.publishModeLocked()
 		m.mu.Unlock()
 		m.log.Warn("snapshot failed", "now", snap.Now, "error", err)
 		return err
@@ -221,6 +228,8 @@ func (m *Mirror) commitSnapshot(snap *persist.Snapshot) error {
 	m.snapshots++
 	m.lastSnapshotAt = snap.Now
 	m.ready = true
+	m.machine.PersistSucceeded()
+	m.publishModeLocked()
 	m.mu.Unlock()
 	m.log.Debug("snapshot committed", "now", snap.Now, "elements", len(snap.Elements))
 	return nil
@@ -245,17 +254,42 @@ func (m *Mirror) FlushSnapshot() error {
 
 // appendJournal journals one record, counting (never propagating) the
 // failure: a sick state disk costs durability of recent observations,
-// not availability of the mirror.
+// not availability of the mirror. While persist-degraded, appends are
+// withheld entirely — every one would eat an fsync timeout against a
+// dead disk at refresh rate — and counted as skipped; the snapshot
+// backoff probes own re-entry into full mode. The per-record warn is
+// rate-limited to one line per interval with a suppressed count.
 func (m *Mirror) appendJournal(r persist.Record) {
 	if m.store == nil {
 		return
 	}
-	if err := m.store.Append(r); err != nil {
-		m.mu.Lock()
-		m.persistErrors++
-		m.metrics.countPersistError()
+	m.mu.Lock()
+	if !m.machine.JournalEnabled() {
+		m.journalSkipped++
 		m.mu.Unlock()
-		m.log.Warn("journal append failed", "element", r.Element, "error", err)
+		return
+	}
+	m.mu.Unlock()
+
+	err := m.store.Append(r)
+
+	m.mu.Lock()
+	if err == nil {
+		// A successful fsynced append is disk-health evidence too: it
+		// resets the consecutive-failure run.
+		m.machine.PersistSucceeded()
+		m.publishModeLocked()
+		m.mu.Unlock()
+		return
+	}
+	m.persistErrors++
+	m.metrics.countPersistError()
+	m.machine.PersistFailed(r.At)
+	m.publishModeLocked()
+	m.mu.Unlock()
+	if emit, suppressed := m.journalWarn.Allow(time.Now()); emit {
+		m.log.Warn("journal append failed",
+			"element", r.Element, "error", err, "suppressed_since_last", suppressed)
 	}
 }
 
@@ -279,6 +313,12 @@ type Readiness struct {
 	PersistErrors      int     `json:"persist_errors"`
 	BreakerState       string  `json:"breaker_state"`
 	Quarantined        int     `json:"quarantined"`
+
+	// Degradation: a degraded mirror stays ready — it serves — but
+	// reports which envelope it is serving in and how far the persist
+	// axis is from healthy.
+	Mode                       string `json:"mode"`
+	ConsecutivePersistFailures int    `json:"consecutive_persist_failures"`
 }
 
 // Readiness reports whether the mirror should receive traffic and the
@@ -301,6 +341,9 @@ func (m *Mirror) Readiness() Readiness {
 		PersistErrors:      m.persistErrors,
 		BreakerState:       m.brk.state.String(),
 		Quarantined:        m.quarantined,
+
+		Mode:                       m.machine.Mode().String(),
+		ConsecutivePersistFailures: m.machine.ConsecutivePersistFailures(),
 	}
 }
 

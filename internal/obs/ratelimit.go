@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// LogLimiter rate-limits a repetitive log site to one emission per
+// interval. A failing subsystem that would otherwise log per event
+// (a dying state disk at refresh cadence, say) emits one line per
+// interval instead, carrying the count of occurrences suppressed since
+// the previous line. Safe for concurrent use.
+type LogLimiter struct {
+	mu         sync.Mutex
+	interval   time.Duration
+	last       time.Time
+	suppressed int
+}
+
+// NewLogLimiter builds a limiter allowing one emission per interval;
+// non-positive intervals allow every emission.
+func NewLogLimiter(interval time.Duration) *LogLimiter {
+	return &LogLimiter{interval: interval}
+}
+
+// Allow records one occurrence at now and reports whether the caller
+// should emit it, along with how many occurrences were suppressed
+// since the last allowed one (0 the first time). The first occurrence
+// is always allowed: operators see a fresh failure immediately, and
+// only the repeats are coalesced.
+func (l *LogLimiter) Allow(now time.Time) (emit bool, suppressed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.last.IsZero() && l.interval > 0 && now.Sub(l.last) < l.interval {
+		l.suppressed++
+		return false, 0
+	}
+	suppressed = l.suppressed
+	l.suppressed = 0
+	l.last = now
+	return true, suppressed
+}

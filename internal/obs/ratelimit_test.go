@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogLimiterCoalesces(t *testing.T) {
+	l := NewLogLimiter(10 * time.Second)
+	base := time.Unix(1000, 0)
+
+	if emit, n := l.Allow(base); !emit || n != 0 {
+		t.Fatalf("first occurrence: emit=%v suppressed=%d, want true/0", emit, n)
+	}
+	// Five repeats inside the interval: all suppressed.
+	for i := 1; i <= 5; i++ {
+		if emit, _ := l.Allow(base.Add(time.Duration(i) * time.Second)); emit {
+			t.Fatalf("occurrence %d inside the interval emitted", i)
+		}
+	}
+	// Past the interval: one line carrying the suppressed count.
+	if emit, n := l.Allow(base.Add(11 * time.Second)); !emit || n != 5 {
+		t.Fatalf("post-interval: emit=%v suppressed=%d, want true/5", emit, n)
+	}
+	// The counter reset with the emission.
+	if emit, n := l.Allow(base.Add(30 * time.Second)); !emit || n != 0 {
+		t.Fatalf("quiet period: emit=%v suppressed=%d, want true/0", emit, n)
+	}
+}
+
+func TestLogLimiterDisabled(t *testing.T) {
+	l := NewLogLimiter(0)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if emit, n := l.Allow(base); !emit || n != 0 {
+			t.Fatalf("occurrence %d: emit=%v suppressed=%d, want every emission allowed", i, emit, n)
+		}
+	}
+}
+
+// TestLogLimiterConcurrent checks the accounting under contention:
+// every occurrence is either emitted or counted suppressed, never
+// lost. Run under -race this is the limiter's memory-model test.
+func TestLogLimiterConcurrent(t *testing.T) {
+	l := NewLogLimiter(time.Hour)
+	base := time.Unix(1000, 0)
+	const workers, perWorker = 8, 500
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	emitted, reported := 0, 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if emit, n := l.Allow(base); emit {
+					mu.Lock()
+					emitted++
+					reported += n
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Flush whatever is still pending.
+	if emit, n := l.Allow(base.Add(2 * time.Hour)); emit {
+		emitted++
+		reported += n
+	}
+	if total := emitted + reported; total != workers*perWorker+1 {
+		t.Errorf("emitted %d + suppressed-reported %d = %d, want %d occurrences accounted",
+			emitted, reported, emitted+reported, workers*perWorker+1)
+	}
+}

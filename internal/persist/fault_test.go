@@ -1,0 +1,173 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultStoreScheduledWindow(t *testing.T) {
+	inner, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	// Ops 3 and 4 fail, everything else passes.
+	fs := NewFaultStore(inner, FaultPlan{FailFrom: 3, FailOps: 2})
+
+	for i := 0; i < 2; i++ {
+		if err := fs.Append(Record{Kind: KindRefresh, At: float64(i + 1), Elapsed: 1}); err != nil {
+			t.Fatalf("op %d before the window failed: %v", i+1, err)
+		}
+	}
+	if err := fs.Append(Record{Kind: KindRefresh, At: 3, Elapsed: 1}); !errors.Is(err, ErrDiskIO) {
+		t.Fatalf("op 3 error = %v, want EIO", err)
+	}
+	if err := fs.Sync(); !errors.Is(err, ErrDiskIO) {
+		t.Fatalf("op 4 (sync) error = %v, want EIO", err)
+	}
+	if err := fs.Commit(testSnapshot(5)); err != nil {
+		t.Fatalf("op 5 past the window failed: %v", err)
+	}
+	if got := fs.Injected(); got != 2 {
+		t.Errorf("injected = %d, want 2", got)
+	}
+	// The inner store never saw the failed ops: only the two good
+	// appends, folded into the snapshot.
+	if got := inner.Seq(); got != 2 {
+		t.Errorf("inner seq = %d, want 2", got)
+	}
+}
+
+func TestFaultStoreBreakHeal(t *testing.T) {
+	inner, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	fs := NewFaultStore(inner, FaultPlan{Err: ErrDiskFull})
+
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("healthy sync failed: %v", err)
+	}
+	fs.Break(nil) // nil: the plan's error
+	if err := fs.Append(Record{Kind: KindRefresh, At: 1, Elapsed: 1}); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("broken append error = %v, want ENOSPC", err)
+	}
+	if err := fs.Commit(testSnapshot(1)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("broken commit error = %v, want ENOSPC", err)
+	}
+	fs.Heal()
+	if err := fs.Append(Record{Kind: KindRefresh, At: 2, Elapsed: 1}); err != nil {
+		t.Fatalf("healed append failed: %v", err)
+	}
+	// Heal also disarms a scheduled window.
+	fs2 := NewFaultStore(inner, FaultPlan{FailFrom: 1})
+	fs2.Heal()
+	if err := fs2.Sync(); err != nil {
+		t.Fatalf("healed scheduled window still failing: %v", err)
+	}
+}
+
+// TestFaultStoreTornAppend proves the torn write is invisible to the
+// running store (the next good append overwrites it) but would be
+// truncated by recovery if the process died while broken.
+func TestFaultStoreTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner, FaultPlan{TornAppend: true})
+
+	if err := fs.Append(Record{Kind: KindRefresh, At: 1, Elapsed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fs.Break(nil)
+	if err := fs.Append(Record{Kind: KindRefresh, At: 2, Elapsed: 1}); err == nil {
+		t.Fatal("broken append succeeded")
+	}
+	inner.Close()
+
+	// Crash while broken: recovery must cut the garbage tail and keep
+	// the good record.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rec := re.Recovery()
+	if !rec.JournalTruncated {
+		t.Error("torn tail not detected by recovery")
+	}
+	if len(rec.Records) != 1 || rec.Records[0].At != 1 {
+		t.Fatalf("recovered records = %+v, want the single good append", rec.Records)
+	}
+	if err := re.Append(Record{Kind: KindRefresh, At: 3, Elapsed: 1}); err != nil {
+		t.Fatalf("append after torn recovery failed: %v", err)
+	}
+}
+
+// TestFaultStoreTornAppendOverwritten is the other half: without a
+// crash, the running store's next append lands on its own offset and
+// the garbage never reaches recovery.
+func TestFaultStoreTornAppendOverwritten(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner, FaultPlan{FailFrom: 1, FailOps: 1, TornAppend: true})
+
+	if err := fs.Append(Record{Kind: KindRefresh, At: 1, Elapsed: 1}); err == nil {
+		t.Fatal("scheduled fault did not fire")
+	}
+	if err := fs.Append(Record{Kind: KindRefresh, At: 2, Elapsed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inner.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rec := re.Recovery()
+	if rec.JournalTruncated {
+		t.Error("overwritten tear still visible to recovery")
+	}
+	if len(rec.Records) != 1 || rec.Records[0].At != 2 {
+		t.Fatalf("recovered records = %+v, want the single good append", rec.Records)
+	}
+}
+
+func TestFaultStoreLatency(t *testing.T) {
+	inner, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	fs := NewFaultStore(inner, FaultPlan{AppendLatency: 20 * time.Millisecond})
+
+	start := time.Now()
+	if err := fs.Append(Record{Kind: KindRefresh, At: 1, Elapsed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("append took %v, want >= 20ms of injected latency", d)
+	}
+}
+
+func TestStoreSyncProbe(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("healthy sync probe failed: %v", err)
+	}
+	s.Close()
+	if err := s.Sync(); err == nil {
+		t.Fatal("sync on a closed store succeeded")
+	}
+}

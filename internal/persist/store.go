@@ -38,6 +38,20 @@ func (r RecoveryResult) Recovered() bool {
 	return r.Snapshot != nil || len(r.Records) > 0
 }
 
+// Storer is the durability surface the mirror programs against:
+// recovery at boot, fsynced record appends, atomic snapshot commits,
+// and a bare fsync used as a disk-health probe. *Store implements it
+// directly; FaultStore wraps any Storer-producing *Store to inject
+// failures for chaos testing.
+type Storer interface {
+	Recovery() RecoveryResult
+	Append(Record) error
+	Commit(*Snapshot) error
+	Sync() error
+}
+
+var _ Storer = (*Store)(nil)
+
 // Store is a state directory opened for use: the recovered state plus
 // an append position in the journal. Methods are safe for concurrent
 // use.
@@ -249,6 +263,24 @@ func (s *Store) countErrorLocked() {
 	if m := s.metrics; m != nil {
 		m.errors.Inc()
 	}
+}
+
+// Sync fsyncs the journal without writing anything: a pure disk-health
+// probe. A nil return is evidence the device accepts and flushes
+// writes — the mirror uses it at boot to decide whether to start in
+// persist-degraded mode, and its failure counts like any persist
+// failure.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.countErrorLocked()
+		return fmt.Errorf("persist: probing journal sync: %w", err)
+	}
+	return nil
 }
 
 // Seq returns the last assigned sequence number.

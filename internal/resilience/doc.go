@@ -1,0 +1,28 @@
+// Package resilience keeps the mirror inside an explicit degradation
+// envelope when capacity runs out or infrastructure fails.
+//
+// Two independent mechanisms live here, both dependency-free and both
+// driven by the mirror:
+//
+//   - Limiter is an adaptive concurrency limiter (AIMD on observed
+//     latency) with shed accounting. The serving layer admits a request
+//     only while the in-flight count is under the current limit;
+//     everything past it is shed immediately with a 503 and a
+//     Retry-After hint instead of queueing into latency collapse. The
+//     limit probes upward additively while latencies stay inside the
+//     target and backs off multiplicatively the moment they do not.
+//
+//   - Machine is the degraded-mode state machine. The mirror's mode is
+//     a pair of orthogonal axes — the source axis (breaker open or too
+//     much of the catalog quarantined → serve stale deliberately, with
+//     explicit staleness signals) and the persist axis (consecutive
+//     persist failures → read-only: stop journaling, rate-limit
+//     snapshot attempts with exponential backoff, recover on the first
+//     successful fsync). Both axes are pure functions of the signals
+//     fed in, so invalid mode pairs are unrepresentable and the fuzz
+//     target can drive arbitrary event interleavings.
+//
+// Neither type takes locks on behalf of its caller: Limiter is fully
+// atomic (safe on the zero-allocation read path), Machine is mutated
+// only under the mirror's state lock.
+package resilience

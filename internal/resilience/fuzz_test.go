@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzModeMachine drives the degraded-mode state machine through an
+// arbitrary interleaving of breaker, quarantine, persist-failure,
+// boot-probe, and recovery events decoded from the fuzz input, and
+// asserts the machine's core invariants after every event:
+//
+//   - it never panics and never represents an invalid mode pair (each
+//     axis is re-derivable from the signals fed in);
+//   - persist-degraded implies the failure run reached the threshold;
+//   - the snapshot backoff stays inside [min, max] while degraded and
+//     is zero while healthy;
+//   - monotone recovery signals always converge the machine back to
+//     ModeFull, whatever chaos preceded them.
+func FuzzModeMachine(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, 3, 0.5)
+	f.Add([]byte{2, 2, 2, 2, 2, 5, 2, 2}, 1, 0.25)
+	f.Add([]byte{3, 0, 2, 4, 1, 5, 2, 3}, -1, 2.0)
+	f.Add([]byte{}, 0, 0.0)
+	f.Fuzz(func(t *testing.T, events []byte, threshold int, quarThreshold float64) {
+		if threshold > 1000 || threshold < -1000 {
+			return // implausible config; the interesting space is small
+		}
+		cfg := ModeConfig{
+			PersistFailureThreshold: threshold,
+			QuarantineFracThreshold: quarThreshold,
+		}
+		m := NewMachine(cfg)
+		eff := cfg.withDefaults()
+
+		clock := 0.0
+		check := func() {
+			t.Helper()
+			mode := m.Mode()
+			// Axis consistency: the mode is exactly what the signals say.
+			wantSource := m.breakerOpen || m.quarFrac >= eff.QuarantineFracThreshold
+			if got := mode&ModeSourceDegraded != 0; got != wantSource {
+				t.Fatalf("source axis %v, signals say %v (breaker=%v quarFrac=%v)",
+					got, wantSource, m.breakerOpen, m.quarFrac)
+			}
+			if got := mode&ModePersistDegraded != 0; got != m.persistDegraded {
+				t.Fatalf("persist axis %v, state says %v", got, m.persistDegraded)
+			}
+			if m.persistDegraded {
+				if eff.PersistFailureThreshold < 0 {
+					t.Fatal("persist-degraded with the axis disabled")
+				}
+				if m.consecPersistFails < eff.PersistFailureThreshold {
+					t.Fatalf("persist-degraded with only %d consecutive failures (threshold %d)",
+						m.consecPersistFails, eff.PersistFailureThreshold)
+				}
+				if m.backoff < eff.SnapshotBackoffMin || m.backoff > eff.SnapshotBackoffMax {
+					t.Fatalf("backoff %v escaped [%v, %v]", m.backoff, eff.SnapshotBackoffMin, eff.SnapshotBackoffMax)
+				}
+			} else if m.backoff != 0 && m.consecPersistFails == 0 {
+				t.Fatalf("healthy persist axis with leftover backoff %v", m.backoff)
+			}
+			if mode.String() == "" {
+				t.Fatal("empty mode string")
+			}
+		}
+
+		for i, ev := range events {
+			clock += 0.5
+			switch ev % 6 {
+			case 0:
+				m.SetBreakerOpen(true)
+			case 1:
+				m.SetBreakerOpen(false)
+			case 2:
+				m.PersistFailed(clock)
+			case 3:
+				m.PersistSucceeded()
+			case 4:
+				m.ForcePersistDegraded(clock)
+			case 5:
+				// Quarantine fraction from the following bytes, including
+				// hostile values (NaN, Inf, negative).
+				frac := 0.0
+				if i+8 < len(events) {
+					frac = math.Float64frombits(binary.LittleEndian.Uint64(events[i+1 : i+9]))
+				} else {
+					frac = float64(ev) / 10
+				}
+				m.SetQuarantineFrac(frac)
+			}
+			m.SnapshotDue(clock) // must never panic, any state
+			check()
+		}
+
+		// Monotone convergence: recovery signals end in ModeFull.
+		m.SetBreakerOpen(false)
+		m.SetQuarantineFrac(0)
+		m.PersistSucceeded()
+		check()
+		if mode := m.Mode(); mode != ModeFull {
+			t.Fatalf("recovery signals did not converge: mode=%v", mode)
+		}
+		if !m.JournalEnabled() || !m.SnapshotDue(clock) {
+			t.Fatal("recovered machine still withholding persistence")
+		}
+	})
+}

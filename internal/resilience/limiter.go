@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LimiterConfig tunes the adaptive concurrency limiter. The zero value
+// enables the limiter with the documented defaults; MaxInflight < 0
+// disables admission control entirely (every Acquire succeeds).
+type LimiterConfig struct {
+	// MaxInflight is the hard ceiling on concurrently admitted
+	// requests; the adaptive limit never probes past it. 0 means 512,
+	// negative disables the limiter.
+	MaxInflight int
+	// MinInflight is the floor the multiplicative decrease can reach;
+	// the limiter never sheds everything. 0 means 2.
+	MinInflight int
+	// InitialInflight is the starting limit; 0 means MaxInflight (the
+	// limiter is optimistic and backs off on evidence).
+	InitialInflight int
+	// TargetLatency is the per-request latency above which a completion
+	// counts as an overload signal; 0 means 50ms.
+	TargetLatency time.Duration
+	// DecreaseFactor is the multiplicative backoff applied to the limit
+	// on an overload signal; 0 means 0.75. Must be in (0, 1).
+	DecreaseFactor float64
+	// IncreaseEvery is how many consecutive in-target completions buy
+	// one additional slot (additive increase); 0 means 16.
+	IncreaseEvery int
+	// Cooldown is the minimum interval between multiplicative
+	// decreases, so one burst of slow completions costs one backoff,
+	// not one per completion; 0 means 100ms.
+	Cooldown time.Duration
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 512
+	}
+	if c.MinInflight <= 0 {
+		c.MinInflight = 2
+	}
+	if c.MinInflight > c.MaxInflight && c.MaxInflight > 0 {
+		c.MinInflight = c.MaxInflight
+	}
+	if c.InitialInflight <= 0 || c.InitialInflight > c.MaxInflight {
+		c.InitialInflight = c.MaxInflight
+	}
+	if c.TargetLatency <= 0 {
+		c.TargetLatency = 50 * time.Millisecond
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.75
+	}
+	if c.IncreaseEvery <= 0 {
+		c.IncreaseEvery = 16
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Limiter is an adaptive concurrency limiter: admission is one atomic
+// add and one load, release is an atomic add plus the AIMD update —
+// no locks, no allocation, safe for the zero-alloc serving path.
+//
+// The control loop is AIMD on observed latency: completions faster
+// than the target latency accumulate toward an additive +1 on the
+// limit; a completion slower than the target multiplies the limit by
+// DecreaseFactor (at most once per Cooldown). The limit always stays
+// inside [MinInflight, MaxInflight].
+type Limiter struct {
+	cfg      LimiterConfig
+	disabled bool
+
+	inflight atomic.Int64
+	limit    atomic.Int64
+	good     atomic.Int64 // consecutive in-target completions
+	lastDec  atomic.Int64 // nanos of the last multiplicative decrease
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+
+	// nowNanos is the monotonic-ish clock the cooldown runs on;
+	// injectable so tests drive the control loop deterministically.
+	nowNanos func() int64
+}
+
+// NewLimiter builds a limiter from cfg (zero value: enabled defaults;
+// cfg.MaxInflight < 0: disabled).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	l := &Limiter{disabled: cfg.MaxInflight < 0, nowNanos: func() int64 { return time.Now().UnixNano() }}
+	l.cfg = cfg.withDefaults()
+	l.limit.Store(int64(l.cfg.InitialInflight))
+	return l
+}
+
+// Acquire admits or sheds one request. Admitted requests must Release
+// exactly once; shed requests must not.
+func (l *Limiter) Acquire() bool {
+	if l.disabled {
+		return true
+	}
+	if l.inflight.Add(1) > l.limit.Load() {
+		l.inflight.Add(-1)
+		l.shed.Add(1)
+		return false
+	}
+	l.admitted.Add(1)
+	return true
+}
+
+// Release completes one admitted request, feeding its latency into the
+// AIMD control loop.
+func (l *Limiter) Release(latency time.Duration) {
+	if l.disabled {
+		return
+	}
+	l.inflight.Add(-1)
+	if latency > l.cfg.TargetLatency {
+		l.good.Store(0)
+		now := l.nowNanos()
+		last := l.lastDec.Load()
+		// One decrease per cooldown window; the CAS loser's signal is
+		// deliberately dropped — the winner already backed off for it.
+		if now-last >= int64(l.cfg.Cooldown) && l.lastDec.CompareAndSwap(last, now) {
+			cur := l.limit.Load()
+			next := int64(float64(cur) * l.cfg.DecreaseFactor)
+			if next < int64(l.cfg.MinInflight) {
+				next = int64(l.cfg.MinInflight)
+			}
+			l.limit.Store(next)
+		}
+		return
+	}
+	if l.good.Add(1) >= int64(l.cfg.IncreaseEvery) {
+		l.good.Store(0)
+		if cur := l.limit.Load(); cur < int64(l.cfg.MaxInflight) {
+			// A lost CAS means a concurrent adjustment already moved the
+			// limit; either way it stays in bounds.
+			l.limit.CompareAndSwap(cur, cur+1)
+		}
+	}
+}
+
+// Limit is the current adaptive concurrency limit.
+func (l *Limiter) Limit() int64 {
+	if l.disabled {
+		return -1
+	}
+	return l.limit.Load()
+}
+
+// Inflight is the number of currently admitted requests.
+func (l *Limiter) Inflight() int64 { return l.inflight.Load() }
+
+// Admitted is the lifetime count of admitted requests.
+func (l *Limiter) Admitted() uint64 { return l.admitted.Load() }
+
+// Shed is the lifetime count of shed requests.
+func (l *Limiter) Shed() uint64 { return l.shed.Load() }
+
+// Disabled reports whether admission control is off.
+func (l *Limiter) Disabled() bool { return l.disabled }
+
+// RetryAfterSeconds is the Retry-After hint attached to shed
+// responses: the limiter recovers capacity on the next completions,
+// so one second is an honest "immediately, but not in this burst".
+const RetryAfterSeconds = 1

@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter's cooldown deterministically.
+type fakeClock struct{ nanos int64 }
+
+func (c *fakeClock) now() int64              { return c.nanos }
+func (c *fakeClock) advance(d time.Duration) { c.nanos += int64(d) }
+
+func newTestLimiter(cfg LimiterConfig) (*Limiter, *fakeClock) {
+	l := NewLimiter(cfg)
+	clk := &fakeClock{nanos: int64(time.Hour)} // away from zero so the first cooldown check passes
+	l.nowNanos = clk.now
+	return l, clk
+}
+
+func TestLimiterAdmitsUpToLimitAndSheds(t *testing.T) {
+	l, _ := newTestLimiter(LimiterConfig{MaxInflight: 3, MinInflight: 1, InitialInflight: 3})
+	for i := 0; i < 3; i++ {
+		if !l.Acquire() {
+			t.Fatalf("acquire %d shed below the limit", i)
+		}
+	}
+	if l.Acquire() {
+		t.Fatal("acquire past the limit admitted")
+	}
+	if got := l.Shed(); got != 1 {
+		t.Errorf("shed count = %d, want 1", got)
+	}
+	if got := l.Admitted(); got != 3 {
+		t.Errorf("admitted count = %d, want 3", got)
+	}
+	l.Release(time.Millisecond)
+	if !l.Acquire() {
+		t.Fatal("freed slot not reusable")
+	}
+}
+
+func TestLimiterMultiplicativeDecrease(t *testing.T) {
+	l, clk := newTestLimiter(LimiterConfig{
+		MaxInflight: 100, InitialInflight: 100, MinInflight: 2,
+		TargetLatency: 10 * time.Millisecond, DecreaseFactor: 0.5,
+		Cooldown: 100 * time.Millisecond,
+	})
+	if !l.Acquire() {
+		t.Fatal("acquire failed")
+	}
+	l.Release(50 * time.Millisecond) // overload signal
+	if got := l.Limit(); got != 50 {
+		t.Errorf("limit after one decrease = %d, want 50", got)
+	}
+	// Inside the cooldown: a second slow completion costs nothing more.
+	l.Acquire()
+	l.Release(50 * time.Millisecond)
+	if got := l.Limit(); got != 50 {
+		t.Errorf("limit decreased inside the cooldown: %d", got)
+	}
+	// Past the cooldown it halves again, and keeps halving down to the
+	// floor but never through it.
+	for i := 0; i < 10; i++ {
+		clk.advance(200 * time.Millisecond)
+		l.Acquire()
+		l.Release(50 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 2 {
+		t.Errorf("limit = %d, want the floor 2", got)
+	}
+}
+
+func TestLimiterAdditiveIncrease(t *testing.T) {
+	l, clk := newTestLimiter(LimiterConfig{
+		MaxInflight: 8, InitialInflight: 8, MinInflight: 2,
+		TargetLatency: 10 * time.Millisecond, DecreaseFactor: 0.5,
+		IncreaseEvery: 4, Cooldown: 100 * time.Millisecond,
+	})
+	l.Acquire()
+	l.Release(time.Second) // collapse to 4
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit = %d, want 4", got)
+	}
+	clk.advance(time.Second)
+	// 4 fast completions buy one slot back; repeat to the ceiling.
+	for round := 0; round < 40; round++ {
+		l.Acquire()
+		l.Release(time.Millisecond)
+	}
+	if got := l.Limit(); got != 8 {
+		t.Errorf("limit recovered to %d, want the ceiling 8", got)
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxInflight: -1})
+	for i := 0; i < 10_000; i++ {
+		if !l.Acquire() {
+			t.Fatal("disabled limiter shed a request")
+		}
+	}
+	if !l.Disabled() {
+		t.Error("Disabled() = false")
+	}
+	if got := l.Limit(); got != -1 {
+		t.Errorf("disabled Limit() = %d, want -1", got)
+	}
+}
+
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{})
+	if l.Disabled() {
+		t.Fatal("zero-value config disabled the limiter")
+	}
+	if got := l.Limit(); got != 512 {
+		t.Errorf("default limit = %d, want 512", got)
+	}
+}
+
+// TestLimiterConcurrent hammers the limiter from many goroutines: the
+// inflight count must return to zero, admitted+shed must equal the
+// attempt total, and the limit must stay inside its bounds. Run under
+// -race this is the limiter's memory-model test.
+func TestLimiterConcurrent(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxInflight: 16, MinInflight: 2, TargetLatency: time.Nanosecond})
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if l.Acquire() {
+					// Alternate fast and slow completions so both AIMD
+					// branches run concurrently.
+					if i%2 == 0 {
+						l.Release(0)
+					} else {
+						l.Release(time.Hour)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after all releases, want 0", got)
+	}
+	if total := l.Admitted() + l.Shed(); total != workers*perWorker {
+		t.Errorf("admitted+shed = %d, want %d", total, workers*perWorker)
+	}
+	if lim := l.Limit(); lim < 2 || lim > 16 {
+		t.Errorf("limit %d escaped [2, 16]", lim)
+	}
+}

@@ -1,0 +1,220 @@
+package resilience
+
+import "math"
+
+// Mode is the mirror's degradation mode: a bitmask over two orthogonal
+// axes. ModeFull (no bits) is the healthy state.
+type Mode uint32
+
+const (
+	// ModeFull: every subsystem healthy; the envelope is the plan.
+	ModeFull Mode = 0
+	// ModeSourceDegraded: the upstream is effectively unavailable
+	// (breaker open/half-open, or too much of the catalog quarantined).
+	// The mirror deliberately serves stale copies and says so.
+	ModeSourceDegraded Mode = 1 << 0
+	// ModePersistDegraded: the state disk is failing. The mirror is
+	// read-only durability-wise — journaling stops, snapshot attempts
+	// are rate-limited with exponential backoff — but keeps serving.
+	ModePersistDegraded Mode = 1 << 1
+)
+
+// String renders the mode pair ("full", "source-degraded",
+// "persist-degraded", "source-degraded+persist-degraded").
+func (m Mode) String() string {
+	switch m & (ModeSourceDegraded | ModePersistDegraded) {
+	case ModeFull:
+		return "full"
+	case ModeSourceDegraded:
+		return "source-degraded"
+	case ModePersistDegraded:
+		return "persist-degraded"
+	default:
+		return "source-degraded+persist-degraded"
+	}
+}
+
+// ModeConfig tunes the degraded-mode state machine. The zero value
+// uses the documented defaults.
+type ModeConfig struct {
+	// PersistFailureThreshold is how many consecutive persist failures
+	// (journal appends or snapshot commits) enter persist-degraded
+	// mode; 0 means 3, negative disables the persist axis.
+	PersistFailureThreshold int
+	// QuarantineFracThreshold is the fraction of the catalog that must
+	// be quarantined to count as source degradation on its own (the
+	// breaker opening always does); values <= 0 mean 0.5 (a non-positive
+	// threshold would make the condition vacuously permanent), values
+	// above 1 make quarantine mass alone never trigger it.
+	QuarantineFracThreshold float64
+	// SnapshotBackoffMin/Max bound the exponential backoff (in
+	// periods) between snapshot attempts while persist-degraded;
+	// 0 means 1 and 32.
+	SnapshotBackoffMin float64
+	SnapshotBackoffMax float64
+}
+
+func (c ModeConfig) withDefaults() ModeConfig {
+	if c.PersistFailureThreshold == 0 {
+		c.PersistFailureThreshold = 3
+	}
+	if c.QuarantineFracThreshold <= 0 || math.IsNaN(c.QuarantineFracThreshold) {
+		c.QuarantineFracThreshold = 0.5
+	}
+	if c.SnapshotBackoffMin <= 0 {
+		c.SnapshotBackoffMin = 1
+	}
+	if c.SnapshotBackoffMax < c.SnapshotBackoffMin {
+		c.SnapshotBackoffMax = math.Max(32, c.SnapshotBackoffMin)
+	}
+	return c
+}
+
+// Machine is the degraded-mode state machine. The source axis is a
+// pure function of the last breaker and quarantine signals fed in, and
+// the persist axis of the consecutive-failure count since the last
+// successful fsync — so an invalid mode pair is unrepresentable: there
+// is no stored mode to drift out of sync. Machine is not safe for
+// concurrent use; the mirror mutates it under its state lock and
+// publishes the mode through an atomic word for lock-free readers.
+type Machine struct {
+	cfg ModeConfig
+
+	breakerOpen bool
+	quarFrac    float64
+
+	consecPersistFails int
+	persistDegraded    bool
+	backoff            float64 // current snapshot retry backoff, periods
+	nextSnapshotAt     float64 // period clock before which snapshots are withheld
+
+	transitions int
+}
+
+// NewMachine builds a machine in ModeFull.
+func NewMachine(cfg ModeConfig) *Machine {
+	return &Machine{cfg: cfg.withDefaults()}
+}
+
+// Mode derives the current mode pair from the signals.
+func (m *Machine) Mode() Mode {
+	var mode Mode
+	if m.breakerOpen || m.quarFrac >= m.cfg.QuarantineFracThreshold {
+		mode |= ModeSourceDegraded
+	}
+	if m.persistDegraded {
+		mode |= ModePersistDegraded
+	}
+	return mode
+}
+
+// note wraps a signal mutation, reporting the resulting mode and
+// whether it changed (and counting the transition when it did).
+func (m *Machine) note(mutate func()) (Mode, bool) {
+	before := m.Mode()
+	mutate()
+	after := m.Mode()
+	if after != before {
+		m.transitions++
+	}
+	return after, after != before
+}
+
+// SetBreakerOpen feeds the circuit breaker's condition (open or
+// half-open both count: the upstream is not yet trusted again).
+func (m *Machine) SetBreakerOpen(open bool) (Mode, bool) {
+	return m.note(func() { m.breakerOpen = open })
+}
+
+// SetQuarantineFrac feeds the quarantined fraction of the catalog.
+// Out-of-range and NaN inputs clamp into [0, 1].
+func (m *Machine) SetQuarantineFrac(frac float64) (Mode, bool) {
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	return m.note(func() { m.quarFrac = frac })
+}
+
+// PersistFailed feeds one failed persist operation at period-clock
+// time now. Crossing the threshold enters persist-degraded mode;
+// failures while already degraded (the snapshot probes) double the
+// retry backoff up to the cap.
+func (m *Machine) PersistFailed(now float64) (Mode, bool) {
+	return m.note(func() {
+		if m.cfg.PersistFailureThreshold < 0 {
+			return
+		}
+		m.consecPersistFails++
+		switch {
+		case m.persistDegraded:
+			m.backoff = math.Min(m.backoff*2, m.cfg.SnapshotBackoffMax)
+			m.nextSnapshotAt = now + m.backoff
+		case m.consecPersistFails >= m.cfg.PersistFailureThreshold:
+			m.enterPersistDegraded(now)
+		}
+	})
+}
+
+// ForcePersistDegraded enters persist-degraded mode directly — the
+// boot-time fsync probe failing is already proof enough, no need to
+// accumulate threshold failures against a dead disk.
+func (m *Machine) ForcePersistDegraded(now float64) (Mode, bool) {
+	return m.note(func() {
+		if m.cfg.PersistFailureThreshold < 0 {
+			return
+		}
+		if m.consecPersistFails < m.cfg.PersistFailureThreshold {
+			m.consecPersistFails = m.cfg.PersistFailureThreshold
+		}
+		if !m.persistDegraded {
+			m.enterPersistDegraded(now)
+		}
+	})
+}
+
+func (m *Machine) enterPersistDegraded(now float64) {
+	m.persistDegraded = true
+	m.backoff = m.cfg.SnapshotBackoffMin
+	m.nextSnapshotAt = now + m.backoff
+}
+
+// PersistSucceeded feeds one successful persist fsync. A single
+// success clears the persist axis completely: the disk demonstrably
+// works again, so journaling resumes and the backoff resets.
+func (m *Machine) PersistSucceeded() (Mode, bool) {
+	return m.note(func() {
+		m.consecPersistFails = 0
+		m.persistDegraded = false
+		m.backoff = 0
+		m.nextSnapshotAt = 0
+	})
+}
+
+// JournalEnabled reports whether per-record journaling should run. In
+// persist-degraded mode it must not: every append would eat an fsync
+// timeout against a dead disk at refresh rate.
+func (m *Machine) JournalEnabled() bool { return !m.persistDegraded }
+
+// SnapshotDue reports whether a snapshot attempt is allowed at
+// period-clock time now. Healthy persist axis: always (the cadence is
+// the caller's). Degraded: only when the current backoff has elapsed —
+// the attempt that succeeds is the fsync that clears the mode.
+func (m *Machine) SnapshotDue(now float64) bool {
+	if !m.persistDegraded {
+		return true
+	}
+	return now >= m.nextSnapshotAt
+}
+
+// ConsecutivePersistFailures is the failure run length since the last
+// successful persist fsync.
+func (m *Machine) ConsecutivePersistFailures() int { return m.consecPersistFails }
+
+// SnapshotBackoff is the current snapshot retry backoff in periods
+// (0 while the persist axis is healthy).
+func (m *Machine) SnapshotBackoff() float64 { return m.backoff }
+
+// Transitions is the lifetime count of mode changes.
+func (m *Machine) Transitions() int { return m.transitions }

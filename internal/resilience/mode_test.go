@@ -1,0 +1,168 @@
+package resilience
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeFull:                                 "full",
+		ModeSourceDegraded:                       "source-degraded",
+		ModePersistDegraded:                      "persist-degraded",
+		ModeSourceDegraded | ModePersistDegraded: "source-degraded+persist-degraded",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("%#x.String() = %q, want %q", uint32(mode), got, want)
+		}
+	}
+}
+
+func TestMachineSourceAxis(t *testing.T) {
+	m := NewMachine(ModeConfig{})
+	if m.Mode() != ModeFull {
+		t.Fatalf("fresh machine mode = %v", m.Mode())
+	}
+	mode, changed := m.SetBreakerOpen(true)
+	if !changed || mode != ModeSourceDegraded {
+		t.Fatalf("breaker open: mode=%v changed=%v", mode, changed)
+	}
+	// Idempotent signal: no transition.
+	if _, changed := m.SetBreakerOpen(true); changed {
+		t.Error("repeated breaker-open reported a transition")
+	}
+	mode, changed = m.SetBreakerOpen(false)
+	if !changed || mode != ModeFull {
+		t.Fatalf("breaker closed: mode=%v changed=%v", mode, changed)
+	}
+
+	// Quarantine mass alone crosses at the threshold.
+	if mode, changed := m.SetQuarantineFrac(0.49); changed || mode != ModeFull {
+		t.Errorf("below threshold: mode=%v changed=%v", mode, changed)
+	}
+	if mode, changed := m.SetQuarantineFrac(0.5); !changed || mode != ModeSourceDegraded {
+		t.Errorf("at threshold: mode=%v changed=%v", mode, changed)
+	}
+	if mode, _ := m.SetQuarantineFrac(0); mode != ModeFull {
+		t.Errorf("cleared quarantine: mode=%v", mode)
+	}
+	if got := m.Transitions(); got != 4 {
+		t.Errorf("transitions = %d, want 4", got)
+	}
+}
+
+func TestMachinePersistAxis(t *testing.T) {
+	m := NewMachine(ModeConfig{PersistFailureThreshold: 3, SnapshotBackoffMin: 1, SnapshotBackoffMax: 4})
+	for i := 1; i <= 2; i++ {
+		if mode, changed := m.PersistFailed(float64(i)); changed || mode != ModeFull {
+			t.Fatalf("failure %d below threshold: mode=%v changed=%v", i, mode, changed)
+		}
+		if !m.JournalEnabled() {
+			t.Fatalf("journaling off below the threshold")
+		}
+	}
+	mode, changed := m.PersistFailed(3)
+	if !changed || mode != ModePersistDegraded {
+		t.Fatalf("threshold failure: mode=%v changed=%v", mode, changed)
+	}
+	if m.JournalEnabled() {
+		t.Error("journaling still on in persist-degraded mode")
+	}
+	if m.ConsecutivePersistFailures() != 3 {
+		t.Errorf("consecutive failures = %d, want 3", m.ConsecutivePersistFailures())
+	}
+
+	// Backoff: first retry one period out, doubling per failure, capped.
+	if m.SnapshotDue(3.5) {
+		t.Error("snapshot due inside the first backoff window")
+	}
+	if !m.SnapshotDue(4) {
+		t.Error("snapshot not due after the backoff elapsed")
+	}
+	m.PersistFailed(4) // probe failed: backoff 2
+	if got := m.SnapshotBackoff(); got != 2 {
+		t.Errorf("backoff = %v, want 2", got)
+	}
+	if m.SnapshotDue(5.9) {
+		t.Error("snapshot due inside the doubled window")
+	}
+	m.PersistFailed(6)  // backoff 4
+	m.PersistFailed(10) // backoff capped at 4
+	if got := m.SnapshotBackoff(); got != 4 {
+		t.Errorf("backoff = %v, want the cap 4", got)
+	}
+
+	// One successful fsync clears everything.
+	mode, changed = m.PersistSucceeded()
+	if !changed || mode != ModeFull {
+		t.Fatalf("success: mode=%v changed=%v", mode, changed)
+	}
+	if !m.JournalEnabled() || m.ConsecutivePersistFailures() != 0 || m.SnapshotBackoff() != 0 {
+		t.Errorf("persist axis not fully cleared: journal=%v fails=%d backoff=%v",
+			m.JournalEnabled(), m.ConsecutivePersistFailures(), m.SnapshotBackoff())
+	}
+	if !m.SnapshotDue(0) {
+		t.Error("healthy machine withholding snapshots")
+	}
+}
+
+func TestMachineForcePersistDegraded(t *testing.T) {
+	m := NewMachine(ModeConfig{})
+	mode, changed := m.ForcePersistDegraded(2)
+	if !changed || mode != ModePersistDegraded {
+		t.Fatalf("force: mode=%v changed=%v", mode, changed)
+	}
+	if m.ConsecutivePersistFailures() < 3 {
+		t.Errorf("forced entry left consecutive failures at %d", m.ConsecutivePersistFailures())
+	}
+	// Idempotent.
+	if _, changed := m.ForcePersistDegraded(3); changed {
+		t.Error("repeated force reported a transition")
+	}
+	if mode, _ := m.PersistSucceeded(); mode != ModeFull {
+		t.Errorf("recovery after force: mode=%v", mode)
+	}
+}
+
+func TestMachinePersistAxisDisabled(t *testing.T) {
+	m := NewMachine(ModeConfig{PersistFailureThreshold: -1})
+	for i := 0; i < 100; i++ {
+		if mode, changed := m.PersistFailed(float64(i)); changed || mode != ModeFull {
+			t.Fatalf("disabled persist axis degraded: mode=%v", mode)
+		}
+	}
+	if _, changed := m.ForcePersistDegraded(1); changed {
+		t.Error("force degraded a disabled persist axis")
+	}
+	if !m.JournalEnabled() {
+		t.Error("journaling off with the persist axis disabled")
+	}
+}
+
+func TestMachineAxesCompose(t *testing.T) {
+	m := NewMachine(ModeConfig{})
+	m.SetBreakerOpen(true)
+	m.ForcePersistDegraded(1)
+	if mode := m.Mode(); mode != ModeSourceDegraded|ModePersistDegraded {
+		t.Fatalf("composed mode = %v", mode)
+	}
+	if mode.String() == "" { // exercised above; here: the pair renders
+		t.Fatal("empty mode string")
+	}
+	m.PersistSucceeded()
+	if mode := m.Mode(); mode != ModeSourceDegraded {
+		t.Errorf("after persist recovery: mode = %v", mode)
+	}
+	m.SetBreakerOpen(false)
+	if mode := m.Mode(); mode != ModeFull {
+		t.Errorf("after full recovery: mode = %v", mode)
+	}
+}
+
+var mode Mode // sink
+
+func BenchmarkMachineMode(b *testing.B) {
+	m := NewMachine(ModeConfig{})
+	m.SetBreakerOpen(true)
+	for i := 0; i < b.N; i++ {
+		mode = m.Mode()
+	}
+}

@@ -11,7 +11,10 @@
 #     loadgen's paced worker pool) ramps Zipf GET traffic through the
 #     STAGES targets while refreshes, breaker trips, and snapshots run
 #     concurrently, recording per-stage latency quantiles, stalls, and
-#     the max sustained RPS.
+#     the max sustained RPS. With PAST_KNEE=1 (the default) the ramp
+#     keeps going after the first unsustained stage so the report also
+#     captures the degradation envelope: shed rate rising while the
+#     admitted p99 stays bounded.
 #
 # Knobs come from the environment:
 #
@@ -20,10 +23,14 @@ set -euo pipefail
 
 N=${N:-200}
 THETA=${THETA:-1.0}
-WORKERS=${WORKERS:-4}
-STAGES=${STAGES:-500,1000,2000,4000}
+WORKERS=${WORKERS:-16}
+MAX_INFLIGHT=${MAX_INFLIGHT:-8}
+STAGES=${STAGES:-500,1000,2000,4000,8000,16000}
 STAGE_DURATION=${STAGE_DURATION:-5s}
 WARMUP=${WARMUP:-1s}
+PAST_KNEE=${PAST_KNEE:-1}
+REQUIRE_SHED=${REQUIRE_SHED:-0}
+P99_FACTOR=${P99_FACTOR:-5}
 BENCHTIME=${BENCHTIME:-1s}
 OUT=${OUT:-BENCH_serve.json}
 MOCK_ADDR=${MOCK_ADDR:-127.0.0.1:18090}
@@ -83,12 +90,19 @@ wait_ready "http://$MOCK_ADDR/catalog"
 "$bin/freshend" -addr "$MIRROR_ADDR" -upstream "http://$MOCK_ADDR" \
     -bandwidth "$((N / 4))" -period 2s -replan-every 2 -upstream-retries 5 \
     -breaker-after 3 -breaker-cooldown 1 -quarantine-after 5 \
-    -state-dir "$state" -snapshot-every 2 &
+    -state-dir "$state" -snapshot-every 2 \
+    -max-inflight "$MAX_INFLIGHT" &
 wait_ready "http://$MIRROR_ADDR/readyz"
 
+past_knee_flag=""
+if [ "$PAST_KNEE" = "1" ]; then
+    past_knee_flag="-past-knee"
+fi
+# shellcheck disable=SC2086
 "$bin/loadgen" -mirror "http://$MIRROR_ADDR" -n "$N" -theta "$THETA" \
     -serve-out "$OUT" -workers "$WORKERS" -stages "$STAGES" \
     -stage-duration "$STAGE_DURATION" -warmup "$WARMUP" \
+    -status-url "http://$MIRROR_ADDR/status" $past_knee_flag \
     -access-allocs "$access_allocs" -handler-allocs "$handler_allocs"
 
 # Sanity-assert the report so CI smoke fails loudly on a dead serving
@@ -97,11 +111,33 @@ rps=$(sed -n 's/.*"max_sustained_rps": \([0-9.eE+-]*\),*.*/\1/p' "$OUT")
 awk -v r="${rps:-0}" 'BEGIN {
     if (r + 0 <= 0) { print "bench_serve: max_sustained_rps is zero" > "/dev/stderr"; exit 1 }
 }'
-for key in '"stages"' '"p99_ms"' '"access_allocs_per_op"'; do
+for key in '"stages"' '"p99_ms"' '"shed_rate"' '"access_allocs_per_op"'; do
     if ! grep -q "$key" "$OUT"; then
         echo "bench_serve: $OUT is missing $key" >&2
         exit 1
     fi
 done
 
-echo "bench_serve: wrote $OUT (max sustained $rps rps, access $access_allocs allocs/op, handler $handler_allocs allocs/op)"
+# Overload discipline: excess load must come back as 503s (shed), never
+# as other errors, and the latency of admitted requests past the knee
+# must stay within P99_FACTOR of the in-envelope admitted p99.
+errors=$(jq '[.stages[].errors] | add' "$OUT")
+if [ "$errors" != "0" ]; then
+    echo "bench_serve: $errors non-503 request errors during the ramp" >&2
+    exit 1
+fi
+shed=$(jq '[.stages[].shed] | add' "$OUT")
+if [ "$REQUIRE_SHED" = "1" ] && [ "$shed" -le 0 ]; then
+    echo "bench_serve: no requests shed; the ramp never crossed the admission cap" >&2
+    exit 1
+fi
+jq -e --argjson factor "$P99_FACTOR" '
+    ([.stages[] | select(.sustained) | .admitted_p99_ms] | max // 0) as $envelope |
+    ([.stages[] | select(.sustained | not) | .admitted_p99_ms] | max // 0) as $past |
+    if $envelope == 0 or $past == 0 or $past <= $envelope * $factor then
+        "bench_serve: admitted p99 \($past)ms past the knee vs \($envelope)ms in envelope (factor \($factor))"
+    else
+        error("admitted p99 \($past)ms past the knee exceeds \($factor)x envelope p99 \($envelope)ms")
+    end' "$OUT" >&2
+
+echo "bench_serve: wrote $OUT (max sustained $rps rps, $shed shed, access $access_allocs allocs/op, handler $handler_allocs allocs/op)"

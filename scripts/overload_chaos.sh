@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# overload_chaos.sh — overload shedding + disk-fault chaos gate.
+#
+# Stands up the full live loop with race-built binaries, then attacks
+# it from two directions at once:
+#
+#  1. Overload: loadgen drives a closed-loop worker pool far past the
+#     mirror's admission cap (-max-inflight), with -past-knee so the
+#     ramp keeps going after the first unsustained stage. The excess
+#     must come back as immediate 503s (shed), never as queueing
+#     collapse or non-503 errors, and the latency of *admitted*
+#     requests must stay bounded.
+#
+#  2. Disk faults: freshend runs with -persist-fault-after so its
+#     persistence layer starts failing mid-run (EIO on journal appends
+#     and snapshot commits). The mirror must enter persist-degraded
+#     (read-only durability: serving continues, journaling stops,
+#     snapshots back off), keep serving 200s throughout, and return to
+#     full mode once the fault window passes — proven by a successful
+#     snapshot fsync after the heal.
+#
+# Assertions, in order:
+#   - zero non-503 request errors across every stage of the ramp
+#   - shed > 0 (the overload actually engaged admission control)
+#   - max admitted p99 <= P99_FACTOR x in-envelope p99 (floored at
+#     P99_FLOOR_MS for race-built jitter)
+#   - persist-degraded was observed mid-run (the fault window bit)
+#   - final mode is full with zero consecutive persist failures and
+#     at least one committed snapshot (durability recovered)
+#
+# Knobs come from the environment, CI-sized defaults:
+#
+#   N=64 STAGES=500,20000 ./scripts/overload_chaos.sh
+set -euo pipefail
+
+N=${N:-64}
+THETA=${THETA:-1.0}
+WORKERS=${WORKERS:-32}
+MAX_INFLIGHT=${MAX_INFLIGHT:-16}
+STAGES=${STAGES:-400,20000}
+STAGE_DURATION=${STAGE_DURATION:-8s}
+WARMUP=${WARMUP:-1s}
+SERVE_FAULT_LATENCY=${SERVE_FAULT_LATENCY:-5ms}
+SUSTAIN_FRAC=${SUSTAIN_FRAC:-0.85}
+P99_FACTOR=${P99_FACTOR:-5}
+P99_FLOOR_MS=${P99_FLOOR_MS:-250}
+# Persist ops accrue at ~bandwidth/period (journal appends) plus the
+# snapshot cadence; op 90 lands a few seconds into the first ramp
+# stage, so the disk dies mid-run, after readiness (which needs the
+# first snapshot to commit) and while the sampler is watching.
+FAULT_AFTER=${FAULT_AFTER:-90}
+FAULT_OPS=${FAULT_OPS:-4}
+OUT=${OUT:-/tmp/BENCH_chaos.json}
+MOCK_ADDR=${MOCK_ADDR:-127.0.0.1:18094}
+MIRROR_ADDR=${MIRROR_ADDR:-127.0.0.1:18095}
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+state=$(mktemp -d)
+modelog=$(mktemp)
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$bin" "$state" "$modelog"
+}
+trap cleanup EXIT
+
+echo "overload_chaos: building race-instrumented binaries" >&2
+go build -race -o "$bin" ./cmd/mocksource ./cmd/freshend ./cmd/loadgen
+
+wait_ready() {
+    local url=$1 tries=100
+    until curl -fsS -o /dev/null "$url" 2>/dev/null; do
+        tries=$((tries - 1))
+        if [ "$tries" -le 0 ]; then
+            echo "overload_chaos: $url never became ready" >&2
+            return 1
+        fi
+        sleep 0.2
+    done
+}
+
+# A clean origin: this gate is about the mirror's own failure modes
+# (admission control and its state disk), not upstream faults.
+"$bin/mocksource" -addr "$MOCK_ADDR" -n "$N" -mean 2 -period 5s &
+wait_ready "http://$MOCK_ADDR/catalog"
+
+# Tight admission cap so the 32-worker closed loop genuinely overloads
+# admission control, plus a scheduled disk-fault window: persist ops
+# FAULT_AFTER..FAULT_AFTER+FAULT_OPS-1 fail with EIO. Three consecutive
+# failures trip persist-degraded; the backed-off snapshot probes then
+# burn through the window and the first post-window fsync heals it.
+# The serve-fault latency slows the (sub-microsecond) admitted read
+# section so the inflight cap is actually reachable: capacity becomes
+# MAX_INFLIGHT / SERVE_FAULT_LATENCY requests per second, and the
+# second ramp stage drives far past it.
+"$bin/freshend" -addr "$MIRROR_ADDR" -upstream "http://$MOCK_ADDR" \
+    -bandwidth "$((N / 4))" -period 2s -replan-every 2 -upstream-retries 5 \
+    -state-dir "$state" -snapshot-every 2 \
+    -max-inflight "$MAX_INFLIGHT" \
+    -serve-fault-latency "$SERVE_FAULT_LATENCY" \
+    -persist-degrade-after 3 \
+    -persist-fault-after "$FAULT_AFTER" -persist-fault-ops "$FAULT_OPS" \
+    -persist-fault-kind eio &
+wait_ready "http://$MIRROR_ADDR/readyz"
+
+# Sample /status on a 500ms cadence for the whole run so the
+# persist-degraded episode is observed even though the final state has
+# healed back to full.
+(
+    while :; do
+        curl -fsS "http://$MIRROR_ADDR/status" 2>/dev/null |
+            jq -r '.mode' >>"$modelog" 2>/dev/null || true
+        sleep 0.5
+    done
+) &
+sampler=$!
+
+# The loosened sustain fraction reflects what this gate is for: the
+# first stage only has to land inside the envelope despite race-build
+# jitter; the precise knee is bench_serve.sh's job.
+"$bin/loadgen" -mirror "http://$MIRROR_ADDR" -n "$N" -theta "$THETA" \
+    -serve-out "$OUT" -workers "$WORKERS" -stages "$STAGES" \
+    -stage-duration "$STAGE_DURATION" -warmup "$WARMUP" \
+    -sustain-frac "$SUSTAIN_FRAC" \
+    -past-knee -status-url "http://$MIRROR_ADDR/status"
+
+kill "$sampler" 2>/dev/null || true
+
+# Give the backed-off snapshot probes time to burn through the fault
+# window and heal, then take the final status.
+deadline=$((SECONDS + 30))
+final_mode=""
+while [ "$SECONDS" -lt "$deadline" ]; do
+    final_mode=$(curl -fsS "http://$MIRROR_ADDR/status" | jq -r '.mode')
+    [ "$final_mode" = "full" ] && break
+    sleep 1
+done
+status=$(curl -fsS "http://$MIRROR_ADDR/status")
+
+echo "overload_chaos: checking $OUT" >&2
+
+errors=$(jq '[.stages[].errors] | add' "$OUT")
+if [ "$errors" != "0" ]; then
+    echo "overload_chaos: FAIL: $errors non-503 request errors during the ramp" >&2
+    exit 1
+fi
+
+shed=$(jq '[.stages[].shed] | add' "$OUT")
+if [ "$shed" -le 0 ]; then
+    echo "overload_chaos: FAIL: no requests shed; the overload never engaged admission control" >&2
+    exit 1
+fi
+
+# Bounded admitted tail: the worst admitted p99 across the whole ramp
+# (including past-knee stages) must stay within P99_FACTOR of the worst
+# in-envelope (sustained-stage) p99, floored for race-built jitter.
+jq -e --argjson factor "$P99_FACTOR" --argjson floor "$P99_FLOOR_MS" '
+    ([.stages[] | select(.sustained) | .admitted_p99_ms] | max // 0) as $envelope |
+    ([.stages[].admitted_p99_ms] | max) as $worst |
+    ($envelope * $factor | if . > $floor then . else $floor end) as $bound |
+    if $worst <= $bound then
+        "overload_chaos: admitted p99 \($worst)ms within bound \($bound)ms (envelope \($envelope)ms)"
+    else
+        error("admitted p99 \($worst)ms exceeds bound \($bound)ms (envelope \($envelope)ms)")
+    end' "$OUT" >&2
+
+if ! grep -q 'persist-degraded' "$modelog"; then
+    echo "overload_chaos: FAIL: persist-degraded never observed; the disk-fault window did not bite" >&2
+    echo "overload_chaos: sampled modes: $(sort -u "$modelog" | tr '\n' ' ')" >&2
+    exit 1
+fi
+
+echo "$status" | jq -e '
+    if .mode != "full" then error("final mode \(.mode), want full")
+    elif .consecutive_persist_failures != 0 then error("\(.consecutive_persist_failures) consecutive persist failures after heal")
+    elif .snapshots <= 0 then error("no snapshot committed; durability never recovered")
+    elif .mode_transitions < 2 then error("only \(.mode_transitions) mode transitions; expected enter+leave persist-degraded")
+    else "overload_chaos: recovered to full after \(.mode_transitions) transitions, \(.snapshots) snapshots, \(.journal_records_skipped) journal records skipped while degraded"
+    end' >&2
+
+echo "overload_chaos: PASS (shed $shed requests, zero non-503 errors, persist-degraded entered and healed)"
