@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos metrics-contract ci bench-solver bench-obs bench-serve bench-all bench clean
+.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos metrics-contract estimator-convergence ci bench-solver bench-obs bench-serve bench-all bench clean
 
 all: ci
 
@@ -34,6 +34,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzWaterFill$$' -fuzztime 30s ./internal/solver/
 	$(GO) test -run '^$$' -fuzz '^FuzzBandwidthForTarget$$' -fuzztime 30s ./internal/solver/
 	$(GO) test -run '^$$' -fuzz '^FuzzEstimator$$' -fuzztime 30s ./internal/estimate/
+	$(GO) test -run '^$$' -fuzz '^FuzzOnlineEstimators$$' -fuzztime 30s ./internal/estimate/
+	$(GO) test -run '^$$' -fuzz '^FuzzExploreAllocation$$' -fuzztime 30s ./internal/schedule/
 	$(GO) test -run '^$$' -fuzz '^FuzzHTTPHandler$$' -fuzztime 30s ./internal/httpmirror/
 	$(GO) test -run '^$$' -fuzz '^FuzzRecoverSnapshot$$' -fuzztime 30s ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayJournal$$' -fuzztime 30s ./internal/persist/
@@ -55,6 +57,19 @@ overload-chaos:
 	$(GO) test -race -count=1 -run 'TestOverloadShedding|TestSourceDegradedHeaders|TestDiskDiesMidRun|TestKillRestartInPersistDegraded|TestReadyzRetryAfter' ./internal/httpmirror/
 	$(GO) test -race -count=1 ./internal/resilience/
 	./scripts/overload_chaos.sh
+
+# The estimator-convergence gate under the race detector: the
+# ground-truth cross-validator (censoring-aware estimators strictly
+# beat the naive tracker at every catalog scale), the cold-start
+# closed-loop race (MLE+explore reaches 99% of the converged plan;
+# naive never does), the explore-budget property tests, and the
+# restart-continuity tests for online estimator state.
+estimator-convergence:
+	$(GO) test -race -count=1 ./internal/estimate/
+	$(GO) test -race -count=1 -run 'TestEstimator' ./internal/testkit/
+	$(GO) test -race -count=1 -run 'TestColdStart' ./internal/experiment/
+	$(GO) test -race -count=1 -run 'TestExplore|TestAllocateExplore' ./internal/schedule/
+	$(GO) test -race -count=1 -run 'TestMirrorExplore|TestOnlineEstimatorRestart' ./internal/httpmirror/
 
 # The exposition schema golden test and the live-scrape integration
 # tests, under the race detector (GaugeFunc closures scrape under the

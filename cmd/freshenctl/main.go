@@ -13,6 +13,7 @@
 //	freshenctl learn -log access.log (-n N | -input elems.csv) [-smoothing S]
 //	freshenctl capacity -input elems.csv -target PF
 //	freshenctl bench-solver [-out BENCH_solver.json] [-quick] [-seed N]
+//	freshenctl bench-coldstart [-out BENCH_obs.json] [-n N] [-periods P] [-seed N]
 //
 // Flags come before positional arguments (standard flag package
 // ordering).
@@ -52,6 +53,8 @@ func run(args []string) error {
 		return cmdCapacity(os.Stdout, args[1:])
 	case "bench-solver":
 		return cmdBenchSolver(os.Stdout, args[1:])
+	case "bench-coldstart":
+		return cmdBenchColdStart(os.Stdout, args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -73,5 +76,6 @@ Subcommands:
   learn       build the master profile from an access log
   capacity    minimum bandwidth for a target perceived freshness
   bench-solver  time the solve engine against the pre-engine reference
+  bench-coldstart  race change-rate estimators from a cold start (see BENCH_obs.json)
 `)
 }

@@ -50,6 +50,9 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-partitions", "7",
 		"-iterations", "2",
 		"-replan-every", "3",
+		"-estimator", "mle",
+		"-explore-frac", "0.15",
+		"-floor-lambda", "0.01",
 		"-seed", "99",
 		"-upstream-timeout", "1s",
 		"-upstream-retries", "1",
@@ -79,6 +82,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		bandwidth: 42.5, period: 250 * time.Millisecond,
 		strategy: "clustered", partitions: 7, iterations: 2,
 		replanEvery: 3, seed: 99,
+		estimator: "mle", exploreFrac: 0.15, floorLambda: 0.01,
 		upTimeout: time.Second, upRetries: 1,
 		breakerAfter: -1, breakerCooldown: 4,
 		quarantineAfter: -1, probeEvery: 2,

@@ -82,6 +82,9 @@ func parseFlags(args []string) (config, error) {
 	partitions := fs.Int("partitions", 100, "partition count for heuristic strategies")
 	iterations := fs.Int("iterations", 10, "k-means iterations for the clustered strategy")
 	replanEvery := fs.Float64("replan-every", 5, "replanning cadence in periods")
+	estimator := fs.String("estimator", "history", "change-rate estimator: history | naive | sa | mle")
+	exploreFrac := fs.Float64("explore-frac", 0, "fraction of bandwidth spent probing high-uncertainty objects (0 disables exploration)")
+	floorLambda := fs.Float64("floor-lambda", 0, "minimum change-rate estimate; 0 means prior/10, negative means no floor")
 	seed := fs.Int64("seed", 1, "phase seed")
 	upTimeout := fs.Duration("upstream-timeout", 5*time.Second, "per-request upstream timeout")
 	upRetries := fs.Int("upstream-retries", 3, "attempts per upstream call (1 disables retries)")
@@ -114,6 +117,9 @@ func parseFlags(args []string) (config, error) {
 		partitions:      *partitions,
 		iterations:      *iterations,
 		replanEvery:     *replanEvery,
+		estimator:       *estimator,
+		exploreFrac:     *exploreFrac,
+		floorLambda:     *floorLambda,
 		seed:            *seed,
 		upTimeout:       *upTimeout,
 		upRetries:       *upRetries,
@@ -145,6 +151,9 @@ type config struct {
 	strategy               string
 	partitions, iterations int
 	replanEvery            float64
+	estimator              string
+	exploreFrac            float64
+	floorLambda            float64
 	seed                   int64
 	upTimeout              time.Duration
 	upRetries              int
@@ -278,6 +287,9 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		Upstream:    client,
 		Plan:        planCfg,
 		ReplanEvery: cfg.replanEvery,
+		Estimator:   cfg.estimator,
+		ExploreFrac: cfg.exploreFrac,
+		FloorLambda: cfg.floorLambda,
 		Fault: httpmirror.FaultPolicy{
 			BreakerThreshold: cfg.breakerAfter,
 			BreakerCooldown:  cfg.breakerCooldown,

@@ -178,6 +178,16 @@ func run(cfg config) error {
 		report := scraper.report(cfg.metricsURL)
 		report.Requests = requests
 		report.RequestErrors = errors
+		// Preserve sections other tools merged into the same file (the
+		// cold-start estimator benchmark writes under "cold_start").
+		if raw, err := os.ReadFile(cfg.obsOut); err == nil {
+			var prev struct {
+				ColdStart json.RawMessage `json:"cold_start"`
+			}
+			if json.Unmarshal(raw, &prev) == nil {
+				report.ColdStart = prev.ColdStart
+			}
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
@@ -207,6 +217,11 @@ type obsReport struct {
 
 	Requests      int `json:"requests"`
 	RequestErrors int `json:"request_errors"`
+
+	// ColdStart carries the estimator cold-start benchmark merged into
+	// the same file by `freshenctl bench-coldstart`; loadgen preserves
+	// it verbatim when it rewrites the report.
+	ColdStart json.RawMessage `json:"cold_start,omitempty"`
 }
 
 // metricsScraper polls a /metrics endpoint on a cadence, keeping the

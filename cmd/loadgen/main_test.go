@@ -176,6 +176,11 @@ func TestScrapeLoopWritesBenchmark(t *testing.T) {
 	defer srv.Close()
 
 	out := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	// A pre-existing cold_start section (written by `freshenctl
+	// bench-coldstart`) must survive loadgen's rewrite verbatim.
+	if err := os.WriteFile(out, []byte(`{"cold_start":{"n":200,"policies":[]}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	cfg := testCfg(srv.URL)
 	cfg.rate = 100
 	cfg.duration = 350 * time.Millisecond
@@ -222,6 +227,16 @@ func TestScrapeLoopWritesBenchmark(t *testing.T) {
 	}
 	if report.Requests == 0 {
 		t.Error("no traffic recorded")
+	}
+	var coldStart struct {
+		N        int               `json:"n"`
+		Policies []json.RawMessage `json:"policies"`
+	}
+	if err := json.Unmarshal(report.ColdStart, &coldStart); err != nil {
+		t.Fatalf("cold_start section not preserved: %v (%s)", err, report.ColdStart)
+	}
+	if coldStart.N != 200 || coldStart.Policies == nil {
+		t.Errorf("cold_start content mangled: %s", report.ColdStart)
 	}
 }
 

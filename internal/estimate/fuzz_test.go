@@ -72,3 +72,95 @@ func FuzzEstimator(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOnlineEstimators feeds every online estimator the same hostile
+// poll sequence (elapsed times spanning twelve orders of magnitude,
+// arbitrary change patterns, fuzzer-chosen prior/floor) and checks the
+// core safety contract: no panic, every reported λ̂ and stderr finite
+// or +Inf-stderr-only, estimates non-negative and within [floor, cap],
+// updates deterministic, and export-restore-continue mid-stream agrees
+// exactly with an uninterrupted run.
+func FuzzOnlineEstimators(f *testing.F) {
+	f.Add([]byte{}, 1.0, 0.0)
+	f.Add([]byte{0, 0, 1, 255, 255, 0}, 0.5, 0.01)
+	f.Add([]byte{255, 255, 1, 255, 255, 1, 0, 0, 0}, 1e6, 1e-9)
+	f.Add([]byte{7, 7, 7, 8, 8, 8, 9, 9, 9}, math.NaN(), math.Inf(1))
+	f.Fuzz(func(t *testing.T, data []byte, prior, floor float64) {
+		// Total mapping: fold arbitrary prior/floor into the valid range
+		// rather than rejecting — New does not validate params, it clamps.
+		if math.IsNaN(prior) || math.IsInf(prior, 0) || prior < 0 {
+			prior = 1
+		}
+		if math.IsNaN(floor) || math.IsInf(floor, 0) || floor < 0 {
+			floor = 0
+		}
+		if floor > 1e6 {
+			floor = 1e6
+		}
+		if prior > 1e6 {
+			prior = 1e6
+		}
+		p := Params{Prior: prior, Floor: floor}
+		history := fuzzHistory(data)
+		for _, kind := range []string{KindNaive, KindSA, KindMLE} {
+			est, err := New(kind, 1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twin, err := New(kind, 1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var restored Estimator
+			for i, obs := range history {
+				if err := est.Observe(0, obs.Elapsed, obs.Changed); err != nil {
+					t.Fatalf("%s: rejected valid poll %d: %v", kind, i, err)
+				}
+				if err := twin.Observe(0, obs.Elapsed, obs.Changed); err != nil {
+					t.Fatal(err)
+				}
+				e := est.Estimate(0)
+				if math.IsNaN(e.Lambda) || math.IsInf(e.Lambda, 0) || e.Lambda < 0 {
+					t.Fatalf("%s: λ̂ = %v after poll %d", kind, e.Lambda, i)
+				}
+				if e.Lambda < floor {
+					t.Fatalf("%s: λ̂ = %v below floor %v", kind, e.Lambda, floor)
+				}
+				if math.IsNaN(e.StdErr) || e.StdErr < 0 {
+					t.Fatalf("%s: stderr = %v after poll %d", kind, e.StdErr, i)
+				}
+				if u := e.Uncertainty(); math.IsNaN(u) || u < 0 || u > 1 {
+					t.Fatalf("%s: uncertainty = %v after poll %d", kind, u, i)
+				}
+				if te := twin.Estimate(0); te != e {
+					t.Fatalf("%s: not deterministic at poll %d: %+v vs %+v", kind, i, e, te)
+				}
+				if i == len(history)/2 {
+					restored, err = NewFromState(est.ExportState(), p)
+					if err != nil {
+						t.Fatalf("%s: restore of own export failed: %v", kind, err)
+					}
+				}
+				if restored != nil && i > len(history)/2 {
+					if err := restored.Observe(0, obs.Elapsed, obs.Changed); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if restored != nil {
+				if a, b := est.Estimate(0), restored.Estimate(0); a != b {
+					t.Fatalf("%s: restored run diverged: %+v vs %+v", kind, a, b)
+				}
+			}
+			ests, err := est.Estimates(prior)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range ests {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("%s: Estimates returned %v", kind, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/stats"
+)
+
+func onlineKinds() []string { return []string{KindNaive, KindSA, KindMLE} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bogus", 4, Params{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	for _, kind := range Kinds() {
+		if _, err := New(kind, 0, Params{}); err == nil {
+			t.Errorf("%s: zero elements accepted", kind)
+		}
+		est, err := New(kind, 4, Params{Prior: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if est.Kind() != kind || est.Elements() != 4 {
+			t.Errorf("%s: Kind=%q Elements=%d", kind, est.Kind(), est.Elements())
+		}
+	}
+}
+
+func TestOnlineObserveValidation(t *testing.T) {
+	for _, kind := range onlineKinds() {
+		est, err := New(kind, 2, Params{Prior: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Observe(-1, 1, true); err == nil {
+			t.Errorf("%s: negative element accepted", kind)
+		}
+		if err := est.Observe(2, 1, true); err == nil {
+			t.Errorf("%s: out-of-range element accepted", kind)
+		}
+		if err := est.Observe(0, 0, true); err == nil {
+			t.Errorf("%s: zero elapsed accepted", kind)
+		}
+		if err := est.Observe(0, math.NaN(), true); err == nil {
+			t.Errorf("%s: NaN elapsed accepted", kind)
+		}
+		if err := est.Observe(0, math.Inf(1), true); err == nil {
+			t.Errorf("%s: infinite elapsed accepted", kind)
+		}
+		// A rejected observation must not count.
+		if got := est.Estimate(0).Polls; got != 0 {
+			t.Errorf("%s: rejected observation counted, polls=%d", kind, got)
+		}
+	}
+}
+
+// TestOnlineConvergence polls a known Poisson process at a regular
+// interval and checks each online estimator's bias profile: sa and mle
+// land near the true rate while naive stays biased low by its missed
+// multiple changes (λτ = 1 here, so the bias is large and persistent).
+func TestOnlineConvergence(t *testing.T) {
+	const trueLambda, interval, polls = 2.0, 0.5, 8000
+	for _, kind := range onlineKinds() {
+		r := stats.NewRNG(7)
+		est, err := New(kind, 1, Params{Prior: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range SimulatePolling(r, trueLambda, interval, polls) {
+			if err := est.Observe(0, p.Elapsed, p.Changed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e := est.Estimate(0)
+		switch kind {
+		case KindNaive:
+			// E[naive] = q/τ = (1−e^(−1))/0.5 ≈ 1.264.
+			if !(e.Lambda < 0.75*trueLambda) {
+				t.Errorf("naive λ̂ = %v, want visibly below %v", e.Lambda, trueLambda)
+			}
+		default:
+			if math.Abs(e.Lambda-trueLambda) > 0.15*trueLambda {
+				t.Errorf("%s λ̂ = %v, want about %v", kind, e.Lambda, trueLambda)
+			}
+		}
+		if !(e.StdErr > 0) || math.IsInf(e.StdErr, 0) {
+			t.Errorf("%s StdErr = %v", kind, e.StdErr)
+		}
+		if u := e.Uncertainty(); !(u >= 0 && u < 0.25) {
+			t.Errorf("%s uncertainty after %d polls = %v, want small", kind, polls, u)
+		}
+	}
+}
+
+// TestOnlineIrregularIntervals checks sa and mle handle the interval
+// mix a real mirror produces (every element's polling cadence changes
+// at each replan).
+func TestOnlineIrregularIntervals(t *testing.T) {
+	const trueLambda = 1.5
+	intervals := []float64{0.1, 0.5, 1.3, 0.25, 2.0}
+	for _, kind := range []string{KindSA, KindMLE} {
+		r := stats.NewRNG(21)
+		est, err := New(kind, 1, Params{Prior: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12000; i++ {
+			tau := intervals[i%len(intervals)]
+			q := -math.Expm1(-trueLambda * tau)
+			if err := est.Observe(0, tau, r.Float64() < q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := est.Estimate(0).Lambda
+		if math.Abs(got-trueLambda) > 0.15*trueLambda {
+			t.Errorf("%s λ̂ = %v on irregular intervals, want about %v", kind, got, trueLambda)
+		}
+	}
+}
+
+func TestOnlineFloorAndFallback(t *testing.T) {
+	for _, kind := range onlineKinds() {
+		est, err := New(kind, 2, Params{Prior: 1, Floor: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A long run of no-change polls drives the estimate down but the
+		// report never goes below the floor.
+		for i := 0; i < 500; i++ {
+			if err := est.Observe(0, 1, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ests, err := est.Estimates(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ests[0] < 0.02 {
+			t.Errorf("%s: floored estimate %v below floor", kind, ests[0])
+		}
+		if ests[1] != 1 {
+			t.Errorf("%s: unpolled fallback %v, want 1", kind, ests[1])
+		}
+	}
+}
+
+// TestOnlineExportRestoreContinuity is the persistence contract: an
+// estimator exported mid-stream, rebuilt via NewFromState, and fed the
+// remaining observations must agree exactly with one that never
+// stopped — restarts lose no convergence progress.
+func TestOnlineExportRestoreContinuity(t *testing.T) {
+	const polls = 400
+	for _, kind := range onlineKinds() {
+		r := stats.NewRNG(11)
+		stream := SimulatePolling(r, 1.2, 0.7, polls)
+		p := Params{Prior: 0.5, Floor: 0.01}
+
+		full, err := New(kind, 1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := New(kind, 1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, obs := range stream {
+			if err := full.Observe(0, obs.Elapsed, obs.Changed); err != nil {
+				t.Fatal(err)
+			}
+			if i < polls/2 {
+				if err := resumed.Observe(0, obs.Elapsed, obs.Changed); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		restored, err := NewFromState(resumed.ExportState(), p)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, obs := range stream[polls/2:] {
+			if err := restored.Observe(0, obs.Elapsed, obs.Changed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, b := full.Estimate(0), restored.Estimate(0)
+		if a != b {
+			t.Errorf("%s: uninterrupted %+v != restored %+v", kind, a, b)
+		}
+	}
+}
+
+func TestNewFromStateValidation(t *testing.T) {
+	ok := ElementState{Lambda: 1, Info: 2, Polls: 3, Changes: 1, SumElapsed: 3}
+	cases := []struct {
+		name string
+		st   State
+	}{
+		{"unknown kind", State{Kind: "bogus", Elements: []ElementState{ok}}},
+		{"history kind", State{Kind: KindHistory, Elements: []ElementState{ok}}},
+		{"no elements", State{Kind: KindMLE}},
+		{"negative rate", State{Kind: KindMLE, Elements: []ElementState{{Lambda: -1}}}},
+		{"NaN rate", State{Kind: KindMLE, Elements: []ElementState{{Lambda: math.NaN()}}}},
+		{"infinite rate", State{Kind: KindMLE, Elements: []ElementState{{Lambda: math.Inf(1)}}}},
+		{"negative info", State{Kind: KindMLE, Elements: []ElementState{{Lambda: 1, Info: -1}}}},
+		{"changes above polls", State{Kind: KindMLE, Elements: []ElementState{{Lambda: 1, Polls: 1, Changes: 2}}}},
+		{"negative observed time", State{Kind: KindMLE, Elements: []ElementState{{Lambda: 1, SumElapsed: -1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewFromState(tc.st, Params{}); err == nil {
+				t.Error("invalid state accepted")
+			}
+		})
+	}
+}
+
+// TestUncertaintyShrinks checks the confidence model the explore
+// policy depends on: uncertainty starts at 1 and falls monotonically
+// toward 0 as observations accumulate.
+func TestUncertaintyShrinks(t *testing.T) {
+	for _, kind := range onlineKinds() {
+		r := stats.NewRNG(5)
+		est, err := New(kind, 1, Params{Prior: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u := est.Estimate(0).Uncertainty(); u != 1 {
+			t.Fatalf("%s: unpolled uncertainty %v, want 1", kind, u)
+		}
+		prev := 1.0
+		checkpoints := map[int]bool{10: true, 100: true, 1000: true}
+		for i := 1; i <= 1000; i++ {
+			q := -math.Expm1(-1.0 * 0.5)
+			if err := est.Observe(0, 0.5, r.Float64() < q); err != nil {
+				t.Fatal(err)
+			}
+			if checkpoints[i] {
+				u := est.Estimate(0).Uncertainty()
+				if !(u < prev) {
+					t.Errorf("%s: uncertainty %v at %d polls not below %v", kind, u, i, prev)
+				}
+				prev = u
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 // poll (the fetched copy either differs from the stored one or not).
 type Tracker struct {
 	histories [][]Poll
+	params    Params
 
 	// Optional instrumentation (nil until Instrument): the paper's
 	// schedule is only as good as these inputs, so the poll stream the
@@ -21,6 +22,11 @@ type Tracker struct {
 	polls   *obs.Counter
 	changes *obs.Counter
 }
+
+// SetParams configures the tracker's prior, floor and cap (see
+// Params). The zero value keeps the historical behavior: no floor, so
+// a zero-change history reports λ̂ = 0.
+func (t *Tracker) SetParams(p Params) { t.params = p.withDefaults() }
 
 // Instrument registers the tracker's metrics on reg and starts
 // counting recorded polls and observed changes — including polls
@@ -97,8 +103,58 @@ func (t *Tracker) Polls(element int) int {
 	return len(t.histories[element])
 }
 
+// Kind names the tracker's estimator family: the full-history batch
+// MLE, re-solved exactly at every learn pass.
+func (t *Tracker) Kind() string { return KindHistory }
+
+// Elements returns the catalog size the tracker covers.
+func (t *Tracker) Elements() int { return len(t.histories) }
+
+// Observe folds in one censored observation (Estimator interface); it
+// is Record under the interface's name.
+func (t *Tracker) Observe(element int, elapsed float64, changed bool) error {
+	return t.Record(element, elapsed, changed)
+}
+
+// Estimate returns one element's batch-MLE estimate with a confidence
+// measure: the asymptotic standard error 1/√J(λ̂), where J is the
+// observed Fisher information Σ τᵢ²(1−qᵢ)/qᵢ of the element's history
+// evaluated at the reported (floored) estimate.
+func (t *Tracker) Estimate(element int) Estimate {
+	if element < 0 || element >= len(t.histories) || len(t.histories[element]) == 0 {
+		return Estimate{Lambda: t.params.Prior, StdErr: math.Inf(1)}
+	}
+	h := t.histories[element]
+	est, err := MLE(h)
+	if err != nil {
+		// Record validated every poll, so this cannot happen; report
+		// total uncertainty rather than guessing.
+		return Estimate{Lambda: t.params.Prior, StdErr: math.Inf(1)}
+	}
+	est = t.params.apply(est)
+	info := 0.0
+	if est > 0 {
+		for _, p := range h {
+			q := -math.Expm1(-est * p.Elapsed)
+			info += p.Elapsed * p.Elapsed * (1 - q) / math.Max(q, qEps)
+		}
+	}
+	stderr := math.Inf(1)
+	if info > 0 {
+		stderr = 1 / math.Sqrt(info)
+	}
+	return Estimate{Lambda: est, StdErr: stderr, Polls: len(h)}
+}
+
+// ExportState identifies the tracker's family; the durable state is
+// the poll histories themselves (Export), persisted per element, so no
+// per-element summary is duplicated here.
+func (t *Tracker) ExportState() State { return State{Kind: KindHistory} }
+
 // Estimates runs MLE per element. Elements with no history get
-// fallback (a prior, e.g. the fleet-wide mean change rate).
+// fallback (a prior, e.g. the fleet-wide mean change rate); polled
+// elements are floored at Params.Floor so a run of no-change polls can
+// never starve an element of refresh budget forever.
 func (t *Tracker) Estimates(fallback float64) ([]float64, error) {
 	out := make([]float64, len(t.histories))
 	for i, h := range t.histories {
@@ -110,7 +166,7 @@ func (t *Tracker) Estimates(fallback float64) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("estimate: element %d: %w", i, err)
 		}
-		out[i] = est
+		out[i] = t.params.apply(est)
 	}
 	return out, nil
 }

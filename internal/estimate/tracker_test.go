@@ -70,6 +70,203 @@ func TestTrackerExportIsDeepCopy(t *testing.T) {
 	}
 }
 
+// TestTrackerRoundTripShapes drives Export/NewTrackerFromHistories
+// through the degenerate shapes persistence actually produces — empty
+// trackers, elements with no history, single-poll elements, mixed
+// lengths — and requires the round trip to preserve every poll and
+// every estimate exactly.
+func TestTrackerRoundTripShapes(t *testing.T) {
+	cases := []struct {
+		name      string
+		histories [][]Poll
+	}{
+		{
+			name:      "all empty",
+			histories: [][]Poll{nil, nil, nil},
+		},
+		{
+			name:      "single element single poll changed",
+			histories: [][]Poll{{{Elapsed: 0.5, Changed: true}}},
+		},
+		{
+			name:      "single element single poll unchanged",
+			histories: [][]Poll{{{Elapsed: 2, Changed: false}}},
+		},
+		{
+			name: "mixed lengths with gaps",
+			histories: [][]Poll{
+				{{Elapsed: 1, Changed: true}, {Elapsed: 0.25, Changed: false}, {Elapsed: 3, Changed: true}},
+				nil,
+				{{Elapsed: 0.125, Changed: false}},
+				{{Elapsed: 10, Changed: true}, {Elapsed: 10, Changed: true}},
+			},
+		},
+		{
+			name: "irregular elapsed spread",
+			histories: [][]Poll{
+				{{Elapsed: 1e-6, Changed: false}, {Elapsed: 1e3, Changed: true}},
+				{{Elapsed: 0.7, Changed: true}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := NewTracker(len(tc.histories))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range tc.histories {
+				for _, p := range h {
+					if err := tr.Record(i, p.Elapsed, p.Changed); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			exported := tr.Export()
+			if len(exported) != len(tc.histories) {
+				t.Fatalf("Export length %d, want %d", len(exported), len(tc.histories))
+			}
+			for i, h := range tc.histories {
+				if len(h) == 0 {
+					if exported[i] != nil {
+						t.Errorf("element %d: exported %v, want nil", i, exported[i])
+					}
+					continue
+				}
+				if !reflect.DeepEqual(exported[i], h) {
+					t.Errorf("element %d: exported %v, want %v", i, exported[i], h)
+				}
+			}
+
+			rebuilt, err := NewTrackerFromHistories(exported)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.histories {
+				if got, want := rebuilt.Polls(i), tr.Polls(i); got != want {
+					t.Errorf("element %d: rebuilt polls %d, want %d", i, got, want)
+				}
+			}
+			want, err := tr.Estimates(4.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rebuilt.Estimates(4.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("rebuilt estimates %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestTrackerFloor pins the cold-start fix: a zero-change history
+// reports λ̂ = 0 on a bare tracker (historical behavior) but is floored
+// once params carry a positive floor, so the scheduler keeps probing
+// the element instead of starving it of budget forever.
+func TestTrackerFloor(t *testing.T) {
+	mk := func() *Tracker {
+		tr, err := NewTracker(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := tr.Record(0, 1, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+
+	bare := mk()
+	ests, err := bare.Estimates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[0] != 0 {
+		t.Errorf("bare tracker zero-change estimate %v, want 0", ests[0])
+	}
+	if ests[1] != 1 {
+		t.Errorf("unpolled fallback %v, want 1", ests[1])
+	}
+
+	floored := mk()
+	floored.SetParams(Params{Prior: 1, Floor: 0.05})
+	ests, err = floored.Estimates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[0] != 0.05 {
+		t.Errorf("floored zero-change estimate %v, want 0.05", ests[0])
+	}
+
+	// The floor never drags a well-observed estimate down.
+	busy := mk()
+	busy.SetParams(Params{Prior: 1, Floor: 0.05})
+	for i := 0; i < 50; i++ {
+		if err := busy.Record(1, 0.5, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ests, err = busy.Estimates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ests[1] > 0.05) {
+		t.Errorf("observed estimate %v should exceed the floor", ests[1])
+	}
+}
+
+// TestTrackerEstimatorInterface exercises the Tracker through the
+// Estimator interface: kind, per-element confidence, and the unpolled
+// prior.
+func TestTrackerEstimatorInterface(t *testing.T) {
+	est, err := New(KindHistory, 3, Params{Prior: 2, Floor: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Kind() != KindHistory {
+		t.Errorf("Kind = %q", est.Kind())
+	}
+	if est.Elements() != 3 {
+		t.Errorf("Elements = %d", est.Elements())
+	}
+
+	e := est.Estimate(0)
+	if e.Polls != 0 || e.Lambda != 2 || !math.IsInf(e.StdErr, 1) || e.Uncertainty() != 1 {
+		t.Errorf("unpolled estimate %+v (u=%v)", e, e.Uncertainty())
+	}
+	// Out-of-range elements report the same total uncertainty.
+	if u := est.Estimate(99).Uncertainty(); u != 1 {
+		t.Errorf("out-of-range uncertainty %v, want 1", u)
+	}
+
+	for i := 0; i < 200; i++ {
+		if err := est.Observe(0, 0.5, i%3 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e = est.Estimate(0)
+	if e.Polls != 200 {
+		t.Errorf("Polls = %d, want 200", e.Polls)
+	}
+	if !(e.Lambda > 0) || math.IsInf(e.Lambda, 0) {
+		t.Errorf("Lambda = %v", e.Lambda)
+	}
+	if !(e.StdErr > 0) || math.IsInf(e.StdErr, 0) {
+		t.Errorf("StdErr = %v", e.StdErr)
+	}
+	if u := e.Uncertainty(); !(u > 0 && u < 0.5) {
+		t.Errorf("well-observed uncertainty %v, want small positive", u)
+	}
+	if st := est.ExportState(); st.Kind != KindHistory || len(st.Elements) != 0 {
+		t.Errorf("ExportState = %+v; history state lives in Export()", st)
+	}
+}
+
 func TestNewTrackerFromHistoriesValidation(t *testing.T) {
 	cases := []struct {
 		name string

@@ -36,6 +36,29 @@ type Config struct {
 	// PriorLambda seeds change-rate knowledge before the mirror's own
 	// polls accumulate; 0 means 1 change/period.
 	PriorLambda float64
+	// Estimator selects the change-rate estimator family (see
+	// estimate.Kinds): "history" (default) re-solves the batch MLE over
+	// full poll histories; "naive", "sa" and "mle" are O(1)-state
+	// online estimators whose convergence state persists through
+	// snapshots.
+	Estimator string
+	// ExploreFrac diverts this fraction of Plan.Bandwidth to probing
+	// high-uncertainty elements: the explore slice is water-filled over
+	// estimator uncertainty (see schedule.AllocateExplore) and its
+	// frequencies are added on top of the exploit plan. 0 disables
+	// exploration; values must stay below 0.9.
+	ExploreFrac float64
+	// FloorLambda is the lower bound applied to every learned change
+	// rate, so a run of no-change polls can never starve an element of
+	// refresh budget forever (the cold-start bias fix). 0 means
+	// PriorLambda/10; negative disables the floor entirely.
+	FloorLambda float64
+	// TruthLambda, when non-nil, carries the workload's true change
+	// rates (test builds only: simulated sources know them). The mirror
+	// then exports freshen_estimator_lambda_rel_error, the mean
+	// relative λ̂ error against this truth; production mirrors leave it
+	// nil and the gauge reads -1.
+	TruthLambda []float64
 	// ReplanEvery is the replanning cadence in periods; 0 means 5.
 	ReplanEvery float64
 	// ProfileSmoothing is the Laplace pseudo-count applied when the
@@ -85,6 +108,14 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.PriorLambda == 0 {
 		c.PriorLambda = 1
+	}
+	if c.Estimator == "" {
+		c.Estimator = estimate.KindHistory
+	}
+	if c.FloorLambda == 0 {
+		c.FloorLambda = c.PriorLambda / 10
+	} else if c.FloorLambda < 0 {
+		c.FloorLambda = 0
 	}
 	if c.ReplanEvery == 0 {
 		c.ReplanEvery = 5
@@ -137,6 +168,8 @@ type Mirror struct {
 	health     []elemHealth
 	brk        breaker
 	tracker    *estimate.Tracker
+	est        estimate.Estimator // == tracker for the history kind
+	estParams  estimate.Params
 	plan       core.Plan
 	iter       *schedule.Iterator
 	iterBase   float64 // m.now at the last iterator rebuild
@@ -152,6 +185,15 @@ type Mirror struct {
 	quarantineEvents int
 	recoveries       int
 	quarantined      int // elements currently quarantined; maintained at transitions
+
+	// Explore/exploit state (zero-valued when ExploreFrac is 0):
+	// uncertainty holds each element's estimator uncertainty as of the
+	// last learn pass; exploreOnly marks elements funded only by the
+	// explore slice, whose refreshes count as uncertainty probes.
+	uncertainty   []float64
+	exploreOnly   []bool
+	exploreProbes int
+	exploreBW     float64 // bandwidth the last plan's explore slice used
 
 	// Crash-safe persistence (nil store disables it; see Config.Persist).
 	store          persist.Storer
@@ -206,6 +248,9 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("httpmirror: SnapshotEvery must be positive, got %v", cfg.SnapshotEvery)
 	}
+	if f := cfg.ExploreFrac; math.IsNaN(f) || f < 0 || f >= 0.9 {
+		return nil, fmt.Errorf("httpmirror: ExploreFrac must be in [0, 0.9), got %v", f)
+	}
 	catalog, err := cfg.Upstream.Catalog(ctx)
 	if err != nil {
 		return nil, err
@@ -234,6 +279,26 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 	if err != nil {
 		return nil, err
 	}
+	// withDefaults already resolved FloorLambda (0 → PriorLambda/10,
+	// negative → disabled), so Params take it verbatim.
+	m.estParams = estimate.Params{Prior: cfg.PriorLambda, Floor: cfg.FloorLambda}
+	m.tracker.SetParams(m.estParams)
+	if cfg.Estimator == estimate.KindHistory {
+		m.est = m.tracker
+	} else {
+		m.est, err = estimate.New(cfg.Estimator, n, m.estParams)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TruthLambda != nil && len(cfg.TruthLambda) != n {
+		return nil, fmt.Errorf("httpmirror: TruthLambda has %d rates for %d elements", len(cfg.TruthLambda), n)
+	}
+	m.uncertainty = make([]float64, n)
+	for i := range m.uncertainty {
+		m.uncertainty[i] = 1
+	}
+	m.exploreOnly = make([]bool, n)
 	if cfg.Metrics != nil {
 		// Registered before recovery so replayed journal polls land in
 		// the estimator counters like live ones.
@@ -327,7 +392,11 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 // and rebuilds the refresh iterator. Quarantined elements are excluded
 // from the optimization — their budget share water-fills back across
 // the healthy elements — and re-enter on the replan after recovery.
-// Callers hold m.mu (or are New).
+// With ExploreFrac > 0 the budget splits: f·ū·B is water-filled on
+// estimator uncertainty (explore, see schedule.AllocateExplore), where
+// ū is the catalog's mean uncertainty, and the rest is water-filled on
+// the learned rates as usual (exploit); both frequency vectors merge
+// into one iterator. Callers hold m.mu (or are New).
 func (m *Mirror) replanLocked() error {
 	active := make([]freshness.Element, 0, len(m.elems))
 	for i := range m.elems {
@@ -335,7 +404,22 @@ func (m *Mirror) replanLocked() error {
 			active = append(active, m.elems[i])
 		}
 	}
+	// The explore slice anneals with mean uncertainty: a cold mirror
+	// (all uncertainty 1) spends the full configured fraction probing;
+	// as the estimator converges the slice shrinks and its bandwidth
+	// flows back to exploitation, so a warm mirror pays almost no
+	// probe tax.
+	var meanU float64
+	for _, u := range m.uncertainty {
+		meanU += u
+	}
+	meanU /= float64(len(m.uncertainty))
+	exploreBudget := m.cfg.Plan.Bandwidth * m.cfg.ExploreFrac * meanU
 	full := make([]float64, len(m.elems))
+	for i := range m.exploreOnly {
+		m.exploreOnly[i] = false
+	}
+	m.exploreBW = 0
 	var plan core.Plan
 	if len(active) == 0 {
 		// Everything is quarantined: an empty plan; the mirror keeps
@@ -343,6 +427,7 @@ func (m *Mirror) replanLocked() error {
 		plan = core.Plan{Freqs: full, Strategy: m.cfg.Plan.Strategy}
 	} else {
 		cfg := m.cfg.Plan
+		cfg.Bandwidth -= exploreBudget
 		if cfg.NumPartitions > len(active) {
 			cfg.NumPartitions = len(active)
 		}
@@ -361,6 +446,11 @@ func (m *Mirror) replanLocked() error {
 		}
 		p.Freqs = full
 		plan = p
+		if exploreBudget > 0 {
+			if err := m.mergeExploreLocked(&plan, active, exploreBudget); err != nil {
+				return err
+			}
+		}
 	}
 	iter, err := schedule.NewIterator(plan.Freqs, true, m.cfg.Seed+int64(m.replans))
 	if err != nil {
@@ -372,6 +462,7 @@ func (m *Mirror) replanLocked() error {
 	m.lastReplan = m.now
 	m.replans++
 	m.metrics.countReplan()
+	m.metrics.setExploreBandwidth(m.exploreBW)
 	m.updatePlanGaugesLocked()
 	m.updatePFGaugesLocked()
 	m.log.Debug("replanned",
@@ -379,6 +470,51 @@ func (m *Mirror) replanLocked() error {
 		"bandwidth_used", plan.BandwidthUsed,
 		"active", len(active),
 		"now", m.now)
+	return nil
+}
+
+// mergeExploreLocked water-fills the explore slice over the active
+// elements' uncertainty and folds the probe frequencies into the
+// plan: frequencies add, bandwidth adds, and the plan's quality
+// metrics are recomputed at the combined allocation over the full
+// catalog. Elements funded only by the explore slice are marked so
+// their refreshes count as uncertainty probes. Callers hold m.mu.
+func (m *Mirror) mergeExploreLocked(plan *core.Plan, active []freshness.Element, budget float64) error {
+	activeU := make([]float64, 0, len(active))
+	for i := range m.elems {
+		if !m.health[i].quarantined {
+			activeU = append(activeU, m.uncertainty[i])
+		}
+	}
+	exFreqs, exUsed, err := schedule.AllocateExplore(active, activeU, m.cfg.PriorLambda, budget)
+	if err != nil {
+		return err
+	}
+	j := 0
+	for i := range m.elems {
+		if m.health[i].quarantined {
+			continue
+		}
+		if exFreqs[j] > 0 && plan.Freqs[i] == 0 {
+			m.exploreOnly[i] = true
+		}
+		plan.Freqs[i] += exFreqs[j]
+		j++
+	}
+	plan.BandwidthUsed += exUsed
+	m.exploreBW = exUsed
+	pol := m.cfg.Plan.Policy
+	if pol == nil {
+		pol = freshness.FixedOrder{}
+	}
+	// Quality metrics at the combined allocation; failures here would
+	// mean invalid frequencies, which the allocators never produce.
+	if pf, err := freshness.Perceived(pol, m.elems, plan.Freqs); err == nil {
+		plan.Perceived = pf
+	}
+	if af, err := freshness.Average(pol, m.elems, plan.Freqs); err == nil {
+		plan.AvgFreshness = af
+	}
 	return nil
 }
 
@@ -442,6 +578,14 @@ func (m *Mirror) Step(now float64) (int, error) {
 		}
 		if err == nil {
 			refreshes++
+			m.mu.Lock()
+			if m.exploreOnly[ev.element] {
+				// This element is funded only by the explore slice: the
+				// refresh is an uncertainty probe, not an exploit poll.
+				m.exploreProbes++
+				m.metrics.countExploreProbe()
+			}
+			m.mu.Unlock()
 		} else {
 			m.journalFailure(ev.element, ev.at)
 		}
@@ -536,7 +680,7 @@ func (m *Mirror) refresh(id int, at float64) error {
 	c := &m.copies[id]
 	elapsed := at - c.lastPoll
 	if elapsed > 0 {
-		if err := m.tracker.Record(id, elapsed, changed); err != nil {
+		if err := m.recordPollLocked(id, elapsed, changed); err != nil {
 			m.mu.Unlock()
 			return err
 		}
@@ -668,6 +812,24 @@ func (m *Mirror) probeQuarantined(now float64) bool {
 	return changed
 }
 
+// recordPollLocked feeds one censored observation to the history
+// tracker (always: it owns the persisted histories and the poll
+// counters) and to the online estimator when a distinct one is
+// configured. Callers hold m.mu.
+func (m *Mirror) recordPollLocked(id int, elapsed float64, changed bool) error {
+	if err := m.tracker.Record(id, elapsed, changed); err != nil {
+		return err
+	}
+	if m.est != estimate.Estimator(m.tracker) {
+		// The tracker already validated the observation, so the online
+		// update cannot fail.
+		if err := m.est.Observe(id, elapsed, changed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // learnLocked folds the access log and poll history into the element
 // knowledge the next plan uses.
 func (m *Mirror) learnLocked() {
@@ -683,14 +845,51 @@ func (m *Mirror) learnLocked() {
 	for i := range m.elems {
 		m.elems[i].AccessProb = (float64(m.copies[i].accesses) + m.cfg.ProfileSmoothing) / total
 	}
-	// Change rates: MLE per element, prior where unpolled. Skipped and
-	// failed polls never reached the tracker, so an outage leaves the
-	// estimates untouched instead of dragging them toward zero.
-	if ests, err := m.tracker.Estimates(m.cfg.PriorLambda); err == nil {
+	// Change rates from the configured estimator: prior where unpolled,
+	// floored so no element is starved (see Config.FloorLambda).
+	// Skipped and failed polls never reached the estimator, so an
+	// outage leaves the estimates untouched instead of dragging them
+	// toward zero.
+	if ests, err := m.est.Estimates(m.cfg.PriorLambda); err == nil {
 		for i, l := range ests {
 			m.elems[i].Lambda = l
 		}
 	}
+	// Uncertainty drives the explore slice; computing it costs one
+	// Estimate per element (a full MLE re-solve for the history kind),
+	// so it runs only when a probe budget actually consumes it. The
+	// score is floored at the planning-relevant rate scale so elements
+	// confidently known to be near-static release their probe share
+	// (see estimate.Estimate.UncertaintyAt).
+	if m.cfg.ExploreFrac > 0 {
+		for i := range m.uncertainty {
+			m.uncertainty[i] = m.est.Estimate(i).UncertaintyAt(m.cfg.PriorLambda / 10)
+		}
+		m.metrics.observeConfidence(m.uncertainty)
+	}
+	m.metrics.setLambdaError(m.lambdaErrorLocked())
+}
+
+// lambdaErrorLocked is the mean relative error of the learned rates
+// against the configured ground truth, or -1 when no truth is known
+// (production: the gauge stays at its sentinel).
+func (m *Mirror) lambdaErrorLocked() float64 {
+	truth := m.cfg.TruthLambda
+	if truth == nil {
+		return -1
+	}
+	sum, count := 0.0, 0
+	for i, want := range truth {
+		if want <= 0 {
+			continue
+		}
+		sum += math.Abs(m.elems[i].Lambda-want) / want
+		count++
+	}
+	if count == 0 {
+		return -1
+	}
+	return sum / float64(count)
 }
 
 // Run drives the refresh loop against the wall clock, mapping one
@@ -766,6 +965,12 @@ type Status struct {
 	BandwidthUsed float64 `json:"bandwidth_used"`
 	Strategy      string  `json:"strategy"`
 
+	// Change-rate estimation and explore/exploit state.
+	Estimator        string  `json:"estimator"`
+	ExploreFrac      float64 `json:"explore_frac"`
+	ExploreProbes    int     `json:"explore_probes"`
+	ExploreBandwidth float64 `json:"explore_bandwidth"`
+
 	// Fault-tolerance counters.
 	Retries          int64  `json:"retries"`
 	RefreshFailures  int    `json:"refresh_failures"`
@@ -809,6 +1014,10 @@ func (m *Mirror) Status() Status {
 		PlannedAvg:       m.plan.AvgFreshness,
 		BandwidthUsed:    m.plan.BandwidthUsed,
 		Strategy:         m.plan.Strategy.String(),
+		Estimator:        m.est.Kind(),
+		ExploreFrac:      m.cfg.ExploreFrac,
+		ExploreProbes:    m.exploreProbes,
+		ExploreBandwidth: m.exploreBW,
 		Retries:          m.cfg.Upstream.Retries(),
 		RefreshFailures:  m.refreshFailures,
 		SkippedRefreshes: m.skippedRefreshes,

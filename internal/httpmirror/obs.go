@@ -32,11 +32,15 @@ type mirrorMetrics struct {
 	recoveries     *obs.Counter
 	replans        *obs.Counter
 	persistErrors  *obs.Counter
+	exploreProbes  *obs.Counter
 
 	pf            *obs.Gauge
 	avgFreshness  *obs.Gauge
 	bandwidthUsed *obs.Gauge
 	lambdaMean    *obs.Gauge
+	lambdaError   *obs.Gauge
+	exploreBW     *obs.Gauge
+	confidence    *obs.Histogram
 }
 
 // instrumentMirror registers the mirror's series on reg and wires the
@@ -64,6 +68,8 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 			"Schedule recomputations (cadence, fault-driven, and forced)."),
 		persistErrors: reg.Counter("freshen_persist_write_failures_total",
 			"Journal appends or snapshot commits the mirror absorbed as failed."),
+		exploreProbes: reg.Counter("freshen_explore_probes_total",
+			"Refreshes funded purely by the explore slice (elements the exploit plan left unfunded)."),
 
 		pf: reg.Gauge("freshen_pf",
 			"Live perceived freshness Σ pᵢ·F(fᵢ,λᵢ) under the current plan; recomputed once per period."),
@@ -73,7 +79,16 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 			"Bandwidth Σ sᵢ·fᵢ the current plan consumes."),
 		lambdaMean: reg.Gauge("freshen_lambda_mean",
 			"Mean estimated change rate across the catalog."),
+		lambdaError: reg.Gauge("freshen_estimator_lambda_rel_error",
+			"Mean relative error of the change-rate estimates against the configured ground truth; -1 when no truth is known."),
+		exploreBW: reg.Gauge("freshen_explore_bandwidth",
+			"Bandwidth the current plan dedicates to uncertainty-driven probing."),
+		confidence: reg.Histogram("freshen_estimator_confidence",
+			"Per-element estimator confidence (1 - uncertainty) observed at each learn pass.",
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}),
 	}
+	// No ground truth until the mirror reports one.
+	mm.lambdaError.Set(-1)
 	// The access total lives in the read path's striped counters; the
 	// scrape sums the stripes instead of forcing every Access through
 	// one shared counter cache line. Same family name and TYPE as the
@@ -229,6 +244,38 @@ func (mm *mirrorMetrics) countReplan() {
 func (mm *mirrorMetrics) countPersistError() {
 	if mm != nil {
 		mm.persistErrors.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countExploreProbe() {
+	if mm != nil {
+		mm.exploreProbes.Inc()
+	}
+}
+
+// setLambdaError publishes the estimator's mean relative error against
+// the configured ground truth; -1 means no truth is known.
+func (mm *mirrorMetrics) setLambdaError(v float64) {
+	if mm != nil {
+		mm.lambdaError.Set(v)
+	}
+}
+
+func (mm *mirrorMetrics) setExploreBandwidth(v float64) {
+	if mm != nil {
+		mm.exploreBW.Set(v)
+	}
+}
+
+// observeConfidence records each element's confidence (1 - uncertainty)
+// so the histogram tracks how much of the catalog the estimator has
+// pinned down. Called once per learn pass, off the hot path.
+func (mm *mirrorMetrics) observeConfidence(uncertainty []float64) {
+	if mm == nil {
+		return
+	}
+	for _, u := range uncertainty {
+		mm.confidence.Observe(1 - u)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"freshen/internal/core"
+	"freshen/internal/estimate"
 	"freshen/internal/persist"
 	"freshen/internal/schedule"
 )
@@ -58,6 +59,7 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 				m.tracker.Record(i, p.Elapsed, p.Changed)
 			}
 		}
+		m.restoreEstimatorLocked(s)
 		m.brk.state = BreakerState(s.Breaker.State)
 		m.brk.fails = s.Breaker.Fails
 		m.brk.openedAt = s.Breaker.OpenedAt
@@ -90,6 +92,44 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 	return plan
 }
 
+// restoreEstimatorLocked rebuilds the online estimator from a
+// recovered snapshot. Preferred path: the snapshot's estimator state
+// restores directly, so convergence resumes exactly where the crash
+// interrupted it. Fallback (older snapshot, kind changed between
+// runs): the persisted poll histories — already replayed into the
+// tracker — replay into the online estimator, which re-converges from
+// the same observations. The history kind needs neither: the tracker
+// replay above is its state.
+func (m *Mirror) restoreEstimatorLocked(s *persist.Snapshot) {
+	if m.est == estimate.Estimator(m.tracker) {
+		return
+	}
+	if es := s.Estimator; es != nil && es.Kind == m.est.Kind() {
+		st := estimate.State{Kind: es.Kind, Elements: make([]estimate.ElementState, len(es.Elements))}
+		for i, e := range es.Elements {
+			st.Elements[i] = estimate.ElementState{
+				Lambda:     e.Lambda,
+				Info:       e.Info,
+				Polls:      e.Polls,
+				Changes:    e.Changes,
+				SumElapsed: e.SumElapsed,
+			}
+		}
+		if est, err := estimate.NewFromState(st, m.estParams); err == nil {
+			m.est = est
+			return
+		}
+		// Invalid state decodes are already excluded by Validate; an
+		// error here means a kind/shape mismatch — fall through to the
+		// history replay.
+	}
+	for i := range s.Elements {
+		for _, p := range s.Elements[i].History {
+			m.est.Observe(i, p.Elapsed, p.Changed)
+		}
+	}
+}
+
 // replayJournalRecord re-applies one journaled refresh outcome exactly
 // as the live pipeline would have: successful polls feed the
 // estimator and version bookkeeping, failures feed the breaker and
@@ -104,7 +144,7 @@ func (m *Mirror) replayJournalRecord(r persist.Record) {
 	}
 	c := &m.copies[r.Element]
 	if r.Elapsed > 0 {
-		m.tracker.Record(r.Element, r.Elapsed, r.Changed)
+		m.recordPollLocked(r.Element, r.Elapsed, r.Changed)
 	}
 	c.lastPoll = r.At
 	m.verified[r.Element].Store(math.Float64bits(r.At))
@@ -204,6 +244,22 @@ func (m *Mirror) exportStateLocked() *persist.Snapshot {
 			}
 		}
 		s.Elements[i] = es
+	}
+	if m.est != estimate.Estimator(m.tracker) {
+		// The online estimator's O(1)-per-element state rides along so a
+		// restart resumes convergence instead of replaying histories.
+		st := m.est.ExportState()
+		snap := &persist.EstimatorSnap{Kind: st.Kind, Elements: make([]persist.EstimatorElem, len(st.Elements))}
+		for i, e := range st.Elements {
+			snap.Elements[i] = persist.EstimatorElem{
+				Lambda:     e.Lambda,
+				Info:       e.Info,
+				Polls:      e.Polls,
+				Changes:    e.Changes,
+				SumElapsed: e.SumElapsed,
+			}
+		}
+		s.Estimator = snap
 	}
 	return s
 }
@@ -347,11 +403,11 @@ func (m *Mirror) Readiness() Readiness {
 	}
 }
 
-// estimatesSnapshot returns the tracker's current per-element
-// estimates — test and diagnostic access to the estimator state that
-// persistence must preserve.
+// estimatesSnapshot returns the configured estimator's current
+// per-element estimates — test and diagnostic access to the estimator
+// state that persistence must preserve.
 func (m *Mirror) estimatesSnapshot() ([]float64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.tracker.Estimates(m.cfg.PriorLambda)
+	return m.est.Estimates(m.cfg.PriorLambda)
 }

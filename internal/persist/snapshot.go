@@ -43,6 +43,30 @@ type Snapshot struct {
 	Elements []ElementState `json:"elements"`
 	// Counters are the mirror's lifetime counters.
 	Counters Counters `json:"counters"`
+	// Estimator is the online change-rate estimator's state, present
+	// only when the mirror runs an O(1)-state estimator (the history
+	// estimator's state is the per-element poll histories above). The
+	// field is optional and additive, so version-1 snapshots from
+	// before it existed still decode; recovery falls back to replaying
+	// histories when it is absent or mismatched.
+	Estimator *EstimatorSnap `json:"estimator,omitempty"`
+}
+
+// EstimatorSnap is a persisted online estimator: its kind plus the
+// per-element summary that lets a restart resume convergence exactly
+// where the crash interrupted it.
+type EstimatorSnap struct {
+	Kind     string          `json:"kind"`
+	Elements []EstimatorElem `json:"elements"`
+}
+
+// EstimatorElem is one element's persisted estimator state.
+type EstimatorElem struct {
+	Lambda     float64 `json:"lambda"`
+	Info       float64 `json:"info"`
+	Polls      int     `json:"polls"`
+	Changes    int     `json:"changes"`
+	SumElapsed float64 `json:"sum_elapsed"`
 }
 
 // PlanState is the persisted schedule: the frequency vector plus the
@@ -147,6 +171,29 @@ func (s *Snapshot) Validate() error {
 		for j, p := range e.History {
 			if !(p.Elapsed > 0) || math.IsInf(p.Elapsed, 0) {
 				return fmt.Errorf("persist: element %d poll %d has invalid elapsed %v", i, j, p.Elapsed)
+			}
+		}
+	}
+	if est := s.Estimator; est != nil {
+		if est.Kind == "" {
+			return fmt.Errorf("persist: estimator state has no kind")
+		}
+		if len(est.Elements) != len(s.Elements) {
+			return fmt.Errorf("persist: estimator state has %d elements for %d catalog elements",
+				len(est.Elements), len(s.Elements))
+		}
+		for i, e := range est.Elements {
+			if !finite(e.Lambda) || e.Lambda < 0 {
+				return fmt.Errorf("persist: estimator element %d has invalid rate %v", i, e.Lambda)
+			}
+			if !finite(e.Info) || e.Info < 0 {
+				return fmt.Errorf("persist: estimator element %d has invalid information %v", i, e.Info)
+			}
+			if e.Polls < 0 || e.Changes < 0 || e.Changes > e.Polls {
+				return fmt.Errorf("persist: estimator element %d has %d changes over %d polls", i, e.Changes, e.Polls)
+			}
+			if !finite(e.SumElapsed) || e.SumElapsed < 0 {
+				return fmt.Errorf("persist: estimator element %d has invalid observed time %v", i, e.SumElapsed)
 			}
 		}
 	}

@@ -1,0 +1,76 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+	"freshen/internal/solver"
+)
+
+// ExploreElements builds the synthetic probe problem the explore slice
+// solves: every element keeps its real size (probe cost is a real
+// fetch), is assigned the shared probe rate probeLambda (the estimator
+// is exactly what we do not trust yet, so no per-element λ̂ enters the
+// probe objective), and gets access weight proportional to its
+// estimator uncertainty. Water-filling this problem spends the probe
+// budget where knowledge is thinnest — the explore half of the
+// explore/exploit split — while staying inside the same certified
+// concave machinery as the exploit plan.
+func ExploreElements(elems []freshness.Element, uncertainty []float64, probeLambda float64) ([]freshness.Element, error) {
+	if len(elems) == 0 {
+		return nil, fmt.Errorf("schedule: explore needs at least one element")
+	}
+	if len(uncertainty) != len(elems) {
+		return nil, fmt.Errorf("schedule: %d uncertainty scores for %d elements", len(uncertainty), len(elems))
+	}
+	if !(probeLambda > 0) || math.IsInf(probeLambda, 0) {
+		return nil, fmt.Errorf("schedule: probe rate must be positive and finite, got %v", probeLambda)
+	}
+	total := 0.0
+	for i, u := range uncertainty {
+		if math.IsNaN(u) || math.IsInf(u, 0) || u < 0 {
+			return nil, fmt.Errorf("schedule: element %d has invalid uncertainty %v", i, u)
+		}
+		total += u
+	}
+	out := make([]freshness.Element, len(elems))
+	for i, e := range elems {
+		e.Lambda = probeLambda
+		e.AccessProb = uncertainty[i]
+		out[i] = e
+	}
+	if total == 0 {
+		// Nothing is uncertain: probe uniformly rather than not at all,
+		// so the slice still guards against estimator drift.
+		for i := range out {
+			out[i].AccessProb = 1.0 / float64(len(out))
+		}
+	}
+	return out, nil
+}
+
+// AllocateExplore water-fills budget over the probe problem built by
+// ExploreElements and returns the per-element probe frequencies plus
+// the bandwidth actually spent. A zero budget returns all-zero
+// frequencies. The caller adds these on top of the exploit plan's
+// frequencies; the sum of the returned bandwidth never exceeds budget
+// (the underlying engine's contract, certified in tests via
+// testkit.Certify).
+func AllocateExplore(elems []freshness.Element, uncertainty []float64, probeLambda, budget float64) ([]float64, float64, error) {
+	if math.IsNaN(budget) || math.IsInf(budget, 0) || budget < 0 {
+		return nil, 0, fmt.Errorf("schedule: explore budget must be finite and non-negative, got %v", budget)
+	}
+	probe, err := ExploreElements(elems, uncertainty, probeLambda)
+	if err != nil {
+		return nil, 0, err
+	}
+	if budget == 0 {
+		return make([]float64, len(elems)), 0, nil
+	}
+	sol, err := solver.NewEngine().WaterFill(solver.Problem{Elements: probe, Bandwidth: budget})
+	if err != nil {
+		return nil, 0, fmt.Errorf("schedule: explore allocation: %w", err)
+	}
+	return sol.Freqs, sol.BandwidthUsed, nil
+}

@@ -1,0 +1,155 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+	"freshen/internal/testkit"
+)
+
+func TestExploreElementsValidation(t *testing.T) {
+	elems := testkit.RandomElements(1, 4, false)
+	if _, err := ExploreElements(nil, nil, 1); err == nil {
+		t.Error("empty elements accepted")
+	}
+	if _, err := ExploreElements(elems, []float64{1}, 1); err == nil {
+		t.Error("mismatched uncertainty length accepted")
+	}
+	if _, err := ExploreElements(elems, []float64{1, 1, 1, 1}, 0); err == nil {
+		t.Error("zero probe rate accepted")
+	}
+	if _, err := ExploreElements(elems, []float64{1, 1, math.NaN(), 1}, 1); err == nil {
+		t.Error("NaN uncertainty accepted")
+	}
+	if _, err := ExploreElements(elems, []float64{1, 1, -0.5, 1}, 1); err == nil {
+		t.Error("negative uncertainty accepted")
+	}
+	if _, _, err := AllocateExplore(elems, []float64{1, 1, 1, 1}, 1, math.Inf(1)); err == nil {
+		t.Error("infinite budget accepted")
+	}
+	if _, _, err := AllocateExplore(elems, []float64{1, 1, 1, 1}, 1, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+// TestExploreBudgetNeverExceeded is the estimator↔scheduler boundary
+// property: across seeded random workloads and uncertainty profiles,
+// the probe allocation never spends more than the explore slice it was
+// given, and every returned frequency is finite and non-negative.
+func TestExploreBudgetNeverExceeded(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := stats.NewRNG(seed + 1000)
+		n := 1 + int(r.Float64()*80)
+		elems := testkit.RandomElements(seed, n, seed%2 == 0)
+		uncertainty := make([]float64, n)
+		for i := range uncertainty {
+			switch seed % 3 {
+			case 0:
+				uncertainty[i] = r.Float64()
+			case 1:
+				// Sparse: most elements fully known.
+				if r.Float64() < 0.1 {
+					uncertainty[i] = 1
+				}
+			default:
+				// All zero on a few seeds: the uniform-probe fallback.
+			}
+		}
+		budget := r.Float64() * float64(n)
+		freqs, used, err := AllocateExplore(elems, uncertainty, 1.0, budget)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(freqs) != n {
+			t.Fatalf("seed %d: %d freqs for %d elements", seed, len(freqs), n)
+		}
+		var spent float64
+		for i, f := range freqs {
+			if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+				t.Fatalf("seed %d: freq[%d] = %v", seed, i, f)
+			}
+			spent += f * elems[i].Size
+		}
+		if spent > budget*(1+1e-9)+1e-12 {
+			t.Errorf("seed %d: explore spent %v over budget %v", seed, spent, budget)
+		}
+		if math.Abs(spent-used) > 1e-6*(1+used) {
+			t.Errorf("seed %d: reported use %v, recomputed %v", seed, used, spent)
+		}
+	}
+}
+
+// TestExploreAllocationWaterFilled certifies via the independent KKT
+// checker that the explore slice is itself optimally water-filled over
+// the probe problem (uncertainty as weight, shared probe rate) — the
+// allocation is not ad hoc, it is the paper's machinery one level up.
+func TestExploreAllocationWaterFilled(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := stats.NewRNG(seed + 77)
+		n := 5 + int(r.Float64()*50)
+		elems := testkit.RandomElements(seed, n, false)
+		uncertainty := make([]float64, n)
+		for i := range uncertainty {
+			uncertainty[i] = r.Float64()
+		}
+		budget := 0.5 + r.Float64()*float64(n)/4
+		const probeLambda = 1.0
+		freqs, _, err := AllocateExplore(elems, uncertainty, probeLambda, budget)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		probe, err := ExploreElements(elems, uncertainty, probeLambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testkit.MustCertify(t, freshness.FixedOrder{}, probe, freqs, budget, 1e-6)
+	}
+}
+
+func TestExploreZeroBudgetAndUniformFallback(t *testing.T) {
+	elems := testkit.RandomElements(3, 6, false)
+	u := []float64{1, 0, 0.5, 0, 0, 0.25}
+	freqs, used, err := AllocateExplore(elems, u, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 0 {
+		t.Errorf("zero budget used %v", used)
+	}
+	for i, f := range freqs {
+		if f != 0 {
+			t.Errorf("zero budget freq[%d] = %v", i, f)
+		}
+	}
+
+	// All-zero uncertainty probes uniformly instead of starving.
+	freqs, used, err = AllocateExplore(elems, make([]float64, 6), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(used > 0) {
+		t.Fatalf("uniform fallback spent %v, want positive", used)
+	}
+	positive := 0
+	for _, f := range freqs {
+		if f > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Error("uniform fallback funded nothing")
+	}
+
+	// Only uncertain elements are probed when some are certain.
+	freqs, _, err = AllocateExplore(elems, u, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range freqs {
+		if u[i] == 0 && f > 0 {
+			t.Errorf("certain element %d probed at %v", i, f)
+		}
+	}
+}

@@ -3,6 +3,9 @@ package schedule
 import (
 	"math"
 	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/testkit"
 )
 
 // FuzzQuantize checks budget preservation and per-element proximity on
@@ -38,5 +41,56 @@ func FuzzQuantize(f *testing.F) {
 		if sum != int(math.Round(total)) {
 			t.Fatalf("counts sum %d, budget %v", sum, total)
 		}
+	})
+}
+
+// FuzzExploreAllocation drives the estimator↔scheduler boundary with
+// arbitrary workloads, uncertainty profiles and budgets: the explore
+// slice must never be exceeded, every frequency must be finite and
+// non-negative, and the allocation must be a certified water-fill of
+// the probe problem (independent KKT check).
+func FuzzExploreAllocation(f *testing.F) {
+	f.Add([]byte{}, []byte{}, 1.0, 1.0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, []byte{255, 0}, 0.5, 3.0)
+	f.Add([]byte{255, 255, 255, 255, 255, 255}, []byte{0}, math.Inf(1), math.NaN())
+	f.Fuzz(func(t *testing.T, elemData, uData []byte, rawProbe, rawBudget float64) {
+		elems := testkit.FuzzElements(elemData)
+		n := len(elems)
+		uncertainty := make([]float64, n)
+		for i := range uncertainty {
+			if len(uData) > 0 {
+				uncertainty[i] = float64(uData[i%len(uData)]) / 255
+			}
+		}
+		probeLambda := testkit.FoldFloat(rawProbe, 1e-3, 1e3)
+		budget := testkit.FoldFloat(rawBudget, 1e-6, float64(n))
+		if rawBudget == 0 {
+			budget = 0
+		}
+		freqs, used, err := AllocateExplore(elems, uncertainty, probeLambda, budget)
+		if err != nil {
+			t.Fatalf("valid probe problem rejected: %v", err)
+		}
+		var spent float64
+		for i, fq := range freqs {
+			if math.IsNaN(fq) || math.IsInf(fq, 0) || fq < 0 {
+				t.Fatalf("freq[%d] = %v", i, fq)
+			}
+			spent += fq * elems[i].Size
+		}
+		if spent > budget*(1+1e-6)+1e-9 {
+			t.Fatalf("explore spent %v over budget %v", spent, budget)
+		}
+		if math.IsNaN(used) || used < 0 || used > budget*(1+1e-6)+1e-9 {
+			t.Fatalf("reported bandwidth %v for budget %v", used, budget)
+		}
+		if budget == 0 {
+			return
+		}
+		probe, err := ExploreElements(elems, uncertainty, probeLambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testkit.MustCertify(t, freshness.FixedOrder{}, probe, freqs, budget, 1e-5)
 	})
 }

@@ -1,0 +1,141 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/estimate"
+	"freshen/internal/stats"
+)
+
+// EstimatorReport is one estimator's accuracy against the ground-truth
+// change rates of a simulated workload.
+type EstimatorReport struct {
+	// Kind names the estimator family (see estimate.Kinds).
+	Kind string
+	// MeanRelErr is the mean of |λ̂ᵢ−λᵢ|/λᵢ over the catalog.
+	MeanRelErr float64
+	// MeanBias is the mean of (λ̂ᵢ−λᵢ)/λᵢ — signed, so systematic
+	// under-estimation (the censoring failure mode) shows as negative.
+	MeanBias float64
+	// MeanUncertainty is the mean reported uncertainty, for checking
+	// that confidence tracks actual error.
+	MeanUncertainty float64
+}
+
+// EstimatorTruthConfig tunes a ground-truth estimator comparison. The
+// zero value of every field picks a sensible default.
+type EstimatorTruthConfig struct {
+	// Elements in the simulated catalog (0 means 100).
+	N int
+	// PollsPerElement is the fixed poll budget each element receives
+	// (0 means 400).
+	PollsPerElement int
+	// Seed derives the workload and the shared observation stream.
+	Seed int64
+	// Prior seeds every estimator's unpolled estimate (0 means 1).
+	Prior float64
+	// Kinds to compare (nil means all of estimate.Kinds).
+	Kinds []string
+}
+
+func (c EstimatorTruthConfig) withDefaults() EstimatorTruthConfig {
+	if c.N == 0 {
+		c.N = 100
+	}
+	if c.PollsPerElement == 0 {
+		c.PollsPerElement = 400
+	}
+	if c.Prior == 0 {
+		c.Prior = 1
+	}
+	if c.Kinds == nil {
+		c.Kinds = estimate.Kinds()
+	}
+	return c
+}
+
+// CompareEstimators is the ground-truth cross-validator for the
+// change-rate estimators: it draws a seeded workload with KNOWN true
+// rates, derives a realistic polling schedule from those rates (so intervals span the same censored
+// regimes a live mirror sees — hot elements polled often, cold ones
+// rarely, never-funded ones on a slow floor cadence), then feeds the
+// IDENTICAL censored change/no-change stream to one estimator of each
+// requested kind and scores every λ̂ against the truth it can never
+// observe directly. Because all estimators consume the same seeded
+// observations, differences in the reports are estimator quality, not
+// sampling luck.
+func CompareEstimators(cfg EstimatorTruthConfig) ([]EstimatorReport, error) {
+	cfg = cfg.withDefaults()
+	elems := RandomElements(cfg.Seed, cfg.N, false)
+
+	// Poll cadences from a square-root allocation at the TRUE rates —
+	// the classic closed-form approximation of the optimal refresh
+	// plan — so intervals span the censored regimes a live mirror sees:
+	// hot elements polled often (λτ̄ mild), cold ones rarely (λτ̄
+	// heavy). The cadence floor of one poll per period keeps every
+	// history identifiable: much slower and a hot slow-polled element's
+	// polls are all-changed with overwhelming probability — a history
+	// no estimator can invert (the likelihood saturates; only the
+	// ChoGM-style information bound ≈ log(2k+1)/τ̄ is supportable) —
+	// which would score every family as equally hopeless there and
+	// measure the harness, not the estimators.
+	const floorFreq = 1.0
+	base := make([]float64, cfg.N)
+	for i := range elems {
+		base[i] = 1 / math.Max(math.Sqrt(elems[i].Lambda), floorFreq)
+	}
+
+	ests := make([]estimate.Estimator, len(cfg.Kinds))
+	for k, kind := range cfg.Kinds {
+		e, err := estimate.New(kind, cfg.N, estimate.Params{Prior: cfg.Prior, Floor: 1e-6})
+		if err != nil {
+			return nil, err
+		}
+		ests[k] = e
+	}
+
+	// One shared stream: each observation is drawn once and fed to
+	// every estimator. Intervals jitter ±50% around the plan cadence so
+	// the estimators face irregular spacing, not a clean grid.
+	r := stats.NewRNG(cfg.Seed + 1)
+	for poll := 0; poll < cfg.PollsPerElement; poll++ {
+		for i := range elems {
+			tau := base[i] * (0.5 + r.Float64())
+			changed := r.Float64() < -math.Expm1(-elems[i].Lambda*tau)
+			for _, e := range ests {
+				if err := e.Observe(i, tau, changed); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	reports := make([]EstimatorReport, len(ests))
+	for k, e := range ests {
+		rep := EstimatorReport{Kind: e.Kind()}
+		for i := range elems {
+			est := e.Estimate(i)
+			rel := (est.Lambda - elems[i].Lambda) / elems[i].Lambda
+			rep.MeanRelErr += math.Abs(rel)
+			rep.MeanBias += rel
+			rep.MeanUncertainty += est.Uncertainty()
+		}
+		n := float64(cfg.N)
+		rep.MeanRelErr /= n
+		rep.MeanBias /= n
+		rep.MeanUncertainty /= n
+		reports[k] = rep
+	}
+	return reports, nil
+}
+
+// ReportFor picks the named estimator's report out of a comparison.
+func ReportFor(reports []EstimatorReport, kind string) (EstimatorReport, error) {
+	for _, r := range reports {
+		if r.Kind == kind {
+			return r, nil
+		}
+	}
+	return EstimatorReport{}, fmt.Errorf("no report for estimator %q", kind)
+}

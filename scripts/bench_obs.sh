@@ -4,7 +4,9 @@
 # Stands up the full live loop (mocksource origin -> freshend mirror ->
 # loadgen traffic), scrapes the mirror's /metrics while the traffic
 # runs, and writes BENCH_obs.json (PF trajectory, refresh latency
-# quantiles, solver solve-time mean). Knobs come from the environment:
+# quantiles, solver solve-time mean), then appends the cold-start
+# estimator benchmark under its cold_start key. Knobs come from the
+# environment:
 #
 #   N=200 DURATION=30s OUT=BENCH_obs.json ./scripts/bench_obs.sh
 set -euo pipefail
@@ -27,7 +29,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$bin" ./cmd/mocksource ./cmd/freshend ./cmd/loadgen
+go build -o "$bin" ./cmd/mocksource ./cmd/freshend ./cmd/loadgen ./cmd/freshenctl
 
 wait_ready() {
     local url=$1 tries=50
@@ -45,11 +47,17 @@ wait_ready() {
 wait_ready "http://$MOCK_ADDR/catalog"
 
 "$bin/freshend" -addr "$MIRROR_ADDR" -upstream "http://$MOCK_ADDR" \
-    -bandwidth "$((N / 4))" -period 2s -replan-every 2 &
+    -bandwidth "$((N / 4))" -period 2s -replan-every 2 \
+    -estimator mle -explore-frac 0.2 &
 wait_ready "http://$MIRROR_ADDR/readyz"
 
 "$bin/loadgen" -mirror "http://$MIRROR_ADDR" -n "$N" -rate "$RATE" \
     -duration "$DURATION" \
     -metrics-url "http://$MIRROR_ADDR/metrics" -obs-out "$OUT"
+
+# The offline estimator race merges its trajectories under the
+# cold_start key; loadgen preserves the section on rewrite, so the
+# order of the two steps does not matter.
+"$bin/freshenctl" bench-coldstart -out "$OUT"
 
 echo "bench_obs: wrote $OUT"
