@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos metrics-contract estimator-convergence ci bench-solver bench-obs bench-serve bench-all bench clean
+.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos shard-chaos metrics-contract estimator-convergence ci bench-solver bench-obs bench-serve bench-all bench clean
 
 all: ci
 
@@ -14,8 +14,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test and subtest order every run, so hidden
+# inter-test state dependencies fail here instead of in a flaky CI lane.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Fast feedback loop: slow experiment/simulation sweeps skip themselves
 # under -short; CI runs the full suite.
@@ -57,6 +59,17 @@ overload-chaos:
 	$(GO) test -race -count=1 -run 'TestOverloadShedding|TestSourceDegradedHeaders|TestDiskDiesMidRun|TestKillRestartInPersistDegraded|TestReadyzRetryAfter' ./internal/httpmirror/
 	$(GO) test -race -count=1 ./internal/resilience/
 	./scripts/overload_chaos.sh
+
+# Shard-kill chaos gate for the fleet tier: the whole internal/fleet
+# suite under the race detector first — placement, allocator
+# conservation/certificates, router failover, the in-process kill-and-
+# restart drill (TestShardKillChaos) — then the race-built live loop:
+# loadgen driven past the knee through the router while a shard is
+# hard-killed and restarted mid-ramp and a survivor's state disk fails
+# (see scripts/shard_chaos.sh).
+shard-chaos:
+	$(GO) test -race -count=1 ./internal/fleet/
+	./scripts/shard_chaos.sh
 
 # The estimator-convergence gate under the race detector: the
 # ground-truth cross-validator (censoring-aware estimators strictly

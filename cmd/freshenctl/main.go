@@ -14,6 +14,7 @@
 //	freshenctl capacity -input elems.csv -target PF
 //	freshenctl bench-solver [-out BENCH_solver.json] [-quick] [-seed N]
 //	freshenctl bench-coldstart [-out BENCH_obs.json] [-n N] [-periods P] [-seed N]
+//	freshenctl fleet-status [-url http://localhost:8081] [-timeout D]
 //
 // Flags come before positional arguments (standard flag package
 // ordering).
@@ -55,6 +56,8 @@ func run(args []string) error {
 		return cmdBenchSolver(os.Stdout, args[1:])
 	case "bench-coldstart":
 		return cmdBenchColdStart(os.Stdout, args[1:])
+	case "fleet-status":
+		return cmdFleetStatus(os.Stdout, args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -77,5 +80,6 @@ Subcommands:
   capacity    minimum bandwidth for a target perceived freshness
   bench-solver  time the solve engine against the pre-engine reference
   bench-coldstart  race change-rate estimators from a cold start (see BENCH_obs.json)
+  fleet-status  shard table of a running fleet router (-url http://host:port)
 `)
 }

@@ -88,6 +88,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		quarantineAfter: -1, probeEvery: 2,
 		stateDir: "/tmp/state", snapshotEvery: 7,
 		debugAddr: "127.0.0.1:6060", logLevel: "debug",
+		shards: 1, placement: "hash",
 		maxInflight: 32, minInflight: 4,
 		shedTargetLatency: 20 * time.Millisecond, persistDegradeAfter: 2,
 		persistFaultAfter: 10, persistFaultOps: 5,

@@ -1,0 +1,254 @@
+// Fleet mode: with -shards=K (K > 1) freshend runs the sharded
+// multi-mirror tier instead of a single mirror. The catalog is
+// partitioned across K fault-isolated shards — each an independent
+// mirror with its own solver, estimator, persist directory
+// (<state-dir>/shard-i), and loopback listener — a supervisor
+// water-fills the global -bandwidth across healthy shards and
+// re-levels it within one period of a shard dying or recovering, and
+// a router on -addr fronts the fleet: placement-based object routing
+// with failover, aggregated /status and /metrics, and 503 + jittered
+// Retry-After for a dead shard's keyspace (see DESIGN.md §14).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"freshen/internal/core"
+	"freshen/internal/fleet"
+	"freshen/internal/freshness"
+	"freshen/internal/httpmirror"
+	"freshen/internal/obs"
+	"freshen/internal/partition"
+	"freshen/internal/persist"
+	"freshen/internal/resilience"
+	"freshen/internal/solver"
+)
+
+// planConfig translates the -strategy family of flags; shared by the
+// single-mirror and fleet paths.
+func planConfig(cfg config) (core.Config, error) {
+	planCfg := core.Config{
+		Bandwidth:        cfg.bandwidth,
+		Key:              partition.KeyPF,
+		NumPartitions:    cfg.partitions,
+		KMeansIterations: cfg.iterations,
+		Allocation:       partition.FBA,
+	}
+	switch cfg.strategy {
+	case "exact":
+		planCfg.Strategy = core.StrategyExact
+	case "partitioned":
+		planCfg.Strategy = core.StrategyPartitioned
+	case "clustered":
+		planCfg.Strategy = core.StrategyClustered
+	default:
+		return core.Config{}, fmt.Errorf("unknown strategy %q", cfg.strategy)
+	}
+	return planCfg, nil
+}
+
+// runFleet is run's -shards>1 twin: same flag surface, sharded tier.
+func runFleet(ctx context.Context, cfg config, ready chan<- net.Addr) error {
+	if cfg.upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	if cfg.bandwidth <= 0 || cfg.period <= 0 || cfg.replanEvery <= 0 {
+		return fmt.Errorf("bandwidth, period and replan-every must be positive")
+	}
+	if cfg.stateDir != "" && cfg.snapshotEvery <= 0 {
+		return fmt.Errorf("snapshot-every must be positive, got %v", cfg.snapshotEvery)
+	}
+	if cfg.logLevel == "" {
+		cfg.logLevel = "info"
+	}
+	level, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	lg := obs.Component(logger, "freshend")
+	planCfg, err := planConfig(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The router registry carries the fleet-level series plus the
+	// process-global solver series (the pooled allocator's solves and
+	// every shard's land there); per-shard series live on each shard's
+	// own loopback listener.
+	reg := obs.NewRegistry()
+	solver.Instrument(reg)
+
+	newClient := func() *httpmirror.SourceClient {
+		c := httpmirror.NewSourceClient(cfg.upstream, nil)
+		c.SetRetryPolicy(httpmirror.RetryPolicy{
+			MaxAttempts: cfg.upRetries,
+			Timeout:     cfg.upTimeout,
+		})
+		return c
+	}
+
+	var place *fleet.Placement
+	switch cfg.placement {
+	case "hash":
+		// fleet.New derives the consistent-hash placement itself.
+	case "partition":
+		// The paper's partitioner needs element parameters; before any
+		// traffic the only honest ones are the prior change rate and a
+		// uniform profile over the catalog's real sizes.
+		catalog, err := newClient().Catalog(ctx)
+		if err != nil {
+			return fmt.Errorf("fetching catalog for partition placement: %w", err)
+		}
+		elems := make([]freshness.Element, len(catalog))
+		for i, e := range catalog {
+			elems[i] = freshness.Element{ID: e.ID, Lambda: 1, AccessProb: 1 / float64(len(catalog)), Size: e.Size}
+		}
+		place, err = fleet.PartitionPlacement(elems, cfg.shards, partition.KeyPFOverSize, nil)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown placement %q (want hash or partition)", cfg.placement)
+	}
+
+	var wrapStore func(int, *persist.Store) persist.Storer
+	if cfg.persistFaultAfter > 0 {
+		faultErr := persist.ErrDiskIO
+		switch cfg.persistFaultKind {
+		case "", "eio":
+		case "enospc":
+			faultErr = persist.ErrDiskFull
+		default:
+			return fmt.Errorf("unknown persist-fault-kind %q (want eio or enospc)", cfg.persistFaultKind)
+		}
+		if cfg.persistFaultShard < 0 || cfg.persistFaultShard >= cfg.shards {
+			return fmt.Errorf("persist-fault-shard %d outside fleet of %d", cfg.persistFaultShard, cfg.shards)
+		}
+		plan := persist.FaultPlan{
+			FailFrom:   cfg.persistFaultAfter,
+			FailOps:    cfg.persistFaultOps,
+			Err:        faultErr,
+			TornAppend: cfg.persistFaultTorn,
+		}
+		wrapStore = func(shard int, s *persist.Store) persist.Storer {
+			if shard != cfg.persistFaultShard {
+				return s
+			}
+			return persist.NewFaultStore(s, plan)
+		}
+		lg.Warn("disk-fault injection armed",
+			"shard", cfg.persistFaultShard,
+			"from_op", cfg.persistFaultAfter,
+			"ops", cfg.persistFaultOps,
+			"kind", cfg.persistFaultKind,
+			"torn", cfg.persistFaultTorn)
+	}
+
+	fl, err := fleet.New(ctx, fleet.Config{
+		Shards:    cfg.shards,
+		Budget:    cfg.bandwidth,
+		Placement: place,
+		Upstream:  newClient(),
+		ShardUpstream: func(int) httpmirror.Source {
+			return newClient()
+		},
+		Mirror: httpmirror.Config{
+			Plan:        planCfg,
+			ReplanEvery: cfg.replanEvery,
+			Estimator:   cfg.estimator,
+			ExploreFrac: cfg.exploreFrac,
+			FloorLambda: cfg.floorLambda,
+			Fault: httpmirror.FaultPolicy{
+				BreakerThreshold: cfg.breakerAfter,
+				BreakerCooldown:  cfg.breakerCooldown,
+				QuarantineAfter:  cfg.quarantineAfter,
+				ProbeEvery:       cfg.probeEvery,
+			},
+			Overload: resilience.LimiterConfig{
+				MaxInflight:   cfg.maxInflight,
+				MinInflight:   cfg.minInflight,
+				TargetLatency: cfg.shedTargetLatency,
+			},
+			Degrade: resilience.ModeConfig{
+				PersistFailureThreshold: cfg.persistDegradeAfter,
+			},
+			ServeFaultLatency: cfg.serveFaultLatency,
+			Seed:              cfg.seed,
+			SnapshotEvery:     cfg.snapshotEvery,
+		},
+		Period:      cfg.period,
+		StateDir:    cfg.stateDir,
+		WrapStore:   wrapStore,
+		AllocEvery:  cfg.allocEvery,
+		HealthEvery: cfg.healthEvery,
+		ChaosAdmin:  cfg.fleetChaos,
+		Metrics:     reg,
+		Logger:      logger,
+	})
+	if err != nil {
+		return err
+	}
+	lg.Info("fleet up",
+		"shards", cfg.shards,
+		"placement", cfg.placement,
+		"objects", fl.Placement().NumObjects(),
+		"budget", cfg.bandwidth,
+		"period", cfg.period.String(),
+		"chaos_admin", cfg.fleetChaos)
+
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	supDone := make(chan struct{})
+	go func() {
+		defer close(supDone)
+		fl.Run(runCtx)
+	}()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		cancelRun()
+		<-supDone
+		fl.Close(context.Background())
+		return err
+	}
+	srv := &http.Server{
+		Handler:      fl.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	select {
+	case err := <-serveErr:
+		cancelRun()
+		<-supDone
+		fl.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	lg.Info("shutting down fleet")
+	cancelRun()
+	<-supDone
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fl.Close(shutdownCtx); err != nil {
+		lg.Error("fleet shutdown", "error", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

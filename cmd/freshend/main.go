@@ -47,10 +47,8 @@ import (
 	"syscall"
 	"time"
 
-	"freshen/internal/core"
 	"freshen/internal/httpmirror"
 	"freshen/internal/obs"
-	"freshen/internal/partition"
 	"freshen/internal/persist"
 	"freshen/internal/resilience"
 	"freshen/internal/solver"
@@ -103,6 +101,12 @@ func parseFlags(args []string) (config, error) {
 	persistFaultKind := fs.String("persist-fault-kind", "eio", "chaos testing: injected fault kind, eio | enospc")
 	persistFaultTorn := fs.Bool("persist-fault-torn", false, "chaos testing: also tear the journal tail on the first injected append fault")
 	serveFaultLatency := fs.Duration("serve-fault-latency", 0, "chaos testing: artificial latency added to every admitted object read (0 disables)")
+	shards := fs.Int("shards", 1, "shard count; above 1 the daemon runs the sharded fleet tier behind a router on -addr")
+	placement := fs.String("placement", "hash", "fleet object placement: hash (consistent hashing) | partition (paper's partitioner over prior parameters)")
+	allocEvery := fs.Duration("alloc-every", 0, "fleet budget re-leveling cadence (0 means one period)")
+	healthEvery := fs.Duration("health-every", 0, "fleet shard health-probe cadence (0 means a quarter period)")
+	fleetChaos := fs.Bool("fleet-chaos", false, "chaos testing: mount POST /fleet/kill and /fleet/restart on the router")
+	persistFaultShard := fs.Int("persist-fault-shard", 0, "chaos testing: which shard the persist-fault flags apply to in fleet mode")
 	debugAddr := fs.String("debug-addr", "", "optional second listen address serving /metrics and /debug/pprof/; empty disables it")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	if err := fs.Parse(args); err != nil {
@@ -131,6 +135,13 @@ func parseFlags(args []string) (config, error) {
 		snapshotEvery:   *snapshotEvery,
 		debugAddr:       *debugAddr,
 		logLevel:        *logLevel,
+
+		shards:            *shards,
+		placement:         *placement,
+		allocEvery:        *allocEvery,
+		healthEvery:       *healthEvery,
+		fleetChaos:        *fleetChaos,
+		persistFaultShard: *persistFaultShard,
 
 		maxInflight:         *maxInflight,
 		minInflight:         *minInflight,
@@ -166,6 +177,14 @@ type config struct {
 	debugAddr              string
 	logLevel               string
 
+	// Fleet mode (shards > 1; see fleet.go in this package).
+	shards            int
+	placement         string
+	allocEvery        time.Duration
+	healthEvery       time.Duration
+	fleetChaos        bool
+	persistFaultShard int
+
 	// Overload shedding and degraded-mode tuning.
 	maxInflight         int
 	minInflight         int
@@ -190,6 +209,12 @@ type config struct {
 // is sent on it once the server is accepting connections, which lets
 // tests bind port 0 and still find the daemon.
 func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	}
+	if cfg.shards > 1 {
+		return runFleet(ctx, cfg, ready)
+	}
 	if cfg.upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
@@ -208,22 +233,9 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 	lg := obs.Component(logger, "freshend")
-	planCfg := core.Config{
-		Bandwidth:        cfg.bandwidth,
-		Key:              partition.KeyPF,
-		NumPartitions:    cfg.partitions,
-		KMeansIterations: cfg.iterations,
-		Allocation:       partition.FBA,
-	}
-	switch cfg.strategy {
-	case "exact":
-		planCfg.Strategy = core.StrategyExact
-	case "partitioned":
-		planCfg.Strategy = core.StrategyPartitioned
-	case "clustered":
-		planCfg.Strategy = core.StrategyClustered
-	default:
-		return fmt.Errorf("unknown strategy %q", cfg.strategy)
+	planCfg, err := planConfig(cfg)
+	if err != nil {
+		return err
 	}
 
 	// One registry carries every layer's series: the mirror's, the

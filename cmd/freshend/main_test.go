@@ -19,6 +19,8 @@ func testConfig(upstream, strategy string, bandwidth, replanEvery float64, perio
 		seed:        1,
 		upTimeout:   time.Second,
 		upRetries:   1,
+		shards:      1,
+		placement:   "hash",
 	}
 }
 

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"freshen/internal/persist"
+	"freshen/internal/resilience"
+)
+
+// TestShardKillChaos is the fleet's chaos gate: loadgen-style traffic
+// against the router while a shard is hard-killed and restarted
+// mid-run and a survivor's disk breaks and heals underneath it.
+//
+// Invariants under fire:
+//   - every response is either 200 with the right object's body or
+//     503 with a valid jittered Retry-After — never a hang, never a
+//     mis-route, never a bare error;
+//   - every successful budget leveling conserves the global budget
+//     exactly and certifies against the KKT conditions, throughout
+//     the outage;
+//   - within bounded periods of the restart the fleet's planned PF is
+//     back within 1% of the pre-kill steady state and the restarted
+//     shard holds budget again.
+func TestShardKillChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos gate skipped in -short")
+	}
+
+	const (
+		numObjects = 24
+		killShard  = 1
+		diskShard  = 2
+	)
+	var (
+		faultMu sync.Mutex
+		faults  []*persist.FaultStore
+	)
+	src := newMemSource(numObjects)
+	f, srv := newTestFleet(t, src, func(cfg *Config) {
+		cfg.StateDir = t.TempDir()
+		cfg.Mirror.SnapshotEvery = 2
+		cfg.WrapStore = func(shard int, s *persist.Store) persist.Storer {
+			if shard != diskShard {
+				return s
+			}
+			fs := persist.NewFaultStore(s, persist.FaultPlan{})
+			faultMu.Lock()
+			faults = append(faults, fs)
+			faultMu.Unlock()
+			return fs
+		}
+	})
+	place := f.Placement()
+
+	// Persistent shards are not ready until their first snapshot
+	// lands; wait out the boot window so the baseline is steady state.
+	waitFor(t, 10*time.Second, "boot steady state", func() bool {
+		for _, h := range f.Healthy() {
+			if !h {
+				return false
+			}
+		}
+		a, err := f.Allocation()
+		return err == nil && a.Conserved(1e-6) == nil
+	})
+	baseline, err := f.Allocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := baseline.Perceived
+	if p0 <= 0 {
+		t.Fatalf("baseline PF %v", p0)
+	}
+
+	// Load: workers sweep the catalog through the router for the
+	// whole drill, classifying every response.
+	type failure struct {
+		gid  int
+		desc string
+	}
+	var (
+		failMu   sync.Mutex
+		failures []failure
+		requests int64
+	)
+	record := func(gid int, format string, args ...any) {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if len(failures) < 32 {
+			failures = append(failures, failure{gid, fmt.Sprintf(format, args...)})
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		// Each worker sweeps the catalog round-robin from a staggered
+		// offset: full keyspace coverage, and per-object access counts
+		// stay balanced so the learned profiles hold ~uniform — the
+		// post-drill PF is then comparable to the idle baseline.
+		go func(offset int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 2 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gid := (offset + i) % numObjects
+				resp, err := client.Get(srv.URL + "/object/" + strconv.Itoa(gid))
+				if err != nil {
+					record(gid, "transport error: %v", err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				failMu.Lock()
+				requests++
+				failMu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !strings.HasPrefix(string(body), fmt.Sprintf("object-%d-v", gid)) {
+						record(gid, "mis-routed body %q", body)
+					}
+				case http.StatusServiceUnavailable:
+					ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+					if err != nil || ra < resilience.RetryAfterSeconds || ra >= resilience.RetryAfterSeconds+resilience.RetryAfterSpread {
+						record(gid, "503 with Retry-After %q", resp.Header.Get("Retry-After"))
+					}
+				default:
+					record(gid, "status %d body %q", resp.StatusCode, body)
+				}
+			}
+		}(w * numObjects / 4)
+	}
+
+	post := func(path string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// The drill: kill a shard mid-ramp, break a survivor's disk on
+	// top of the outage, heal it, then bring the dead shard back —
+	// all while the load keeps coming.
+	time.Sleep(300 * time.Millisecond)
+	post("/fleet/kill?shard=" + strconv.Itoa(killShard))
+	time.Sleep(300 * time.Millisecond)
+	faultMu.Lock()
+	for _, fs := range faults {
+		fs.Break(persist.ErrDiskIO)
+	}
+	faultMu.Unlock()
+	time.Sleep(300 * time.Millisecond)
+	faultMu.Lock()
+	for _, fs := range faults {
+		fs.Heal()
+	}
+	faultMu.Unlock()
+	post("/fleet/restart?shard=" + strconv.Itoa(killShard))
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	failMu.Lock()
+	total := requests
+	caught := append([]failure(nil), failures...)
+	failMu.Unlock()
+	if total < 100 {
+		t.Fatalf("load produced only %d requests — the drill did not exercise the router", total)
+	}
+	for _, fl := range caught {
+		owner := place.ShardOf(fl.gid)
+		t.Errorf("object %d (shard %d): %s", fl.gid, owner, fl.desc)
+	}
+
+	// Recovery: the restarted shard holds budget again and the planned
+	// fleet PF is back within 1% of the pre-kill baseline.
+	defer func() {
+		if t.Failed() {
+			a, err := f.Allocation()
+			t.Logf("final state: healthy=%v allocErr=%v slices=%v perceived=%v (baseline %v)",
+				f.Healthy(), err, a.Slices, a.Perceived, p0)
+		}
+	}()
+	waitFor(t, 10*time.Second, "PF recovery after restart", func() bool {
+		a, err := f.Allocation()
+		return err == nil && a.Healthy[killShard] && a.Slices[killShard] > 0 &&
+			math.Abs(a.Perceived-p0) <= 0.01*p0
+	})
+
+	// The disk-faulted survivor never left the healthy set's keyspace
+	// dark: it is healthy at the end and its shard status says so.
+	st := f.Status()
+	if st.HealthyShards != st.Shards {
+		t.Errorf("%d/%d shards healthy after the drill", st.HealthyShards, st.Shards)
+	}
+	if !st.ShardStatus[diskShard].Healthy {
+		t.Errorf("disk-faulted shard %d unhealthy after heal", diskShard)
+	}
+
+	// Budget conservation held at every successful leveling throughout
+	// the drill — kill, disk fault, and recovery included.
+	history := f.AllocationHistory()
+	leveled := 0
+	for i, rec := range history {
+		if rec.Err != nil {
+			continue
+		}
+		leveled++
+		if err := rec.Allocation.Conserved(1e-6); err != nil {
+			t.Errorf("leveling %d: %v", i, err)
+		}
+		if rec.Allocation.Cert.StationarityErr > 1e-6 || rec.Allocation.Cert.CutoffErr > 1e-6 {
+			t.Errorf("leveling %d: certificate %+v", i, rec.Allocation.Cert)
+		}
+	}
+	if leveled < 3 {
+		t.Errorf("only %d successful levelings recorded across the drill", leveled)
+	}
+	t.Logf("drill: %d requests, %d levelings (%d recorded), PF baseline %.6f", total, leveled, len(history), p0)
+}

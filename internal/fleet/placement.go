@@ -1,0 +1,224 @@
+// Package fleet runs the mirror horizontally: the global catalog is
+// partitioned across K fault-isolated shards, each an independent
+// httpmirror.Mirror with its own solver, estimator state, and persist
+// directory; a top-level allocator water-fills the global refresh
+// budget across shards on their marginal-PF curves; and a router
+// fronts the fleet, health-checking shards and failing over without
+// ever mis-routing or hanging (see DESIGN.md §14).
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+)
+
+// Placement is the object→shard map: a fixed assignment of global
+// object ids [0, N) to shards [0, K), plus the dense local id each
+// object carries inside its shard (mirrors require dense catalogs).
+// The placement is immutable once built — routing correctness ("never
+// mis-routes") depends on the router and every shard agreeing on it.
+type Placement struct {
+	k       int
+	shardOf []int   // global id → owning shard
+	local   []int   // global id → dense local id within that shard
+	globals [][]int // shard → ascending global ids it owns
+}
+
+// K is the shard count.
+func (p *Placement) K() int { return p.k }
+
+// NumObjects is the global catalog size.
+func (p *Placement) NumObjects() int { return len(p.shardOf) }
+
+// ShardOf returns the shard owning a global id, or -1 when the id is
+// outside the catalog.
+func (p *Placement) ShardOf(gid int) int {
+	if gid < 0 || gid >= len(p.shardOf) {
+		return -1
+	}
+	return p.shardOf[gid]
+}
+
+// Local returns the dense local id a global object carries inside its
+// owning shard, or -1 when the id is outside the catalog.
+func (p *Placement) Local(gid int) int {
+	if gid < 0 || gid >= len(p.local) {
+		return -1
+	}
+	return p.local[gid]
+}
+
+// Globals returns the ascending global ids shard s owns. The slice is
+// shared; callers must not mutate it.
+func (p *Placement) Globals(s int) []int { return p.globals[s] }
+
+// Validate checks the placement is a true partition: every global id
+// owned by exactly one shard, local ids dense per shard, and no shard
+// left empty (an empty shard cannot host a mirror — mirrors reject
+// empty catalogs — so placements refuse to create one).
+func (p *Placement) Validate() error {
+	if p.k <= 0 {
+		return fmt.Errorf("fleet: placement has %d shards", p.k)
+	}
+	seen := 0
+	for s, gids := range p.globals {
+		if len(gids) == 0 {
+			return fmt.Errorf("fleet: shard %d owns no objects (catalog of %d split %d ways)", s, len(p.shardOf), p.k)
+		}
+		for l, gid := range gids {
+			if gid < 0 || gid >= len(p.shardOf) {
+				return fmt.Errorf("fleet: shard %d owns out-of-range global id %d", s, gid)
+			}
+			if p.shardOf[gid] != s || p.local[gid] != l {
+				return fmt.Errorf("fleet: inconsistent placement for global id %d", gid)
+			}
+			seen++
+		}
+	}
+	if seen != len(p.shardOf) {
+		return fmt.Errorf("fleet: placement covers %d of %d objects", seen, len(p.shardOf))
+	}
+	return nil
+}
+
+// build finishes a placement from the shard→globals assignment.
+func build(n int, globals [][]int) (*Placement, error) {
+	p := &Placement{
+		k:       len(globals),
+		shardOf: make([]int, n),
+		local:   make([]int, n),
+		globals: globals,
+	}
+	for i := range p.shardOf {
+		p.shardOf[i] = -1
+		p.local[i] = -1
+	}
+	for s, gids := range globals {
+		sort.Ints(gids)
+		for l, gid := range gids {
+			if gid < 0 || gid >= n {
+				return nil, fmt.Errorf("fleet: global id %d outside catalog of %d", gid, n)
+			}
+			if p.shardOf[gid] != -1 {
+				return nil, fmt.Errorf("fleet: global id %d assigned to shards %d and %d", gid, p.shardOf[gid], s)
+			}
+			p.shardOf[gid] = s
+			p.local[gid] = l
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// vnodesPerShard is the consistent-hash ring density. 64 virtual
+// nodes per shard keeps the expected per-shard load imbalance under a
+// few percent at the catalog sizes the mirror targets, while the ring
+// stays small enough to build in microseconds.
+const vnodesPerShard = 64
+
+// HashPlacement spreads n global ids across k shards by consistent
+// hashing: each shard projects vnodesPerShard virtual nodes onto a
+// hash ring and every object belongs to the first vnode clockwise
+// from its own hash. The assignment depends only on (n, k), so the
+// router and every shard derive the identical map independently.
+func HashPlacement(n, k int) (*Placement, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fleet: shard count must be positive, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("fleet: cannot split %d objects across %d shards", n, k)
+	}
+	type vnode struct {
+		pos   uint64
+		shard int
+	}
+	ring := make([]vnode, 0, k*vnodesPerShard)
+	for s := 0; s < k; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			ring = append(ring, vnode{ringHash(fmt.Sprintf("shard-%d-vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].pos < ring[j].pos })
+	globals := make([][]int, k)
+	for gid := 0; gid < n; gid++ {
+		h := ringHash(fmt.Sprintf("object-%d", gid))
+		i := sort.Search(len(ring), func(i int) bool { return ring[i].pos >= h })
+		if i == len(ring) {
+			i = 0
+		}
+		s := ring[i].shard
+		globals[s] = append(globals[s], gid)
+	}
+	// Consistent hashing leaves a shard empty only in tiny catalogs;
+	// an empty shard cannot host a mirror, so hand it the largest
+	// shard's tail objects (still deterministic in (n, k)).
+	for s := range globals {
+		for len(globals[s]) == 0 {
+			big := 0
+			for t := range globals {
+				if len(globals[t]) > len(globals[big]) {
+					big = t
+				}
+			}
+			if len(globals[big]) < 2 {
+				return nil, fmt.Errorf("fleet: cannot split %d objects across %d shards", n, k)
+			}
+			last := len(globals[big]) - 1
+			globals[s] = append(globals[s], globals[big][last])
+			globals[big] = globals[big][:last]
+		}
+	}
+	return build(n, globals)
+}
+
+// ringHash is FNV-64a through a murmur3 finalizer. Raw FNV leaves the
+// sequential "object-N" keys clustered on one arc of the ring (whole
+// shards end up empty); the finalizer's avalanche spreads them. Both
+// stages are fixed constants — the placement must be identical across
+// processes and releases.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// PartitionPlacement groups the catalog with the paper's partitioner
+// (sorted by key, split into k contiguous groups) so each shard holds
+// statistically similar elements — the placement analogue of the
+// partitioned/clustered plan strategies. Requires the global element
+// parameters up front; HashPlacement needs only the catalog size.
+func PartitionPlacement(elems []freshness.Element, k int, key partition.Key, pol freshness.Policy) (*Placement, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fleet: shard count must be positive, got %d", k)
+	}
+	if len(elems) < k {
+		return nil, fmt.Errorf("fleet: cannot split %d objects across %d shards", len(elems), k)
+	}
+	part, err := partition.Build(elems, key, k, pol)
+	if err != nil {
+		return nil, err
+	}
+	globals := make([][]int, 0, k)
+	for _, g := range part.Groups {
+		if len(g) == 0 {
+			continue
+		}
+		globals = append(globals, append([]int(nil), g...))
+	}
+	if len(globals) != k {
+		return nil, fmt.Errorf("fleet: partitioner produced %d non-empty groups, want %d", len(globals), k)
+	}
+	return build(len(elems), globals)
+}

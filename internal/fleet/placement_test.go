@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/partition"
+)
+
+func TestHashPlacementCoversEveryObject(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {200, 5}, {64, 64}, {1000, 7}} {
+		t.Run(fmt.Sprintf("n=%d_k=%d", tc.n, tc.k), func(t *testing.T) {
+			p, err := HashPlacement(tc.n, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if p.K() != tc.k || p.NumObjects() != tc.n {
+				t.Fatalf("placement is %d shards × %d objects, want %d × %d", p.K(), p.NumObjects(), tc.k, tc.n)
+			}
+			for gid := 0; gid < tc.n; gid++ {
+				s := p.ShardOf(gid)
+				if s < 0 || s >= tc.k {
+					t.Fatalf("object %d owned by shard %d", gid, s)
+				}
+				if got := p.Globals(s)[p.Local(gid)]; got != gid {
+					t.Fatalf("object %d round-trips to %d", gid, got)
+				}
+			}
+		})
+	}
+}
+
+func TestHashPlacementDeterministic(t *testing.T) {
+	a, err := HashPlacement(500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HashPlacement(500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gid := 0; gid < 500; gid++ {
+		if a.ShardOf(gid) != b.ShardOf(gid) || a.Local(gid) != b.Local(gid) {
+			t.Fatalf("object %d placed differently across builds: %d/%d vs %d/%d",
+				gid, a.ShardOf(gid), a.Local(gid), b.ShardOf(gid), b.Local(gid))
+		}
+	}
+}
+
+func TestHashPlacementRoughlyBalanced(t *testing.T) {
+	const n, k = 2000, 5
+	p, err := HashPlacement(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := n / k
+	for s := 0; s < k; s++ {
+		got := len(p.Globals(s))
+		if got < mean/4 || got > mean*4 {
+			t.Errorf("shard %d owns %d objects; mean is %d", s, got, mean)
+		}
+	}
+}
+
+func TestHashPlacementErrors(t *testing.T) {
+	if _, err := HashPlacement(10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := HashPlacement(2, 3); err == nil {
+		t.Error("n<k accepted")
+	}
+}
+
+func TestPlacementOutOfRange(t *testing.T) {
+	p, err := HashPlacement(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gid := range []int{-1, 10, 1 << 20} {
+		if p.ShardOf(gid) != -1 || p.Local(gid) != -1 {
+			t.Errorf("out-of-range id %d resolved to shard %d local %d", gid, p.ShardOf(gid), p.Local(gid))
+		}
+	}
+}
+
+func TestPartitionPlacement(t *testing.T) {
+	elems := make([]freshness.Element, 30)
+	for i := range elems {
+		elems[i] = freshness.Element{
+			ID:         i,
+			Lambda:     0.1 + float64(i)*0.3,
+			AccessProb: 1.0 / 30,
+			Size:       1,
+		}
+	}
+	p, err := PartitionPlacement(elems, 3, partition.KeyPF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 3 || p.NumObjects() != 30 {
+		t.Fatalf("placement is %d shards × %d objects", p.K(), p.NumObjects())
+	}
+	if _, err := PartitionPlacement(elems[:2], 3, partition.KeyPF, nil); err == nil {
+		t.Error("n<k accepted")
+	}
+}

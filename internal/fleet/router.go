@@ -1,0 +1,396 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"freshen/internal/httpmirror"
+	"freshen/internal/obs"
+	"freshen/internal/resilience"
+)
+
+// fleetMetrics is the router-level instrumentation. Per-shard series
+// (solver, estimator, serve path) stay on each shard's own listener;
+// the fleet registry carries only what exists one level up: health,
+// slices, router traffic, failovers.
+type fleetMetrics struct {
+	requests    *obs.CounterVec
+	failovers   *obs.Counter
+	deadRejects *obs.Counter
+	reallocs    *obs.Counter
+	certFails   *obs.Counter
+	sliceGauges []func(Allocation)
+}
+
+func instrumentFleet(f *Fleet, reg *obs.Registry) *fleetMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.GaugeFunc("fleet_shards",
+		"Configured shard count.",
+		func() float64 { return float64(f.cfg.Shards) })
+	reg.GaugeFunc("fleet_healthy_shards",
+		"Shards currently passing readiness probes.",
+		func() float64 { _, n := f.healthySnapshot(); return float64(n) })
+	reg.GaugeFunc("fleet_budget_total",
+		"Global refresh budget per period.",
+		func() float64 { return f.cfg.Budget })
+	reg.GaugeFunc("fleet_perceived_freshness",
+		"Pooled optimal perceived freshness of the latest budget leveling.",
+		func() float64 { a, _ := f.Allocation(); return a.Perceived })
+	slices := reg.GaugeVec("fleet_shard_budget",
+		"Budget slice currently assigned to each shard.", "shard")
+	reg.GaugeFunc("fleet_allocation_conserved",
+		"1 when the latest leveling's slices sum to the global budget and certify optimal, else 0.",
+		func() float64 {
+			if _, err := f.Allocation(); err != nil {
+				return 0
+			}
+			return 1
+		})
+	m := &fleetMetrics{
+		requests: reg.CounterVec("fleet_router_requests_total",
+			"Requests the router handled, by route and status code.", "route", "code"),
+		failovers: reg.Counter("fleet_router_failovers_total",
+			"Object reads retried after a shard transport fault."),
+		deadRejects: reg.Counter("fleet_router_dead_shard_rejects_total",
+			"Object reads answered 503 because the owning shard is down."),
+		reallocs: reg.Counter("fleet_reallocations_total",
+			"Budget levelings performed."),
+		certFails: reg.Counter("fleet_allocation_failures_total",
+			"Budget levelings that failed solving, certification, or conservation."),
+	}
+	m.slicesHook(f, slices)
+	return m
+}
+
+// slicesHook keeps the per-shard slice gauges in step with the latest
+// allocation via a GaugeFunc-per-shard (labels are fixed up front).
+func (m *fleetMetrics) slicesHook(f *Fleet, v *obs.GaugeVec) {
+	for i := 0; i < f.cfg.Shards; i++ {
+		g := v.With(strconv.Itoa(i))
+		idx := i
+		// The vec gauge is a plain gauge; refresh it lazily when the
+		// allocation changes instead of on scrape. countRealloc calls
+		// back here.
+		m.sliceGauges = append(m.sliceGauges, func(a Allocation) {
+			if idx < len(a.Slices) {
+				g.Set(a.Slices[idx])
+			}
+		})
+	}
+}
+
+func (m *fleetMetrics) countRealloc(err error) {
+	if m == nil {
+		return
+	}
+	m.reallocs.Inc()
+	if err != nil {
+		m.certFails.Inc()
+	}
+}
+
+func (m *fleetMetrics) setSlices(a Allocation) {
+	if m == nil {
+		return
+	}
+	for _, set := range m.sliceGauges {
+		set(a)
+	}
+}
+
+func (m *fleetMetrics) countRequest(route string, code int) {
+	if m == nil {
+		return
+	}
+	m.requests.With(route, strconv.Itoa(code)).Inc()
+}
+
+func (m *fleetMetrics) countFailover() {
+	if m != nil {
+		m.failovers.Inc()
+	}
+}
+
+func (m *fleetMetrics) countDeadReject() {
+	if m != nil {
+		m.deadRejects.Inc()
+	}
+}
+
+// FleetStatus is the router's /status document. The top-level mode
+// and mode_transitions fields keep the single-mirror status contract
+// (loadgen and dashboards sample them without caring whether they
+// watch one mirror or a fleet).
+type FleetStatus struct {
+	Mode            string  `json:"mode"`
+	ModeTransitions int     `json:"mode_transitions"`
+	Shards          int     `json:"shards"`
+	HealthyShards   int     `json:"healthy_shards"`
+	Objects         int     `json:"objects"`
+	Budget          float64 `json:"budget"`
+	Perceived       float64 `json:"planned_perceived_freshness"`
+	Reallocations   int     `json:"reallocations"`
+	AllocFailures   int     `json:"allocation_failures"`
+	AllocationOK    bool    `json:"allocation_ok"`
+
+	ShardStatus []ShardStatus `json:"shard_status"`
+}
+
+// ShardStatus is one shard's row in the fleet status.
+type ShardStatus struct {
+	Shard   int                `json:"shard"`
+	URL     string             `json:"url"`
+	Healthy bool               `json:"healthy"`
+	Running bool               `json:"running"`
+	Kills   int                `json:"kills"`
+	Objects int                `json:"objects"`
+	Slice   float64            `json:"budget_slice"`
+	Weight  float64            `json:"traffic_weight"`
+	Status  *httpmirror.Status `json:"status,omitempty"`
+}
+
+// Status assembles the fleet status document.
+func (f *Fleet) Status() FleetStatus {
+	healthy, n := f.healthySnapshot()
+	alloc, allocErr := f.Allocation()
+	f.mu.Lock()
+	reallocs, certFails := f.reallocs, f.certFails
+	f.mu.Unlock()
+	st := FleetStatus{
+		Mode:          f.fleetMode().String(),
+		Shards:        len(f.shards),
+		HealthyShards: n,
+		Objects:       f.place.NumObjects(),
+		Budget:        f.cfg.Budget,
+		Perceived:     alloc.Perceived,
+		Reallocations: reallocs,
+		AllocFailures: certFails,
+		AllocationOK:  allocErr == nil,
+	}
+	for i, sh := range f.shards {
+		row := ShardStatus{
+			Shard:   i,
+			URL:     sh.URL(),
+			Healthy: healthy[i],
+			Running: sh.Running(),
+			Kills:   sh.Kills(),
+			Objects: len(f.place.Globals(i)),
+		}
+		if i < len(alloc.Slices) {
+			row.Slice = alloc.Slices[i]
+			row.Weight = alloc.Weights[i]
+		}
+		if m := sh.Mirror(); m != nil {
+			s := m.Status()
+			row.Status = &s
+			st.ModeTransitions += s.ModeTransitions
+		}
+		st.ShardStatus = append(st.ShardStatus, row)
+	}
+	return st
+}
+
+// Handler is the fleet router: the one address clients talk to.
+//
+//	GET  /object/{gid}   — proxy to the owning shard (placement map);
+//	                       per-request deadline, one retry on transport
+//	                       fault, then 503 + jittered Retry-After. A
+//	                       dead shard's keyspace 503s immediately —
+//	                       never a hang, never a mis-route.
+//	GET  /status         — fleet-wide aggregate (loadgen-compatible
+//	                       top-level mode/mode_transitions).
+//	GET  /healthz        — liveness (always 200 while the router runs).
+//	GET  /readyz         — 200 when ≥1 shard is healthy.
+//	GET  /metrics        — fleet-level series (with Config.Metrics).
+//	POST /fleet/kill     — ?shard=i hard-kill   (Config.ChaosAdmin).
+//	POST /fleet/restart  — ?shard=i restart      (Config.ChaosAdmin).
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/object/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		f.routeObject(w, r)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(f.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		f.m.countRequest("/status", http.StatusOK)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		f.m.countRequest("/healthz", http.StatusOK)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		_, n := f.healthySnapshot()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if n == 0 {
+			w.Header()["Retry-After"] = resilience.RetryAfterHeader()
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "unavailable")
+			f.m.countRequest("/readyz", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		f.m.countRequest("/readyz", http.StatusOK)
+	})
+	if f.cfg.ChaosAdmin {
+		mux.HandleFunc("/fleet/kill", f.chaosAdmin(func(ctx context.Context, i int) error {
+			return f.Kill(i)
+		}))
+		mux.HandleFunc("/fleet/restart", f.chaosAdmin(func(ctx context.Context, i int) error {
+			return f.Restart(ctx, i)
+		}))
+	}
+	if f.cfg.Metrics != nil {
+		mux.Handle("/metrics", f.cfg.Metrics.Handler())
+	}
+	return mux
+}
+
+// chaosAdmin wraps a kill/restart action as a POST ?shard=i handler.
+func (f *Fleet) chaosAdmin(action func(context.Context, int) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		i, err := strconv.Atoi(r.URL.Query().Get("shard"))
+		if err != nil {
+			http.Error(w, "bad shard", http.StatusBadRequest)
+			return
+		}
+		if err := action(r.Context(), i); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// proxiedHeaders are the shard response headers the router forwards
+// verbatim: the object contract (version), the degradation contract
+// (mode, staleness), and the backpressure contract (Retry-After, with
+// the shard's own jitter).
+var proxiedHeaders = []string{
+	"X-Version", "X-Mirror-Mode", "X-Staleness-Periods", "Retry-After", "Content-Type",
+}
+
+// routeObject proxies one object read to its owning shard.
+func (f *Fleet) routeObject(w http.ResponseWriter, r *http.Request) {
+	gid, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/object/"))
+	if err != nil {
+		http.Error(w, "bad object id", http.StatusBadRequest)
+		f.m.countRequest("/object", http.StatusBadRequest)
+		return
+	}
+	shard := f.place.ShardOf(gid)
+	if shard < 0 {
+		http.Error(w, "no such object", http.StatusNotFound)
+		f.m.countRequest("/object", http.StatusNotFound)
+		return
+	}
+	sh := f.shards[shard]
+	f.mu.Lock()
+	healthy := f.healthy[shard]
+	f.mu.Unlock()
+	// A dead or unhealthy owner answers now — a 503 with a jittered
+	// retry hint — not after a connect timeout. The object exists and
+	// exactly one shard may serve it, so there is nowhere to fail over
+	// to; the honest answer is "retry shortly", and the supervisor is
+	// already re-leveling the survivors' budgets.
+	if !healthy || !sh.Running() {
+		f.rejectDeadShard(w)
+		return
+	}
+
+	target := fmt.Sprintf("%s/object/%d", sh.URL(), f.place.Local(gid))
+	resp, err := f.proxyGet(r, target)
+	if err != nil {
+		// One retry: a fresh connection, same deadline. Transport
+		// faults here are either the shard dying mid-request (the
+		// retry fails fast and we 503) or a dropped idle connection
+		// (the retry succeeds).
+		f.m.countFailover()
+		resp, err = f.proxyGet(r, target)
+		if err != nil {
+			f.kickRealloc()
+			f.rejectDeadShard(w)
+			return
+		}
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for _, k := range proxiedHeaders {
+		if vs := resp.Header[k]; len(vs) > 0 {
+			h[k] = vs
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	f.m.countRequest("/object", resp.StatusCode)
+}
+
+// proxyGet performs one shard round-trip under the router deadline.
+func (f *Fleet) proxyGet(r *http.Request, target string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.ProxyTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := f.proxy.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The body carries the deadline until fully read; tie the cancel
+	// to body close so the caller's io.Copy stays bounded.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases the request's deadline context when the
+// response body is closed.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// rejectDeadShard answers for an unreachable owner.
+func (f *Fleet) rejectDeadShard(w http.ResponseWriter) {
+	w.Header()["Retry-After"] = resilience.RetryAfterHeader()
+	http.Error(w, "shard unavailable", http.StatusServiceUnavailable)
+	f.m.countDeadReject()
+	f.m.countRequest("/object", http.StatusServiceUnavailable)
+}

@@ -25,10 +25,10 @@ import (
 // reported on the next emitted line.
 const journalWarnInterval = 10 * time.Second
 
-// retryAfterHeader is the pre-built Retry-After value attached to shed
-// and not-ready 503s ("Retry-After" is already in canonical MIME form,
-// so direct map assignment costs no canonicalization).
-var retryAfterHeader = []string{strconv.Itoa(resilience.RetryAfterSeconds)}
+// Every 503 the mirror emits (overload shed, not-ready readyz) carries
+// a jittered Retry-After from resilience.RetryAfterHeader, so clients
+// turned away in one burst don't retry in lockstep and re-stampede a
+// server that just recovered capacity.
 
 // publishModeLocked derives the mode from the machine and publishes it
 // for lock-free readers, logging the transition when it changed.

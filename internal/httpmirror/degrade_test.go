@@ -2,10 +2,13 @@ package httpmirror
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"freshen/internal/core"
 	"freshen/internal/persist"
@@ -36,6 +39,18 @@ func newChaosMirror(t *testing.T, f *faultySource, dir string, plan persist.Faul
 		t.Fatal(err)
 	}
 	return m, fs
+}
+
+// checkRetryAfter asserts a 503's Retry-After is one of the jittered
+// hints in [RetryAfterSeconds, RetryAfterSeconds+RetryAfterSpread).
+func checkRetryAfter(t *testing.T, h http.Header, context string) {
+	t.Helper()
+	got := h.Get("Retry-After")
+	n, err := strconv.Atoi(got)
+	if err != nil || n < resilience.RetryAfterSeconds || n >= resilience.RetryAfterSeconds+resilience.RetryAfterSpread {
+		t.Errorf("%s: Retry-After = %q, want integer in [%d, %d)", context, got,
+			resilience.RetryAfterSeconds, resilience.RetryAfterSeconds+resilience.RetryAfterSpread)
+	}
 }
 
 // TestOverloadShedding saturates the admission limiter and checks the
@@ -72,9 +87,7 @@ func TestOverloadShedding(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated object read: status %d, want 503", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(resilience.RetryAfterSeconds) {
-		t.Errorf("shed Retry-After = %q, want %q", got, strconv.Itoa(resilience.RetryAfterSeconds))
-	}
+	checkRetryAfter(t, resp.Header, "shed object read")
 	// Ops routes are priority traffic: never shed.
 	for _, path := range []string{"/healthz", "/readyz", "/status"} {
 		resp, err := http.Get(srv.URL + path)
@@ -107,6 +120,82 @@ func TestOverloadShedding(t *testing.T) {
 	}
 }
 
+// TestCanceledRequestReleasesSlot pins the disconnect contract on
+// /object: a client that goes away while its read is stalled in the
+// chaos latency window gives its admission slot back immediately and
+// is counted as canceled — the slot is not held for the rest of the
+// stall, so live clients are not shed behind dead ones.
+func TestCanceledRequestReleasesSlot(t *testing.T) {
+	f := newFaultySource(t, []float64{1, 1})
+	client := NewSourceClient(f.srv.URL, f.srv.Client())
+	client.SetRetryPolicy(fastRetry(1))
+	m, err := New(context.Background(), Config{
+		Upstream:          client,
+		Plan:              core.Config{Bandwidth: 4},
+		Overload:          resilience.LimiterConfig{MaxInflight: 1},
+		ServeFaultLatency: 150 * time.Millisecond,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/object/0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("read completed with status %d despite the cancel", resp.StatusCode)
+		}
+		done <- err
+	}()
+
+	// The read holds the only slot once it is stalled in the window.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Status().Inflight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("read never acquired the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client saw %v, want context canceled", err)
+	}
+	for {
+		st := m.Status()
+		if st.Canceled == 1 && st.Inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot not released after cancel: inflight=%d canceled=%d", st.Inflight, st.Canceled)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The freed slot admits a live client: with MaxInflight 1, a leaked
+	// slot would shed this read with a 503 instead of serving it.
+	resp, err := http.Get(srv.URL + "/object/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read after cancel: status %d, want 200", resp.StatusCode)
+	}
+	if shed := m.Status().Shed; shed != 0 {
+		t.Errorf("%d requests shed — the canceled read leaked its slot", shed)
+	}
+}
+
 // TestReadyzRetryAfter asserts the Retry-After header on both the
 // plain-text and JSON not-ready 503s.
 func TestReadyzRetryAfter(t *testing.T) {
@@ -127,9 +216,7 @@ func TestReadyzRetryAfter(t *testing.T) {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Fatalf("accept %q: status %d, want 503", accept, resp.StatusCode)
 		}
-		if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(resilience.RetryAfterSeconds) {
-			t.Errorf("accept %q: Retry-After = %q, want %q", accept, got, strconv.Itoa(resilience.RetryAfterSeconds))
-		}
+		checkRetryAfter(t, resp.Header, "accept "+accept)
 	}
 }
 

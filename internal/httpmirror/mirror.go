@@ -28,8 +28,10 @@ var ErrNotFound = errors.New("httpmirror: no such object")
 
 // Config assembles a mirror service.
 type Config struct {
-	// Upstream is the origin to mirror.
-	Upstream *SourceClient
+	// Upstream is the origin to mirror. *SourceClient is the usual
+	// implementation; the fleet layer substitutes a shard-scoped view
+	// of a global source.
+	Upstream Source
 	// Plan configures the planner; Plan.Bandwidth is the refresh
 	// budget per period.
 	Plan core.Config
@@ -215,6 +217,7 @@ type Mirror struct {
 	// without locks.
 	limiter     *resilience.Limiter
 	machine     *resilience.Machine
+	canceled    atomic.Uint64 // admitted reads whose client disconnected first
 	modeWord    atomic.Uint32
 	clockBits   atomic.Uint64
 	verified    []atomic.Uint64
@@ -988,6 +991,7 @@ type Status struct {
 	InflightLimit   int64  `json:"inflight_limit"`
 	Admitted        uint64 `json:"admitted_requests"`
 	Shed            uint64 `json:"shed_requests"`
+	Canceled        uint64 `json:"canceled_requests"`
 
 	// Persistence counters (zero when persistence is disabled).
 	Snapshots                  int `json:"snapshots"`
@@ -1033,6 +1037,7 @@ func (m *Mirror) Status() Status {
 		InflightLimit:   m.limiter.Limit(),
 		Admitted:        m.limiter.Admitted(),
 		Shed:            m.limiter.Shed(),
+		Canceled:        m.canceled.Load(),
 
 		Snapshots:                  m.snapshots,
 		PersistErrors:              m.persistErrors,
@@ -1101,6 +1106,52 @@ func (m *Mirror) ForceReplan() error {
 	return m.replanLocked()
 }
 
+// Elements returns a copy of the mirror's current element knowledge:
+// the learned change rates, the learned access profile, and the
+// catalog sizes. A fleet-level allocator pools these across shards to
+// water-fill the global budget.
+func (m *Mirror) Elements() []freshness.Element {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]freshness.Element(nil), m.elems...)
+}
+
+// Budget is the refresh budget per period the planner currently runs
+// under.
+func (m *Mirror) Budget() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.Plan.Bandwidth
+}
+
+// SetBudget replaces the mirror's refresh budget and replans
+// immediately, so a fleet allocator's decision takes effect within the
+// current period rather than at the next cadence replan. The explore
+// slice is funded from the new budget (it scales with it), so a cut
+// shrinks exploration too; the exploit plan gets the rest. A no-op
+// when the budget is unchanged.
+func (m *Mirror) SetBudget(b float64) error {
+	if math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+		return fmt.Errorf("httpmirror: budget must be finite and non-negative, got %v", b)
+	}
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b == m.cfg.Plan.Bandwidth {
+		return nil
+	}
+	old := m.cfg.Plan.Bandwidth
+	m.cfg.Plan.Bandwidth = b
+	m.learnLocked()
+	if err := m.replanLocked(); err != nil {
+		m.cfg.Plan.Bandwidth = old
+		return err
+	}
+	m.log.Info("budget updated", "from", old, "to", b, "now", m.now)
+	return nil
+}
+
 // serveObject is the admitted object read: resolve the id, serve the
 // body and version from the lock-free snapshot, and — only when the
 // mirror is degraded — attach the mode and staleness headers. The full
@@ -1161,17 +1212,39 @@ func (m *Mirror) Handler() http.Handler {
 			return
 		}
 		// Admission control: past the adaptive limit the request is
-		// shed immediately — a 503 with Retry-After — instead of
-		// queueing into latency collapse. Only object reads shed;
-		// health, readiness, status, and metrics stay un-gated.
+		// shed immediately — a 503 with a jittered Retry-After —
+		// instead of queueing into latency collapse. Only object reads
+		// shed; health, readiness, status, and metrics stay un-gated.
 		if !m.limiter.Acquire() {
-			w.Header()["Retry-After"] = retryAfterHeader
+			w.Header()["Retry-After"] = resilience.RetryAfterHeader()
 			http.Error(w, "overloaded", http.StatusServiceUnavailable)
 			return
 		}
 		start := time.Now()
-		if m.cfg.ServeFaultLatency > 0 {
-			time.Sleep(m.cfg.ServeFaultLatency)
+		if d := m.cfg.ServeFaultLatency; d > 0 {
+			// The chaos latency window honors client cancellation: a
+			// caller that disconnects mid-wait releases its limiter
+			// slot now, not after the full artificial stall — holding
+			// slots for the dead would starve live clients exactly when
+			// the server is slow.
+			t := time.NewTimer(d)
+			select {
+			case <-r.Context().Done():
+				t.Stop()
+				m.limiter.Release(time.Since(start))
+				m.metrics.countCanceled()
+				m.canceled.Add(1)
+				return
+			case <-t.C:
+			}
+		}
+		if r.Context().Err() != nil {
+			// The client is gone: the slot goes back immediately and
+			// nothing is written (the connection is already dead).
+			m.limiter.Release(time.Since(start))
+			m.metrics.countCanceled()
+			m.canceled.Add(1)
+			return
 		}
 		m.serveObject(w, r)
 		m.limiter.Release(time.Since(start))
@@ -1215,7 +1288,7 @@ func (m *Mirror) Handler() http.Handler {
 				// Retry-After tells rolling-deploy gates when to probe
 				// again; readiness usually flips within one snapshot
 				// cadence, so the shed hint is honest here too.
-				w.Header()["Retry-After"] = retryAfterHeader
+				w.Header()["Retry-After"] = resilience.RetryAfterHeader()
 				w.WriteHeader(http.StatusServiceUnavailable)
 				fmt.Fprintln(w, "unavailable")
 				return
@@ -1225,7 +1298,7 @@ func (m *Mirror) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if !rd.Ready {
-			w.Header()["Retry-After"] = retryAfterHeader
+			w.Header()["Retry-After"] = resilience.RetryAfterHeader()
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		if err := json.NewEncoder(w).Encode(rd); err != nil && rd.Ready {

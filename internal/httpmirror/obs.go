@@ -33,6 +33,7 @@ type mirrorMetrics struct {
 	replans        *obs.Counter
 	persistErrors  *obs.Counter
 	exploreProbes  *obs.Counter
+	canceled       *obs.Counter
 
 	pf            *obs.Gauge
 	avgFreshness  *obs.Gauge
@@ -70,6 +71,8 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 			"Journal appends or snapshot commits the mirror absorbed as failed."),
 		exploreProbes: reg.Counter("freshen_explore_probes_total",
 			"Refreshes funded purely by the explore slice (elements the exploit plan left unfunded)."),
+		canceled: reg.Counter("freshen_serve_canceled_total",
+			"Admitted object reads whose client disconnected before the response; their limiter slots were released immediately."),
 
 		pf: reg.Gauge("freshen_pf",
 			"Live perceived freshness Σ pᵢ·F(fᵢ,λᵢ) under the current plan; recomputed once per period."),
@@ -250,6 +253,12 @@ func (mm *mirrorMetrics) countPersistError() {
 func (mm *mirrorMetrics) countExploreProbe() {
 	if mm != nil {
 		mm.exploreProbes.Inc()
+	}
+}
+
+func (mm *mirrorMetrics) countCanceled() {
+	if mm != nil {
+		mm.canceled.Inc()
 	}
 }
 

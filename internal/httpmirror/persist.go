@@ -23,6 +23,7 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 	m.recoveryStatus = "cold-start"
 	if rec.SnapshotErr != nil {
 		m.recoveryStatus = fmt.Sprintf("cold-start (snapshot discarded: %v)", rec.SnapshotErr)
+		m.log.Warn("persisted snapshot discarded; recovering from journal only", "error", rec.SnapshotErr)
 	}
 	var plan *persist.PlanState
 	if s := rec.Snapshot; s != nil {
@@ -59,6 +60,9 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 				m.tracker.Record(i, p.Elapsed, p.Changed)
 			}
 		}
+		// Status first, estimator second: restoreEstimatorLocked appends
+		// its discard note to the status, and the note must survive.
+		m.recoveryStatus = "recovered"
 		m.restoreEstimatorLocked(s)
 		m.brk.state = BreakerState(s.Breaker.State)
 		m.brk.fails = s.Breaker.Fails
@@ -72,7 +76,6 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 		m.skippedRefreshes = s.Counters.SkippedRefreshes
 		m.quarantineEvents = s.Counters.QuarantineEvents
 		m.recoveries = s.Counters.Recoveries
-		m.recoveryStatus = "recovered"
 		plan = &s.Plan
 	}
 	for _, r := range rec.Records {
@@ -87,6 +90,11 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 	}
 	if rec.Snapshot == nil && m.replayed > 0 {
 		m.recoveryStatus = "recovered (journal only)"
+		if rec.SnapshotErr != nil {
+			// Keep the discard reason visible: "journal only" on its own
+			// reads like a pre-first-snapshot crash, not a rejected file.
+			m.recoveryStatus = fmt.Sprintf("recovered (journal only; snapshot discarded: %v)", rec.SnapshotErr)
+		}
 	}
 	m.recovered = rec.Snapshot != nil || m.replayed > 0
 	return plan
@@ -96,32 +104,47 @@ func (m *Mirror) applyRecovery(rec persist.RecoveryResult) *persist.PlanState {
 // recovered snapshot. Preferred path: the snapshot's estimator state
 // restores directly, so convergence resumes exactly where the crash
 // interrupted it. Fallback (older snapshot, kind changed between
-// runs): the persisted poll histories — already replayed into the
-// tracker — replay into the online estimator, which re-converges from
-// the same observations. The history kind needs neither: the tracker
-// replay above is its state.
+// runs, or state the estimator itself rejects): the persisted poll
+// histories — already replayed into the tracker — replay into the
+// online estimator, which re-converges from the same observations.
+// The history kind needs neither: the tracker replay above is its
+// state.
+//
+// Rejections are loud, like the catalog-mismatch path: NewFromState
+// re-validates every λ̂ and Fisher-information field (NaN, negative,
+// infinite — belt and braces on top of persist's snapshot Validate
+// gate), and a snapshot whose estimator section fails it is discarded
+// with a warning and a readiness-visible status note, never loaded.
 func (m *Mirror) restoreEstimatorLocked(s *persist.Snapshot) {
 	if m.est == estimate.Estimator(m.tracker) {
 		return
 	}
-	if es := s.Estimator; es != nil && es.Kind == m.est.Kind() {
-		st := estimate.State{Kind: es.Kind, Elements: make([]estimate.ElementState, len(es.Elements))}
-		for i, e := range es.Elements {
-			st.Elements[i] = estimate.ElementState{
-				Lambda:     e.Lambda,
-				Info:       e.Info,
-				Polls:      e.Polls,
-				Changes:    e.Changes,
-				SumElapsed: e.SumElapsed,
+	if es := s.Estimator; es != nil {
+		if es.Kind == m.est.Kind() {
+			st := estimate.State{Kind: es.Kind, Elements: make([]estimate.ElementState, len(es.Elements))}
+			for i, e := range es.Elements {
+				st.Elements[i] = estimate.ElementState{
+					Lambda:     e.Lambda,
+					Info:       e.Info,
+					Polls:      e.Polls,
+					Changes:    e.Changes,
+					SumElapsed: e.SumElapsed,
+				}
 			}
+			est, err := estimate.NewFromState(st, m.estParams)
+			if err == nil {
+				m.est = est
+				return
+			}
+			m.recoveryStatus = fmt.Sprintf("%s (estimator state discarded: %v)", m.recoveryStatus, err)
+			m.log.Warn("persisted estimator state discarded; re-converging from poll histories",
+				"kind", es.Kind, "error", err)
+		} else {
+			m.recoveryStatus = fmt.Sprintf("%s (estimator state discarded: snapshot has %q, mirror runs %q)",
+				m.recoveryStatus, es.Kind, m.est.Kind())
+			m.log.Warn("persisted estimator state discarded; re-converging from poll histories",
+				"snapshot_kind", es.Kind, "mirror_kind", m.est.Kind())
 		}
-		if est, err := estimate.NewFromState(st, m.estParams); err == nil {
-			m.est = est
-			return
-		}
-		// Invalid state decodes are already excluded by Validate; an
-		// error here means a kind/shape mismatch — fall through to the
-		// history replay.
 	}
 	for i := range s.Elements {
 		for _, p := range s.Elements[i].History {

@@ -1,11 +1,17 @@
 package httpmirror
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"hash/crc32"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -385,6 +391,157 @@ func TestRecoveryDiscardsMismatchedCatalog(t *testing.T) {
 	}
 	if got, err := m2.estimatesSnapshot(); err != nil || len(got) != 2 {
 		t.Fatalf("estimates after discard: %v, %v", got, err)
+	}
+}
+
+// rewriteSnapshot decodes the snapshot in dir, lets the caller mutate
+// it, and writes it back with a freshly computed CRC — framing intact,
+// payload poisoned. EncodeSnapshot validates, so the frame is rebuilt
+// by hand (magic "FRSNAP01", little-endian length + CRC-32C); this is
+// the on-disk layout the format doc pins.
+func rewriteSnapshot(t *testing.T, dir string, mutate func(*persist.Snapshot)) {
+	t.Helper()
+	path := filepath.Join(dir, persist.SnapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := persist.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(snap)
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("FRSNAP01")
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryDiscardsPoisonedEstimatorValues plants impossible values
+// in a persisted estimator section — CRC valid, payload poisoned. The
+// snapshot Validate gate must refuse the whole file, and the mirror
+// must come up on the journal alone with the discard reason in its
+// readiness report, not silently load a negative change rate.
+func TestRecoveryDiscardsPoisonedEstimatorValues(t *testing.T) {
+	f := newFaultySource(t, []float64{3, 1, 0.5, 2})
+	dir := t.TempDir()
+	mod := func(c *Config) { c.Estimator = "mle" }
+	m1, store := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, mod)
+	for step := 1; step <= 20; step++ {
+		tm := 0.25 * float64(step)
+		f.src.Advance(tm)
+		if _, err := m1.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.FlushSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// A few more steps past the snapshot so the (reset) journal holds
+	// records for the fallback to replay, then crash.
+	for step := 21; step <= 28; step++ {
+		tm := 0.25 * float64(step)
+		f.src.Advance(tm)
+		if _, err := m1.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Close()
+
+	rewriteSnapshot(t, dir, func(s *persist.Snapshot) {
+		if s.Estimator == nil || len(s.Estimator.Elements) == 0 {
+			t.Fatal("setup: snapshot carries no estimator state")
+		}
+		s.Estimator.Elements[0].Lambda = -1
+	})
+
+	m2, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, mod)
+	rd := m2.Readiness()
+	if !rd.Recovered || rd.JournalReplayed == 0 {
+		t.Fatalf("journal-only recovery did not happen: %+v", rd)
+	}
+	if !strings.Contains(rd.RecoveryStatus, "snapshot discarded") ||
+		!strings.Contains(rd.RecoveryStatus, "estimator element 0") {
+		t.Errorf("discard reason not surfaced: %q", rd.RecoveryStatus)
+	}
+	// Nothing of the poisoned state leaked into the live estimator.
+	est, err := m2.estimatesSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range est {
+		if !(v >= 0) || math.IsInf(v, 0) {
+			t.Errorf("element %d: estimate %v after discard", i, v)
+		}
+	}
+	f.src.Advance(8)
+	if _, err := m2.Step(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryDiscardsMismatchedEstimatorKind rewrites a persisted
+// estimator section under a kind the mirror does not run. Per-element
+// state from a different estimator family cannot be mapped, so the
+// section is discarded loudly and the estimator re-converges from the
+// persisted poll histories — the rest of the snapshot still loads.
+func TestRecoveryDiscardsMismatchedEstimatorKind(t *testing.T) {
+	f := newFaultySource(t, []float64{3, 1, 0.5, 2})
+	dir := t.TempDir()
+	mod := func(c *Config) { c.Estimator = "mle" }
+	m1, store := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, mod)
+	for step := 1; step <= 40; step++ {
+		tm := 0.25 * float64(step)
+		f.src.Advance(tm)
+		if _, err := m1.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.FlushSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	pre := m1.Status()
+	store.Close()
+
+	rewriteSnapshot(t, dir, func(s *persist.Snapshot) {
+		if s.Estimator == nil {
+			t.Fatal("setup: snapshot carries no estimator state")
+		}
+		s.Estimator.Kind = "bogus"
+	})
+
+	m2, _ := newPersistMirror(t, f.srv.URL, f.srv.Client(), dir, 1, 1000, mod)
+	rd := m2.Readiness()
+	if !rd.Recovered {
+		t.Fatalf("snapshot rejected wholesale for an estimator-only mismatch: %+v", rd)
+	}
+	if !strings.Contains(rd.RecoveryStatus, "estimator state discarded") ||
+		!strings.Contains(rd.RecoveryStatus, `"bogus"`) {
+		t.Errorf("discard reason not surfaced: %q", rd.RecoveryStatus)
+	}
+	// The estimator re-converged from the replayed poll histories: it
+	// has observations again, and the rest of the snapshot survived.
+	if got := m2.est.Estimate(0); got.Polls == 0 {
+		t.Error("estimator empty after history replay")
+	}
+	post := m2.Status()
+	if post.Transfers != pre.Transfers || post.RefreshFailures != pre.RefreshFailures {
+		t.Errorf("catalog state lost with the estimator section: pre transfers=%d failures=%d, post transfers=%d failures=%d",
+			pre.Transfers, pre.RefreshFailures, post.Transfers, post.RefreshFailures)
+	}
+	f.src.Advance(11)
+	if _, err := m2.Step(11); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package httpmirror
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -15,6 +16,26 @@ import (
 type CatalogEntry struct {
 	ID   int     `json:"id"`
 	Size float64 `json:"size"`
+}
+
+// Source is the upstream a mirror refreshes from. *SourceClient is the
+// HTTP implementation; the fleet layer wraps one to expose a shard's
+// slice of a global catalog under dense local ids. Implementations
+// must be safe for concurrent use.
+type Source interface {
+	// Catalog lists the objects the source offers; ids must be dense
+	// starting at 0.
+	Catalog(ctx context.Context) ([]CatalogEntry, error)
+	// Fetch downloads one object's body and current version.
+	Fetch(ctx context.Context, id int) (body []byte, version int, err error)
+	// Version reveals an object's current version without the body —
+	// the cheap change poll.
+	Version(ctx context.Context, id int) (int, error)
+	// Retries and Failures report the source's lifetime transport
+	// counters (attempts beyond the first; calls that exhausted every
+	// attempt).
+	Retries() int64
+	Failures() int64
 }
 
 // SimulatedSource is an origin whose objects change as independent

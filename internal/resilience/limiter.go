@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -165,7 +166,39 @@ func (l *Limiter) Shed() uint64 { return l.shed.Load() }
 // Disabled reports whether admission control is off.
 func (l *Limiter) Disabled() bool { return l.disabled }
 
-// RetryAfterSeconds is the Retry-After hint attached to shed
+// RetryAfterSeconds is the base Retry-After hint attached to shed
 // responses: the limiter recovers capacity on the next completions,
 // so one second is an honest "immediately, but not in this burst".
 const RetryAfterSeconds = 1
+
+// RetryAfterSpread is how many distinct jittered Retry-After values a
+// 503 can carry: RetryAfterSeconds .. RetryAfterSeconds+Spread-1.
+// Without jitter, every client shed or turned away by a dead shard in
+// the same burst retries on the same second and re-stampedes a server
+// (or a recovering shard) that just found its feet.
+const RetryAfterSpread = 3
+
+// retryAfterValues are the pre-built one-element header values for
+// the jittered hints, so attaching one costs no allocation on the
+// shed path ("Retry-After" is already canonical MIME form; direct map
+// assignment matches what Header().Set would store).
+var retryAfterValues = func() [RetryAfterSpread][]string {
+	var vs [RetryAfterSpread][]string
+	for i := range vs {
+		vs[i] = []string{strconv.Itoa(RetryAfterSeconds + i)}
+	}
+	return vs
+}()
+
+// retrySeq drives the jitter: a Weyl sequence (odd multiplicative
+// step) cycles through all residues with consecutive draws spread far
+// apart, so concurrent shed responses in one burst get staggered
+// hints. Cheaper than a real RNG and race-free by construction.
+var retrySeq atomic.Uint32
+
+// RetryAfterHeader returns a pre-built jittered Retry-After header
+// value in [RetryAfterSeconds, RetryAfterSeconds+RetryAfterSpread).
+// Allocation-free; safe for concurrent use.
+func RetryAfterHeader() []string {
+	return retryAfterValues[retrySeq.Add(2654435761)%RetryAfterSpread]
+}

@@ -153,3 +153,41 @@ func TestExploreZeroBudgetAndUniformFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestExploreBudgetCutMonotone pins the contract the fleet's
+// hierarchical allocator leans on: when a shard's budget slice is cut,
+// the explore spend computed from it shrinks monotonically — the probe
+// tax scales with the local slice and never spends bandwidth the shard
+// no longer holds.
+func TestExploreBudgetCutMonotone(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := stats.NewRNG(seed + 500)
+		n := 2 + int(r.Float64()*40)
+		elems := testkit.RandomElements(seed, n, false)
+		uncertainty := make([]float64, n)
+		for i := range uncertainty {
+			uncertainty[i] = r.Float64()
+		}
+		prev := math.Inf(1)
+		budget := float64(n)
+		for cut := 0; cut < 6; cut++ {
+			_, used, err := AllocateExplore(elems, uncertainty, 1.0, budget)
+			if err != nil {
+				t.Fatalf("seed %d budget %v: %v", seed, budget, err)
+			}
+			if used > budget*(1+1e-9)+1e-12 {
+				t.Errorf("seed %d: explore used %v of budget %v", seed, used, budget)
+			}
+			if used > prev*(1+1e-9) {
+				t.Errorf("seed %d: cutting the budget to %v RAISED explore spend %v → %v", seed, budget, prev, used)
+			}
+			prev = used
+			budget /= 2
+		}
+		// The limit case: a fully cut slice spends nothing.
+		_, used, err := AllocateExplore(elems, uncertainty, 1.0, 0)
+		if err != nil || used != 0 {
+			t.Errorf("seed %d: zero budget spent %v (err %v)", seed, used, err)
+		}
+	}
+}
