@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos shard-chaos metrics-contract estimator-convergence ci bench-solver bench-obs bench-serve bench-all bench clean
+.PHONY: all build fmt vet test test-short race cover fuzz-smoke restart-chaos overload-chaos shard-chaos edge-chain metrics-contract estimator-convergence ci bench-solver bench-obs bench-serve bench-all bench clean
 
 all: ci
 
@@ -42,6 +42,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecoverSnapshot$$' -fuzztime 30s ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayJournal$$' -fuzztime 30s ./internal/persist/
 	$(GO) test -run '^$$' -fuzz '^FuzzModeMachine$$' -fuzztime 30s ./internal/resilience/
+	$(GO) test -run '^$$' -fuzz '^FuzzChainFreshness$$' -fuzztime 30s ./internal/freshness/
 
 # The crash-recovery suite under the race detector: kill-and-restart
 # chaos, shutdown persistence ordering, and the persistence layer.
@@ -70,6 +71,17 @@ overload-chaos:
 shard-chaos:
 	$(GO) test -race -count=1 ./internal/fleet/
 	./scripts/shard_chaos.sh
+
+# Hierarchical-topology gate: the hierarchy package under the race
+# detector (the MirrorSource observer's atomics run under concurrent
+# refreshes), the chain closed form's sim cross-validation, then the
+# live two-level drill — origin -> regional freshend -> edge freshend,
+# regional hard-killed and restarted mid-run (see scripts/edge_chain.sh).
+edge-chain:
+	$(GO) test -race -count=1 ./internal/hierarchy/
+	$(GO) test -race -count=1 -run 'TestChain|TestRunChain|TestCrossValid' ./internal/freshness/ ./internal/sim/ ./internal/testkit/
+	$(GO) test -race -count=1 -run 'TestDaemonEdgeChain' ./cmd/freshend/
+	./scripts/edge_chain.sh
 
 # The estimator-convergence gate under the race detector: the
 # ground-truth cross-validator (censoring-aware estimators strictly

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"freshen/internal/freshness"
+	"freshen/internal/hierarchy"
+	"freshen/internal/workload"
+)
+
+// chainSplitResult is the committed shape of the chain_split section
+// of BENCH_obs.json: the optimized cross-level budget split against
+// the two fixed heuristics it must dominate, on the same workload and
+// inner solver.
+type chainSplitResult struct {
+	N         int     `json:"n"`
+	Budget    float64 `json:"budget"`
+	Edges     int     `json:"edges"`
+	Seed      int64   `json:"seed"`
+	Optimized struct {
+		Share float64 `json:"upstream_share"`
+		PF    float64 `json:"pf"`
+	} `json:"optimized"`
+	Naive []struct {
+		Name  string  `json:"name"`
+		Share float64 `json:"upstream_share"`
+		PF    float64 `json:"pf"`
+	} `json:"naive"`
+	Evals int `json:"share_evals"`
+}
+
+// cmdBenchChainSplit benchmarks the hierarchical budget split: on a
+// paper-shaped synthetic workload it compares hierarchy.SplitBudget's
+// optimized cross-level share against the 50/50 and
+// proportional-to-mirror-count heuristics, prints the comparison, and
+// merges it under the "chain_split" key of the output JSON.
+func cmdBenchChainSplit(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bench-chainsplit", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_obs.json", "output JSON path (merged, not overwritten)")
+	n := fs.Int("n", 500, "catalog size")
+	edges := fs.Int("edges", 4, "edge mirrors below the regional tier")
+	budget := fs.Float64("budget", 0, "global refresh budget across all tiers (0 = n/2 per tier)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := workload.TableTwo()
+	spec.NumObjects = *n
+	spec.UpdatesPerPeriod = 2 * float64(*n)
+	spec.Seed = *seed
+	elems, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if *budget == 0 {
+		// Half the updates per tier: enough to matter, scarce enough
+		// that the split is a real decision.
+		*budget = 0.5 * float64(*n) * float64(1+*edges)
+	}
+	cfg := hierarchy.SplitConfig{
+		Elements: elems,
+		Budget:   *budget,
+		Edges:    *edges,
+		Policy:   freshness.FixedOrder{},
+	}
+
+	best, err := hierarchy.SplitBudget(cfg)
+	if err != nil {
+		return err
+	}
+	var res chainSplitResult
+	res.N, res.Budget, res.Edges, res.Seed = *n, *budget, *edges, *seed
+	res.Optimized.Share = best.Upstream.Share
+	res.Optimized.PF = best.PF
+	res.Evals = best.Evals
+
+	fmt.Fprintf(w, "chain split: n=%d budget=%.0f edges=%d (%d share evals)\n",
+		*n, *budget, *edges, best.Evals)
+	fmt.Fprintf(w, "%-14s %16s %12s %12s\n", "split", "upstream_share", "chain_pf", "vs_best")
+	fmt.Fprintf(w, "%-14s %16.4f %12.6f %12s\n", "optimized", best.Upstream.Share, best.PF, "-")
+	for _, naive := range []struct {
+		name  string
+		share float64
+	}{
+		{"50/50", 0.5},
+		{"proportional", 1 / float64(1+*edges)},
+	} {
+		s, err := hierarchy.EvalShare(cfg, naive.share)
+		if err != nil {
+			return err
+		}
+		res.Naive = append(res.Naive, struct {
+			Name  string  `json:"name"`
+			Share float64 `json:"upstream_share"`
+			PF    float64 `json:"pf"`
+		}{naive.name, naive.share, s.PF})
+		fmt.Fprintf(w, "%-14s %16.4f %12.6f %+12.6f\n",
+			naive.name, naive.share, s.PF, s.PF-best.PF)
+	}
+
+	return mergeJSONSection(*out, "chain_split", res)
+}

@@ -15,6 +15,8 @@
 //	freshenctl bench-solver [-out BENCH_solver.json] [-quick] [-seed N]
 //	freshenctl bench-coldstart [-out BENCH_obs.json] [-n N] [-periods P] [-seed N]
 //	freshenctl fleet-status [-url http://localhost:8081] [-timeout D]
+//	freshenctl topology-status [-url http://localhost:8081] [-timeout D]
+//	freshenctl bench-chainsplit [-out BENCH_obs.json] [-n N] [-edges E] [-budget B] [-seed N]
 //
 // Flags come before positional arguments (standard flag package
 // ordering).
@@ -58,6 +60,10 @@ func run(args []string) error {
 		return cmdBenchColdStart(os.Stdout, args[1:])
 	case "fleet-status":
 		return cmdFleetStatus(os.Stdout, args[1:])
+	case "topology-status":
+		return cmdTopologyStatus(os.Stdout, args[1:])
+	case "bench-chainsplit":
+		return cmdBenchChainSplit(os.Stdout, args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -81,5 +87,7 @@ Subcommands:
   bench-solver  time the solve engine against the pre-engine reference
   bench-coldstart  race change-rate estimators from a cold start (see BENCH_obs.json)
   fleet-status  shard table of a running fleet router (-url http://host:port)
+  topology-status  walk a mirror chain upstream-by-upstream and print one row per tier
+  bench-chainsplit  optimized vs naive cross-level budget splits (see BENCH_obs.json)
 `)
 }

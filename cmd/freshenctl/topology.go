@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"text/tabwriter"
+	"time"
+
+	"freshen/internal/httpmirror"
+)
+
+// maxTopologyDepth caps the upstream walk so a status loop (two
+// mirrors chained at each other, a misconfiguration) terminates.
+const maxTopologyDepth = 8
+
+// cmdTopologyStatus walks a mirror chain from the given edge: it
+// fetches /status, follows upstream_url level by level, and renders
+// one row per tier — edge first, origin-most mirror last — so an
+// operator can see at a glance where in the hierarchy freshness is
+// being lost.
+func cmdTopologyStatus(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("topology-status", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8081", "edge mirror base URL (the walk starts here)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	type level struct {
+		url string
+		ok  bool
+		st  httpmirror.Status
+	}
+	var levels []level
+	seen := map[string]bool{}
+	for next := *url; next != "" && len(levels) < maxTopologyDepth; {
+		if seen[next] {
+			return fmt.Errorf("topology loop: %s appears twice in the chain", next)
+		}
+		seen[next] = true
+		resp, err := client.Get(next + "/status")
+		if err != nil {
+			if len(levels) > 0 {
+				// A dead upstream is a finding, not a tool failure:
+				// report the walk so far plus the unreachable tier.
+				levels = append(levels, level{url: next})
+				break
+			}
+			return fmt.Errorf("fetching %s/status: %w", next, err)
+		}
+		var st httpmirror.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding %s/status: %w", next, err)
+		}
+		levels = append(levels, level{url: next, ok: true, st: st})
+		next = st.UpstreamURL
+	}
+
+	fmt.Fprintf(out, "chain: %d level(s), edge first\n", len(levels))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "LEVEL\tROLE\tMODE\tPF\tOBJECTS\t304s\tBREAKER\tUPSTREAM-DEGRADED\tURL")
+	for i, lv := range levels {
+		role := "regional"
+		switch {
+		case !lv.ok:
+			fmt.Fprintf(w, "%d\t?\tUNREACHABLE\t-\t-\t-\t-\t-\t%s\n", i, lv.url)
+			continue
+		case i == 0 && len(levels) > 1:
+			role = "edge"
+		case lv.st.UpstreamURL == "":
+			role = "root"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%.6f\t%d\t%d\t%s\t%v\t%s\n",
+			i, role, lv.st.Mode, lv.st.PlannedPF, lv.st.Objects,
+			lv.st.NotModified, lv.st.BreakerState, lv.st.UpstreamDegraded, lv.url)
+	}
+	return w.Flush()
+}

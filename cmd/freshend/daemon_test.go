@@ -38,6 +38,19 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.debugAddr != "" || cfg.logLevel != "info" {
 		t.Errorf("observability defaults not applied: %+v", cfg)
 	}
+	if cfg.upstreamURL != "" {
+		t.Errorf("edge mode on by default: %+v", cfg)
+	}
+}
+
+func TestParseFlagsUpstreamURL(t *testing.T) {
+	cfg, err := parseFlags([]string{"-upstream-url", "http://regional:8081"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.upstreamURL != "http://regional:8081" || cfg.upstream != "" {
+		t.Errorf("edge flags not parsed: %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {

@@ -19,11 +19,21 @@
 // — replaying the journal and warm-starting the schedule from the
 // persisted plan.
 //
+// Mirrors also chain: -upstream-url points the daemon at another
+// freshend mirror instead of an origin (source → regional → edge).
+// The edge speaks the same protocol upward but additionally observes
+// the upstream's degradation headers, so an outage anywhere above it
+// surfaces to clients as source-degraded mode with the compounded
+// X-Staleness-Periods, never as silent staleness.
+//
 // Usage:
 //
 //	freshend -addr :8081 -upstream http://localhost:8080 \
 //	         -bandwidth 250 -period 10s -strategy clustered -partitions 50 \
 //	         -state-dir /var/lib/freshend
+//
+//	freshend -addr :8082 -upstream-url http://localhost:8081 \
+//	         -bandwidth 100 -period 10s
 //
 // Endpoints: GET /object/{id} (serve a copy), GET /status (JSON
 // metrics), GET /metrics (Prometheus text exposition), GET /healthz
@@ -47,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"freshen/internal/hierarchy"
 	"freshen/internal/httpmirror"
 	"freshen/internal/obs"
 	"freshen/internal/persist"
@@ -73,7 +84,8 @@ func main() {
 func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("freshend", flag.ContinueOnError)
 	addr := fs.String("addr", ":8081", "listen address")
-	upstream := fs.String("upstream", "", "base URL of the source to mirror; required")
+	upstream := fs.String("upstream", "", "base URL of the source to mirror; required unless -upstream-url is set")
+	upstreamURL := fs.String("upstream-url", "", "base URL of an upstream freshend mirror to chain below (edge mode: degradation headers compound); mutually exclusive with -upstream")
 	bandwidth := fs.Float64("bandwidth", 100, "refresh budget per period")
 	period := fs.Duration("period", 10*time.Second, "wall-clock length of one period")
 	strategy := fs.String("strategy", "exact", "exact | partitioned | clustered")
@@ -115,6 +127,7 @@ func parseFlags(args []string) (config, error) {
 	return config{
 		addr:            *addr,
 		upstream:        *upstream,
+		upstreamURL:     *upstreamURL,
 		bandwidth:       *bandwidth,
 		period:          *period,
 		strategy:        *strategy,
@@ -157,6 +170,7 @@ func parseFlags(args []string) (config, error) {
 
 type config struct {
 	addr, upstream         string
+	upstreamURL            string
 	bandwidth              float64
 	period                 time.Duration
 	strategy               string
@@ -212,11 +226,17 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 	if cfg.shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
 	}
+	if cfg.upstream != "" && cfg.upstreamURL != "" {
+		return fmt.Errorf("-upstream and -upstream-url are mutually exclusive")
+	}
 	if cfg.shards > 1 {
+		if cfg.upstreamURL != "" {
+			return fmt.Errorf("-upstream-url is for single-mirror edge mode; fleet mode chains via -upstream")
+		}
 		return runFleet(ctx, cfg, ready)
 	}
-	if cfg.upstream == "" {
-		return fmt.Errorf("-upstream is required")
+	if cfg.upstream == "" && cfg.upstreamURL == "" {
+		return fmt.Errorf("-upstream or -upstream-url is required")
 	}
 	if cfg.bandwidth <= 0 || cfg.period <= 0 || cfg.replanEvery <= 0 {
 		return fmt.Errorf("bandwidth, period and replan-every must be positive")
@@ -290,13 +310,28 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		lg.Warn("serve-fault latency armed", "latency", cfg.serveFaultLatency)
 	}
 
-	client := httpmirror.NewSourceClient(cfg.upstream, nil)
-	client.SetRetryPolicy(httpmirror.RetryPolicy{
+	retry := httpmirror.RetryPolicy{
 		MaxAttempts: cfg.upRetries,
 		Timeout:     cfg.upTimeout,
-	})
+	}
+	upstreamBase := cfg.upstream
+	var upstream httpmirror.Source
+	if cfg.upstreamURL != "" {
+		// Edge mode: the upstream is itself a freshend mirror. The
+		// hierarchy adapter speaks the same protocol but also observes
+		// the upstream's degradation headers, so this mirror compounds
+		// staleness instead of hiding it.
+		upstreamBase = cfg.upstreamURL
+		ms := hierarchy.NewMirrorSource(cfg.upstreamURL, nil)
+		ms.SetRetryPolicy(retry)
+		upstream = ms
+	} else {
+		client := httpmirror.NewSourceClient(cfg.upstream, nil)
+		client.SetRetryPolicy(retry)
+		upstream = client
+	}
 	m, err := httpmirror.New(ctx, httpmirror.Config{
-		Upstream:    client,
+		Upstream:    upstream,
 		Plan:        planCfg,
 		ReplanEvery: cfg.replanEvery,
 		Estimator:   cfg.estimator,
@@ -327,7 +362,8 @@ func run(ctx context.Context, cfg config, ready chan<- net.Addr) error {
 		return err
 	}
 	lg.Info("mirroring upstream",
-		"upstream", cfg.upstream,
+		"upstream", upstreamBase,
+		"edge_mode", cfg.upstreamURL != "",
 		"objects", m.Status().Objects,
 		"bandwidth", cfg.bandwidth,
 		"period", cfg.period.String(),

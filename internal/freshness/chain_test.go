@@ -1,0 +1,129 @@
+package freshness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChainFreshnessBoundaryCases pins the chain form's limits for both
+// policies: perfect levels contribute factor 1, a dead level zeroes the
+// chain, and an unchanging element is always fresh end to end.
+func TestChainFreshnessBoundaryCases(t *testing.T) {
+	for _, p := range policies {
+		if got := ChainFreshness(p, 2, 3, 0); got != 1 {
+			t.Errorf("%s: chain with λ=0 = %v, want 1", p.Name(), got)
+		}
+		if got := ChainFreshness(p, 0, 3, 1); got != 0 {
+			t.Errorf("%s: chain with dead upstream = %v, want 0", p.Name(), got)
+		}
+		if got := ChainFreshness(p, 3, 0, 1); got != 0 {
+			t.Errorf("%s: chain with dead edge = %v, want 0", p.Name(), got)
+		}
+		// A perfect upstream degrades the chain to the single-level form
+		// exactly — this is the +Inf special case the FixedOrder closed
+		// form (written in r = λ/f) cannot evaluate on its own.
+		want := p.Freshness(1.5, 2)
+		if got := ChainFreshness(p, math.Inf(1), 1.5, 2); got != want {
+			t.Errorf("%s: chain with perfect upstream = %v, want single-level %v", p.Name(), got, want)
+		}
+		if got := ChainFreshness(p, 1.5, math.Inf(1), 2); got != want {
+			t.Errorf("%s: chain with perfect edge = %v, want single-level %v", p.Name(), got, want)
+		}
+	}
+}
+
+// TestChainFreshnessFactorizes checks the product form against the two
+// single-level factors directly, across a frequency/rate grid.
+func TestChainFreshnessFactorizes(t *testing.T) {
+	grid := []float64{0.1, 0.5, 1, 2, 8}
+	for _, p := range policies {
+		for _, f1 := range grid {
+			for _, f2 := range grid {
+				for _, lam := range grid {
+					want := p.Freshness(f1, lam) * p.Freshness(f2, lam)
+					if got := ChainFreshness(p, f1, f2, lam); math.Abs(got-want) > 1e-15 {
+						t.Errorf("%s: chain(%v,%v,λ=%v) = %v, want product %v", p.Name(), f1, f2, lam, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChainPerceived checks the aggregate form and its error paths.
+func TestChainPerceived(t *testing.T) {
+	elems := []Element{
+		{ID: 0, Lambda: 2, AccessProb: 0.7, Size: 1},
+		{ID: 1, Lambda: 0.5, AccessProb: 0.3, Size: 1},
+	}
+	up := []float64{4, 1}
+	edge := []float64{2, 2}
+	for _, p := range policies {
+		got, err := ChainPerceived(p, elems, up, edge)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		want := 0.0
+		for i, e := range elems {
+			want += e.AccessProb * p.Freshness(up[i], e.Lambda) * p.Freshness(edge[i], e.Lambda)
+		}
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("%s: ChainPerceived = %v, want %v", p.Name(), got, want)
+		}
+	}
+	if _, err := ChainPerceived(FixedOrder{}, elems, up[:1], edge); err == nil {
+		t.Error("misaligned upstream frequencies accepted")
+	}
+	if _, err := ChainPerceived(FixedOrder{}, elems, up, edge[:1]); err == nil {
+		t.Error("misaligned edge frequencies accepted")
+	}
+}
+
+// FuzzChainFreshness fuzzes the chain closed form over both policies:
+// the result stays in [0, 1], is monotone non-decreasing in each
+// level's sync rate, never exceeds either single-level factor, and
+// degrades to the single-level form when the other level is perfect.
+func FuzzChainFreshness(f *testing.F) {
+	f.Add(1.0, 1.0, 1.0)
+	f.Add(0.0, 2.0, 0.5)
+	f.Add(2.0, 0.0, 0.5)
+	f.Add(1e-9, 1e9, 3.0)
+	f.Add(250.0, 250.0, 2.0)
+	f.Add(0.25, 4.0, 1e-8)
+	f.Fuzz(func(t *testing.T, f1, f2, lam float64) {
+		if math.IsNaN(f1) || math.IsNaN(f2) || math.IsNaN(lam) {
+			t.Skip()
+		}
+		if f1 < 0 || f2 < 0 || lam < 0 {
+			t.Skip()
+		}
+		for _, p := range policies {
+			got := ChainFreshness(p, f1, f2, lam)
+			if math.IsNaN(got) || got < 0 || got > 1 {
+				t.Fatalf("%s: chain(%v,%v,λ=%v) = %v outside [0,1]", p.Name(), f1, f2, lam, got)
+			}
+			// Monotone in each level's rate. The product of two monotone
+			// factors computed from stable closed forms is monotone to
+			// within a final rounding; the epsilon absorbs exactly that.
+			const eps = 1e-12
+			if up := ChainFreshness(p, f1*1.5+1e-12, f2, lam); up < got-eps {
+				t.Fatalf("%s: chain not monotone in upstream rate at (%v,%v,λ=%v): %v -> %v", p.Name(), f1, f2, lam, got, up)
+			}
+			if up := ChainFreshness(p, f1, f2*1.5+1e-12, lam); up < got-eps {
+				t.Fatalf("%s: chain not monotone in edge rate at (%v,%v,λ=%v): %v -> %v", p.Name(), f1, f2, lam, got, up)
+			}
+			// Never fresher than either hop alone.
+			if c1 := chainFactor(p, f1, lam); got > c1+eps {
+				t.Fatalf("%s: chain %v exceeds upstream factor %v", p.Name(), got, c1)
+			}
+			if c2 := chainFactor(p, f2, lam); got > c2+eps {
+				t.Fatalf("%s: chain %v exceeds edge factor %v", p.Name(), got, c2)
+			}
+			// Perfect-upstream degeneration: the chain collapses to the
+			// single-level form for the edge, exactly.
+			if single := chainFactor(p, f2, lam); ChainFreshness(p, math.Inf(1), f2, lam) != single {
+				t.Fatalf("%s: chain with perfect upstream != single-level form %v", p.Name(), single)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/testkit"
+)
+
+const certTol = 1e-6
+
+// certifySplit proves both levels of a split optimal: each tier's
+// frequency vector must satisfy the KKT conditions of the water-fill
+// over its stored effective elements (the catalog re-weighted by the
+// other tier's freshness factors) at its bandwidth.
+func certifySplit(t *testing.T, pol freshness.Policy, s Split) {
+	t.Helper()
+	if _, err := testkit.Certify(pol, s.Upstream.Elems, s.Upstream.Freqs, s.Upstream.Bandwidth, certTol); err != nil {
+		t.Errorf("upstream level not certified: %v", err)
+	}
+	if _, err := testkit.Certify(pol, s.Edge.Elems, s.Edge.Freqs, s.Edge.Bandwidth, certTol); err != nil {
+		t.Errorf("edge level not certified: %v", err)
+	}
+}
+
+func TestSplitBudgetCertifiedAtEveryLevel(t *testing.T) {
+	for _, pol := range []freshness.Policy{freshness.FixedOrder{}, freshness.PoissonOrder{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			cfg := SplitConfig{
+				Elements: testkit.RandomElements(42, 60, true),
+				Budget:   30,
+				Edges:    4,
+				Policy:   pol,
+			}
+			s, err := SplitBudget(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			certifySplit(t, pol, s)
+
+			// The split spends the whole budget: the regional tier plus
+			// all edges.
+			total := s.Upstream.Bandwidth + float64(cfg.Edges)*s.Edge.Bandwidth
+			if math.Abs(total-cfg.Budget) > 1e-9*cfg.Budget {
+				t.Errorf("level budgets sum to %v, want %v", total, cfg.Budget)
+			}
+			if math.Abs(s.Upstream.Share+s.Edge.Share-1) > 1e-12 {
+				t.Errorf("shares sum to %v", s.Upstream.Share+s.Edge.Share)
+			}
+
+			// The reported PF is the chain closed form at the returned
+			// frequencies.
+			pf, err := freshness.ChainPerceived(pol, cfg.Elements, s.Upstream.Freqs, s.Edge.Freqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pf-s.PF) > 1e-12 {
+				t.Errorf("PF = %v, closed form says %v", s.PF, pf)
+			}
+			if s.PF <= 0 || s.PF >= 1 {
+				t.Errorf("implausible chain PF %v", s.PF)
+			}
+		})
+	}
+}
+
+// TestSplitBudgetDominatesNaiveSplits is the point of the subsystem:
+// the optimized share must beat both fixed heuristics — 50/50 and
+// proportional-to-mirror-count — evaluated with the identical inner
+// block-coordinate solve, so the margin is purely the value of
+// choosing the cross-level share well.
+func TestSplitBudgetDominatesNaiveSplits(t *testing.T) {
+	cfg := SplitConfig{
+		Elements: testkit.RandomElements(7, 80, true),
+		Budget:   24,
+		Edges:    5,
+	}
+	best, err := SplitBudget(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, naive := range []struct {
+		name  string
+		share float64
+	}{
+		{"50/50", 0.5},
+		{"proportional", 1 / float64(1+cfg.Edges)},
+	} {
+		base, err := EvalShare(cfg, naive.share)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.PF < base.PF {
+			t.Errorf("optimized PF %v below %s split's %v", best.PF, naive.name, base.PF)
+		}
+	}
+}
+
+// TestEvalShareSweepIsCoherent sanity-checks the share curve: interior
+// evaluations succeed, every result is certified, and starving either
+// tier hurts — the ends of the curve score below the middle (the
+// chain multiplies the levels' factors, so a near-zero tier caps the
+// product).
+func TestEvalShareSweepIsCoherent(t *testing.T) {
+	cfg := SplitConfig{
+		Elements: testkit.RandomElements(3, 40, false),
+		Budget:   16,
+		Edges:    3,
+	}
+	pf := make(map[float64]float64)
+	for _, share := range []float64{0.02, 0.3, 0.5, 0.7, 0.98} {
+		s, err := EvalShare(cfg, share)
+		if err != nil {
+			t.Fatalf("share %v: %v", share, err)
+		}
+		certifySplit(t, freshness.FixedOrder{}, s)
+		pf[share] = s.PF
+	}
+	if pf[0.02] >= pf[0.5] || pf[0.98] >= pf[0.5] {
+		t.Errorf("starved tiers should hurt: PF(0.02)=%v PF(0.5)=%v PF(0.98)=%v",
+			pf[0.02], pf[0.5], pf[0.98])
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	elems := testkit.RandomElements(1, 5, false)
+	cases := []SplitConfig{
+		{Elements: nil, Budget: 1, Edges: 1},
+		{Elements: elems, Budget: 0, Edges: 1},
+		{Elements: elems, Budget: math.Inf(1), Edges: 1},
+		{Elements: elems, Budget: 1, Edges: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := SplitBudget(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := EvalShare(SplitConfig{Elements: elems, Budget: 1, Edges: 1}, 0); err == nil {
+		t.Error("share 0 accepted")
+	}
+	if _, err := EvalShare(SplitConfig{Elements: elems, Budget: 1, Edges: 1}, 1); err == nil {
+		t.Error("share 1 accepted")
+	}
+}

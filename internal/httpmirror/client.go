@@ -223,6 +223,50 @@ func (c *SourceClient) Fetch(ctx context.Context, id int) (body []byte, version 
 	return body, version, nil
 }
 
+// FetchIfNewer implements ConditionalSource: one conditional GET with
+// the caller's last-seen version in X-If-Version. An upstream that
+// still holds that version answers 304 with no body (notModified true,
+// version echoing the current one); any newer version comes back as a
+// full 200. Against an origin that ignores the condition this behaves
+// exactly like Fetch — the caller detects that by a 200 carrying the
+// version it already has.
+func (c *SourceClient) FetchIfNewer(ctx context.Context, id, have int) (body []byte, version int, notModified bool, err error) {
+	err = c.do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/object/%d", c.base, id), nil)
+		if err != nil {
+			return &permanentError{err}
+		}
+		req.Header.Set("X-If-Version", strconv.Itoa(have))
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			return &statusError{code: resp.StatusCode, status: resp.Status}
+		}
+		v, err := strconv.Atoi(resp.Header.Get("X-Version"))
+		if err != nil {
+			return &permanentError{fmt.Errorf("bad X-Version %q", resp.Header.Get("X-Version"))}
+		}
+		if resp.StatusCode == http.StatusNotModified {
+			body, version, notModified = nil, v, true
+			return nil
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err // truncated body: transient
+		}
+		body, version, notModified = b, v, false
+		return nil
+	})
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("httpmirror: conditional fetch %d: %w", id, err)
+	}
+	return body, version, notModified, nil
+}
+
 // Version checks an object's current version without transferring the
 // body (HEAD) — the cheap change poll.
 func (c *SourceClient) Version(ctx context.Context, id int) (int, error) {

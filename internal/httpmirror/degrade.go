@@ -46,19 +46,39 @@ func (m *Mirror) Mode() resilience.Mode {
 	return resilience.Mode(m.modeWord.Load())
 }
 
+// modeHeaderVals pre-builds the X-Mirror-Mode header value for each of
+// the four mode pairs, so attaching it is a map assignment instead of
+// a per-request slice allocation (the key is already canonical MIME
+// form, matching what Header().Set would store).
+var modeHeaderVals = [4][]string{
+	{resilience.ModeFull.String()},
+	{resilience.ModeSourceDegraded.String()},
+	{resilience.ModePersistDegraded.String()},
+	{(resilience.ModeSourceDegraded | resilience.ModePersistDegraded).String()},
+}
+
 // degradedHeaders attaches the degradation headers to an object
 // response. Source-degraded responses carry how stale the body might
 // be: the periods since this copy's version was last verified against
 // the upstream, computed from the lock-free verified/clock words — the
-// serving path takes no locks even while degraded. Only called when
-// mode != ModeFull, so the healthy path never pays the allocations.
+// serving path takes no locks even while degraded. In a hierarchical
+// chain the upstream tier's own reported staleness compounds in: an
+// edge copy verified 2 periods ago against a regional copy that is
+// itself 3 periods stale is 5 periods behind the origin, and the
+// header must say 5 (this is the additive age split the chain closed
+// form in internal/freshness integrates over). Only called when mode
+// != ModeFull, so the healthy path never pays the staleness
+// formatting.
 func (m *Mirror) degradedHeaders(h http.Header, mode resilience.Mode, id int) {
-	h.Set("X-Mirror-Mode", mode.String())
+	h["X-Mirror-Mode"] = modeHeaderVals[mode&3]
 	if mode&resilience.ModeSourceDegraded != 0 {
 		clock := math.Float64frombits(m.clockBits.Load())
 		staleness := clock - math.Float64frombits(m.verified[id].Load())
 		if staleness < 0 {
 			staleness = 0
+		}
+		if m.upHealth != nil {
+			staleness += m.upHealth.UpstreamStaleness(id)
 		}
 		h.Set("X-Staleness-Periods", strconv.FormatFloat(staleness, 'f', 2, 64))
 	}

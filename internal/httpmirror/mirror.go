@@ -165,6 +165,9 @@ type Mirror struct {
 	acc   *accessCounters
 
 	cfg        Config
+	condSrc    ConditionalSource // non-nil when the upstream answers conditional fetches
+	condOff    bool              // sticky: the origin demonstrably ignores the condition
+	upHealth   UpstreamHealth    // non-nil when the upstream is itself a mirror tier
 	elems      []freshness.Element
 	copies     []copyState
 	health     []elemHealth
@@ -182,6 +185,7 @@ type Mirror struct {
 	fetches    int // running total across all copies (incl. seeding)
 	transfers  int
 
+	notModified      int // conditional polls the upstream answered 304 (no body)
 	refreshFailures  int
 	skippedRefreshes int
 	quarantineEvents int
@@ -278,6 +282,12 @@ func New(ctx context.Context, cfg Config) (*Mirror, error) {
 		verified:       make([]atomic.Uint64, n),
 		journalWarn:    obs.NewLogLimiter(journalWarnInterval),
 	}
+	// Optional upstream capabilities, probed once: conditional fetches
+	// collapse the HEAD-then-GET poll into one round trip, and a
+	// hierarchy-aware upstream surfaces its own degradation for the
+	// mode machine and the compounded staleness headers.
+	m.condSrc, _ = cfg.Upstream.(ConditionalSource)
+	m.upHealth, _ = cfg.Upstream.(UpstreamHealth)
 	m.tracker, err = estimate.NewTracker(n)
 	if err != nil {
 		return nil, err
@@ -652,34 +662,68 @@ func (m *Mirror) timedRefresh(id int, at float64) error {
 	return err
 }
 
-// refresh refreshes one object conditionally: a HEAD reveals the
-// upstream version, and the body is transferred only when it differs
-// from the stored copy — the refresh always counts as a change poll,
-// but an unchanged object costs no body transfer. The network calls
-// run without holding m.mu; the outcome is committed under it. A
+// refresh refreshes one object conditionally. Against a plain source,
+// a HEAD reveals the upstream version and the body is transferred only
+// when it differs from the stored copy. Against a ConditionalSource
+// the two calls collapse into one version-conditional GET: an
+// unchanged object answers 304 with no body, a changed one arrives as
+// a full 200 with the body already in hand. Either way the refresh
+// always counts as a change poll, and an unchanged object costs no
+// body transfer. An origin that advertises the interface but answers a
+// conditional request with a 200 carrying the version we already hold
+// is ignoring the condition; that discovery permanently reverts the
+// mirror to the HEAD-then-GET protocol (paying per-poll transfers
+// against such an origin would silently double bandwidth). The network
+// calls run without holding m.mu; the outcome is committed under it. A
 // failed refresh commits nothing: the estimator only ever sees
 // successful polls, with elapsed measured from the last successful
 // one.
 func (m *Mirror) refresh(id int, at float64) error {
 	m.mu.Lock()
 	stored := m.copies[id].version
+	conditional := m.condSrc != nil && !m.condOff
 	m.mu.Unlock()
 
 	ctx := context.Background()
-	ver, err := m.cfg.Upstream.Version(ctx, id)
-	if err != nil {
-		return fmt.Errorf("httpmirror: polling %d: %w", id, err)
-	}
-	changed := ver != stored
-	var body []byte
-	if changed {
-		body, ver, err = m.cfg.Upstream.Fetch(ctx, id)
+	var (
+		changed     bool
+		notModified bool
+		condBroken  bool
+		body        []byte
+		ver         int
+		err         error
+	)
+	if conditional {
+		body, ver, notModified, err = m.condSrc.FetchIfNewer(ctx, id, stored)
 		if err != nil {
-			return fmt.Errorf("httpmirror: refreshing %d: %w", id, err)
+			return fmt.Errorf("httpmirror: polling %d: %w", id, err)
+		}
+		changed = !notModified && ver != stored
+		condBroken = !notModified && ver == stored
+	} else {
+		ver, err = m.cfg.Upstream.Version(ctx, id)
+		if err != nil {
+			return fmt.Errorf("httpmirror: polling %d: %w", id, err)
+		}
+		changed = ver != stored
+		if changed {
+			body, ver, err = m.cfg.Upstream.Fetch(ctx, id)
+			if err != nil {
+				return fmt.Errorf("httpmirror: refreshing %d: %w", id, err)
+			}
 		}
 	}
 
 	m.mu.Lock()
+	if notModified {
+		m.notModified++
+		m.metrics.countNotModified()
+	}
+	if condBroken && !m.condOff {
+		m.condOff = true
+		m.log.Warn("upstream ignores conditional fetches; reverting to HEAD-then-GET",
+			"element", id, "version", ver)
+	}
 	c := &m.copies[id]
 	elapsed := at - c.lastPoll
 	if elapsed > 0 {
@@ -738,6 +782,12 @@ func (m *Mirror) noteOutcomeLocked(id int, at float64, err error) bool {
 	changed := m.recordOutcomeLocked(id, at, err)
 	m.machine.SetBreakerOpen(m.brk.state != BreakerClosed)
 	m.machine.SetQuarantineFrac(float64(m.quarantined) / float64(len(m.elems)))
+	if m.upHealth != nil {
+		// In a hierarchical chain the upstream tier's own degradation
+		// compounds into ours: serving from a source-degraded regional
+		// mirror means serving stale, breaker state notwithstanding.
+		m.machine.SetUpstreamDegraded(m.upHealth.UpstreamDegraded())
+	}
 	m.publishModeLocked()
 	return changed
 }
@@ -974,6 +1024,11 @@ type Status struct {
 	ExploreProbes    int     `json:"explore_probes"`
 	ExploreBandwidth float64 `json:"explore_bandwidth"`
 
+	// Hierarchical topology state (zero/empty outside a chain).
+	NotModified      int    `json:"source_not_modified"`
+	UpstreamURL      string `json:"upstream_url,omitempty"`
+	UpstreamDegraded bool   `json:"upstream_degraded,omitempty"`
+
 	// Fault-tolerance counters.
 	Retries          int64  `json:"retries"`
 	RefreshFailures  int    `json:"refresh_failures"`
@@ -1007,7 +1062,7 @@ type Status struct {
 func (m *Mirror) Status() Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Status{
+	s := Status{
 		Objects:          len(m.copies),
 		Now:              m.now,
 		Accesses:         m.totalAccessesLocked(),
@@ -1022,6 +1077,7 @@ func (m *Mirror) Status() Status {
 		ExploreFrac:      m.cfg.ExploreFrac,
 		ExploreProbes:    m.exploreProbes,
 		ExploreBandwidth: m.exploreBW,
+		NotModified:      m.notModified,
 		Retries:          m.cfg.Upstream.Retries(),
 		RefreshFailures:  m.refreshFailures,
 		SkippedRefreshes: m.skippedRefreshes,
@@ -1044,6 +1100,11 @@ func (m *Mirror) Status() Status {
 		ConsecutivePersistFailures: m.machine.ConsecutivePersistFailures(),
 		JournalSkipped:             m.journalSkipped,
 	}
+	if m.upHealth != nil {
+		s.UpstreamURL = m.upHealth.UpstreamURL()
+		s.UpstreamDegraded = m.upHealth.UpstreamDegraded()
+	}
+	return s
 }
 
 // Health is the mirror's liveness report, served by /healthz. It is
@@ -1106,6 +1167,20 @@ func (m *Mirror) ForceReplan() error {
 	return m.replanLocked()
 }
 
+// Catalog lists the mirror's objects in source-protocol form. Serving
+// it (GET /catalog) is what lets a mirror stand upstream of another
+// mirror: a downstream SourceClient bootstraps against this tier
+// exactly as it would against an origin.
+func (m *Mirror) Catalog() []CatalogEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]CatalogEntry, len(m.elems))
+	for i := range m.elems {
+		out[i] = CatalogEntry{ID: m.elems[i].ID, Size: m.elems[i].Size}
+	}
+	return out
+}
+
 // Elements returns a copy of the mirror's current element knowledge:
 // the learned change rates, the learned access profile, and the
 // catalog sizes. A fleet-level allocator pools these across shards to
@@ -1154,8 +1229,13 @@ func (m *Mirror) SetBudget(b float64) error {
 
 // serveObject is the admitted object read: resolve the id, serve the
 // body and version from the lock-free snapshot, and — only when the
-// mirror is degraded — attach the mode and staleness headers. The full
-// path stays allocation-free (see TestObjectHandlerAllocs).
+// mirror is degraded — attach the mode and staleness headers. A HEAD
+// answers headers only (the downstream change poll), and a GET whose
+// X-If-Version matches the served version answers 304 with no body
+// (the downstream conditional fetch) — both still carry the mode and
+// staleness headers so a chained mirror sees its upstream's health on
+// every poll. The full path, 304s and HEADs included, stays
+// allocation-free (see TestObjectHandlerAllocs).
 func (m *Mirror) serveObject(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/object/"))
 	if err != nil {
@@ -1182,6 +1262,15 @@ func (m *Mirror) serveObject(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Version", strconv.Itoa(ver))
 	}
+	if r.Method == http.MethodHead {
+		return
+	}
+	if ifv := r.Header.Get("X-If-Version"); ifv != "" {
+		if have, err := strconv.Atoi(ifv); err == nil && have == ver {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	w.Write(body)
 }
 
@@ -1193,10 +1282,12 @@ func wantsPlainText(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "text/plain")
 }
 
-// Handler serves the mirror API: GET /object/{id}, GET /status,
-// GET /healthz (liveness), GET /readyz (readiness; 503 until the
-// first recovery or snapshot completes), POST /replan, and — when the
-// mirror was built with a metrics registry — GET /metrics.
+// Handler serves the mirror API: GET/HEAD /object/{id} (conditional
+// via X-If-Version), GET /catalog (the source protocol — what lets a
+// mirror stand upstream of another mirror), GET /status, GET /healthz
+// (liveness), GET /readyz (readiness; 503 until the first recovery or
+// snapshot completes), POST /replan, and — when the mirror was built
+// with a metrics registry — GET /metrics.
 //
 // /healthz and /readyz answer JSON by default and plain text ("ok" /
 // "unavailable") when the request's Accept header asks for text/plain.
@@ -1207,7 +1298,7 @@ func (m *Mirror) Handler() http.Handler {
 		mux.Handle(route, m.metrics.countRequests(strings.TrimSuffix(route, "/"), h))
 	}
 	object := m.metrics.countRequests("/object", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
@@ -1250,6 +1341,16 @@ func (m *Mirror) Handler() http.Handler {
 		m.limiter.Release(time.Since(start))
 	}))
 	mux.Handle("/object/", object)
+	handle("/catalog", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(m.Catalog()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	handle("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -1321,12 +1422,14 @@ func (m *Mirror) Handler() http.Handler {
 		mux.Handle("/metrics", m.metrics.countRequests("/metrics", reg.Handler()))
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Hot-path dispatch: a GET of a well-formed /object/{id} goes
-		// straight to the object handler, skipping the mux's
-		// path-cleaning machinery (≈3 allocs per request). Anything
-		// else — other routes, other methods, ids that need cleaning
-		// or rejecting — takes the mux and behaves exactly as before.
-		if r.Method == http.MethodGet {
+		// Hot-path dispatch: a GET or HEAD of a well-formed
+		// /object/{id} goes straight to the object handler, skipping
+		// the mux's path-cleaning machinery (≈3 allocs per request).
+		// Anything else — other routes, other methods, ids that need
+		// cleaning or rejecting — takes the mux and behaves exactly as
+		// before. HEAD rides the fast path too: it is the downstream
+		// mirror's change poll, as hot as the reads.
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
 			if rest, ok := strings.CutPrefix(r.URL.Path, "/object/"); ok {
 				if _, err := strconv.Atoi(rest); err == nil {
 					object.ServeHTTP(w, r)

@@ -26,6 +26,7 @@ type mirrorMetrics struct {
 	refreshSeconds *obs.HistogramVec // outcome: success|failure
 	refreshes      *obs.CounterVec   // outcome: success|failure|skipped
 	transfers      *obs.Counter
+	notModified    *obs.Counter
 	serveRequests  *obs.CounterVec // route, code
 	breakerTrips   *obs.Counter
 	quarEvents     *obs.Counter
@@ -57,6 +58,8 @@ func instrumentMirror(m *Mirror, reg *obs.Registry) *mirrorMetrics {
 			"Refresh attempts by outcome; skipped means the breaker was open.", "outcome"),
 		transfers: reg.Counter("freshen_transfers_total",
 			"Refreshes that found a changed object and transferred its body."),
+		notModified: reg.Counter("freshen_source_not_modified_total",
+			"Conditional refresh polls the upstream answered 304 for — no body transferred."),
 		serveRequests: reg.CounterVec("freshen_serve_requests_total",
 			"HTTP requests served, by route and status code.", "route", "code"),
 		breakerTrips: reg.Counter("freshen_breaker_trips_total",
@@ -220,6 +223,12 @@ func (mm *mirrorMetrics) countTransfer() {
 	}
 }
 
+func (mm *mirrorMetrics) countNotModified() {
+	if mm != nil {
+		mm.notModified.Inc()
+	}
+}
+
 func (mm *mirrorMetrics) countBreakerTrip() {
 	if mm != nil {
 		mm.breakerTrips.Inc()
@@ -358,6 +367,10 @@ func (mm *mirrorMetrics) countRequests(route string, h http.Handler) http.Handle
 		return h
 	}
 	ok200 := mm.serveRequests.With(route, "200")
+	// 304 is the other hot success code: a downstream mirror's
+	// conditional polls answer it at steady state, so its child is
+	// resolved once here too — label lookup allocates.
+	ok304 := mm.serveRequests.With(route, "304")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := swPool.Get().(*statusWriter)
 		sw.ResponseWriter, sw.code = w, 0
@@ -365,10 +378,13 @@ func (mm *mirrorMetrics) countRequests(route string, h http.Handler) http.Handle
 		code := sw.code
 		sw.ResponseWriter = nil
 		swPool.Put(sw)
-		if code == 0 || code == http.StatusOK {
+		switch code {
+		case 0, http.StatusOK:
 			ok200.Inc()
-			return
+		case http.StatusNotModified:
+			ok304.Inc()
+		default:
+			mm.serveRequests.With(route, strconv.Itoa(code)).Inc()
 		}
-		mm.serveRequests.With(route, strconv.Itoa(code)).Inc()
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -94,20 +95,55 @@ func TestAccessLockFree(t *testing.T) {
 // work is allocation-free; what remains is the http.ServeMux match and
 // ResponseWriter plumbing, which this pins so a regression (a new
 // fmt.Errorf, a fresh header slice) shows up as a failing number, not
-// a slow dashboard.
+// a slow dashboard. The contract covers every hot serving shape: plain
+// reads, the downstream change poll (HEAD), conditional fetches both
+// ways (304 and full 200), and persist-degraded serving, whose
+// X-Mirror-Mode value is pre-built. (Source-degraded responses are
+// exempt: X-Staleness-Periods is formatted per request.)
 func TestObjectHandlerAllocs(t *testing.T) {
 	_, m := newTestPair(t, []float64{2, 1}, 2)
 	h := m.Handler()
-	req := httptest.NewRequest(http.MethodGet, "/object/0", nil)
-	rec := httptest.NewRecorder()
-	// Warm the pools (statusWriter, mux internals) before measuring.
-	h.ServeHTTP(rec, req)
-	n := testing.AllocsPerRun(200, func() {
-		rec.Body.Reset()
-		h.ServeHTTP(rec, req)
-	})
-	if n != 0 {
-		t.Errorf("GET /object/0 allocates %v per op, want 0", n)
+	_, ver, err := m.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		method   string
+		ifVer    string
+		degraded bool
+	}{
+		{name: "get", method: http.MethodGet},
+		{name: "head", method: http.MethodHead},
+		{name: "conditional hit (304)", method: http.MethodGet, ifVer: strconv.Itoa(ver)},
+		{name: "conditional miss (200)", method: http.MethodGet, ifVer: strconv.Itoa(ver + 1)},
+		{name: "persist-degraded get", method: http.MethodGet, degraded: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m.mu.Lock()
+			if tc.degraded {
+				m.machine.ForcePersistDegraded(m.now)
+			} else {
+				m.machine.PersistSucceeded()
+			}
+			m.publishModeLocked()
+			m.mu.Unlock()
+			req := httptest.NewRequest(tc.method, "/object/0", nil)
+			if tc.ifVer != "" {
+				req.Header.Set("X-If-Version", tc.ifVer)
+			}
+			rec := httptest.NewRecorder()
+			// Warm the pools (statusWriter, mux internals) before measuring.
+			h.ServeHTTP(rec, req)
+			n := testing.AllocsPerRun(200, func() {
+				rec.Body.Reset()
+				h.ServeHTTP(rec, req)
+			})
+			if n != 0 {
+				t.Errorf("%s /object/0 (%s) allocates %v per op, want 0", tc.method, tc.name, n)
+			}
+		})
 	}
 }
 

@@ -38,6 +38,37 @@ type Source interface {
 	Failures() int64
 }
 
+// ConditionalSource is an optional Source extension for origins that
+// answer version-conditional fetches. FetchIfNewer sends the caller's
+// last-seen version; a source still holding it reports notModified with
+// no body, so an unchanged poll costs headers instead of a transfer —
+// the saving that makes deep mirror chains affordable, since every
+// level repolls the one above it. The mirror probes for this interface
+// and falls back to the HEAD-then-GET protocol when the source either
+// does not implement it or demonstrably ignores the condition.
+type ConditionalSource interface {
+	FetchIfNewer(ctx context.Context, id, have int) (body []byte, version int, notModified bool, err error)
+}
+
+// UpstreamHealth is an optional Source extension for sources that are
+// themselves mirrors (hierarchy.MirrorSource). It surfaces the
+// upstream tier's own degradation signals so a downstream mirror can
+// compound them into its serving headers: a regional mirror that is
+// source-degraded hands out stale copies with X-Staleness-Periods set,
+// and an edge mirror refreshing from it must add that age to its own
+// when it tells clients how stale they are.
+type UpstreamHealth interface {
+	// UpstreamDegraded reports whether the upstream tier most recently
+	// identified itself as source-degraded.
+	UpstreamDegraded() bool
+	// UpstreamStaleness returns the upstream's last-reported staleness
+	// for an object, in periods (0 when the upstream is healthy or has
+	// not reported).
+	UpstreamStaleness(id int) float64
+	// UpstreamURL identifies the upstream tier for topology walks.
+	UpstreamURL() string
+}
+
 // SimulatedSource is an origin whose objects change as independent
 // Poisson processes on a caller-supplied clock (time is in periods, as
 // everywhere in this repository). It is safe for concurrent use.
@@ -168,6 +199,14 @@ func (s *SimulatedSource) Handler() http.Handler {
 		case http.MethodHead:
 			// headers only
 		case http.MethodGet:
+			// Version-conditional fetch: a client already holding the
+			// current version gets 304 and no body.
+			if ifv := r.Header.Get("X-If-Version"); ifv != "" {
+				if have, err := strconv.Atoi(ifv); err == nil && have == ver {
+					w.WriteHeader(http.StatusNotModified)
+					return
+				}
+			}
 			fmt.Fprintf(w, "object %d version %d", id, ver)
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

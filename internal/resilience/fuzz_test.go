@@ -7,8 +7,9 @@ import (
 )
 
 // FuzzModeMachine drives the degraded-mode state machine through an
-// arbitrary interleaving of breaker, quarantine, persist-failure,
-// boot-probe, and recovery events decoded from the fuzz input, and
+// arbitrary interleaving of breaker, quarantine, upstream-degradation,
+// persist-failure, boot-probe, and recovery events decoded from the
+// fuzz input, and
 // asserts the machine's core invariants after every event:
 //
 //   - it never panics and never represents an invalid mode pair (each
@@ -39,10 +40,10 @@ func FuzzModeMachine(f *testing.F) {
 			t.Helper()
 			mode := m.Mode()
 			// Axis consistency: the mode is exactly what the signals say.
-			wantSource := m.breakerOpen || m.quarFrac >= eff.QuarantineFracThreshold
+			wantSource := m.breakerOpen || m.upstreamDegraded || m.quarFrac >= eff.QuarantineFracThreshold
 			if got := mode&ModeSourceDegraded != 0; got != wantSource {
-				t.Fatalf("source axis %v, signals say %v (breaker=%v quarFrac=%v)",
-					got, wantSource, m.breakerOpen, m.quarFrac)
+				t.Fatalf("source axis %v, signals say %v (breaker=%v upstream=%v quarFrac=%v)",
+					got, wantSource, m.breakerOpen, m.upstreamDegraded, m.quarFrac)
 			}
 			if got := mode&ModePersistDegraded != 0; got != m.persistDegraded {
 				t.Fatalf("persist axis %v, state says %v", got, m.persistDegraded)
@@ -68,7 +69,7 @@ func FuzzModeMachine(f *testing.F) {
 
 		for i, ev := range events {
 			clock += 0.5
-			switch ev % 6 {
+			switch ev % 8 {
 			case 0:
 				m.SetBreakerOpen(true)
 			case 1:
@@ -79,6 +80,10 @@ func FuzzModeMachine(f *testing.F) {
 				m.PersistSucceeded()
 			case 4:
 				m.ForcePersistDegraded(clock)
+			case 6:
+				m.SetUpstreamDegraded(true)
+			case 7:
+				m.SetUpstreamDegraded(false)
 			case 5:
 				// Quarantine fraction from the following bytes, including
 				// hostile values (NaN, Inf, negative).
@@ -97,6 +102,7 @@ func FuzzModeMachine(f *testing.F) {
 		// Monotone convergence: recovery signals end in ModeFull.
 		m.SetBreakerOpen(false)
 		m.SetQuarantineFrac(0)
+		m.SetUpstreamDegraded(false)
 		m.PersistSucceeded()
 		check()
 		if mode := m.Mode(); mode != ModeFull {

@@ -80,8 +80,9 @@ func (c ModeConfig) withDefaults() ModeConfig {
 type Machine struct {
 	cfg ModeConfig
 
-	breakerOpen bool
-	quarFrac    float64
+	breakerOpen      bool
+	quarFrac         float64
+	upstreamDegraded bool
 
 	consecPersistFails int
 	persistDegraded    bool
@@ -99,7 +100,7 @@ func NewMachine(cfg ModeConfig) *Machine {
 // Mode derives the current mode pair from the signals.
 func (m *Machine) Mode() Mode {
 	var mode Mode
-	if m.breakerOpen || m.quarFrac >= m.cfg.QuarantineFracThreshold {
+	if m.breakerOpen || m.upstreamDegraded || m.quarFrac >= m.cfg.QuarantineFracThreshold {
 		mode |= ModeSourceDegraded
 	}
 	if m.persistDegraded {
@@ -124,6 +125,15 @@ func (m *Machine) note(mutate func()) (Mode, bool) {
 // half-open both count: the upstream is not yet trusted again).
 func (m *Machine) SetBreakerOpen(open bool) (Mode, bool) {
 	return m.note(func() { m.breakerOpen = open })
+}
+
+// SetUpstreamDegraded feeds the upstream mirror's own degradation
+// signal: in a hierarchical chain, a downstream mirror whose source is
+// itself a source-degraded mirror is serving compounded staleness and
+// must say so, even while its own breaker is closed — the upstream is
+// reachable and answering, it is just answering with stale copies.
+func (m *Machine) SetUpstreamDegraded(degraded bool) (Mode, bool) {
+	return m.note(func() { m.upstreamDegraded = degraded })
 }
 
 // SetQuarantineFrac feeds the quarantined fraction of the catalog.

@@ -166,3 +166,29 @@ func BenchmarkMachineMode(b *testing.B) {
 		mode = m.Mode()
 	}
 }
+
+// TestMachineUpstreamAxis: in a hierarchical chain the upstream
+// mirror's own degradation folds into the downstream source axis, ORed
+// with the breaker and quarantine signals — clearing one signal while
+// another still holds must not clear the mode.
+func TestMachineUpstreamAxis(t *testing.T) {
+	m := NewMachine(ModeConfig{})
+	mode, changed := m.SetUpstreamDegraded(true)
+	if !changed || mode != ModeSourceDegraded {
+		t.Fatalf("upstream degraded: mode=%v changed=%v", mode, changed)
+	}
+	if _, changed := m.SetUpstreamDegraded(true); changed {
+		t.Error("repeated upstream-degraded reported a transition")
+	}
+	// The breaker opening on top of upstream degradation is not a
+	// transition; clearing the upstream signal alone is not either.
+	if _, changed := m.SetBreakerOpen(true); changed {
+		t.Error("breaker open under upstream degradation reported a transition")
+	}
+	if mode, changed := m.SetUpstreamDegraded(false); changed || mode != ModeSourceDegraded {
+		t.Errorf("upstream cleared with breaker open: mode=%v changed=%v", mode, changed)
+	}
+	if mode, changed := m.SetBreakerOpen(false); !changed || mode != ModeFull {
+		t.Errorf("all signals cleared: mode=%v changed=%v", mode, changed)
+	}
+}

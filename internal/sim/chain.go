@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+	"freshen/internal/stats"
+)
+
+// ChainConfig describes one two-level chained simulation: the source's
+// update generator feeds a regional mirror (synced at UpFreqs), which
+// in turn feeds an edge mirror (synced at EdgeFreqs). It is the
+// engine-feeding-engine fixture for internal/freshness.ChainFreshness:
+// the edge's sync events copy whatever the regional state machine holds
+// at that instant, exactly as a downstream httpmirror polls an
+// upstream one.
+type ChainConfig struct {
+	// Elements is the catalog; AccessProb drives the edge's request
+	// generator.
+	Elements []freshness.Element
+	// UpFreqs is the regional level's refresh schedule against the
+	// source, element-aligned (refreshes per period).
+	UpFreqs []float64
+	// EdgeFreqs is the edge level's refresh schedule against the
+	// regional mirror, element-aligned.
+	EdgeFreqs []float64
+	// PeriodLength is the simulation-clock length of one sync period;
+	// 0 means 1.0.
+	PeriodLength float64
+	// Periods is the number of periods to simulate; 0 means 20.
+	Periods int
+	// WarmupPeriods are excluded from all metrics; 0 means 2.
+	WarmupPeriods int
+	// AccessesPerPeriod is the aggregate user request rate against the
+	// edge; 0 means 10 000.
+	AccessesPerPeriod float64
+	// Discipline selects the refresh spacing at both levels (default
+	// FixedOrderSync).
+	Discipline SyncDiscipline
+	// CollectPerElement fills ChainResult.PerElement.
+	CollectPerElement bool
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (c ChainConfig) withDefaults() ChainConfig {
+	if c.PeriodLength == 0 {
+		c.PeriodLength = 1
+	}
+	if c.Periods == 0 {
+		c.Periods = 20
+	}
+	if c.WarmupPeriods == 0 {
+		c.WarmupPeriods = 2
+	}
+	if c.AccessesPerPeriod == 0 {
+		c.AccessesPerPeriod = 10000
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c ChainConfig) Validate() error {
+	if err := freshness.ValidateElements(c.Elements); err != nil {
+		return err
+	}
+	if len(c.UpFreqs) != len(c.Elements) || len(c.EdgeFreqs) != len(c.Elements) {
+		return fmt.Errorf("sim: %d upstream and %d edge frequencies for %d elements",
+			len(c.UpFreqs), len(c.EdgeFreqs), len(c.Elements))
+	}
+	for i := range c.Elements {
+		if f := c.UpFreqs[i]; f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("sim: element %d has invalid upstream frequency %v", i, f)
+		}
+		if f := c.EdgeFreqs[i]; f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("sim: element %d has invalid edge frequency %v", i, f)
+		}
+	}
+	if c.PeriodLength < 0 || c.Periods < 0 || c.WarmupPeriods < 0 || c.AccessesPerPeriod < 0 {
+		return fmt.Errorf("sim: negative durations or rates")
+	}
+	cd := c.withDefaults()
+	if cd.WarmupPeriods >= cd.Periods {
+		return fmt.Errorf("sim: warmup (%d periods) consumes the whole run (%d periods)", cd.WarmupPeriods, cd.Periods)
+	}
+	return nil
+}
+
+// ChainResult is what the Freshness Evaluator reports for one chained
+// run. End-to-end metrics (the edge level) carry the same names as the
+// single-level Result so harnesses can treat the two uniformly.
+type ChainResult struct {
+	// MonitoredPF is the fraction of edge accesses that found an
+	// end-to-end fresh copy.
+	MonitoredPF float64
+	// TimeAveragedPF is Σ pᵢ · (measured end-to-end freshness of the
+	// edge copy of element i).
+	TimeAveragedPF float64
+	// UpstreamPF is the regional level's Σ pᵢ · freshness — always ≥
+	// TimeAveragedPF, since an edge copy is fresh only through a fresh
+	// regional copy.
+	UpstreamPF float64
+	// AnalyticPF is the chain closed form Σ pᵢ·F(f1ᵢ,λᵢ)·F(f2ᵢ,λᵢ) for
+	// the configured discipline.
+	AnalyticPF float64
+	// AvgFreshness is the unweighted mean of measured end-to-end
+	// element freshness.
+	AvgFreshness float64
+	// Event counts over the measurement window.
+	Accesses      int
+	FreshAccesses int
+	Updates       int
+	Syncs         int // regional-level syncs
+	EdgeSyncs     int
+	// MeasuredTime is the length of the measurement window.
+	MeasuredTime float64
+	// PerElement holds per-element end-to-end measurements when
+	// CollectPerElement is set (nil otherwise).
+	PerElement []ElementStats
+}
+
+// RunChain executes one chained simulation. Both mirrors start in sync
+// with the source. Per element the engine tracks two bits: whether the
+// regional copy matches the source, and whether the edge copy matches
+// the source. An update invalidates both (versions never recur); a
+// regional sync restores the regional bit; an edge sync copies the
+// regional bit — polling a stale regional copy leaves the edge stale,
+// which is exactly the censoring the chain closed form integrates over.
+func RunChain(cfg ChainConfig) (ChainResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ChainResult{}, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.Elements)
+	horizon := cfg.PeriodLength * float64(cfg.Periods)
+	measureStart := cfg.PeriodLength * float64(cfg.WarmupPeriods)
+
+	r := stats.NewRNG(cfg.Seed)
+	updateRNG := r.Split()
+	syncRNG := r.Split()
+	edgeRNG := r.Split()
+	accessRNG := r.Split()
+
+	var accessAlias *stats.Alias
+	accessRate := cfg.AccessesPerPeriod / cfg.PeriodLength
+	if accessRate > 0 {
+		weights := make([]float64, n)
+		var mass float64
+		for i, e := range cfg.Elements {
+			weights[i] = e.AccessProb
+			mass += e.AccessProb
+		}
+		if mass > 0 {
+			var err error
+			accessAlias, err = stats.NewAlias(weights)
+			if err != nil {
+				return ChainResult{}, err
+			}
+		}
+	}
+
+	// Two-level mirror state. regFresh[i] ⟹ nothing; edgeFresh[i] ⟹
+	// regFresh[i] (an edge copy can only be fresh through a fresh
+	// regional copy), maintained by construction below.
+	regFresh := make([]bool, n)
+	edgeFresh := make([]bool, n)
+	regSince := make([]float64, n)  // valid while regFresh[i]
+	edgeSince := make([]float64, n) // valid while edgeFresh[i]
+	regTime := make([]float64, n)
+	edgeTime := make([]float64, n)
+	for i := range regFresh {
+		regFresh[i] = true
+		edgeFresh[i] = true
+	}
+
+	creditReg := func(i int, now float64) {
+		if now > measureStart {
+			start := regSince[i]
+			if start < measureStart {
+				start = measureStart
+			}
+			regTime[i] += now - start
+		}
+	}
+	creditEdge := func(i int, now float64) {
+		if now > measureStart {
+			start := edgeSince[i]
+			if start < measureStart {
+				start = measureStart
+			}
+			edgeTime[i] += now - start
+		}
+	}
+
+	q := &eventQueue{}
+	for i, e := range cfg.Elements {
+		if e.Lambda > 0 {
+			rate := e.Lambda / cfg.PeriodLength
+			q.push(event{time: updateRNG.ExpFloat64() / rate, kind: evUpdate, elem: i})
+		}
+	}
+	armSync := func(rng *stats.RNG, freqs []float64, kind eventKind) {
+		for i, f := range freqs {
+			if f <= 0 {
+				continue
+			}
+			interval := cfg.PeriodLength / f
+			switch cfg.Discipline {
+			case PoissonSync:
+				q.push(event{time: rng.ExpFloat64() * interval, kind: kind, elem: i})
+			default: // FixedOrderSync: random phase, then exact intervals
+				q.push(event{time: rng.Float64() * interval, kind: kind, elem: i})
+			}
+		}
+	}
+	armSync(syncRNG, cfg.UpFreqs, evSync)
+	armSync(edgeRNG, cfg.EdgeFreqs, evSyncEdge)
+	if accessAlias != nil {
+		q.push(event{time: accessRNG.ExpFloat64() / accessRate, kind: evAccess})
+	}
+
+	res := ChainResult{MeasuredTime: horizon - measureStart}
+	var perElem []ElementStats
+	if cfg.CollectPerElement {
+		perElem = make([]ElementStats, n)
+	}
+	for q.Len() > 0 {
+		ev := q.pop()
+		if ev.time >= horizon {
+			continue
+		}
+		switch ev.kind {
+		case evUpdate:
+			i := ev.elem
+			if regFresh[i] {
+				creditReg(i, ev.time)
+				regFresh[i] = false
+			}
+			if edgeFresh[i] {
+				creditEdge(i, ev.time)
+				edgeFresh[i] = false
+			}
+			if ev.time > measureStart {
+				res.Updates++
+			}
+			rate := cfg.Elements[i].Lambda / cfg.PeriodLength
+			q.push(event{time: ev.time + updateRNG.ExpFloat64()/rate, kind: evUpdate, elem: i})
+
+		case evSync:
+			i := ev.elem
+			if !regFresh[i] {
+				regFresh[i] = true
+				regSince[i] = ev.time
+			}
+			if ev.time > measureStart {
+				res.Syncs++
+			}
+			interval := cfg.PeriodLength / cfg.UpFreqs[i]
+			next := ev.time + interval
+			if cfg.Discipline == PoissonSync {
+				next = ev.time + syncRNG.ExpFloat64()*interval
+			}
+			q.push(event{time: next, kind: evSync, elem: i})
+
+		case evSyncEdge:
+			i := ev.elem
+			// The edge copies the regional copy: a stale regional poll
+			// cannot refresh the edge (and cannot un-refresh it either —
+			// edgeFresh ⟹ regFresh, so a fresh edge never observes a
+			// stale regional copy of a *newer* value).
+			if regFresh[i] && !edgeFresh[i] {
+				edgeFresh[i] = true
+				edgeSince[i] = ev.time
+			}
+			if ev.time > measureStart {
+				res.EdgeSyncs++
+			}
+			interval := cfg.PeriodLength / cfg.EdgeFreqs[i]
+			next := ev.time + interval
+			if cfg.Discipline == PoissonSync {
+				next = ev.time + edgeRNG.ExpFloat64()*interval
+			}
+			q.push(event{time: next, kind: evSyncEdge, elem: i})
+
+		case evAccess:
+			i := accessAlias.Sample(accessRNG)
+			if ev.time > measureStart {
+				res.Accesses++
+				if edgeFresh[i] {
+					res.FreshAccesses++
+				}
+				if perElem != nil {
+					perElem[i].Accesses++
+					if edgeFresh[i] {
+						perElem[i].FreshAccesses++
+					}
+				}
+			}
+			q.push(event{time: ev.time + accessRNG.ExpFloat64()/accessRate, kind: evAccess})
+		}
+	}
+
+	for i := range regFresh {
+		if regFresh[i] {
+			creditReg(i, horizon)
+		}
+		if edgeFresh[i] {
+			creditEdge(i, horizon)
+		}
+	}
+
+	window := res.MeasuredTime
+	var pfEdge, pfReg, avg float64
+	for i, e := range cfg.Elements {
+		frac := edgeTime[i] / window
+		pfEdge += e.AccessProb * frac
+		pfReg += e.AccessProb * regTime[i] / window
+		avg += frac
+	}
+	res.TimeAveragedPF = pfEdge
+	res.UpstreamPF = pfReg
+	res.AvgFreshness = avg / float64(n)
+	if res.Accesses > 0 {
+		res.MonitoredPF = float64(res.FreshAccesses) / float64(res.Accesses)
+	}
+	if perElem != nil {
+		for i := range perElem {
+			perElem[i].Freshness = edgeTime[i] / window
+			perElem[i].Age = math.NaN() // no chained age form implemented
+		}
+		res.PerElement = perElem
+	}
+
+	var pol freshness.Policy = freshness.FixedOrder{}
+	if cfg.Discipline == PoissonSync {
+		pol = freshness.PoissonOrder{}
+	}
+	analytic, err := freshness.ChainPerceived(pol, cfg.Elements, cfg.UpFreqs, cfg.EdgeFreqs)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	res.AnalyticPF = analytic
+	return res, nil
+}

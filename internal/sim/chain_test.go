@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+func chainElems(n int) []freshness.Element {
+	elems := make([]freshness.Element, n)
+	for i := range elems {
+		elems[i] = freshness.Element{
+			ID:         i,
+			Lambda:     0.5 + float64(i%5),
+			AccessProb: 1 / float64(n),
+			Size:       1,
+		}
+	}
+	return elems
+}
+
+// TestRunChainDegeneratesToSingleLevel: with the regional level syncing
+// so often it is effectively always fresh, the edge's measured
+// end-to-end freshness must match the *single-level* closed form for
+// the edge schedule — the chained engine collapses to the plain one.
+func TestRunChainDegeneratesToSingleLevel(t *testing.T) {
+	elems := chainElems(8)
+	up := make([]float64, len(elems))
+	edge := make([]float64, len(elems))
+	for i := range elems {
+		up[i] = 500 // ~always fresh upstream
+		edge[i] = 1 + float64(i%3)
+	}
+	res, err := RunChain(ChainConfig{
+		Elements: elems, UpFreqs: up, EdgeFreqs: edge,
+		Periods: 400, WarmupPeriods: 4, AccessesPerPeriod: 1e-9, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := freshness.Perceived(freshness.FixedOrder{}, elems, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TimeAveragedPF-single) > 0.02 {
+		t.Errorf("chain PF with perfect upstream = %v, want single-level %v", res.TimeAveragedPF, single)
+	}
+}
+
+// TestRunChainEdgeNeverFresherThanRegional pins the structural
+// invariant the engine maintains: an edge copy is fresh only through a
+// fresh regional copy, so the regional level's PF bounds the edge's
+// from above — in every run, not just in expectation.
+func TestRunChainEdgeNeverFresherThanRegional(t *testing.T) {
+	elems := chainElems(16)
+	up := make([]float64, len(elems))
+	edge := make([]float64, len(elems))
+	for i := range elems {
+		up[i] = 0.5 + float64(i%4)
+		edge[i] = 0.5 + float64((i+2)%4)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		for _, d := range []SyncDiscipline{FixedOrderSync, PoissonSync} {
+			res, err := RunChain(ChainConfig{
+				Elements: elems, UpFreqs: up, EdgeFreqs: edge,
+				Periods: 60, WarmupPeriods: 4, AccessesPerPeriod: 1e-9,
+				Discipline: d, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TimeAveragedPF > res.UpstreamPF+1e-12 {
+				t.Errorf("discipline %v seed %d: edge PF %v exceeds regional PF %v",
+					d, seed, res.TimeAveragedPF, res.UpstreamPF)
+			}
+			if res.AnalyticPF < 0 || res.AnalyticPF > 1 {
+				t.Errorf("analytic chain PF %v outside [0,1]", res.AnalyticPF)
+			}
+		}
+	}
+}
+
+// TestRunChainMonitoredAgreesWithTimeAveraged: with real access
+// sampling on, the monitored end-to-end PF and the time-averaged one
+// estimate the same quantity.
+func TestRunChainMonitoredAgreesWithTimeAveraged(t *testing.T) {
+	elems := chainElems(8)
+	up := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	edge := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	res, err := RunChain(ChainConfig{
+		Elements: elems, UpFreqs: up, EdgeFreqs: edge,
+		Periods: 200, WarmupPeriods: 4, AccessesPerPeriod: 2000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses == 0 {
+		t.Fatal("no accesses sampled")
+	}
+	if math.Abs(res.MonitoredPF-res.TimeAveragedPF) > 0.02 {
+		t.Errorf("monitored PF %v vs time-averaged %v", res.MonitoredPF, res.TimeAveragedPF)
+	}
+}
+
+// TestRunChainValidation covers the config error paths.
+func TestRunChainValidation(t *testing.T) {
+	elems := chainElems(2)
+	ok := []float64{1, 1}
+	cases := []ChainConfig{
+		{Elements: elems, UpFreqs: []float64{1}, EdgeFreqs: ok},
+		{Elements: elems, UpFreqs: ok, EdgeFreqs: []float64{1}},
+		{Elements: elems, UpFreqs: []float64{-1, 1}, EdgeFreqs: ok},
+		{Elements: elems, UpFreqs: ok, EdgeFreqs: []float64{math.NaN(), 1}},
+		{Elements: elems, UpFreqs: ok, EdgeFreqs: ok, Periods: 2, WarmupPeriods: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := RunChain(cfg); err == nil {
+			t.Errorf("case %d: invalid chain config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Chained cross-validation wiring, external for the same import-cycle
+// reason as crossval_test.go: testkit imports sim.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"freshen/internal/freshness"
+	"freshen/internal/sim"
+	"freshen/internal/testkit"
+)
+
+// chainSchedules water-fills a per-level budget at each chain level
+// independently — the shape SplitBudget produces — giving realistic
+// heterogeneous schedules for the validation.
+func chainSchedules(t *testing.T, elems []freshness.Element, upBudget, edgeBudget float64) (up, edge []float64) {
+	t.Helper()
+	return optimalSchedule(t, elems, upBudget, nil), optimalSchedule(t, elems, edgeBudget, nil)
+}
+
+// TestCrossValidationChain validates the two-level chain closed form
+// (freshness.ChainFreshness) against the chained event-driven engine at
+// three catalog scales, element by element, within the same intervals
+// PR 3's single-level harness uses. Every run is seeded.
+func TestCrossValidationChain(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			if n == 1000 && testing.Short() {
+				t.Skip("large cross-validation skipped in -short mode")
+			}
+			elems := testkit.RandomElements(int64(300+n), n, false)
+			// A 60/40 split of a global budget across the levels: the
+			// upstream level is typically funded harder (it serves every
+			// edge), but nothing in the validation depends on that.
+			up, edge := chainSchedules(t, elems, 0.6*float64(n), 0.4*float64(n))
+			testkit.CrossValidateChain(t, elems, up, edge, testkit.CrossValOptions{Seed: int64(5 * n)})
+		})
+	}
+}
+
+// TestCrossValidationChainPoisson validates the Poisson-discipline
+// chain form f1/(f1+λ) · f2/(f2+λ) under matching Poisson refresh
+// spacing at both levels.
+func TestCrossValidationChainPoisson(t *testing.T) {
+	elems := testkit.RandomElements(77, 100, false)
+	up, edge := chainSchedules(t, elems, 60, 40)
+	testkit.CrossValidateChain(t, elems, up, edge, testkit.CrossValOptions{
+		Seed:       13,
+		Discipline: sim.PoissonSync,
+	})
+}

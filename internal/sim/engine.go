@@ -2,13 +2,15 @@ package sim
 
 import "container/heap"
 
-// eventKind discriminates the three event streams of Figure 4.
+// eventKind discriminates the event streams of Figure 4, plus the
+// second sync level the chained engine adds.
 type eventKind uint8
 
 const (
-	evUpdate eventKind = iota // Update Generator -> Source
-	evSync                    // Synchronization Scheduler -> Mirror
-	evAccess                  // User Request Generator -> Mirror
+	evUpdate   eventKind = iota // Update Generator -> Source
+	evSync                      // Synchronization Scheduler -> Mirror (regional in a chain)
+	evSyncEdge                  // edge-level sync in the chained engine (Edge <- Regional)
+	evAccess                    // User Request Generator -> Mirror
 )
 
 // event is one scheduled occurrence. Each stream re-arms itself when
@@ -23,7 +25,9 @@ type event struct {
 // eventQueue is a min-heap of events ordered by time; ties break by
 // kind (updates before syncs before accesses, so a refresh that
 // coincides with an update is conservatively treated as fetching the
-// pre-update value) and then element index, keeping runs deterministic.
+// pre-update value; regional syncs before edge syncs, so a co-timed
+// edge poll observes the just-refreshed regional copy) and then
+// element index, keeping runs deterministic.
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }

@@ -1,0 +1,95 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"freshen/internal/freshness"
+	"freshen/internal/sim"
+)
+
+// CrossValidateChain drives seeded chained simulations (source →
+// regional → edge) and asserts the measured end-to-end freshness agrees
+// with the two-level chain closed form, element by element and in the
+// aggregate. The tolerance machinery is identical to CrossValidate:
+// per-check intervals of z·s/√R + floor estimated from independent
+// replications, with a per-mille outlier quota absorbing the Student-t
+// tails the Z multiplier understates at small R.
+func CrossValidateChain(tb testingTB, elems []freshness.Element, upFreqs, edgeFreqs []float64, opt CrossValOptions) {
+	tb.Helper()
+	opt = opt.withDefaults()
+	n := len(elems)
+	warmup := opt.Periods / 10
+	if warmup < 2 {
+		warmup = 2
+	}
+	if opt.Periods <= warmup {
+		tb.Fatalf("cross-validation needs more than %d periods, got %d", warmup, opt.Periods)
+	}
+
+	sum := make([]float64, n)
+	sumSq := make([]float64, n)
+	var pfSum, pfSumSq float64
+	for rep := 0; rep < opt.Replications; rep++ {
+		res, err := sim.RunChain(sim.ChainConfig{
+			Elements:      elems,
+			UpFreqs:       upFreqs,
+			EdgeFreqs:     edgeFreqs,
+			Periods:       opt.Periods,
+			WarmupPeriods: warmup,
+			// Time-averaged freshness needs no access sampling; keep the
+			// request generator armed but silent (see CrossValidate).
+			AccessesPerPeriod: 1e-9,
+			Discipline:        opt.Discipline,
+			CollectPerElement: true,
+			Seed:              opt.Seed + int64(rep)*7919,
+		})
+		if err != nil {
+			tb.Fatalf("replication %d: %v", rep, err)
+		}
+		for i, st := range res.PerElement {
+			sum[i] += st.Freshness
+			sumSq[i] += st.Freshness * st.Freshness
+		}
+		pfSum += res.TimeAveragedPF
+		pfSumSq += res.TimeAveragedPF * res.TimeAveragedPF
+	}
+
+	pol := opt.analyticPolicy
+	if pol == nil {
+		pol = policyFor(opt.Discipline)
+	}
+	analytic, err := freshness.ChainPerceived(pol, elems, upFreqs, edgeFreqs)
+	if err != nil {
+		tb.Fatalf("chain closed form: %v", err)
+	}
+	r := float64(opt.Replications)
+	allowed := n / 100
+	bad := 0
+	var outliers []string
+	for i, e := range elems {
+		want := freshness.ChainFreshness(pol, upFreqs[i], edgeFreqs[i], e.Lambda)
+		mean := sum[i] / r
+		tol := opt.Z*stderr(sum[i], sumSq[i], r) + opt.AbsFloor
+		if math.Abs(mean-want) > tol {
+			bad++
+			if len(outliers) < 10 {
+				outliers = append(outliers, fmt.Sprintf("element %d (λ=%v, f1=%v, f2=%v): measured chain freshness %v vs closed form %v (tol %v)",
+					i, e.Lambda, upFreqs[i], edgeFreqs[i], mean, want, tol))
+			}
+		}
+	}
+	if bad > allowed {
+		for _, o := range outliers {
+			tb.Errorf("%s", o)
+		}
+		if bad > len(outliers) {
+			tb.Errorf("... and %d more per-element mismatches", bad-len(outliers))
+		}
+	}
+	pfMean := pfSum / r
+	pfTol := opt.Z*stderr(pfSum, pfSumSq, r) + opt.AbsFloor
+	if math.Abs(pfMean-analytic) > pfTol {
+		tb.Errorf("aggregate chain PF: measured %v vs analytic %v (tol %v)", pfMean, analytic, pfTol)
+	}
+}

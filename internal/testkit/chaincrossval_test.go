@@ -1,0 +1,46 @@
+package testkit
+
+import (
+	"testing"
+
+	"freshen/internal/freshness"
+)
+
+func TestCrossValidateChainSmoke(t *testing.T) {
+	elems := RandomElements(6, 12, false)
+	up, err := solveWaterFill(elems, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := solveWaterFill(elems, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CrossValidateChain(t, elems, up, edge, CrossValOptions{Seed: 1})
+}
+
+// TestCrossValidateChainDetectsWrongClosedForm proves the chained
+// validator discriminates the same way the single-level one does: a
+// fixed-order chained simulation checked against the Poisson-order
+// chain product must fail.
+func TestCrossValidateChainDetectsWrongClosedForm(t *testing.T) {
+	elems := RandomElements(10, 10, false)
+	up, err := solveWaterFill(elems, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := solveWaterFill(elems, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &failRecorder{}
+	rec.run(func() {
+		CrossValidateChain(rec, elems, up, edge, CrossValOptions{
+			Seed:           2,
+			analyticPolicy: freshness.PoissonOrder{},
+		})
+	})
+	if rec.errors == 0 && rec.fatals == 0 {
+		t.Error("chain validator accepted a closed form that does not describe the simulated discipline")
+	}
+}

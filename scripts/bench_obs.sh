@@ -60,4 +60,9 @@ wait_ready "http://$MIRROR_ADDR/readyz"
 # order of the two steps does not matter.
 "$bin/freshenctl" bench-coldstart -out "$OUT"
 
+# The hierarchical budget-split benchmark merges under chain_split:
+# the optimized cross-level share against the 50/50 and proportional
+# heuristics on the same workload and inner solver.
+"$bin/freshenctl" bench-chainsplit -out "$OUT" -n "$N"
+
 echo "bench_obs: wrote $OUT"
